@@ -1,0 +1,88 @@
+// E9 / §3 ECMP pinning: why the tunnel carries a UDP header with a fixed
+// 5-tuple.
+//
+// Paper: "Tango tunnels traffic before forwarding it to each path to avoid
+// unpredictable path diversity (e.g., due to 5-tuple hashing in ECMP) which
+// will result in measuring multiple paths as one."
+//
+// Setup: NTT's backbone toward NY fans out into 4 ECMP lanes 2 ms apart.
+//  * Pinned: Tango-encapsulated traffic (fixed outer tuple per tunnel) —
+//    every packet rides one lane; the measured distribution is tight.
+//  * Unpinned: plain host flows with varying source ports — packets spread
+//    across lanes; the "path" measurement is a 4-mode mixture.
+#include "baselines/bgp_default.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace tango::bench;
+  using namespace tango::sim;
+  constexpr std::uint64_t kSeed = 17;
+  print_header("E9 - ECMP pinning via the tunnel's fixed UDP 5-tuple",
+               "NTT backbone with 4 ECMP lanes, 2 ms apart; LA -> NY", kSeed);
+
+  Testbed bed{kSeed};
+  bed.wan.link(kNtt, kVultrNy).set_ecmp(/*lanes=*/4, /*spread_ms=*/2.0);
+
+  // --- Pinned: Tango tunnel traffic on path 1 (NTT) ------------------------
+  bed.la.start_probing(10 * kMillisecond);
+  bed.wan.events().run_until(60 * kSecond);
+  bed.la.stop_probing();
+  bed.wan.events().run_all();
+  const auto pinned = bed.ny.dp().receiver().tracker(1)->series().summary();
+
+  // --- Unpinned: plain flows with varying source ports ---------------------
+  // A fresh tenant pair (no Tango switch) sending the same volume of host
+  // traffic with a rotating source port, timestamped in the payload.
+  tango::topo::VultrScenario s2 = tango::topo::make_vultr_scenario();
+  Wan wan2{s2.topo, Rng{kSeed + 1}};
+  wan2.link(kNtt, kVultrNy).set_ecmp(4, 2.0);
+  tango::baselines::PlainTenant la2{kServerLa, wan2};
+  tango::baselines::PlainTenant ny2{kServerNy, wan2};
+
+  tango::telemetry::TimeSeries unpinned_series{"unpinned"};
+  ny2.set_receiver([&](const tango::net::Packet& p) {
+    tango::net::ByteReader r{p.payload()};
+    (void)tango::net::UdpHeader::parse(r);
+    const auto sent_ns = r.u64();
+    unpinned_series.record(wan2.now(),
+                           tango::sim::to_ms(wan2.now() - static_cast<Time>(sent_ns)));
+  });
+
+  for (int i = 0; i < 6000; ++i) {
+    wan2.events().schedule_in(i * 10 * kMillisecond, [&, i]() {
+      tango::net::ByteWriter w{8};
+      w.u64(static_cast<std::uint64_t>(wan2.now()));
+      const auto payload = std::move(w).take();
+      // Rotating source port: each packet is (potentially) a new flow for
+      // the ECMP hash, like short-lived host connections.
+      la2.send(tango::net::make_udp_packet(
+          s2.plan.la_hosts.host(1), s2.plan.ny_hosts.host(1),
+          static_cast<std::uint16_t>(20000 + (i % 64)), 443, payload));
+    });
+  }
+  wan2.events().run_all();
+  const auto unpinned = unpinned_series.summary();
+
+  tango::telemetry::Table table{{"Mode", "Samples", "Mean (ms)", "Stddev (ms)",
+                                 "Min (ms)", "Max (ms)", "Spread (ms)"}};
+  table.add_row({"Tango tunnel (pinned 5-tuple)", std::to_string(pinned.count),
+                 tango::telemetry::fmt(pinned.mean), tango::telemetry::fmt(pinned.stddev, 3),
+                 tango::telemetry::fmt(pinned.min), tango::telemetry::fmt(pinned.max),
+                 tango::telemetry::fmt(pinned.max - pinned.min)});
+  table.add_row({"Plain flows (per-flow hashing)", std::to_string(unpinned.count),
+                 tango::telemetry::fmt(unpinned.mean),
+                 tango::telemetry::fmt(unpinned.stddev, 3),
+                 tango::telemetry::fmt(unpinned.min), tango::telemetry::fmt(unpinned.max),
+                 tango::telemetry::fmt(unpinned.max - unpinned.min)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("pinned traffic rides exactly one lane: sub-ms spread, a usable\n");
+  std::printf("single-path measurement.  Unpinned traffic mixes %d lanes %.0f ms apart:\n",
+              4, 2.0);
+  std::printf("the 'path' being measured does not exist.\n\n");
+
+  const bool ok = pinned.stddev < 0.5 && unpinned.stddev > 1.0 &&
+                  (unpinned.max - unpinned.min) > 5.0;
+  std::printf("reproduction: %s\n", ok ? "MATCHES" : "MISMATCH");
+  return ok ? 0 : 1;
+}

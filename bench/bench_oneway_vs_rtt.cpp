@@ -1,0 +1,120 @@
+// E6 / §2.1+§3: why one-way measurement at the border beats end-host RTT.
+//
+// Three claims from the paper, quantified:
+//  (1) RTT conflates the two directions: under asymmetric congestion, RTT/2
+//      misreads a path's one-way delay by the reverse direction's trouble.
+//  (2) End-host measurements absorb edge noise (hypervisor delays, wireless
+//      retransmissions) that a border switch never sees.
+//  (3) One-way delays under unsynchronized clocks are shifted by a constant,
+//      so relative path comparisons are exact for any offset.
+#include "baselines/rtt_prober.hpp"
+#include "common.hpp"
+
+namespace tango::bench {
+namespace {
+
+struct Run {
+  double tango_owd_ntt;     // LA->NY one-way, path 1, measured at NY switch
+  double rtt_half_ntt;      // RTT/2 estimate for path 1 at the LA host
+  double tango_owd_gtt;
+  double rtt_half_gtt;
+};
+
+Run measure(std::uint64_t seed, double reverse_shift_ms, double edge_noise_scale_ms) {
+  Testbed bed{seed};
+  if (reverse_shift_ms > 0.0) {
+    // Asymmetric congestion: only the NY->LA direction of NTT suffers.
+    bed.wan.link(kNtt, kVultrLa)
+        .delay()
+        .add_modifier(sim::DelayModifier{
+            .start = 0, .end = sim::kHour, .shift_ms = reverse_shift_ms});
+  }
+
+  baselines::EdgeNoise noise{.gamma_shape = 4.0, .gamma_scale_ms = edge_noise_scale_ms};
+  baselines::EchoResponder responder{bed.ny, bed.wan, noise, sim::Rng{seed + 1}};
+  baselines::RttProber prober{bed.la, bed.wan, noise, sim::Rng{seed + 2}};
+  bed.la.dp().set_host_handler(
+      [&prober](const net::Packet& p, const std::optional<dataplane::ReceiveInfo>&) {
+        prober.consume(p);
+      });
+
+  prober.start(bed.ny.host_address(1), 50 * sim::kMillisecond);
+  bed.wan.events().run_until(20 * sim::kSecond);
+  prober.stop();
+  bed.wan.events().run_all();
+
+  return Run{
+      .tango_owd_ntt = bed.ny.dp().receiver().tracker(1)->delay().lifetime().mean(),
+      .rtt_half_ntt = prober.estimates().at(1).half_rtt_ms(),
+      .tango_owd_gtt = bed.ny.dp().receiver().tracker(3)->delay().lifetime().mean(),
+      .rtt_half_gtt = prober.estimates().at(3).half_rtt_ms(),
+  };
+}
+
+}  // namespace
+}  // namespace tango::bench
+
+int main() {
+  using namespace tango::bench;
+  constexpr std::uint64_t kSeed = 3;
+  print_header("E6 - one-way (border switch) vs RTT/2 (end host), LA -> NY",
+               "Asymmetry, edge noise and clock-offset sweeps", kSeed);
+
+  // True one-way delays toward NY: NTT 37.1, GTT 28.7 (plus the constant
+  // clock offset of +0.8 ms visible to Tango's absolute numbers).
+  std::printf("--- (1)+(2): measurement error under asymmetry and edge noise ---\n");
+  tango::telemetry::Table table{{"Condition", "NTT one-way true (ms)",
+                                 "Tango measured (ms)", "RTT/2 measured (ms)",
+                                 "RTT/2 error (ms)"}};
+  struct Case {
+    const char* name;
+    double reverse_shift;
+    double edge_noise;
+  };
+  const Case cases[] = {
+      {"clean", 0.0, 0.0},
+      {"reverse-path congestion +30 ms", 30.0, 0.0},
+      {"edge noise (hypervisor, ~8 ms/side)", 0.0, 2.0},
+      {"both", 30.0, 2.0},
+  };
+  bool rtt_errs_grow = true;
+  for (const Case& c : cases) {
+    const Run r = measure(kSeed, c.reverse_shift, c.edge_noise);
+    const double rtt_error = r.rtt_half_ntt - 37.1;
+    table.add_row({c.name, "37.1", tango::telemetry::fmt(r.tango_owd_ntt),
+                   tango::telemetry::fmt(r.rtt_half_ntt), tango::telemetry::fmt(rtt_error)});
+    if (c.reverse_shift > 0 || c.edge_noise > 0) rtt_errs_grow = rtt_errs_grow && rtt_error > 5.0;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("Tango's switch-level one-way measurement stays within the clock offset of "
+              "truth in every condition;\nRTT/2 absorbs reverse-path congestion and "
+              "edge noise the forward path never saw.\n\n");
+
+  std::printf("--- (3): clock-offset sweep - relative comparisons are offset-free ---\n");
+  tango::telemetry::Table sweep{{"Offset (rx - tx)", "GTT measured (ms)", "NTT measured (ms)",
+                                 "NTT - GTT (ms)"}};
+  bool deltas_stable = true;
+  double reference_delta = 0.0;
+  for (tango::sim::Time offset_ms : {-100, -10, 0, 10, 100}) {
+    Testbed bed{kSeed + 10, true, /*la=*/0, /*ny=*/offset_ms * tango::sim::kMillisecond};
+    bed.la.start_probing(20 * tango::sim::kMillisecond);
+    bed.wan.events().run_until(10 * tango::sim::kSecond);
+    bed.la.stop_probing();
+    bed.wan.events().run_all();
+    const double gtt = bed.ny.dp().receiver().tracker(3)->delay().lifetime().mean();
+    const double ntt = bed.ny.dp().receiver().tracker(1)->delay().lifetime().mean();
+    const double delta = ntt - gtt;
+    if (offset_ms == -100) reference_delta = delta;
+    deltas_stable = deltas_stable && std::abs(delta - reference_delta) < 0.2;
+    sweep.add_row({std::to_string(offset_ms) + " ms", tango::telemetry::fmt(gtt),
+                   tango::telemetry::fmt(ntt), tango::telemetry::fmt(delta)});
+  }
+  std::printf("%s", sweep.render().c_str());
+  std::printf("absolute values shift with the offset; the path *difference* is constant\n"
+              "(paper §3: \"distorted by the same amount - still allowing for accurate\n"
+              "relative comparisons of one-way delays\").\n\n");
+
+  const bool ok = rtt_errs_grow && deltas_stable;
+  std::printf("reproduction: %s\n", ok ? "MATCHES" : "MISMATCH");
+  return ok ? 0 : 1;
+}

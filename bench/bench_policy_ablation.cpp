@@ -1,0 +1,151 @@
+// E7 / ablation: what each ingredient of Tango buys during the paper's two
+// incidents (the E3 route change and the E4 instability storm).
+//
+// Policies compared for the NY -> LA sender:
+//   bgp-default      : the status-quo tenant (always NTT)
+//   static-best      : offline choice pinned to GTT (no adaptation)
+//   multihoming-rtt  : single-ended route control on RTT/2 (no cooperation)
+//   lowest-delay     : Tango, cooperative one-way feedback
+//   hysteresis       : Tango + switchover damping
+//
+// The workload is a latency-sensitive flow (drone control, §2): a packet
+// misses its deadline when its one-way delay exceeds 40 ms.
+#include <map>
+#include <memory>
+
+#include "baselines/multihoming.hpp"
+#include "common.hpp"
+
+namespace tango::bench {
+namespace {
+
+struct Outcome {
+  std::string policy;
+  telemetry::Summary delay;
+  double miss_rate;
+  std::uint64_t switches;
+};
+
+constexpr double kDeadlineMs = 40.0;
+
+Outcome run_policy(std::uint64_t seed, const std::string& which) {
+  Testbed bed{seed};
+
+  // NY -> LA application traffic: 100 packets/s for 20 simulated minutes.
+  // The storm hits GTT at minute 5 (after policies settle), the route change
+  // at minute 13.
+  sim::inject(bed.wan, sim::InstabilityEvent{
+                           .link = topo::VultrScenario::backbone_to_la(kAsnGtt),
+                           .at = 5 * sim::kMinute,
+                           .duration = 5 * sim::kMinute,
+                           .noise_sigma_ms = 4.0,
+                           .spike_prob = 0.25,
+                           .spike_min_ms = 20.0,
+                           .spike_max_ms = 49.5});
+  sim::inject(bed.wan, sim::RouteChangeEvent{
+                           .link = topo::VultrScenario::backbone_to_la(kAsnGtt),
+                           .at = 13 * sim::kMinute,
+                           .duration = 5 * sim::kMinute,
+                           .shift_ms = 5.0});
+
+  // Application delay: measured at LA's receiver against packets on the
+  // *active* path — i.e. exactly what the drone flow experiences.  Each
+  // probe on the active path stands in for an application packet.
+  auto app_delay = std::make_shared<telemetry::TimeSeries>("app");
+  auto misses = std::make_shared<std::uint64_t>(0);
+  auto total = std::make_shared<std::uint64_t>(0);
+  auto measure_app = [&bed, app_delay, misses, total](
+                         const net::Packet&,
+                         const std::optional<dataplane::ReceiveInfo>& info) {
+    if (!info) return;
+    if (bed.ny.dp().active_path() != info->path) return;  // only the live path counts
+    app_delay->record(bed.wan.now(), info->owd_ms);
+    ++*total;
+    if (info->owd_ms > kDeadlineMs) ++*misses;
+  };
+
+  // RTT machinery for the multihoming baseline (runs regardless; unused by
+  // the other policies).  The echo responder owns LA's host handler and
+  // chains non-probe traffic into the application measurement.
+  baselines::EchoResponder responder{bed.la, bed.wan, baselines::EdgeNoise{},
+                                     sim::Rng{seed + 1}, measure_app};
+  baselines::RttProber prober{bed.ny, bed.wan, baselines::EdgeNoise{}, sim::Rng{seed + 2}};
+  bed.ny.dp().set_host_handler(
+      [&prober](const net::Packet& p, const std::optional<dataplane::ReceiveInfo>&) {
+        prober.consume(p);
+      });
+  prober.start(bed.la.host_address(1), 100 * sim::kMillisecond);
+
+  if (which == "bgp-default") {
+    bed.ny.set_policy(std::make_unique<core::BgpDefaultPolicy>(1));
+  } else if (which == "static-best") {
+    bed.ny.set_policy(std::make_unique<core::StaticPathPolicy>(3));  // GTT, chosen offline
+  } else if (which == "multihoming-rtt") {
+    bed.ny.set_policy(std::make_unique<baselines::MultihomingPolicy>(prober));
+  } else if (which == "lowest-delay") {
+    bed.ny.set_policy(std::make_unique<core::LowestDelayPolicy>());
+  } else if (which == "hysteresis") {
+    bed.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  }
+
+  bed.pairing.start();
+  bed.ny.start_probing(10 * sim::kMillisecond);
+  bed.la.start_probing(10 * sim::kMillisecond);
+
+  bed.wan.events().run_until(20 * sim::kMinute);
+  bed.pairing.stop();
+  bed.ny.stop_probing();
+  bed.la.stop_probing();
+  prober.stop();
+  bed.wan.events().run_all();
+
+  return Outcome{.policy = which,
+                 .delay = app_delay->summary(),
+                 .miss_rate = *total == 0 ? 0.0
+                                          : static_cast<double>(*misses) /
+                                                static_cast<double>(*total),
+                 .switches = bed.ny.path_switches()};
+}
+
+}  // namespace
+}  // namespace tango::bench
+
+int main() {
+  using namespace tango::bench;
+  using namespace tango;
+  constexpr std::uint64_t kSeed = 21;
+  print_header("E7 - routing-policy ablation through the Section 5 incidents",
+               "NY -> LA flow, 20 min with a 5-min GTT storm and a +5 ms route change",
+               kSeed);
+
+  telemetry::Table table{{"Policy", "Mean (ms)", "p95 (ms)", "p99 (ms)", "Max (ms)",
+                          "Deadline misses (>40ms)", "Path switches"}};
+  std::map<std::string, Outcome> results;
+  for (const char* policy : {"bgp-default", "static-best", "multihoming-rtt",
+                             "lowest-delay", "hysteresis"}) {
+    Outcome o = run_policy(kSeed, policy);
+    table.add_row({o.policy, telemetry::fmt(o.delay.mean), telemetry::fmt(o.delay.p95),
+                   telemetry::fmt(o.delay.p99), telemetry::fmt(o.delay.max),
+                   telemetry::fmt(100.0 * o.miss_rate, 2) + "%",
+                   std::to_string(o.switches)});
+    results[o.policy] = o;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("reading:\n");
+  std::printf("  * bgp-default rides NTT: ~30%% above the best mean at all times.\n");
+  std::printf("  * static-best wins while GTT is clean but eats the storm's spikes\n");
+  std::printf("    and the +5 ms re-route (no adaptation).\n");
+  std::printf("  * multihoming-rtt adapts but on slower, noisier RTT evidence.\n");
+  std::printf("  * cooperative one-way feedback (lowest-delay / hysteresis) leaves the\n");
+  std::printf("    storm within seconds and returns after it: lowest mean AND tail.\n\n");
+
+  const bool ordering_ok =
+      results["hysteresis"].delay.mean < results["bgp-default"].delay.mean &&
+      results["lowest-delay"].delay.mean < results["bgp-default"].delay.mean &&
+      results["hysteresis"].delay.p99 < results["static-best"].delay.p99 &&
+      results["hysteresis"].miss_rate < results["static-best"].miss_rate;
+  std::printf("reproduction: %s (adaptive cooperative routing dominates)\n",
+              ordering_ok ? "SHAPE MATCHES" : "MISMATCH");
+  return ordering_ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Shared fixture for the reproduction benches: the Vultr scenario wired to
+// a WAN, two Tango nodes, and helpers for probing and reporting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pairing.hpp"
+#include "sim/events.hpp"
+#include "telemetry/table.hpp"
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::bench {
+
+using namespace topo::vultr;
+
+/// The full measurement-study stack, established and ready to probe.
+struct Testbed {
+  topo::VultrScenario scenario;
+  sim::Wan wan;
+  core::TangoNode la;
+  core::TangoNode ny;
+  core::TangoPairing pairing;
+  core::DiscoveryResult la_outbound;  // paths LA -> NY
+  core::DiscoveryResult ny_outbound;  // paths NY -> LA
+
+  /// Default clock offsets are sub-millisecond (NTP-grade, like the paper's
+  /// servers): visible in absolute numbers, harmless in comparisons.
+  explicit Testbed(std::uint64_t seed, bool keep_series = true,
+                   sim::Time la_clock_offset = 500 * sim::kMicrosecond,
+                   sim::Time ny_clock_offset = -300 * sim::kMicrosecond)
+      : scenario{topo::make_vultr_scenario()},
+        wan{scenario.topo, sim::Rng{seed}},
+        la{scenario.topo, wan,
+           core::NodeConfig{
+               .router = kServerLa,
+               .host_prefix = scenario.plan.la_hosts,
+               .tunnel_prefix_pool = {scenario.plan.la_tunnel.begin(),
+                                      scenario.plan.la_tunnel.end()},
+               .edge_asns = {kAsnVultr, kAsnServerLa},
+               .clock = sim::NodeClock{la_clock_offset},
+               .keep_series = keep_series}},
+        ny{scenario.topo, wan,
+           core::NodeConfig{
+               .router = kServerNy,
+               .host_prefix = scenario.plan.ny_hosts,
+               .tunnel_prefix_pool = {scenario.plan.ny_tunnel.begin(),
+                                      scenario.plan.ny_tunnel.end()},
+               .edge_asns = {kAsnVultr, kAsnServerNy},
+               .clock = sim::NodeClock{ny_clock_offset},
+               .keep_series = keep_series}},
+        pairing{wan, la, ny} {
+    auto [la_out, ny_out] = pairing.establish();
+    la_outbound = std::move(la_out);
+    ny_outbound = std::move(ny_out);
+  }
+
+  /// Time series of NY->LA one-way delay for outbound path `id` (recorded at
+  /// LA's receiver).  Valid when keep_series was set.
+  [[nodiscard]] const telemetry::TimeSeries& ny_to_la_series(core::PathId id) {
+    return la.dp().receiver().tracker(id)->series();
+  }
+
+  /// Label of NY->LA path `id`.
+  [[nodiscard]] std::string ny_to_la_label(core::PathId id) const {
+    const core::DiscoveredPath* p = ny.registry().find(id);
+    return p != nullptr ? p->label : "path-" + std::to_string(id);
+  }
+};
+
+inline void print_header(const char* experiment, const char* description,
+                         std::uint64_t seed) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n%s\nseed=%llu\n", experiment, description,
+              static_cast<unsigned long long>(seed));
+  std::printf("==================================================================\n\n");
+}
+
+}  // namespace tango::bench

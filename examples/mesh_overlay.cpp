@@ -1,0 +1,91 @@
+// Tango-of-N (paper §6): three cooperating sites — LA, NY and Chicago —
+// forming the "open and robust wide-area overlay" the paper envisions, out
+// of pairwise Tango building blocks.
+//
+// Each ordered pair gets its own discovered path set, tunnels, one-way
+// measurements and policy decision; the mesh coordinates path-id ranges and
+// prefix-pool slices.
+#include <cstdio>
+
+#include "core/mesh.hpp"
+#include "telemetry/table.hpp"
+#include "topo/vultr_scenario.hpp"
+
+using namespace tango;
+using namespace tango::topo::vultr;
+
+namespace {
+
+core::NodeConfig site_config(const topo::ThreeSiteScenario::SitePlan& plan) {
+  return core::NodeConfig{.router = plan.server,
+                          .host_prefix = plan.hosts,
+                          .tunnel_prefix_pool = plan.tunnel_pool,
+                          .edge_asns = {kAsnVultr, plan.server_asn}};
+}
+
+}  // namespace
+
+int main() {
+  topo::ThreeSiteScenario s = topo::make_three_site_scenario();
+  sim::Wan wan{s.topo, sim::Rng{6}};
+
+  core::TangoNode la{s.topo, wan, site_config(s.la)};
+  core::TangoNode ny{s.topo, wan, site_config(s.ny)};
+  core::TangoNode ch{s.topo, wan, site_config(s.ch)};
+
+  core::TangoMesh mesh{wan};
+  mesh.add_site(la);
+  mesh.add_site(ny);
+  mesh.add_site(ch);
+
+  auto results = mesh.establish();
+  std::printf("mesh established: %zu ordered pairs\n\n", results.size());
+
+  la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  ch.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  mesh.start();
+  mesh.start_probing(10 * sim::kMillisecond);
+  wan.events().run_until(5 * sim::kSecond);
+  mesh.stop();
+  mesh.stop_probing();
+  wan.events().run_all();
+
+  struct SiteRef {
+    const char* name;
+    core::TangoNode* node;
+    bgp::RouterId router;
+  };
+  const SiteRef sites[] = {{"LA", &la, kServerLa}, {"NY", &ny, kServerNy},
+                           {"CH", &ch, kServerCh}};
+
+  telemetry::Table table{{"From", "To", "Paths", "Default", "Chosen", "OWD EWMA (ms)"}};
+  for (const SiteRef& from : sites) {
+    for (const SiteRef& to : sites) {
+      if (from.node == to.node) continue;
+      const auto ids = from.node->paths_to(to.router);
+      const auto active = from.node->dp().active_path(to.router);
+      const core::DiscoveredPath* def = from.node->registry().find(ids.front());
+      const core::DiscoveredPath* cur = active ? from.node->registry().find(*active) : nullptr;
+      const core::PathReport* report = active ? from.node->registry().report(*active) : nullptr;
+      table.add_row({from.name, to.name, std::to_string(ids.size()), def->label,
+                     cur != nullptr ? cur->label : "-",
+                     report != nullptr ? telemetry::fmt(report->owd_ewma_ms) : "-"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("each ordered pair runs the full two-party machinery — one-way\n");
+  std::printf("measurements compare paths within a pair (one sender clock, one receiver\n");
+  std::printf("clock), so no cross-site clock sync is needed (paper §3 footnote).\n\n");
+
+  std::printf("reports delivered over the cooperation channels: %llu\n",
+              static_cast<unsigned long long>(mesh.reports_delivered()));
+
+  // The LA<->NY pairs must still pick GTT (the two-party result holds inside
+  // the mesh).
+  const auto ny_to_la = ny.paths_to(kServerLa);
+  const bool ok = ny.dp().active_path(kServerLa) == ny_to_la[2];
+  std::printf("NY->LA inside the mesh still converges on GTT: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

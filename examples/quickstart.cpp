@@ -1,0 +1,103 @@
+// Quickstart: the whole Tango lifecycle in ~100 lines.
+//
+//   1. Build the simulated Internet (the paper's Vultr LA/NY environment).
+//   2. Stand up a Tango node at each edge and pair them.
+//   3. Discover the wide-area paths with BGP communities.
+//   4. Probe, exchange one-way measurements, and let the policy pick paths.
+//   5. Send application traffic and read the live telemetry.
+#include <cstdio>
+
+#include "core/pairing.hpp"
+#include "telemetry/table.hpp"
+#include "topo/vultr_scenario.hpp"
+
+using namespace tango;
+using namespace tango::topo::vultr;
+
+int main() {
+  // 1. The substrate: AS topology + BGP + packet-level WAN.
+  topo::VultrScenario scenario = topo::make_vultr_scenario();
+  sim::Wan wan{scenario.topo, sim::Rng{/*seed=*/2022}};
+
+  // 2. One Tango node per edge network.  Clocks are deliberately out of
+  //    sync — Tango only ever compares paths against each other.
+  core::TangoNode la{scenario.topo, wan,
+                     core::NodeConfig{.router = kServerLa,
+                                      .host_prefix = scenario.plan.la_hosts,
+                                      .tunnel_prefix_pool = {scenario.plan.la_tunnel.begin(),
+                                                             scenario.plan.la_tunnel.end()},
+                                      .edge_asns = {kAsnVultr, kAsnServerLa},
+                                      .clock = sim::NodeClock{+2 * sim::kMillisecond}}};
+  core::TangoNode ny{scenario.topo, wan,
+                     core::NodeConfig{.router = kServerNy,
+                                      .host_prefix = scenario.plan.ny_hosts,
+                                      .tunnel_prefix_pool = {scenario.plan.ny_tunnel.begin(),
+                                                             scenario.plan.ny_tunnel.end()},
+                                      .edge_asns = {kAsnVultr, kAsnServerNy},
+                                      .clock = sim::NodeClock{-1 * sim::kMillisecond}}};
+
+  // 3. Pair them: both directions run the community-suppression discovery.
+  core::TangoPairing pairing{wan, la, ny};
+  auto [la_paths, ny_paths] = pairing.establish();
+  std::printf("discovered %zu paths LA->NY, %zu paths NY->LA:\n", la_paths.paths.size(),
+              ny_paths.paths.size());
+  for (const core::DiscoveredPath& p : la_paths.paths) {
+    std::printf("  LA->NY %s\n", p.to_string().c_str());
+  }
+
+  // 4. Adaptive routing: hysteresis policy on both senders, measurement
+  //    probes at the paper's 10 ms cadence, cooperative feedback on.
+  la.set_policy(std::make_unique<core::HysteresisPolicy>(/*margin_ms=*/1.0));
+  ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  pairing.start();
+  la.start_probing(10 * sim::kMillisecond);
+  ny.start_probing(10 * sim::kMillisecond);
+
+  // 5. Application traffic LA -> NY while the system converges onto the
+  //    best path.
+  std::uint64_t delivered = 0;
+  ny.dp().set_host_handler([&delivered](const net::Packet& inner,
+                                        const std::optional<dataplane::ReceiveInfo>& info) {
+    if (!info) return;
+    // Measurement probes share the tunnels with application traffic; count
+    // only the application flow (dport 443).
+    net::ByteReader r{inner.payload()};
+    if (net::UdpHeader::parse(r).dst_port == 443) ++delivered;
+  });
+  const std::vector<std::uint8_t> payload(256, 0x42);
+  for (int i = 0; i < 2000; ++i) {
+    wan.events().schedule_in(i * 5 * sim::kMillisecond, [&la, &ny, &payload]() {
+      la.dp().send_from_host(net::make_udp_packet(la.host_address(1), ny.host_address(1),
+                                                  40000, 443, payload));
+    });
+  }
+
+  wan.events().run_until(10 * sim::kSecond);
+  pairing.stop();
+  la.stop_probing();
+  ny.stop_probing();
+  wan.events().run_all();
+
+  // Read the telemetry: per-path one-way stats as the LA sender knows them.
+  std::printf("\nLA sender's live view of its outbound paths (via NY's feedback):\n");
+  telemetry::Table table{{"Path", "Label", "OWD EWMA (ms)", "Jitter (ms)", "Loss"}};
+  for (core::PathId id : la.registry().ids()) {
+    const core::PathReport* r = la.registry().report(id);
+    const core::DiscoveredPath* p = la.registry().find(id);
+    table.add_row({std::to_string(id), p->label,
+                   r ? telemetry::fmt(r->owd_ewma_ms) : "-",
+                   r ? telemetry::fmt(r->jitter_ms, 3) : "-",
+                   r ? telemetry::fmt(100.0 * r->loss_rate, 3) + "%" : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const core::DiscoveredPath* active = la.registry().find(*la.dp().active_path());
+  std::printf("\napplication packets delivered: %llu\n",
+              static_cast<unsigned long long>(delivered));
+  std::printf("LA's active path after convergence: %s (policy: %s, %llu switches)\n",
+              active->label.c_str(), la.policy()->name().c_str(),
+              static_cast<unsigned long long>(la.path_switches()));
+  std::printf("\nTango is running: both edges now see, and steer across, four wide-area"
+              "\npaths that plain BGP reduced to one.\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "baselines/bgp_default.hpp"
+
+namespace tango::baselines {
+
+PlainTenant::PlainTenant(bgp::RouterId router, sim::Wan& wan) : router_{router}, wan_{wan} {
+  wan_.attach(router_, [this](const net::Packet& p) {
+    ++received_;
+    if (receiver_) receiver_(p);
+  });
+}
+
+void PlainTenant::send(const net::Packet& packet) {
+  ++sent_;
+  wan_.send_from(router_, packet);
+}
+
+}  // namespace tango::baselines

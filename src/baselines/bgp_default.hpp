@@ -1,0 +1,37 @@
+// The status-quo tenant (Fig. 1): no Tango switch, no cooperation — packets
+// ride the single BGP best path, and the only measurement available is
+// application-level RTT.  Used by examples/benches as the "before" picture.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/wan.hpp"
+
+namespace tango::baselines {
+
+class PlainTenant {
+ public:
+  using Receiver = std::function<void(const net::Packet&)>;
+
+  /// Attaches directly to `router`'s delivery slot (a plain host behind the
+  /// edge router; no switch in between).
+  PlainTenant(bgp::RouterId router, sim::Wan& wan);
+
+  /// Sends an unencapsulated packet; it follows BGP defaults hop by hop.
+  void send(const net::Packet& packet);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  bgp::RouterId router_;
+  sim::Wan& wan_;
+  Receiver receiver_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace tango::baselines

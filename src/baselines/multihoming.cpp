@@ -1,0 +1,20 @@
+#include "baselines/multihoming.hpp"
+
+namespace tango::baselines {
+
+std::optional<core::PathId> MultihomingPolicy::choose(const core::PathViews&, sim::Time,
+                                                      std::optional<core::PathId> current) {
+  std::optional<core::PathId> best;
+  double best_ms = 0.0;
+  for (const auto& [id, est] : prober_->estimates()) {
+    if (est.samples == 0) continue;
+    const double ms = est.half_rtt_ms();
+    if (!best || ms < best_ms) {
+      best = id;
+      best_ms = ms;
+    }
+  }
+  return best ? best : current;
+}
+
+}  // namespace tango::baselines

@@ -1,0 +1,32 @@
+// Single-ended multihoming route control (§2.2's strongest non-cooperative
+// baseline): the sender can pick among its outbound paths, but without a
+// cooperating peer it only has round-trip estimates (RTT/2) to go on, and it
+// cannot influence the reverse direction at all.
+//
+// Implemented as a routing policy fed by an RttProber instead of peer
+// feedback — isolating "cooperation" as the only difference from Tango's
+// LowestDelayPolicy in the E7 ablation.
+#pragma once
+
+#include "baselines/rtt_prober.hpp"
+#include "core/routing_policy.hpp"
+
+namespace tango::baselines {
+
+class MultihomingPolicy final : public core::RoutingPolicy {
+ public:
+  /// `prober` supplies the RTT estimates; must outlive the policy.
+  explicit MultihomingPolicy(const RttProber& prober) : prober_{&prober} {}
+
+  /// Ignores the (cooperative) views entirely; picks the lowest RTT/2.
+  [[nodiscard]] std::optional<core::PathId> choose(
+      const core::PathViews& views, sim::Time now,
+      std::optional<core::PathId> current) override;
+
+  [[nodiscard]] std::string name() const override { return "multihoming-rtt"; }
+
+ private:
+  const RttProber* prober_;
+};
+
+}  // namespace tango::baselines

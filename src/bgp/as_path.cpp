@@ -1,0 +1,70 @@
+#include "bgp/as_path.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace tango::bgp {
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<Asn> asns;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    Asn value = 0;
+    auto [ptr, ec] = std::from_chars(text.data() + pos, text.data() + text.size(), value, 10);
+    if (ec != std::errc{} || ptr == text.data() + pos) return std::nullopt;
+    asns.push_back(value);
+    pos = static_cast<std::size_t>(ptr - text.data());
+  }
+  return AsPath{std::move(asns)};
+}
+
+AsPath AsPath::prepended(Asn asn, std::size_t times) const {
+  std::vector<Asn> out;
+  out.reserve(asns_.size() + times);
+  out.insert(out.end(), times, asn);
+  out.insert(out.end(), asns_.begin(), asns_.end());
+  return AsPath{std::move(out)};
+}
+
+AsPath AsPath::without_private_asns() const {
+  std::vector<Asn> out;
+  out.reserve(asns_.size());
+  std::copy_if(asns_.begin(), asns_.end(), std::back_inserter(out),
+               [](Asn a) { return !is_private_asn(a); });
+  return AsPath{std::move(out)};
+}
+
+bool AsPath::contains(Asn asn) const noexcept {
+  return std::find(asns_.begin(), asns_.end(), asn) != asns_.end();
+}
+
+std::optional<Asn> AsPath::first() const noexcept {
+  if (asns_.empty()) return std::nullopt;
+  return asns_.front();
+}
+
+std::optional<Asn> AsPath::origin_as() const noexcept {
+  if (asns_.empty()) return std::nullopt;
+  return asns_.back();
+}
+
+std::vector<Asn> AsPath::unique_sequence() const {
+  std::vector<Asn> out;
+  for (Asn a : asns_) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return out;
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(asns_[i]);
+  }
+  return out;
+}
+
+}  // namespace tango::bgp

@@ -1,0 +1,142 @@
+#include "bgp/network.hpp"
+
+#include "bgp/wire.hpp"
+
+namespace tango::bgp {
+
+BgpSpeaker& BgpNetwork::add_router(RouterId id, Asn asn, SpeakerOptions options) {
+  if (id == kLocalRouter) throw std::invalid_argument{"BgpNetwork: router id 0 is reserved"};
+  auto [it, inserted] = routers_.emplace(id, std::make_unique<BgpSpeaker>(id, asn, options));
+  if (!inserted) throw std::invalid_argument{"BgpNetwork: duplicate router id"};
+  return *it->second;
+}
+
+BgpSpeaker& BgpNetwork::router(RouterId id) {
+  auto it = routers_.find(id);
+  if (it == routers_.end()) throw std::out_of_range{"BgpNetwork: unknown router"};
+  return *it->second;
+}
+
+const BgpSpeaker& BgpNetwork::router(RouterId id) const {
+  auto it = routers_.find(id);
+  if (it == routers_.end()) throw std::out_of_range{"BgpNetwork: unknown router"};
+  return *it->second;
+}
+
+std::vector<RouterId> BgpNetwork::routers() const {
+  std::vector<RouterId> out;
+  out.reserve(routers_.size());
+  for (const auto& [id, sp] : routers_) out.push_back(id);
+  return out;
+}
+
+void BgpNetwork::add_transit(RouterId provider, RouterId customer,
+                             std::uint32_t customer_preference) {
+  BgpSpeaker& p = router(provider);
+  BgpSpeaker& c = router(customer);
+  p.add_session(customer, c.asn(), SessionConfig{.rel = Relationship::customer});
+  c.add_session(provider, p.asn(), SessionConfig{.rel = Relationship::provider,
+                                                 .preference = customer_preference});
+  run_to_convergence();
+}
+
+void BgpNetwork::add_peering(RouterId a, RouterId b) {
+  BgpSpeaker& ra = router(a);
+  BgpSpeaker& rb = router(b);
+  ra.add_session(b, rb.asn(), SessionConfig{.rel = Relationship::peer});
+  rb.add_session(a, ra.asn(), SessionConfig{.rel = Relationship::peer});
+  run_to_convergence();
+}
+
+void BgpNetwork::remove_session(RouterId a, RouterId b) {
+  router(a).remove_session(b);
+  router(b).remove_session(a);
+  run_to_convergence();
+}
+
+void BgpNetwork::originate(RouterId id, const net::Prefix& prefix, CommunitySet communities,
+                           const std::vector<Asn>& poisoned) {
+  router(id).originate(prefix, std::move(communities), Origin::igp, poisoned);
+  run_to_convergence();
+}
+
+void BgpNetwork::withdraw(RouterId id, const net::Prefix& prefix) {
+  router(id).withdraw_origin(prefix);
+  run_to_convergence();
+}
+
+const Route* BgpNetwork::best_route(RouterId id, const net::Prefix& prefix) const {
+  return router(id).best_route(prefix);
+}
+
+std::vector<RouterId> BgpNetwork::forwarding_path(RouterId from,
+                                                  const net::Prefix& prefix) const {
+  std::vector<RouterId> path;
+  RouterId current = from;
+  // Bounded by router count: a best-route chain cannot loop under loop-free
+  // import, but guard anyway against allowas-in configurations.
+  for (std::size_t hops = 0; hops <= routers_.size(); ++hops) {
+    path.push_back(current);
+    const BgpSpeaker& sp = router(current);
+    if (sp.originates(prefix)) return path;
+    const Route* best = sp.best_route(prefix);
+    if (best == nullptr) return {};  // unreachable
+    if (best->locally_originated()) return path;
+    current = best->learned_from;
+  }
+  return {};  // inconsistent state (loop)
+}
+
+std::vector<Asn> BgpNetwork::forwarding_as_path(RouterId from, const net::Prefix& prefix) const {
+  std::vector<Asn> out;
+  for (RouterId id : forwarding_path(from, prefix)) {
+    const Asn asn = router(id).asn();
+    if (out.empty() || out.back() != asn) out.push_back(asn);
+  }
+  return out;
+}
+
+std::uint64_t BgpNetwork::run_to_convergence() {
+  std::uint64_t delivered = 0;
+  // Deterministic schedule: repeatedly sweep routers in id order, delivering
+  // each router's queued output before moving on.  BGP with valley-free
+  // policies converges regardless of schedule; determinism makes tests
+  // reproducible.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto& [id, sp] : routers_) {
+      for (auto& [target, update] : sp->drain_outbox()) {
+        auto it = routers_.find(target);
+        if (it == routers_.end()) continue;  // target withdrawn from sim
+        if (wire_transport_) {
+          // Serialize through the RFC 4271 encoder and re-parse, exactly as
+          // bytes would cross a TCP session.  The next hop is the sender's
+          // session address (synthesized per router here).
+          const net::IpAddress next_hop =
+              update.prefix.is_v6()
+                  ? net::IpAddress{net::Ipv6Prefix{*net::Ipv6Address::parse("fe80::"), 64}
+                                       .host(update.from)}
+                  : net::IpAddress{net::Ipv4Address{0x0A000000u | update.from}};
+          const auto bytes = wire::encode_update(update, next_hop);
+          wire_bytes_ += bytes.size();
+          wire::ParsedMessage parsed = wire::parse_message(bytes);
+          Update rebuilt = std::move(*parsed.update);
+          rebuilt.from = update.from;
+          it->second->receive(rebuilt);
+        } else {
+          it->second->receive(update);
+        }
+        ++delivered;
+        ++total_messages_;
+        if (delivered > message_limit_) {
+          throw ConvergenceError{"BgpNetwork: message limit exceeded (policy dispute?)"};
+        }
+        progressed = true;
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace tango::bgp

@@ -1,0 +1,142 @@
+#include "bgp/rib.hpp"
+
+namespace tango::bgp {
+
+void AdjRibIn::put(const Route& route) { routes_[route.prefix][route.learned_from] = route; }
+
+bool AdjRibIn::erase(const net::Prefix& prefix, RouterId neighbor) {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return false;
+  const bool removed = it->second.erase(neighbor) > 0;
+  if (it->second.empty()) routes_.erase(it);
+  return removed;
+}
+
+std::vector<net::Prefix> AdjRibIn::erase_neighbor(RouterId neighbor) {
+  std::vector<net::Prefix> affected;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second.erase(neighbor) > 0) affected.push_back(it->first);
+    if (it->second.empty()) {
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return affected;
+}
+
+std::vector<Route> AdjRibIn::candidates(const net::Prefix& prefix) const {
+  std::vector<Route> out;
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [neighbor, route] : it->second) out.push_back(route);
+  return out;
+}
+
+const Route* AdjRibIn::find(const net::Prefix& prefix, RouterId neighbor) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return nullptr;
+  auto jt = it->second.find(neighbor);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+std::vector<net::Prefix> AdjRibIn::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(routes_.size());
+  for (const auto& [prefix, by_neighbor] : routes_) out.push_back(prefix);
+  return out;
+}
+
+std::size_t AdjRibIn::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [prefix, by_neighbor] : routes_) n += by_neighbor.size();
+  return n;
+}
+
+std::string to_string(DecisionStep s) {
+  switch (s) {
+    case DecisionStep::local_pref:
+      return "local-pref";
+    case DecisionStep::as_path_length:
+      return "as-path-length";
+    case DecisionStep::origin:
+      return "origin";
+    case DecisionStep::med:
+      return "med";
+    case DecisionStep::session_preference:
+      return "session-preference";
+    case DecisionStep::neighbor_asn:
+      return "neighbor-asn";
+    case DecisionStep::neighbor_router:
+      return "neighbor-router";
+    case DecisionStep::equal:
+      return "equal";
+  }
+  return "?";
+}
+
+DecisionStep Decision::deciding_step(const Route& a, const Route& b) {
+  if (a.local_pref != b.local_pref) return DecisionStep::local_pref;
+  if (a.as_path.length() != b.as_path.length()) return DecisionStep::as_path_length;
+  if (a.origin != b.origin) return DecisionStep::origin;
+  if (a.med != b.med) return DecisionStep::med;
+  if (a.session_preference != b.session_preference) return DecisionStep::session_preference;
+  if (a.learned_from_asn != b.learned_from_asn) return DecisionStep::neighbor_asn;
+  if (a.learned_from != b.learned_from) return DecisionStep::neighbor_router;
+  return DecisionStep::equal;
+}
+
+bool Decision::better(const Route& a, const Route& b) {
+  switch (deciding_step(a, b)) {
+    case DecisionStep::local_pref:
+      return a.local_pref > b.local_pref;
+    case DecisionStep::as_path_length:
+      return a.as_path.length() < b.as_path.length();
+    case DecisionStep::origin:
+      return static_cast<std::uint8_t>(a.origin) < static_cast<std::uint8_t>(b.origin);
+    case DecisionStep::med:
+      return a.med < b.med;
+    case DecisionStep::session_preference:
+      return a.session_preference > b.session_preference;
+    case DecisionStep::neighbor_asn:
+      return a.learned_from_asn < b.learned_from_asn;
+    case DecisionStep::neighbor_router:
+      return a.learned_from < b.learned_from;
+    case DecisionStep::equal:
+      return false;
+  }
+  return false;
+}
+
+std::optional<Route> Decision::select(const std::vector<Route>& candidates) {
+  if (candidates.empty()) return std::nullopt;
+  const Route* best = &candidates.front();
+  for (const Route& r : candidates) {
+    if (better(r, *best)) best = &r;
+  }
+  return *best;
+}
+
+bool LocRib::set(const Route& route) {
+  auto it = best_.find(route.prefix);
+  if (it != best_.end() && it->second == route) return false;
+  best_[route.prefix] = route;
+  return true;
+}
+
+bool LocRib::erase(const net::Prefix& prefix) { return best_.erase(prefix) > 0; }
+
+const Route* LocRib::find(const net::Prefix& prefix) const {
+  auto it = best_.find(prefix);
+  return it == best_.end() ? nullptr : &it->second;
+}
+
+std::vector<Route> LocRib::routes() const {
+  std::vector<Route> out;
+  out.reserve(best_.size());
+  for (const auto& [prefix, route] : best_) out.push_back(route);
+  return out;
+}
+
+}  // namespace tango::bgp

@@ -1,0 +1,93 @@
+// Routing Information Bases and the BGP decision process.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace tango::bgp {
+
+/// Adj-RIB-In: per-neighbor candidate routes, keyed by prefix.
+class AdjRibIn {
+ public:
+  /// Stores (replacing any previous route for the same prefix/neighbor).
+  void put(const Route& route);
+
+  /// Removes the route for `prefix` learned from `neighbor`.
+  /// Returns true when something was removed.
+  bool erase(const net::Prefix& prefix, RouterId neighbor);
+
+  /// Removes everything learned from `neighbor` (session teardown).
+  /// Returns the affected prefixes.
+  std::vector<net::Prefix> erase_neighbor(RouterId neighbor);
+
+  /// All candidate routes for `prefix` in deterministic (neighbor) order.
+  [[nodiscard]] std::vector<Route> candidates(const net::Prefix& prefix) const;
+
+  [[nodiscard]] const Route* find(const net::Prefix& prefix, RouterId neighbor) const;
+
+  [[nodiscard]] std::vector<net::Prefix> prefixes() const;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  std::map<net::Prefix, std::map<RouterId, Route>> routes_;
+};
+
+/// Result of comparing two routes in the decision process, with the step
+/// that decided, for explainability in tests and traces.
+enum class DecisionStep : std::uint8_t {
+  local_pref,
+  as_path_length,
+  origin,
+  med,
+  session_preference,
+  neighbor_asn,
+  neighbor_router,
+  equal,
+};
+
+[[nodiscard]] std::string to_string(DecisionStep s);
+
+/// Standard BGP best-route selection (single-router-per-AS model, so the
+/// eBGP-over-iBGP and IGP-metric steps do not apply):
+///   1. highest LOCAL_PREF
+///   2. shortest AS_PATH
+///   3. lowest ORIGIN
+///   4. lowest MED (compared across all candidates, "always-compare-med")
+///   5. highest session preference (operator weight, e.g. Vultr's transit
+///      preference order)
+///   6. lowest neighbor ASN, then lowest neighbor router id (deterministic
+///      tiebreaks standing in for the lowest-router-id rule)
+/// Locally originated routes have an empty AS_PATH and thus win at step 2
+/// unless LOCAL_PREF says otherwise.
+struct Decision {
+  /// True when `a` is strictly preferred over `b`.
+  [[nodiscard]] static bool better(const Route& a, const Route& b);
+
+  /// The step that separates `a` from `b` (first non-tie).
+  [[nodiscard]] static DecisionStep deciding_step(const Route& a, const Route& b);
+
+  /// Best route among candidates; nullopt for an empty set.
+  [[nodiscard]] static std::optional<Route> select(const std::vector<Route>& candidates);
+};
+
+/// Loc-RIB: the selected best route per prefix.
+class LocRib {
+ public:
+  /// Replaces the entry for `route.prefix`.  Returns true if changed.
+  bool set(const Route& route);
+
+  /// Removes the entry.  Returns true if present.
+  bool erase(const net::Prefix& prefix);
+
+  [[nodiscard]] const Route* find(const net::Prefix& prefix) const;
+  [[nodiscard]] std::vector<Route> routes() const;
+  [[nodiscard]] std::size_t size() const noexcept { return best_.size(); }
+
+ private:
+  std::map<net::Prefix, Route> best_;
+};
+
+}  // namespace tango::bgp

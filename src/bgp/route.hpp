@@ -1,0 +1,79 @@
+// BGP route (a prefix plus its path attributes) and UPDATE messages.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bgp/as_path.hpp"
+#include "bgp/community.hpp"
+#include "net/prefix.hpp"
+
+namespace tango::bgp {
+
+/// Identifies one BGP-speaking router in the simulation.  Distinct from the
+/// ASN: a provider like Vultr has PoPs in several cities that share AS20473
+/// but have no private WAN between them (paper §4), so each PoP is its own
+/// router.  RouterId 0 is reserved to mean "locally originated".
+using RouterId = std::uint32_t;
+
+inline constexpr RouterId kLocalRouter = 0;
+
+/// ORIGIN attribute; lower is preferred in the decision process.
+enum class Origin : std::uint8_t { igp = 0, egp = 1, incomplete = 2 };
+
+[[nodiscard]] std::string to_string(Origin o);
+
+/// A route as held in a RIB: prefix + mandatory and optional attributes.
+struct Route {
+  net::Prefix prefix;
+  AsPath as_path;
+  Origin origin = Origin::igp;
+  CommunitySet communities;
+  std::uint32_t med = 0;
+  /// LOCAL_PREF is assigned by import policy (not transitive across eBGP).
+  std::uint32_t local_pref = 100;
+  /// Router the route was learned from; kLocalRouter for local originations.
+  RouterId learned_from = kLocalRouter;
+  /// ASN of that neighbor (used for deterministic tiebreaks and tracing).
+  Asn learned_from_asn = 0;
+  /// Operator-configured per-session tiebreak (router "weight"-style knob,
+  /// consulted after MED, higher wins).  Vultr's transit preference order
+  /// (NTT > Telia > GTT > others, paper §4.1) lives here so it orders
+  /// equal-length paths without overriding AS-path length the way
+  /// LOCAL_PREF would.
+  std::uint32_t session_preference = 0;
+
+  [[nodiscard]] bool locally_originated() const noexcept {
+    return learned_from == kLocalRouter;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Route&) const = default;
+};
+
+/// An UPDATE message: either an announcement carrying a route, or a
+/// withdrawal of a prefix.
+struct Update {
+  enum class Kind : std::uint8_t { announce, withdraw };
+
+  Kind kind = Kind::announce;
+  RouterId from = kLocalRouter;  ///< sending router (filled by the session layer)
+  net::Prefix prefix;
+  /// Present for announcements only.
+  std::optional<Route> route;
+
+  [[nodiscard]] static Update announce(Route r) {
+    return Update{
+        .kind = Kind::announce, .from = kLocalRouter, .prefix = r.prefix, .route = std::move(r)};
+  }
+  [[nodiscard]] static Update withdraw(net::Prefix p) {
+    return Update{
+        .kind = Kind::withdraw, .from = kLocalRouter, .prefix = p, .route = std::nullopt};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace tango::bgp

@@ -1,0 +1,170 @@
+#include "bgp/speaker.hpp"
+
+#include <stdexcept>
+
+namespace tango::bgp {
+
+namespace {
+
+/// LOCAL_PREF for self-originated routes: above any learned band so a router
+/// always prefers its own origination.
+constexpr std::uint32_t kSelfLocalPref = 1000;
+
+}  // namespace
+
+void BgpSpeaker::add_session(RouterId neighbor, Asn neighbor_asn, SessionConfig config) {
+  if (neighbor == id_) throw std::invalid_argument{"BgpSpeaker: session with self"};
+  sessions_[neighbor] = SessionState{.asn = neighbor_asn, .config = config};
+  // Export current best routes over the fresh session.
+  for (const Route& best : loc_rib_.routes()) sync_export(neighbor, best.prefix);
+}
+
+void BgpSpeaker::remove_session(RouterId neighbor) {
+  if (sessions_.erase(neighbor) == 0) return;
+  adj_rib_out_.erase(neighbor);
+  for (const net::Prefix& prefix : adj_rib_in_.erase_neighbor(neighbor)) {
+    reprocess(prefix);
+  }
+}
+
+std::optional<SessionConfig> BgpSpeaker::session(RouterId neighbor) const {
+  auto it = sessions_.find(neighbor);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.config;
+}
+
+std::optional<Asn> BgpSpeaker::neighbor_asn(RouterId neighbor) const {
+  auto it = sessions_.find(neighbor);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.asn;
+}
+
+std::vector<RouterId> BgpSpeaker::neighbors() const {
+  std::vector<RouterId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [router, state] : sessions_) out.push_back(router);
+  return out;
+}
+
+void BgpSpeaker::originate(const net::Prefix& prefix, CommunitySet communities, Origin origin,
+                           const std::vector<Asn>& poisoned) {
+  AsPath path;
+  // Poisoning: origin ... poisoned ... origin would be the classic pattern;
+  // since our own ASN is prepended on export, planting just the poisoned
+  // ASNs suffices for their loop detection to fire.
+  for (Asn p : poisoned) path = path.prepended(p);
+  Route route{.prefix = prefix,
+              .as_path = path,
+              .origin = origin,
+              .communities = std::move(communities),
+              .med = 0,
+              .local_pref = kSelfLocalPref,
+              .learned_from = kLocalRouter,
+              .learned_from_asn = 0};
+  originated_[prefix] = route;
+  reprocess(prefix);
+}
+
+void BgpSpeaker::withdraw_origin(const net::Prefix& prefix) {
+  if (originated_.erase(prefix) == 0) return;
+  reprocess(prefix);
+}
+
+void BgpSpeaker::receive(const Update& update) {
+  ++updates_processed_;
+  auto it = sessions_.find(update.from);
+  if (it == sessions_.end()) return;  // stale message from a torn-down session
+  const SessionState& sess = it->second;
+
+  if (update.kind == Update::Kind::withdraw) {
+    if (adj_rib_in_.erase(update.prefix, update.from)) reprocess(update.prefix);
+    return;
+  }
+
+  if (!update.route) return;
+  Route route = *update.route;
+  if (!options_.allow_own_asn_in && !ExportPolicy::import_accepts(asn_, route)) {
+    // Loop / poisoned: the announcement is rejected, and — like RFC 7606's
+    // treat-as-withdraw — it implicitly replaces (removes) whatever this
+    // neighbor previously announced for the prefix.
+    if (adj_rib_in_.erase(update.prefix, update.from)) reprocess(update.prefix);
+    return;
+  }
+
+  route.learned_from = update.from;
+  route.learned_from_asn = sess.asn;
+  route.local_pref = sess.config.local_pref_in.value_or(default_local_pref(sess.config.rel));
+  route.session_preference = sess.config.preference;
+  adj_rib_in_.put(route);
+  reprocess(update.prefix);
+}
+
+std::vector<std::pair<RouterId, Update>> BgpSpeaker::drain_outbox() {
+  std::vector<std::pair<RouterId, Update>> out;
+  out.swap(outbox_);
+  return out;
+}
+
+std::vector<Route> BgpSpeaker::candidates_for(const net::Prefix& prefix) const {
+  std::vector<Route> candidates = adj_rib_in_.candidates(prefix);
+  if (auto it = originated_.find(prefix); it != originated_.end()) {
+    candidates.push_back(it->second);
+  }
+  return candidates;
+}
+
+void BgpSpeaker::reprocess(const net::Prefix& prefix) {
+  auto best = Decision::select(candidates_for(prefix));
+
+  bool changed = false;
+  if (best) {
+    changed = loc_rib_.set(*best);
+  } else {
+    changed = loc_rib_.erase(prefix);
+  }
+  if (!changed) return;
+
+  for (const auto& [neighbor, state] : sessions_) sync_export(neighbor, prefix);
+}
+
+void BgpSpeaker::sync_export(RouterId neighbor, const net::Prefix& prefix) {
+  const Route* best = loc_rib_.find(prefix);
+  const SessionState& sess = sessions_.at(neighbor);
+
+  std::optional<Route> exported;
+  if (best != nullptr) {
+    // Never reflect a route back to the router we learned it from.
+    if (best->learned_from != neighbor) {
+      const Relationship learned_rel =
+          best->locally_originated()
+              ? Relationship::customer  // self-originated exports like customer routes
+              : sessions_.at(best->learned_from).config.rel;
+      ExportContext ctx{.exporter = asn_,
+                        .to_neighbor = sess.asn,
+                        .to_rel = sess.config.rel,
+                        .learned_rel = learned_rel,
+                        .from_local_origination = best->locally_originated(),
+                        .honors_action_communities = options_.honors_action_communities,
+                        .strips_private_asns = options_.strips_private_asns};
+      exported = ExportPolicy::apply(*best, ctx);
+    }
+  }
+
+  auto& out_map = adj_rib_out_[neighbor];
+  auto prev = out_map.find(prefix);
+  if (exported) {
+    if (prev != out_map.end() && prev->second == *exported) return;  // no change
+    out_map[prefix] = *exported;
+    Update u = Update::announce(*exported);
+    u.from = id_;
+    outbox_.emplace_back(neighbor, std::move(u));
+  } else {
+    if (prev == out_map.end()) return;  // neighbor never heard it
+    out_map.erase(prev);
+    Update u = Update::withdraw(prefix);
+    u.from = id_;
+    outbox_.emplace_back(neighbor, std::move(u));
+  }
+}
+
+}  // namespace tango::bgp

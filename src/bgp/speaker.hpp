@@ -1,0 +1,131 @@
+// A BGP speaker: one eBGP router.  Several routers may share an ASN (e.g.
+// Vultr's per-city PoPs, which have no private WAN between them, paper §4).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/policy.hpp"
+#include "bgp/rib.hpp"
+
+namespace tango::bgp {
+
+/// Per-router behaviour knobs.
+struct SpeakerOptions {
+  /// Provider honors the 646xx action-community scheme on export.
+  bool honors_action_communities = true;
+  /// Provider strips private ASNs when exporting (Vultr does; paper §4.1).
+  bool strips_private_asns = false;
+  /// allowas-in: accept routes whose AS-path contains our own ASN.  Needed
+  /// by multi-PoP providers whose sites reach each other over the public
+  /// Internet — exactly Vultr's BYOIP setup the paper relies on.
+  bool allow_own_asn_in = false;
+};
+
+/// Per-session configuration.
+struct SessionConfig {
+  Relationship rel = Relationship::peer;
+  /// LOCAL_PREF override for routes learned on this session; when unset the
+  /// relationship default applies.
+  std::optional<std::uint32_t> local_pref_in;
+  /// Weight-style tiebreak (see Route::session_preference): orders
+  /// equal-length candidates without overriding AS-path length.  Vultr's
+  /// transit preference order (NTT > Telia > GTT > others, §4.1) uses this.
+  std::uint32_t preference = 0;
+};
+
+class BgpSpeaker {
+ public:
+  BgpSpeaker(RouterId id, Asn asn, SpeakerOptions options = {})
+      : id_{id}, asn_{asn}, options_{options} {}
+
+  [[nodiscard]] RouterId id() const noexcept { return id_; }
+  [[nodiscard]] Asn asn() const noexcept { return asn_; }
+  [[nodiscard]] const SpeakerOptions& options() const noexcept { return options_; }
+
+  // --- Session management -------------------------------------------------
+
+  /// Registers an eBGP session with router `neighbor` of AS `neighbor_asn`.
+  /// Current best routes are immediately queued for export on the session.
+  void add_session(RouterId neighbor, Asn neighbor_asn, SessionConfig config);
+
+  /// Tears a session down: flushes the neighbor's routes, re-decides.
+  void remove_session(RouterId neighbor);
+
+  [[nodiscard]] bool has_session(RouterId neighbor) const {
+    return sessions_.count(neighbor) > 0;
+  }
+  [[nodiscard]] std::optional<SessionConfig> session(RouterId neighbor) const;
+  [[nodiscard]] std::optional<Asn> neighbor_asn(RouterId neighbor) const;
+  [[nodiscard]] std::vector<RouterId> neighbors() const;
+
+  // --- Origination ---------------------------------------------------------
+
+  /// Originates `prefix` with the given attributes.  Re-originating the same
+  /// prefix replaces them (how Tango's discovery algorithm toggles
+  /// suppression communities at runtime).  `poisoned` ASNs are planted in
+  /// the AS-path to repel the announcement from those ASes.
+  void originate(const net::Prefix& prefix, CommunitySet communities = {},
+                 Origin origin = Origin::igp, const std::vector<Asn>& poisoned = {});
+
+  void withdraw_origin(const net::Prefix& prefix);
+
+  [[nodiscard]] bool originates(const net::Prefix& prefix) const {
+    return originated_.count(prefix) > 0;
+  }
+
+  // --- Message processing --------------------------------------------------
+
+  /// Handles one incoming UPDATE from a neighbor (import policy, RIB
+  /// maintenance, decision process, export generation).
+  void receive(const Update& update);
+
+  /// Pending outbound updates as (target router, update) pairs; draining
+  /// them transfers ownership to the transport (BgpNetwork).
+  [[nodiscard]] std::vector<std::pair<RouterId, Update>> drain_outbox();
+  [[nodiscard]] bool outbox_empty() const noexcept { return outbox_.empty(); }
+
+  // --- Inspection ----------------------------------------------------------
+
+  [[nodiscard]] const LocRib& loc_rib() const noexcept { return loc_rib_; }
+  [[nodiscard]] const AdjRibIn& adj_rib_in() const noexcept { return adj_rib_in_; }
+  [[nodiscard]] const Route* best_route(const net::Prefix& prefix) const {
+    return loc_rib_.find(prefix);
+  }
+
+  /// Count of UPDATE messages processed (for convergence statistics).
+  [[nodiscard]] std::uint64_t updates_processed() const noexcept { return updates_processed_; }
+
+ private:
+  /// Re-runs the decision process for `prefix`; on change, refreshes
+  /// exports to every neighbor.
+  void reprocess(const net::Prefix& prefix);
+
+  /// Computes the desired export of the best route for `prefix` to
+  /// `neighbor` and emits an announce/withdraw if it differs from what the
+  /// neighbor last heard.
+  void sync_export(RouterId neighbor, const net::Prefix& prefix);
+
+  [[nodiscard]] std::vector<Route> candidates_for(const net::Prefix& prefix) const;
+
+  RouterId id_;
+  Asn asn_;
+  SpeakerOptions options_;
+  struct SessionState {
+    Asn asn = 0;
+    SessionConfig config;
+  };
+  std::map<RouterId, SessionState> sessions_;
+  std::map<net::Prefix, Route> originated_;
+  AdjRibIn adj_rib_in_;
+  LocRib loc_rib_;
+  /// What each neighbor currently believes we announced: neighbor -> prefix -> route.
+  std::map<RouterId, std::map<net::Prefix, Route>> adj_rib_out_;
+  std::vector<std::pair<RouterId, Update>> outbox_;
+  std::uint64_t updates_processed_ = 0;
+};
+
+}  // namespace tango::bgp

@@ -1,0 +1,44 @@
+// BIRD 2.x configuration generation.
+//
+// The paper's prototype "run[s] a BIRD instance on each of our cloud
+// servers" and "configured our BIRD instance at the destination DC to
+// attach a BGP community" (§4.1).  This module renders a TangoNode's
+// steady-state control-plane intent — which prefixes to announce and which
+// action communities to attach to each — as a deployable bird.conf, closing
+// the loop between the simulated control plane and the software the paper
+// actually ran.
+#pragma once
+
+#include <string>
+
+#include "core/node.hpp"
+
+namespace tango::core {
+
+/// Deployment parameters that exist outside the simulation model.
+struct BirdConfigOptions {
+  /// Local (private) ASN for the eBGP session (paper §4.1 footnote 2).
+  bgp::Asn local_asn = 64512;
+  /// The provider's ASN (Vultr: 20473).
+  bgp::Asn provider_asn = 20473;
+  /// Provider's session endpoint (Vultr uses a fixed link-local gateway).
+  std::string neighbor_address = "2001:19f0:ffff::1";
+  std::string local_address = "::";
+  /// BIRD router id (an IPv4-looking dotted quad).
+  std::string router_id = "10.0.0.1";
+  /// Multihop for the provider session (Vultr: 2).
+  int multihop = 2;
+};
+
+/// Renders a bird.conf that announces:
+///  * this node's host prefix with no communities, and
+///  * every tunnel prefix the *peer* discovered toward us, each with its
+///    pinning community set (read from `announcements`).
+///
+/// `announcements` is the peer's discovery result for traffic toward this
+/// node — the set of prefixes THIS node must announce.
+[[nodiscard]] std::string render_bird_config(const NodeConfig& node,
+                                             const std::vector<DiscoveredPath>& announcements,
+                                             const BirdConfigOptions& options);
+
+}  // namespace tango::core

@@ -1,0 +1,49 @@
+// Static configuration serialization: "we generated static configurations
+// for tunnel endpoints" (paper §4).  A TangoConfig round-trips the tunnel
+// table + peer prefix so operators can inspect, version and re-apply the
+// pairing state.
+//
+// Format: a line-oriented text file.
+//
+//   tango-config v1
+//   peer-host-prefix 2620:110:901b::/48
+//   tunnel 1 label "NTT" local 2620:110:9001::1 remote 2620:110:9011::1
+//       prefix 2620:110:9011::/48 udp-src 49153 communities ""
+//
+// (shown wrapped for width; each tunnel is one physical line, quotes
+// required on label and communities).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/community.hpp"
+#include "dataplane/tunnel_table.hpp"
+
+namespace tango::core {
+
+struct TunnelConfigEntry {
+  dataplane::Tunnel tunnel;
+  /// Communities that pin the remote prefix to this path (documentation;
+  /// the announcing side owns them).
+  bgp::CommunitySet communities;
+
+  bool operator==(const TunnelConfigEntry&) const = default;
+};
+
+struct TangoConfig {
+  net::Ipv6Prefix peer_host_prefix;
+  std::vector<TunnelConfigEntry> tunnels;
+
+  bool operator==(const TangoConfig&) const = default;
+};
+
+/// Renders the textual form.
+[[nodiscard]] std::string render_config(const TangoConfig& config);
+
+/// Parses the textual form; nullopt with `error` set on malformed input.
+[[nodiscard]] std::optional<TangoConfig> parse_config(const std::string& text,
+                                                      std::string* error = nullptr);
+
+}  // namespace tango::core

@@ -1,0 +1,91 @@
+// The paper's iterative path-discovery algorithm (§4.1, "Step 2: identify
+// alternative paths"):
+//
+//   1. Observe the best BGP route for the destination's prefix at the
+//      source.
+//   2. Attach, at the destination, a community suppressing that route.
+//   3. Let BGP propagate; confirm the source sees an alternate route.
+//   4. Record the communities and route; repeat with an additional
+//      community until suppressing the used route makes the prefix
+//      unreachable from the source.
+//
+// Each discovered path is pinned to its own prefix from the destination's
+// pool, so all paths stay simultaneously usable ("prefixes as routes", §3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/path.hpp"
+#include "topo/topology.hpp"
+
+namespace tango::core {
+
+/// How announcements are steered away from already-enumerated routes.
+enum class SteeringMechanism : std::uint8_t {
+  /// Provider action communities (the paper's prototype, §4.1).  Precise:
+  /// only the destination's provider suppresses the chosen export.
+  communities,
+  /// AS-path poisoning (§6's "more knobs"): plant the target ASN in the
+  /// announced path so its loop detection rejects the route *everywhere*.
+  /// Works even when providers ignore communities, but repels the target AS
+  /// globally — composite return paths through a poisoned AS become
+  /// unreachable too (cf. the SICO interception work the paper cites).
+  poisoning,
+};
+
+/// Inputs of one discovery direction (paths for traffic source -> dest,
+/// which are exposed by announcements dest -> world).
+struct DiscoveryRequest {
+  /// The announcing side (the traffic destination).
+  bgp::RouterId destination = 0;
+  /// The observing side (the traffic source).
+  bgp::RouterId source = 0;
+  /// Prefix pool the destination may announce (one per path; discovery
+  /// stops early when the pool runs out).
+  std::vector<net::Ipv6Prefix> prefix_pool;
+  /// ASNs of the cooperating edge networks themselves; stripped from
+  /// labels, never chosen as suppression targets.  In the Vultr setup this
+  /// is {20473} plus the servers' private ASNs (already absent from paths).
+  std::vector<bgp::Asn> edge_asns;
+  SteeringMechanism mechanism = SteeringMechanism::communities;
+};
+
+/// One step of the run, for logging/examples.
+struct DiscoveryStep {
+  net::Ipv6Prefix prefix;
+  bgp::CommunitySet communities;
+  std::vector<bgp::Asn> poisoned;
+  /// Path observed after convergence; nullopt = prefix became unreachable.
+  std::optional<bgp::AsPath> observed;
+};
+
+struct DiscoveryResult {
+  std::vector<DiscoveredPath> paths;
+  std::vector<DiscoveryStep> steps;
+  /// True when the run ended because suppression exhausted every route
+  /// (vs. running out of prefixes).
+  bool exhausted = false;
+  /// BGP messages it cost (the control-plane overhead of discovery).
+  std::uint64_t bgp_messages = 0;
+};
+
+/// Runs discovery for one direction on a converged topology.  Mutates the
+/// control plane: on return the destination is left announcing one prefix
+/// per discovered path, each pinned by its community set — the steady state
+/// Tango operates in.  Path ids start at `first_id`.
+[[nodiscard]] DiscoveryResult discover_paths(topo::Topology& topo,
+                                             const DiscoveryRequest& request,
+                                             PathId first_id = 1);
+
+/// Picks the suppression target from an AS path observed at the source: the
+/// transit adjacent to the destination edge (the AS whose export the
+/// destination's provider must suppress next).  nullopt when the path has
+/// no suppressible transit (already down to the edge ASes).
+/// `already_excluded` lists ASNs that cannot be the next target (poisoned
+/// ASNs appear inside observed paths and must be skipped when scanning).
+[[nodiscard]] std::optional<bgp::Asn> suppression_target(
+    const bgp::AsPath& observed, const std::vector<bgp::Asn>& edge_asns,
+    const std::vector<bgp::Asn>& already_excluded = {});
+
+}  // namespace tango::core

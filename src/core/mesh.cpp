@@ -1,0 +1,91 @@
+#include "core/mesh.hpp"
+
+#include <stdexcept>
+
+namespace tango::core {
+
+TangoMesh::TangoMesh(sim::Wan& wan, PairingOptions options) : wan_{wan}, options_{options} {}
+
+void TangoMesh::add_site(TangoNode& node) {
+  if (established_) throw std::logic_error{"TangoMesh: add_site after establish"};
+  sites_.push_back(&node);
+}
+
+std::vector<DiscoveryResult> TangoMesh::establish(SteeringMechanism mechanism) {
+  const std::size_t n = sites_.size();
+  if (n < 2) throw std::logic_error{"TangoMesh: need at least two sites"};
+
+  std::vector<DiscoveryResult> results;
+  std::size_t ordered_pair = 0;
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+
+      // Slice the destination's pool: its inbound pairs share it evenly.
+      // The slice for `src` is indexed by src's rank among dst's peers.
+      const auto& pool = sites_[dst]->config().tunnel_prefix_pool;
+      const std::size_t slices = n - 1;
+      const std::size_t per_slice = pool.size() / slices;
+      if (per_slice == 0) {
+        throw std::logic_error{"TangoMesh: destination pool too small for site count"};
+      }
+      const std::size_t rank = src < dst ? src : src - 1;
+      const std::vector<net::Ipv6Prefix> slice{
+          pool.begin() + static_cast<std::ptrdiff_t>(rank * per_slice),
+          pool.begin() + static_cast<std::ptrdiff_t>((rank + 1) * per_slice)};
+
+      const PathId first_id = static_cast<PathId>(ordered_pair * kIdsPerPair + 1);
+      results.push_back(
+          sites_[src]->discover_outbound(*sites_[dst], first_id, mechanism, &slice));
+      ++ordered_pair;
+    }
+  }
+  established_ = true;
+  return results;
+}
+
+void TangoMesh::start() {
+  if (running_) return;
+  running_ = true;
+  for (TangoNode* sender : sites_) {
+    for (TangoNode* receiver : sites_) {
+      if (sender == receiver) continue;
+      schedule_feedback(*sender, *receiver);
+    }
+    schedule_policy(*sender);
+  }
+}
+
+void TangoMesh::schedule_feedback(TangoNode& sender, TangoNode& receiver) {
+  wan_.events().schedule_in(options_.feedback_period, [this, &sender, &receiver]() {
+    if (!running_) return;
+    const sim::Time now = wan_.now();
+    for (PathId id : sender.paths_to(receiver.config().router)) {
+      auto report = receiver.build_report_for(id, now);
+      if (!report) continue;
+      wan_.events().schedule_in(options_.feedback_delay, [this, &sender, id, r = *report]() {
+        sender.update_report(id, r);
+        ++reports_delivered_;
+      });
+    }
+    schedule_feedback(sender, receiver);
+  });
+}
+
+void TangoMesh::schedule_policy(TangoNode& node) {
+  wan_.events().schedule_in(options_.policy_period, [this, &node]() {
+    if (!running_) return;
+    node.apply_policy(wan_.now());
+    schedule_policy(node);
+  });
+}
+
+void TangoMesh::start_probing(sim::Time period) {
+  for (TangoNode* site : sites_) site->start_probing(period);
+}
+
+void TangoMesh::stop_probing() {
+  for (TangoNode* site : sites_) site->stop_probing();
+}
+
+}  // namespace tango::core

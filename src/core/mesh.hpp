@@ -1,0 +1,71 @@
+// TangoMesh: "from Tango of 2 to Tango of N" (paper §6).
+//
+// The paper envisions the two-party pairing as "the building block of an
+// open and robust wide-area overlay composed of more networks".  TangoMesh
+// implements the direct generalization: every ordered pair of sites runs
+// the two-party machinery — discovery, per-pair tunnels, receiver-side
+// one-way measurement, cooperative feedback, per-peer policy — with the
+// mesh coordinating the two resources that must not collide:
+//
+//  * path ids: each ordered pair gets a disjoint id range, kept in the
+//    static config both endpoints share (the wire format stays the paper's
+//    16-bit path id);
+//  * prefix pools: a site's announcements toward different sources need
+//    different suppression sets, so the mesh slices each site's pool across
+//    its inbound pairs.
+//
+// Clock-sync note (paper §3 footnote 1): every measurement the mesh uses
+// compares paths *within one ordered pair* — one sending clock, one
+// receiving clock — so the constant-offset argument still applies and no
+// cross-site clock synchronization is required.  Comparing measurements
+// across different receivers would need relative sync and is deliberately
+// not offered.
+#pragma once
+
+#include "core/pairing.hpp"
+
+namespace tango::core {
+
+class TangoMesh {
+ public:
+  /// Path ids reserved per ordered pair.
+  static constexpr PathId kIdsPerPair = 16;
+
+  /// All nodes and the WAN must outlive the mesh.
+  explicit TangoMesh(sim::Wan& wan, PairingOptions options = {});
+
+  /// Registers a site.  Call before establish().
+  void add_site(TangoNode& node);
+
+  /// Runs discovery for every ordered pair (N*(N-1) directions), with
+  /// disjoint path-id ranges and per-pair prefix-pool slices.
+  /// Returns one result per ordered pair, in (source-major) order.
+  std::vector<DiscoveryResult> establish(
+      SteeringMechanism mechanism = SteeringMechanism::communities);
+
+  /// Starts the feedback + policy loops for every ordered pair.
+  void start();
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] std::size_t sites() const noexcept { return sites_.size(); }
+  [[nodiscard]] TangoNode& site(std::size_t i) { return *sites_.at(i); }
+
+  /// Probing across every pair from every site.
+  void start_probing(sim::Time period);
+  void stop_probing();
+
+  [[nodiscard]] std::uint64_t reports_delivered() const noexcept { return reports_delivered_; }
+
+ private:
+  void schedule_feedback(TangoNode& sender, TangoNode& receiver);
+  void schedule_policy(TangoNode& node);
+
+  sim::Wan& wan_;
+  PairingOptions options_;
+  std::vector<TangoNode*> sites_;
+  bool running_ = false;
+  bool established_ = false;
+  std::uint64_t reports_delivered_ = 0;
+};
+
+}  // namespace tango::core

@@ -1,0 +1,148 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+namespace tango::core {
+
+TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
+    : topo_{topo},
+      wan_{wan},
+      config_{std::move(config)},
+      switch_{config_.router, wan,
+              dataplane::SwitchOptions{.keep_series = config_.keep_series,
+                                       .clock = config_.clock,
+                                       .auth_key = config_.auth_key}} {}
+
+DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
+                                             SteeringMechanism mechanism,
+                                             const std::vector<net::Ipv6Prefix>* pool_override) {
+  DiscoveryRequest request;
+  request.destination = peer.config_.router;
+  request.source = config_.router;
+  request.prefix_pool =
+      pool_override != nullptr ? *pool_override : peer.config_.tunnel_prefix_pool;
+  request.edge_asns = config_.edge_asns;
+  request.mechanism = mechanism;
+  for (bgp::Asn asn : peer.config_.edge_asns) {
+    if (std::find(request.edge_asns.begin(), request.edge_asns.end(), asn) ==
+        request.edge_asns.end()) {
+      request.edge_asns.push_back(asn);
+    }
+  }
+
+  DiscoveryResult result = discover_paths(topo_, request, first_id);
+
+  std::vector<PathId> ids;
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    const DiscoveredPath& path = result.paths[i];
+    // Tunnel endpoints live "in those different prefixes" (§3): ours in our
+    // pool's matching prefix when available, else in the host prefix.
+    const net::Ipv6Address local = i < config_.tunnel_prefix_pool.size()
+                                       ? config_.tunnel_prefix_pool[i].host(kTunnelHostSuffix)
+                                       : config_.host_prefix.host(kTunnelHostSuffix);
+    switch_.tunnels().install(registry_.register_path(path, local));
+    ids.push_back(path.id);
+  }
+
+  // Steer the peer's host traffic into Tango and refresh the data plane's
+  // view of the (changed) control plane.
+  const bgp::RouterId peer_id = peer.config_.router;
+  switch_.add_peer_prefix(peer.config_.host_prefix, peer_id);
+  peer_host_prefixes_.push_back(peer.config_.host_prefix);
+  wan_.sync_fibs();
+
+  // Until measurements arrive, ride the first exposed path — by
+  // construction the BGP default (discovered with no suppression).
+  if (!ids.empty()) switch_.set_active_path(peer_id, ids.front());
+  auto existing = std::find_if(peer_paths_.begin(), peer_paths_.end(),
+                               [peer_id](const auto& e) { return e.first == peer_id; });
+  if (existing == peer_paths_.end()) {
+    peer_paths_.emplace_back(peer_id, std::move(ids));
+  } else {
+    existing->second = std::move(ids);
+  }
+
+  return result;
+}
+
+std::vector<bgp::RouterId> TangoNode::peers() const {
+  std::vector<bgp::RouterId> out;
+  out.reserve(peer_paths_.size());
+  for (const auto& [peer, ids] : peer_paths_) out.push_back(peer);
+  return out;
+}
+
+std::vector<PathId> TangoNode::paths_to(bgp::RouterId peer) const {
+  for (const auto& [p, ids] : peer_paths_) {
+    if (p == peer) return ids;
+  }
+  return {};
+}
+
+std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
+  if (!policy_) return switch_.active_path();
+
+  std::optional<PathId> last_choice;
+  for (const auto& [peer, ids] : peer_paths_) {
+    // Restrict the policy's view to this peer's paths.
+    PathViews views;
+    for (PathId id : ids) {
+      if (const PathReport* r = registry_.report(id)) views.emplace(id, *r);
+    }
+    const auto current = switch_.active_path(peer);
+    auto chosen = policy_->choose(views, now, current);
+    if (chosen && chosen != current) {
+      switch_.set_active_path(peer, *chosen);
+      ++path_switches_;
+    }
+    last_choice = chosen ? chosen : current;
+  }
+  return last_choice ? last_choice : switch_.active_path();
+}
+
+void TangoNode::update_report(PathId id, const PathReport& report) {
+  registry_.update_report(id, report);
+}
+
+void TangoNode::send_probe_round() {
+  if (peer_paths_.empty()) return;
+  // A minimal inner UDP packet per peer; the receiving switch measures it
+  // off the Tango header and delivers it like any other host packet.
+  static constexpr std::uint16_t kProbePort = 9;  // discard
+  const std::vector<std::uint8_t> payload{'t', 'a', 'n', 'g', 'o'};
+  for (std::size_t i = 0; i < peer_paths_.size(); ++i) {
+    const net::Packet probe =
+        net::make_udp_packet(host_address(0xFFFF), peer_host_prefixes_[i].host(0xFFFF),
+                             kProbePort, kProbePort, payload);
+    for (PathId id : peer_paths_[i].second) {
+      if (switch_.send_on_path(probe, id)) ++probes_sent_;
+    }
+  }
+}
+
+void TangoNode::start_probing(sim::Time period) {
+  probing_ = true;
+  wan_.events().schedule_in(period, [this, period]() {
+    if (!probing_) return;
+    send_probe_round();
+    start_probing(period);
+  });
+}
+
+std::optional<PathReport> TangoNode::build_report_for(PathId id, sim::Time now) const {
+  const dataplane::PathTracker* tracker = switch_.receiver().tracker(id);
+  if (tracker == nullptr || tracker->delay().lifetime().count() == 0) return std::nullopt;
+
+  PathReport report;
+  report.owd_ewma_ms = tracker->delay().ewma().value();
+  // Prefer the live 1-second window's stddev; fall back to the lifetime mean
+  // of window stddevs when the window is still sparse.
+  report.jitter_ms =
+      tracker->delay().rolling().stddev().value_or(tracker->delay().mean_rolling_stddev());
+  report.loss_rate = tracker->loss().loss_rate();
+  report.samples = tracker->delay().lifetime().count();
+  report.updated_at = now;
+  return report;
+}
+
+}  // namespace tango::core

@@ -1,0 +1,131 @@
+// TangoNode: one side of a Tango pairing — the border switch (data plane),
+// the BGP presence (control plane) and the route controller (registry +
+// policy), wired to the simulated WAN.
+#pragma once
+
+#include <memory>
+
+#include "core/discovery.hpp"
+#include "core/registry.hpp"
+#include "core/routing_policy.hpp"
+#include "dataplane/switch.hpp"
+
+namespace tango::core {
+
+struct NodeConfig {
+  /// This site's border router in the topology.
+  bgp::RouterId router = 0;
+  /// Host-addressing prefix (announced over traditional BGP, never used for
+  /// tunnels; paper §3).
+  net::Ipv6Prefix host_prefix;
+  /// Prefix pool available for exposing wide-area routes (the four /48s of
+  /// the prototype).
+  std::vector<net::Ipv6Prefix> tunnel_prefix_pool;
+  /// ASNs that belong to the cooperating edges (the hosting provider's ASN
+  /// and this site's own, possibly private, ASN).
+  std::vector<bgp::Asn> edge_asns;
+  /// This site's wall clock (offset models unsynchronized clocks).
+  sim::NodeClock clock;
+  /// Retain full one-way-delay time series (measurement study).
+  bool keep_series = false;
+  /// Shared pairing key for authenticated telemetry (§6); both endpoints
+  /// must configure the same key.
+  std::optional<net::SipHashKey> auth_key;
+};
+
+class TangoNode {
+ public:
+  /// `topo` and `wan` must outlive the node.
+  TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config);
+
+  TangoNode(const TangoNode&) = delete;
+  TangoNode& operator=(const TangoNode&) = delete;
+
+  // --- Control plane ---------------------------------------------------------
+
+  /// Discovers the wide-area paths for traffic from this node to `peer`
+  /// (the peer announces its prefix pool; we observe), installs one tunnel
+  /// per path, steers the peer's host prefix into Tango, syncs WAN FIBs and
+  /// activates the first (BGP-default) path for that peer.
+  ///
+  /// `first_id` makes path ids globally unique across a multi-peer
+  /// cooperation set (a TangoMesh assigns disjoint ranges per ordered pair;
+  /// both endpoints cooperate, so coordinated ids live in the static
+  /// config and the wire format stays minimal).  `mechanism` selects
+  /// community-based steering (the paper's prototype) or AS-path poisoning.
+  /// `pool_override` restricts which of the peer's prefixes this direction
+  /// may consume (a TangoMesh slices each site's pool across its inbound
+  /// pairs so the per-pair suppression sets never collide on one prefix).
+  DiscoveryResult discover_outbound(
+      TangoNode& peer, PathId first_id = 1,
+      SteeringMechanism mechanism = SteeringMechanism::communities,
+      const std::vector<net::Ipv6Prefix>* pool_override = nullptr);
+
+  /// Router ids of peers with discovered outbound paths.
+  [[nodiscard]] std::vector<bgp::RouterId> peers() const;
+
+  /// Outbound path ids toward one peer.
+  [[nodiscard]] std::vector<PathId> paths_to(bgp::RouterId peer) const;
+
+  // --- Route control -----------------------------------------------------------
+
+  void set_policy(std::unique_ptr<RoutingPolicy> policy) { policy_ = std::move(policy); }
+  [[nodiscard]] const RoutingPolicy* policy() const noexcept { return policy_.get(); }
+
+  /// Runs the policy against the current reports; switches the data plane's
+  /// active path when the decision changed.  Returns the chosen path.
+  std::optional<PathId> apply_policy(sim::Time now);
+
+  /// Installs a fresh performance report for an outbound path (feedback
+  /// from the cooperating peer).
+  void update_report(PathId id, const PathReport& report);
+
+  /// Builds the report this node's *receiver* would feed back to the peer
+  /// about the peer's outbound path `id`; nullopt before any packet arrived.
+  [[nodiscard]] std::optional<PathReport> build_report_for(PathId id, sim::Time now) const;
+
+  /// Count of active-path switches the policy has made.
+  [[nodiscard]] std::uint64_t path_switches() const noexcept { return path_switches_; }
+
+  // --- Measurement probes --------------------------------------------------
+
+  /// Sends one small measurement packet over every tunnel (the paper ran "a
+  /// ping along each path every 10ms", §5).  Real traffic piggybacks
+  /// measurements too; probes guarantee coverage of idle paths.
+  void send_probe_round();
+
+  /// Schedules recurring probe rounds every `period` (paper: 10 ms).
+  void start_probing(sim::Time period);
+  void stop_probing() noexcept { probing_ = false; }
+  [[nodiscard]] std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+
+  // --- Access --------------------------------------------------------------------
+
+  [[nodiscard]] dataplane::TangoSwitch& dp() noexcept { return switch_; }
+  [[nodiscard]] const dataplane::TangoSwitch& dp() const noexcept { return switch_; }
+  [[nodiscard]] PathRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const PathRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
+
+  /// An address inside this node's host prefix (for generating traffic).
+  [[nodiscard]] net::Ipv6Address host_address(std::uint64_t suffix) const {
+    return config_.host_prefix.host(suffix);
+  }
+
+ private:
+  topo::Topology& topo_;
+  sim::Wan& wan_;
+  NodeConfig config_;
+  dataplane::TangoSwitch switch_;
+  PathRegistry registry_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  std::uint64_t path_switches_ = 0;
+  /// Outbound paths per peer (router id); insertion order preserved for
+  /// deterministic iteration.
+  std::vector<std::pair<bgp::RouterId, std::vector<PathId>>> peer_paths_;
+  std::vector<net::Ipv6Prefix> peer_host_prefixes_;
+  bool probing_ = false;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace tango::core

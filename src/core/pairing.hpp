@@ -1,0 +1,55 @@
+// TangoPairing: the cooperation between the two edge networks.
+//
+// "It takes two": the receiver of each direction owns the authoritative
+// one-way measurements, and the sender needs them to choose paths.  The
+// pairing runs that feedback loop — periodically shipping each receiver's
+// per-path reports back to the opposite sender (with a configurable
+// control-channel delay) and triggering the senders' policy evaluations.
+#pragma once
+
+#include "core/node.hpp"
+
+namespace tango::core {
+
+struct PairingOptions {
+  /// How often each receiver publishes reports to the opposite sender.
+  sim::Time feedback_period = 100 * sim::kMillisecond;
+  /// One-way latency of the control channel carrying a report.
+  sim::Time feedback_delay = 40 * sim::kMillisecond;
+  /// How often each sender re-evaluates its routing policy.
+  sim::Time policy_period = 100 * sim::kMillisecond;
+};
+
+class TangoPairing {
+ public:
+  /// Both nodes and the WAN must outlive the pairing.
+  TangoPairing(sim::Wan& wan, TangoNode& a, TangoNode& b, PairingOptions options = {});
+
+  /// Runs discovery in both directions (A's outbound paths, then B's) and
+  /// returns both results.  Idempotent setup step.
+  std::pair<DiscoveryResult, DiscoveryResult> establish();
+
+  /// Schedules the recurring feedback + policy loops on the WAN's event
+  /// queue.  They run until stop() or the end of the simulation.
+  void start();
+
+  /// Stops scheduling further iterations (in-flight reports still land).
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t reports_delivered() const noexcept { return reports_delivered_; }
+
+ private:
+  void feedback_tick(TangoNode& receiver_side, TangoNode& sender_side);
+  void schedule_feedback(TangoNode& receiver_side, TangoNode& sender_side);
+  void schedule_policy(TangoNode& node);
+
+  sim::Wan& wan_;
+  TangoNode& a_;
+  TangoNode& b_;
+  PairingOptions options_;
+  bool running_ = false;
+  std::uint64_t reports_delivered_ = 0;
+};
+
+}  // namespace tango::core

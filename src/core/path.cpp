@@ -1,0 +1,13 @@
+#include "core/path.hpp"
+
+namespace tango::core {
+
+std::string DiscoveredPath::to_string() const {
+  std::string out = "path " + std::to_string(id) + " [" + label + "]";
+  out += " prefix=" + prefix.to_string();
+  out += " as-path=[" + as_path.to_string() + "]";
+  if (!communities.empty()) out += " communities={" + communities.to_string() + "}";
+  return out;
+}
+
+}  // namespace tango::core

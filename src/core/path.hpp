@@ -1,0 +1,53 @@
+// Wide-area path descriptors produced by discovery and consumed by the
+// registry, tunnel table and routing policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/community.hpp"
+#include "dataplane/trackers.hpp"
+#include "net/prefix.hpp"
+#include "sim/time.hpp"
+
+namespace tango::core {
+
+using dataplane::PathId;
+
+/// One exposed wide-area path in one direction, as discovered by the §4.1
+/// algorithm: the prefix that names it, the communities that pin the
+/// prefix's announcement to it, and the AS path observed from the far end.
+struct DiscoveredPath {
+  PathId id = 0;
+  /// The /48 the destination announces to expose this path.
+  net::Ipv6Prefix prefix;
+  /// Action communities attached to that announcement.
+  bgp::CommunitySet communities;
+  /// ASNs planted in the announcement's AS path (poisoning mechanism).
+  std::vector<bgp::Asn> poisoned;
+  /// The AS path the source observes for the prefix.
+  bgp::AsPath as_path;
+  /// Human label of the transit chain ("NTT", "Telia", "NTT Cogent").
+  std::string label;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A routing-relevant snapshot of one path's live performance, as known at
+/// the *sender* (fed back by the cooperating receiver).
+struct PathReport {
+  double owd_ewma_ms = 0.0;
+  /// Mean 1-second rolling-window stddev (the §5 jitter metric).
+  double jitter_ms = 0.0;
+  double loss_rate = 0.0;
+  std::uint64_t samples = 0;
+  sim::Time updated_at = 0;
+
+  [[nodiscard]] bool fresh(sim::Time now, sim::Time max_age) const noexcept {
+    return samples > 0 && now - updated_at <= max_age;
+  }
+};
+
+}  // namespace tango::core

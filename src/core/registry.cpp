@@ -1,0 +1,44 @@
+#include "core/registry.hpp"
+
+namespace tango::core {
+
+dataplane::Tunnel PathRegistry::register_path(const DiscoveredPath& path,
+                                              const net::Ipv6Address& local_endpoint) {
+  paths_[path.id] = path;
+  return dataplane::Tunnel{
+      .id = path.id,
+      .label = path.label,
+      .local_endpoint = local_endpoint,
+      .remote_endpoint = path.prefix.host(kTunnelHostSuffix),
+      .remote_prefix = path.prefix,
+      .udp_src_port = static_cast<std::uint16_t>(kTunnelPortBase + path.id),
+  };
+}
+
+bool PathRegistry::remove(PathId id) {
+  reports_.erase(id);
+  return paths_.erase(id) > 0;
+}
+
+const DiscoveredPath* PathRegistry::find(PathId id) const {
+  auto it = paths_.find(id);
+  return it == paths_.end() ? nullptr : &it->second;
+}
+
+std::vector<PathId> PathRegistry::ids() const {
+  std::vector<PathId> out;
+  out.reserve(paths_.size());
+  for (const auto& [id, path] : paths_) out.push_back(id);
+  return out;
+}
+
+void PathRegistry::update_report(PathId id, const PathReport& report) {
+  reports_[id] = report;
+}
+
+const PathReport* PathRegistry::report(PathId id) const {
+  auto it = reports_.find(id);
+  return it == reports_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tango::core

@@ -1,0 +1,49 @@
+// Path registry: the sender-side record of the wide-area paths available to
+// reach the peer, their tunnels, and their latest performance reports.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/path.hpp"
+#include "dataplane/tunnel_table.hpp"
+
+namespace tango::core {
+
+class PathRegistry {
+ public:
+  /// Registers a discovered path and returns the tunnel to install for it.
+  /// `local_endpoint` is an address this site owns (outer IPv6 source);
+  /// the remote endpoint is synthesized inside the discovered prefix.
+  dataplane::Tunnel register_path(const DiscoveredPath& path,
+                                  const net::Ipv6Address& local_endpoint);
+
+  /// Removes a path (withdrawn by the peer).
+  bool remove(PathId id);
+
+  [[nodiscard]] const DiscoveredPath* find(PathId id) const;
+  [[nodiscard]] std::vector<PathId> ids() const;
+  [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
+
+  /// Updates the live performance view for `id` (feedback from the peer).
+  void update_report(PathId id, const PathReport& report);
+
+  [[nodiscard]] const PathReport* report(PathId id) const;
+  [[nodiscard]] const std::map<PathId, PathReport>& reports() const noexcept {
+    return reports_;
+  }
+
+ private:
+  std::map<PathId, DiscoveredPath> paths_;
+  std::map<PathId, PathReport> reports_;
+};
+
+/// Host suffix used for synthesized tunnel endpoints (::1 inside the /48).
+inline constexpr std::uint64_t kTunnelHostSuffix = 1;
+
+/// Base outer UDP source port; path i uses base + i so distinct tunnels get
+/// distinct (pinned) 5-tuples.
+inline constexpr std::uint16_t kTunnelPortBase = 49152;
+
+}  // namespace tango::core

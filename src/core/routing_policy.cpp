@@ -1,0 +1,68 @@
+#include "core/routing_policy.hpp"
+
+namespace tango::core {
+
+namespace {
+
+/// Shared scan: lowest `metric(report)` among fresh views; falls back to
+/// `current` (then to the lowest path id) when nothing is fresh yet.
+template <typename Metric>
+std::optional<PathId> lowest_by(const PathViews& views, sim::Time now, sim::Time max_age,
+                                std::optional<PathId> current, Metric metric) {
+  std::optional<PathId> best;
+  double best_value = 0.0;
+  for (const auto& [id, report] : views) {
+    if (!report.fresh(now, max_age)) continue;
+    const double value = metric(report);
+    if (!best || value < best_value) {
+      best = id;
+      best_value = value;
+    }
+  }
+  if (best) return best;
+  if (current) return current;
+  if (!views.empty()) return views.begin()->first;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PathId> LowestDelayPolicy::choose(const PathViews& views, sim::Time now,
+                                                std::optional<PathId> current) {
+  return lowest_by(views, now, max_age_, current,
+                   [](const PathReport& r) { return r.owd_ewma_ms; });
+}
+
+std::optional<PathId> LowestJitterPolicy::choose(const PathViews& views, sim::Time now,
+                                                 std::optional<PathId> current) {
+  return lowest_by(views, now, max_age_, current,
+                   [](const PathReport& r) { return r.jitter_ms; });
+}
+
+std::optional<PathId> HysteresisPolicy::choose(const PathViews& views, sim::Time now,
+                                               std::optional<PathId> current) {
+  auto challenger = lowest_by(views, now, max_age_, current,
+                              [](const PathReport& r) { return r.owd_ewma_ms; });
+  if (!challenger || !current || *challenger == *current) return challenger;
+
+  auto cur_it = views.find(*current);
+  auto cha_it = views.find(*challenger);
+  if (cur_it == views.end() || !cur_it->second.fresh(now, max_age_)) {
+    return challenger;  // incumbent has no fresh data: move
+  }
+  if (cha_it == views.end()) return current;
+
+  const bool beats_by_margin =
+      cha_it->second.owd_ewma_ms + margin_ms_ < cur_it->second.owd_ewma_ms;
+  return beats_by_margin ? challenger : current;
+}
+
+std::optional<PathId> WeightedScorePolicy::choose(const PathViews& views, sim::Time now,
+                                                  std::optional<PathId> current) {
+  return lowest_by(views, now, max_age_, current, [this](const PathReport& r) {
+    return weights_.delay * r.owd_ewma_ms + weights_.jitter * r.jitter_ms +
+           weights_.loss * r.loss_rate;
+  });
+}
+
+}  // namespace tango::core

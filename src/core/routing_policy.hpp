@@ -1,0 +1,125 @@
+// Routing policies: "logic for how a forwarding decision should be made
+// based on path performance" (paper §3).  A policy maps the sender's live
+// view of path reports to the path the switch should use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/path.hpp"
+
+namespace tango::core {
+
+/// Sender-side view: one report per path.
+using PathViews = std::map<PathId, PathReport>;
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Picks the active path.  `current` is the previously chosen path (for
+  /// hysteresis); reports older than `max_age` should be distrusted.
+  [[nodiscard]] virtual std::optional<PathId> choose(const PathViews& views, sim::Time now,
+                                                     std::optional<PathId> current) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The status-quo baseline: always the BGP default path, ignoring
+/// measurements (what a non-Tango tenant gets).
+class BgpDefaultPolicy final : public RoutingPolicy {
+ public:
+  explicit BgpDefaultPolicy(PathId default_path) : default_path_{default_path} {}
+  [[nodiscard]] std::optional<PathId> choose(const PathViews&, sim::Time,
+                                             std::optional<PathId>) override {
+    return default_path_;
+  }
+  [[nodiscard]] std::string name() const override { return "bgp-default"; }
+
+ private:
+  PathId default_path_;
+};
+
+/// Static pin to one measured-best path chosen offline (no adaptation).
+class StaticPathPolicy final : public RoutingPolicy {
+ public:
+  explicit StaticPathPolicy(PathId path) : path_{path} {}
+  [[nodiscard]] std::optional<PathId> choose(const PathViews&, sim::Time,
+                                             std::optional<PathId>) override {
+    return path_;
+  }
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  PathId path_;
+};
+
+/// Adaptive: lowest one-way-delay EWMA among fresh reports.
+class LowestDelayPolicy final : public RoutingPolicy {
+ public:
+  explicit LowestDelayPolicy(sim::Time max_report_age = 5 * sim::kSecond)
+      : max_age_{max_report_age} {}
+  [[nodiscard]] std::optional<PathId> choose(const PathViews& views, sim::Time now,
+                                             std::optional<PathId> current) override;
+  [[nodiscard]] std::string name() const override { return "lowest-delay"; }
+
+ private:
+  sim::Time max_age_;
+};
+
+/// Adaptive: lowest jitter (the §5 rolling-window metric) among fresh
+/// reports — what a jitter-sensitive app (video conferencing) wants.
+class LowestJitterPolicy final : public RoutingPolicy {
+ public:
+  explicit LowestJitterPolicy(sim::Time max_report_age = 5 * sim::kSecond)
+      : max_age_{max_report_age} {}
+  [[nodiscard]] std::optional<PathId> choose(const PathViews& views, sim::Time now,
+                                             std::optional<PathId> current) override;
+  [[nodiscard]] std::string name() const override { return "lowest-jitter"; }
+
+ private:
+  sim::Time max_age_;
+};
+
+/// Lowest delay with switchover hysteresis: move only when a challenger
+/// beats the incumbent by `margin_ms`.  Prevents flapping between paths
+/// whose delays are within noise of each other.
+class HysteresisPolicy final : public RoutingPolicy {
+ public:
+  HysteresisPolicy(double margin_ms = 1.0, sim::Time max_report_age = 5 * sim::kSecond)
+      : margin_ms_{margin_ms}, max_age_{max_report_age} {}
+  [[nodiscard]] std::optional<PathId> choose(const PathViews& views, sim::Time now,
+                                             std::optional<PathId> current) override;
+  [[nodiscard]] std::string name() const override { return "hysteresis"; }
+  [[nodiscard]] double margin_ms() const noexcept { return margin_ms_; }
+
+ private:
+  double margin_ms_;
+  sim::Time max_age_;
+};
+
+/// Weighted score over delay, jitter and loss — the "application-specific"
+/// knob (§3): a drone-control flow weighs delay; a bulk flow weighs loss.
+class WeightedScorePolicy final : public RoutingPolicy {
+ public:
+  struct Weights {
+    double delay = 1.0;
+    double jitter = 0.0;
+    /// Loss is scaled to "ms-equivalents": score += loss_rate * loss weight.
+    double loss = 0.0;
+  };
+
+  explicit WeightedScorePolicy(Weights weights, sim::Time max_report_age = 5 * sim::kSecond)
+      : weights_{weights}, max_age_{max_report_age} {}
+  [[nodiscard]] std::optional<PathId> choose(const PathViews& views, sim::Time now,
+                                             std::optional<PathId> current) override;
+  [[nodiscard]] std::string name() const override { return "weighted-score"; }
+
+ private:
+  Weights weights_;
+  sim::Time max_age_;
+};
+
+}  // namespace tango::core

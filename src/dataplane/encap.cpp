@@ -1,0 +1,85 @@
+#include "dataplane/encap.hpp"
+
+#include "net/byte_io.hpp"
+
+namespace tango::dataplane {
+
+std::uint64_t telemetry_auth_tag(const net::SipHashKey& key,
+                                 const net::TangoHeader& header, const net::Packet& inner) {
+  net::ByteWriter w{18 + inner.size()};
+  w.u16(header.path_id);
+  w.u64(header.tx_time_ns);
+  w.u64(header.sequence);
+  w.bytes(inner.bytes());
+  return net::siphash24(key, w.view());
+}
+
+std::optional<net::Packet> TunnelSender::wrap(const net::Packet& inner, PathId path,
+                                              sim::Time now) {
+  const Tunnel* tunnel = table_->find(path);
+  if (tunnel == nullptr) return std::nullopt;
+
+  net::TangoHeader header;
+  header.path_id = path;
+  header.tx_time_ns = clock_->now(now);
+  header.sequence = seq_[path]++;
+  if (auth_key_) {
+    header.flags |= net::TangoHeader::kFlagAuthenticated;
+    header.auth_tag = telemetry_auth_tag(*auth_key_, header, inner);
+  }
+
+  ++sent_;
+  return net::encapsulate_tango(inner, tunnel->local_endpoint, tunnel->remote_endpoint,
+                                tunnel->udp_src_port, header);
+}
+
+std::uint64_t TunnelSender::next_sequence(PathId path) const {
+  auto it = seq_.find(path);
+  return it == seq_.end() ? 0 : it->second;
+}
+
+std::optional<std::pair<net::Packet, ReceiveInfo>> TunnelReceiver::unwrap(
+    const net::Packet& wan_packet, sim::Time now) {
+  auto decoded = net::decapsulate_tango(wan_packet);
+  if (!decoded) return std::nullopt;
+
+  if (auth_key_) {
+    // §6 trustworthy telemetry: drop anything unauthenticated or forged
+    // before it reaches the trackers.
+    const bool valid =
+        decoded->tango.authenticated() &&
+        decoded->tango.auth_tag ==
+            telemetry_auth_tag(*auth_key_, decoded->tango, decoded->inner);
+    if (!valid) {
+      ++auth_failures_;
+      return std::nullopt;
+    }
+  }
+
+  ReceiveInfo info;
+  info.path = decoded->tango.path_id;
+  info.sequence = decoded->tango.sequence;
+  // Unsigned wraparound is intended: with clocks offset in either direction
+  // the difference is still the same constant across paths.
+  const std::uint64_t rx = clock_->now(now);
+  info.owd_ms = static_cast<double>(static_cast<std::int64_t>(rx - decoded->tango.tx_time_ns)) /
+                static_cast<double>(sim::kMillisecond);
+
+  auto [it, created] = trackers_.try_emplace(info.path, keep_series_);
+  it->second.record(now, info.owd_ms, info.sequence);
+  ++received_;
+
+  return std::make_pair(std::move(decoded->inner), info);
+}
+
+const PathTracker* TunnelReceiver::tracker(PathId path) const {
+  auto it = trackers_.find(path);
+  return it == trackers_.end() ? nullptr : &it->second;
+}
+
+PathTracker* TunnelReceiver::tracker(PathId path) {
+  auto it = trackers_.find(path);
+  return it == trackers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tango::dataplane

@@ -1,0 +1,97 @@
+// Sender- and receiver-side pipeline stages, mirroring the paper's two eBPF
+// programs (§4.2): the sender timestamps and encapsulates packets onto the
+// chosen path; the receiver computes the one-way delay, records it and
+// decapsulates.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "dataplane/tunnel_table.hpp"
+#include "net/packet.hpp"
+#include "net/siphash.hpp"
+#include "sim/clock.hpp"
+
+namespace tango::dataplane {
+
+/// Computes the authentication tag for one packet's measurement fields
+/// (§6 trustworthy telemetry): SipHash-2-4 over path_id | tx_time |
+/// sequence | inner bytes.  The outer addresses are deliberately excluded
+/// (tunnel endpoints may be rewritten by middleboxes); what matters is that
+/// the measurement fields and payload cannot be forged or altered.
+[[nodiscard]] std::uint64_t telemetry_auth_tag(const net::SipHashKey& key,
+                                               const net::TangoHeader& header,
+                                               const net::Packet& inner);
+
+/// Sender side: per-tunnel sequence counters + timestamping + encapsulation.
+class TunnelSender {
+ public:
+  /// `clock` provides the (possibly offset) local wall clock; it must
+  /// outlive the sender.  With `auth_key` set, every packet carries an
+  /// authentication tag.
+  TunnelSender(const TunnelTable& table, const sim::NodeClock& clock,
+               std::optional<net::SipHashKey> auth_key = std::nullopt)
+      : table_{&table}, clock_{&clock}, auth_key_{auth_key} {}
+
+  /// Wraps `inner` for the wide area over tunnel `path`.  Returns nullopt
+  /// when the tunnel is unknown.
+  [[nodiscard]] std::optional<net::Packet> wrap(const net::Packet& inner, PathId path,
+                                                sim::Time now);
+
+  [[nodiscard]] std::uint64_t next_sequence(PathId path) const;
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+
+ private:
+  const TunnelTable* table_;
+  const sim::NodeClock* clock_;
+  std::optional<net::SipHashKey> auth_key_;
+  std::map<PathId, std::uint64_t> seq_;
+  std::uint64_t sent_ = 0;
+};
+
+/// What the receiver learned from one WAN packet.
+struct ReceiveInfo {
+  PathId path = 0;
+  std::uint64_t sequence = 0;
+  /// Receiver wall clock minus sender wall clock: the one-way delay plus the
+  /// (constant) clock offset.  Relative comparisons across paths are exact
+  /// because every path shares the same offset (§3, §4.2).
+  double owd_ms = 0.0;
+};
+
+/// Receiver side: decapsulation + one-way-delay computation + per-path
+/// tracker updates.
+class TunnelReceiver {
+ public:
+  /// `keep_series` enables full time-series retention (measurement study).
+  /// With `auth_key` set, unauthenticated or wrongly-tagged packets are
+  /// rejected before they can pollute the measurements.
+  TunnelReceiver(const sim::NodeClock& clock, bool keep_series = false,
+                 std::optional<net::SipHashKey> auth_key = std::nullopt)
+      : clock_{&clock}, keep_series_{keep_series}, auth_key_{auth_key} {}
+
+  /// Attempts to decode `wan_packet`.  On success updates the path's
+  /// trackers and returns the inner packet plus measurement info; returns
+  /// nullopt for non-Tango traffic (caller forwards it unmodified).
+  [[nodiscard]] std::optional<std::pair<net::Packet, ReceiveInfo>> unwrap(
+      const net::Packet& wan_packet, sim::Time now);
+
+  [[nodiscard]] const PathTracker* tracker(PathId path) const;
+  [[nodiscard]] PathTracker* tracker(PathId path);
+  [[nodiscard]] const std::map<PathId, PathTracker>& trackers() const noexcept {
+    return trackers_;
+  }
+  [[nodiscard]] std::uint64_t packets_received() const noexcept { return received_; }
+  /// Packets rejected for missing/invalid authentication tags.
+  [[nodiscard]] std::uint64_t auth_failures() const noexcept { return auth_failures_; }
+
+ private:
+  const sim::NodeClock* clock_;
+  bool keep_series_;
+  std::optional<net::SipHashKey> auth_key_;
+  std::map<PathId, PathTracker> trackers_;
+  std::uint64_t received_ = 0;
+  std::uint64_t auth_failures_ = 0;
+};
+
+}  // namespace tango::dataplane

@@ -1,0 +1,48 @@
+#include "dataplane/pcap.hpp"
+
+#include <stdexcept>
+
+namespace tango::dataplane {
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_{path, std::ios::binary | std::ios::trunc} {
+  if (!out_) throw std::runtime_error{"PcapWriter: cannot open " + path};
+  u32(kMagic);
+  u16(2);  // version major
+  u16(4);  // version minor
+  u32(0);  // thiszone
+  u32(0);  // sigfigs
+  u32(65535);  // snaplen
+  u32(kLinkTypeRaw);
+}
+
+void PcapWriter::write(sim::Time at, const net::Packet& packet) {
+  const auto usec_total = static_cast<std::uint64_t>(at) / 1000;
+  u32(static_cast<std::uint32_t>(usec_total / 1'000'000));  // ts_sec
+  u32(static_cast<std::uint32_t>(usec_total % 1'000'000));  // ts_usec
+  u32(static_cast<std::uint32_t>(packet.size()));           // incl_len
+  u32(static_cast<std::uint32_t>(packet.size()));           // orig_len
+  out_.write(reinterpret_cast<const char*>(packet.bytes().data()),
+             static_cast<std::streamsize>(packet.size()));
+  ++packets_;
+}
+
+void PcapWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+void PcapWriter::u32(std::uint32_t v) {
+  // pcap headers are written in the writer's native byte order; the magic
+  // tells readers how to interpret them.  Emit little-endian explicitly for
+  // reproducible files.
+  const char bytes[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                         static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out_.write(bytes, 4);
+}
+
+void PcapWriter::u16(std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out_.write(bytes, 2);
+}
+
+}  // namespace tango::dataplane

@@ -1,0 +1,82 @@
+#include "dataplane/switch.hpp"
+
+namespace tango::dataplane {
+
+TangoSwitch::TangoSwitch(bgp::RouterId router, sim::Wan& wan, SwitchOptions options)
+    : router_{router},
+      wan_{wan},
+      clock_{options.clock},
+      sender_{tunnels_, clock_, options.auth_key},
+      receiver_{clock_, options.keep_series, options.auth_key} {
+  wan_.attach(router_, [this](const net::Packet& p) { on_wan_packet(p); });
+}
+
+void TangoSwitch::add_peer_prefix(const net::Ipv6Prefix& prefix, PeerId peer) {
+  peer_prefixes_.insert(prefix, peer);
+}
+
+void TangoSwitch::add_peer_prefix(const net::Prefix& prefix, PeerId peer) {
+  peer_prefixes_.insert(net::trie_key(prefix), peer);
+}
+
+std::optional<PathId> TangoSwitch::active_path(TangoSwitch::PeerId peer) const {
+  auto it = active_by_peer_.find(peer);
+  if (it != active_by_peer_.end()) return it->second;
+  return active_default_;
+}
+
+void TangoSwitch::send_from_host(const net::Packet& inner) {
+  // Host traffic may be IPv4 or IPv6 (paper §3: host addressing "can even
+  // be a different IP version"); the tunnels themselves are IPv6.
+  net::Ipv6Address key;
+  try {
+    key = inner.version() == 4 ? net::v4_mapped(inner.ip4().dst) : inner.ip().dst;
+  } catch (const std::exception&) {
+    return;  // malformed host packet: nothing sensible to do
+  }
+
+  const PeerId* peer = peer_prefixes_.lookup(key);
+  if (peer == nullptr) {
+    // Not for a cooperating peer: traditional forwarding.
+    ++passthrough_;
+    wan_.send_from(router_, inner);
+    return;
+  }
+
+  std::optional<PathId> path;
+  if (selector_) path = selector_(inner);
+  if (!path) path = active_path(*peer);
+  if (!path) {
+    ++no_tunnel_drops_;
+    return;
+  }
+
+  auto wrapped = sender_.wrap(inner, *path, wan_.now());
+  if (!wrapped) {
+    ++no_tunnel_drops_;
+    return;
+  }
+  wan_.send_from(router_, std::move(*wrapped));
+}
+
+bool TangoSwitch::send_on_path(const net::Packet& inner, PathId path) {
+  auto wrapped = sender_.wrap(inner, path, wan_.now());
+  if (!wrapped) {
+    ++no_tunnel_drops_;
+    return false;
+  }
+  wan_.send_from(router_, std::move(*wrapped));
+  return true;
+}
+
+void TangoSwitch::on_wan_packet(const net::Packet& packet) {
+  auto unwrapped = receiver_.unwrap(packet, wan_.now());
+  if (unwrapped) {
+    if (host_handler_) host_handler_(unwrapped->first, unwrapped->second);
+    return;
+  }
+  // Non-Tango traffic destined to our prefixes: plain delivery.
+  if (host_handler_) host_handler_(packet, std::nullopt);
+}
+
+}  // namespace tango::dataplane

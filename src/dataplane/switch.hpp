@@ -1,0 +1,135 @@
+// The Tango border switch: the programmable data plane deployed at the edge
+// network's border (paper §3/§4.2, eBPF in the prototype).
+//
+// Host-to-WAN direction: traffic destined to the cooperating peer's host
+// prefix is steered onto one of the exposed wide-area paths — timestamped,
+// sequenced and encapsulated; everything else passes through unmodified
+// (host prefixes ride traditional BGP and stay reachable by non-Tango
+// endpoints).
+//
+// WAN-to-host direction: Tango-encapsulated packets are measured (one-way
+// delay, loss, reordering) and decapsulated; non-Tango traffic is delivered
+// unmodified.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "dataplane/encap.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/wan.hpp"
+
+namespace tango::dataplane {
+
+struct SwitchOptions {
+  /// Retain every one-way-delay sample as a time series (measurement study).
+  bool keep_series = false;
+  /// Local wall clock (offset/drift model this site's clock).
+  sim::NodeClock clock;
+  /// Shared pairing key: when set, outgoing packets carry authentication
+  /// tags and incoming ones are verified (§6 trustworthy telemetry).
+  std::optional<net::SipHashKey> auth_key;
+};
+
+class TangoSwitch {
+ public:
+  /// Called for every packet delivered to the local hosts.  `info` is set
+  /// for packets that arrived Tango-encapsulated.
+  using HostHandler =
+      std::function<void(const net::Packet& inner, const std::optional<ReceiveInfo>& info)>;
+
+  /// Per-packet path choice; returning nullopt falls back to the switch's
+  /// active path.  Enables the paper's "application-specific routing
+  /// decision" (§3) — e.g. keying on the inner traffic class.
+  using Selector = std::function<std::optional<PathId>(const net::Packet& inner)>;
+
+  /// Attaches to `router` on `wan` (registers the WAN delivery handler).
+  /// Both must outlive the switch.
+  TangoSwitch(bgp::RouterId router, sim::Wan& wan, SwitchOptions options = {});
+
+  TangoSwitch(const TangoSwitch&) = delete;
+  TangoSwitch& operator=(const TangoSwitch&) = delete;
+
+  // --- Configuration --------------------------------------------------------
+
+  /// Identifies a cooperating peer (its border router id).  A Tango-of-2
+  /// deployment has one peer; the Tango-of-N extension (paper §6) registers
+  /// several, each with its own host prefix and active path.
+  using PeerId = bgp::RouterId;
+
+  /// Declares a peer host prefix: traffic to it is Tango-routed toward
+  /// `peer`.  Longest-prefix match decides when prefixes nest.  The Prefix
+  /// overload accepts IPv4 host prefixes (stored v4-mapped).
+  void add_peer_prefix(const net::Ipv6Prefix& prefix, PeerId peer = kDefaultPeer);
+  void add_peer_prefix(const net::Prefix& prefix, PeerId peer = kDefaultPeer);
+
+  [[nodiscard]] TunnelTable& tunnels() noexcept { return tunnels_; }
+  [[nodiscard]] const TunnelTable& tunnels() const noexcept { return tunnels_; }
+
+  /// Forces every peer onto `path` (clears per-peer choices).  This is the
+  /// whole story in a two-party deployment and the "pin this path now"
+  /// control for probers and tests.
+  void set_active_path(PathId path) {
+    active_by_peer_.clear();
+    active_default_ = path;
+  }
+
+  /// The sole per-peer choice when exactly one exists, else the default —
+  /// so two-party callers always read the effective path.
+  [[nodiscard]] std::optional<PathId> active_path() const noexcept {
+    if (active_by_peer_.size() == 1) return active_by_peer_.begin()->second;
+    return active_default_;
+  }
+
+  /// Per-peer active path (Tango-of-N); falls back to the default.
+  void set_active_path(PeerId peer, PathId path) { active_by_peer_[peer] = path; }
+  [[nodiscard]] std::optional<PathId> active_path(PeerId peer) const;
+
+  static constexpr PeerId kDefaultPeer = 0;
+
+  void set_selector(Selector selector) { selector_ = std::move(selector); }
+  void set_host_handler(HostHandler handler) { host_handler_ = std::move(handler); }
+
+  // --- Data path --------------------------------------------------------------
+
+  /// A local host hands the switch an outbound packet.
+  void send_from_host(const net::Packet& inner);
+
+  /// Sends `inner` over a specific tunnel regardless of the active path
+  /// (measurement probes, per-path tests).  Returns false when the tunnel
+  /// is unknown.
+  bool send_on_path(const net::Packet& inner, PathId path);
+
+  // --- Telemetry ----------------------------------------------------------------
+
+  [[nodiscard]] const TunnelSender& sender() const noexcept { return sender_; }
+  [[nodiscard]] const TunnelReceiver& receiver() const noexcept { return receiver_; }
+  [[nodiscard]] TunnelReceiver& receiver() noexcept { return receiver_; }
+  [[nodiscard]] const sim::NodeClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] bgp::RouterId router() const noexcept { return router_; }
+
+  /// Packets that matched a peer prefix but had no usable tunnel.
+  [[nodiscard]] std::uint64_t no_tunnel_drops() const noexcept { return no_tunnel_drops_; }
+  /// Packets forwarded without encapsulation (non-peer destinations).
+  [[nodiscard]] std::uint64_t passthrough() const noexcept { return passthrough_; }
+
+ private:
+  void on_wan_packet(const net::Packet& packet);
+
+  bgp::RouterId router_;
+  sim::Wan& wan_;
+  sim::NodeClock clock_;
+  TunnelTable tunnels_;
+  TunnelSender sender_;
+  TunnelReceiver receiver_;
+  net::PrefixTrie<PeerId> peer_prefixes_;
+  std::optional<PathId> active_default_;
+  std::map<PeerId, PathId> active_by_peer_;
+  Selector selector_;
+  HostHandler host_handler_;
+  std::uint64_t no_tunnel_drops_ = 0;
+  std::uint64_t passthrough_ = 0;
+};
+
+}  // namespace tango::dataplane

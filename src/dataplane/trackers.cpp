@@ -1,0 +1,72 @@
+#include "dataplane/trackers.hpp"
+
+namespace tango::dataplane {
+
+void OneWayDelayTracker::record(sim::Time at, double owd_ms) {
+  lifetime_.update(owd_ms);
+  ewma_.update(owd_ms);
+  rolling_.update(at, owd_ms);
+  if (auto sd = rolling_.stddev()) {
+    jitter_accum_ += *sd;
+    ++jitter_windows_;
+  }
+}
+
+void LossTracker::record(std::uint64_t sequence) {
+  ++received_;
+  if (!any_) {
+    any_ = true;
+    highest_ = sequence;
+    // Tunnel sequences start at 0; when the first arrival is a later (but
+    // nearby) sequence, its predecessors are in flight or lost — mark them
+    // missing.  A far-from-zero first arrival means we attached to an
+    // existing stream mid-flight: use it as the baseline instead.
+    if (sequence > 0 && sequence <= horizon_) {
+      for (std::uint64_t s = 0; s < sequence; ++s) missing_.insert(s);
+    }
+    return;
+  }
+  if (sequence > highest_) {
+    // Everything between the previous highest and this one is now missing.
+    for (std::uint64_t s = highest_ + 1; s < sequence; ++s) missing_.insert(s);
+    highest_ = sequence;
+  } else {
+    // Late (or duplicate) arrival.
+    if (missing_.erase(sequence) == 0) ++duplicates_;
+  }
+  // Sweep: anything missing beyond the reordering horizon is confirmed lost.
+  while (!missing_.empty() && *missing_.begin() + horizon_ < highest_) {
+    missing_.erase(missing_.begin());
+    ++confirmed_lost_;
+  }
+}
+
+std::uint64_t LossTracker::lost() const noexcept { return confirmed_lost_; }
+
+double LossTracker::loss_rate() const noexcept {
+  const std::uint64_t denom = received_ + confirmed_lost_;
+  return denom == 0 ? 0.0 : static_cast<double>(confirmed_lost_) / static_cast<double>(denom);
+}
+
+void ReorderTracker::record(std::uint64_t sequence) {
+  ++total_;
+  if (!any_) {
+    any_ = true;
+    highest_ = sequence;
+    return;
+  }
+  if (sequence < highest_) {
+    ++reordered_;
+  } else {
+    highest_ = sequence;
+  }
+}
+
+void PathTracker::record(sim::Time at, double owd_ms, std::uint64_t sequence) {
+  delay_.record(at, owd_ms);
+  loss_.record(sequence);
+  reorder_.record(sequence);
+  if (keep_series_) series_.record(at, owd_ms);
+}
+
+}  // namespace tango::dataplane

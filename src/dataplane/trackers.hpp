@@ -1,0 +1,124 @@
+// Per-path measurement trackers fed by the receive pipeline.
+//
+// One-way delay comes from the Tango header timestamp ("the destination
+// switch records the timestamp and computes the difference", §3); loss and
+// reordering come from the per-tunnel sequence numbers ("tunnel-specific
+// sequence numbers on packets can allow Tango to additionally compute loss
+// and reordering", §3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "telemetry/stats.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace tango::dataplane {
+
+/// Identifier of a wide-area path within one Tango pairing (the path_id
+/// carried in the Tango header).
+using PathId = std::uint16_t;
+
+/// One-way delay statistics for one path: lifetime stats, an EWMA for the
+/// route controller, and a 1-second rolling window for jitter.
+class OneWayDelayTracker {
+ public:
+  explicit OneWayDelayTracker(double ewma_alpha = 0.1, sim::Time window = sim::kSecond)
+      : ewma_{ewma_alpha}, rolling_{window} {}
+
+  void record(sim::Time at, double owd_ms);
+
+  [[nodiscard]] const telemetry::StreamingStats& lifetime() const noexcept { return lifetime_; }
+  [[nodiscard]] const telemetry::Ewma& ewma() const noexcept { return ewma_; }
+  [[nodiscard]] const telemetry::RollingWindow& rolling() const noexcept { return rolling_; }
+
+  /// Mean rolling-window stddev accumulated so far (the §5 jitter metric):
+  /// each `record` call adds the window's current stddev when defined.
+  [[nodiscard]] double mean_rolling_stddev() const noexcept {
+    return jitter_windows_ == 0 ? 0.0 : jitter_accum_ / static_cast<double>(jitter_windows_);
+  }
+
+ private:
+  telemetry::StreamingStats lifetime_;
+  telemetry::Ewma ewma_;
+  telemetry::RollingWindow rolling_;
+  double jitter_accum_ = 0.0;
+  std::uint64_t jitter_windows_ = 0;
+};
+
+/// Sequence-number based loss accounting for one path.
+///
+/// A sequence is "lost" once `reorder_horizon` later sequences have been
+/// seen without it (late arrivals within the horizon are reordering, not
+/// loss).  This matches how a switch with bounded state distinguishes the
+/// two.
+class LossTracker {
+ public:
+  explicit LossTracker(std::uint64_t reorder_horizon = 64)
+      : horizon_{reorder_horizon} {}
+
+  void record(std::uint64_t sequence);
+
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
+  /// Sequences declared lost (beyond the reordering horizon).
+  [[nodiscard]] std::uint64_t lost() const noexcept;
+  [[nodiscard]] double loss_rate() const noexcept;
+  [[nodiscard]] std::uint64_t highest_seen() const noexcept { return highest_; }
+
+ private:
+  std::uint64_t horizon_;
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t highest_ = 0;
+  bool any_ = false;
+  /// Sequences <= highest_ not yet seen (bounded by the horizon sweep).
+  std::set<std::uint64_t> missing_;
+  std::uint64_t confirmed_lost_ = 0;
+};
+
+/// Reordering detection: counts packets arriving with a sequence lower than
+/// one already seen (late arrivals).  TCP's in-order delivery turns every
+/// such event into head-of-line blocking, the §5 argument for switching away
+/// from an unstable path.
+class ReorderTracker {
+ public:
+  void record(std::uint64_t sequence);
+
+  [[nodiscard]] std::uint64_t reordered() const noexcept { return reordered_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double reorder_rate() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(reordered_) / static_cast<double>(total_);
+  }
+
+ private:
+  std::uint64_t reordered_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t highest_ = 0;
+  bool any_ = false;
+};
+
+/// Everything the receiver tracks for one path, plus an optional time series
+/// of every one-way-delay sample (enabled by the measurement study benches).
+class PathTracker {
+ public:
+  explicit PathTracker(bool keep_series = false) : keep_series_{keep_series} {}
+
+  void record(sim::Time at, double owd_ms, std::uint64_t sequence);
+
+  [[nodiscard]] const OneWayDelayTracker& delay() const noexcept { return delay_; }
+  [[nodiscard]] const LossTracker& loss() const noexcept { return loss_; }
+  [[nodiscard]] const ReorderTracker& reorder() const noexcept { return reorder_; }
+  [[nodiscard]] const telemetry::TimeSeries& series() const noexcept { return series_; }
+  [[nodiscard]] telemetry::TimeSeries& series() noexcept { return series_; }
+
+ private:
+  bool keep_series_;
+  OneWayDelayTracker delay_;
+  LossTracker loss_;
+  ReorderTracker reorder_;
+  telemetry::TimeSeries series_;
+};
+
+}  // namespace tango::dataplane

@@ -1,0 +1,21 @@
+#include "dataplane/tunnel_table.hpp"
+
+namespace tango::dataplane {
+
+void TunnelTable::install(Tunnel tunnel) { tunnels_[tunnel.id] = std::move(tunnel); }
+
+bool TunnelTable::remove(PathId id) { return tunnels_.erase(id) > 0; }
+
+const Tunnel* TunnelTable::find(PathId id) const {
+  auto it = tunnels_.find(id);
+  return it == tunnels_.end() ? nullptr : &it->second;
+}
+
+std::vector<PathId> TunnelTable::ids() const {
+  std::vector<PathId> out;
+  out.reserve(tunnels_.size());
+  for (const auto& [id, tunnel] : tunnels_) out.push_back(id);
+  return out;
+}
+
+}  // namespace tango::dataplane

@@ -1,0 +1,55 @@
+// The tunnel table: the "local configuration containing the available routes
+// to the other Tango switch" (paper §3).  One entry per exposed wide-area
+// path; statically configured because both endpoints cooperate.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/trackers.hpp"
+#include "net/ip_address.hpp"
+#include "net/prefix.hpp"
+
+namespace tango::dataplane {
+
+/// One tunnel = one exposed wide-area path to the peer.
+struct Tunnel {
+  PathId id = 0;
+  /// Human label taken from discovery ("NTT", "Telia", "NTT Cogent").
+  std::string label;
+  /// Local and remote tunnel endpoint addresses; the remote address lives
+  /// inside the prefix the peer announced over this path, so using it as the
+  /// outer destination steers the packet onto that path.
+  net::Ipv6Address local_endpoint;
+  net::Ipv6Address remote_endpoint;
+  /// The peer's route prefix this tunnel rides (for diagnostics).
+  net::Ipv6Prefix remote_prefix;
+  /// Fixed outer UDP source port: pins the 5-tuple so ECMP cannot spread
+  /// the tunnel over multiple physical paths (§3).
+  std::uint16_t udp_src_port = 49152;
+
+  bool operator==(const Tunnel&) const = default;
+};
+
+class TunnelTable {
+ public:
+  /// Adds or replaces the tunnel with `tunnel.id`.
+  void install(Tunnel tunnel);
+
+  /// Removes a tunnel (path withdrawn).  Returns true when present.
+  bool remove(PathId id);
+
+  [[nodiscard]] const Tunnel* find(PathId id) const;
+  [[nodiscard]] std::vector<PathId> ids() const;
+  [[nodiscard]] std::size_t size() const noexcept { return tunnels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tunnels_.empty(); }
+
+  [[nodiscard]] const std::map<PathId, Tunnel>& all() const noexcept { return tunnels_; }
+
+ private:
+  std::map<PathId, Tunnel> tunnels_;
+};
+
+}  // namespace tango::dataplane

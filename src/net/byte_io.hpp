@@ -1,0 +1,121 @@
+// Big-endian (network byte order) buffer readers and writers.
+//
+// All multi-byte fields on the wire are big-endian.  These helpers keep the
+// header (de)serialization code free of manual shift/mask noise and make
+// out-of-bounds reads a programming error that throws instead of UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tango::net {
+
+/// Appends big-endian encoded integers and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Overwrites a previously written 16-bit field (e.g. a length or checksum
+  /// computed after the rest of the header is known).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf_.size()) throw std::out_of_range{"ByteWriter::patch_u16"};
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads big-endian encoded integers from a fixed byte span.  Over-reads
+/// throw std::out_of_range so malformed packets surface as exceptions, never
+/// as silent garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_{data} {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() {
+    need(2);
+    auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Remaining unread bytes without consuming them.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(pos_);
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw std::out_of_range{"ByteReader: truncated buffer"};
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tango::net

@@ -1,0 +1,61 @@
+#include "net/checksum.hpp"
+
+namespace tango::net {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data, std::uint32_t sum) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);  // odd trailing byte, zero-padded
+  }
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_partial(data));
+}
+
+namespace {
+
+std::uint32_t pseudo_header_sum(const Ipv6Address& src, const Ipv6Address& dst,
+                                std::uint32_t upper_len) noexcept {
+  std::uint32_t sum = 0;
+  const auto& s = src.bytes();
+  const auto& d = dst.bytes();
+  for (std::size_t i = 0; i < 16; i += 2) {
+    sum += static_cast<std::uint32_t>((s[i] << 8) | s[i + 1]);
+    sum += static_cast<std::uint32_t>((d[i] << 8) | d[i + 1]);
+  }
+  sum += upper_len >> 16;
+  sum += upper_len & 0xFFFF;
+  sum += 17;  // next header = UDP
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t udp6_checksum(const Ipv6Address& src, const Ipv6Address& dst,
+                            std::span<const std::uint8_t> udp_segment) noexcept {
+  std::uint32_t sum =
+      pseudo_header_sum(src, dst, static_cast<std::uint32_t>(udp_segment.size()));
+  sum = checksum_partial(udp_segment, sum);
+  const std::uint16_t csum = checksum_finish(sum);
+  return csum == 0 ? 0xFFFF : csum;  // RFC 768: transmitted zero means "no checksum"
+}
+
+bool udp6_checksum_ok(const Ipv6Address& src, const Ipv6Address& dst,
+                      std::span<const std::uint8_t> udp_segment) noexcept {
+  std::uint32_t sum =
+      pseudo_header_sum(src, dst, static_cast<std::uint32_t>(udp_segment.size()));
+  sum = checksum_partial(udp_segment, sum);
+  return checksum_finish(sum) == 0;
+}
+
+}  // namespace tango::net

@@ -1,0 +1,81 @@
+#include "net/headers.hpp"
+
+namespace tango::net {
+
+void Ipv6Header::serialize(ByteWriter& w) const {
+  const std::uint32_t vtcfl = (std::uint32_t{6} << 28) |
+                              (static_cast<std::uint32_t>(traffic_class) << 20) |
+                              (flow_label & 0xFFFFF);
+  w.u32(vtcfl);
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.bytes(src.bytes());
+  w.bytes(dst.bytes());
+}
+
+Ipv6Header Ipv6Header::parse(ByteReader& r) {
+  const std::uint32_t vtcfl = r.u32();
+  if ((vtcfl >> 28) != 6) throw std::invalid_argument{"Ipv6Header: version != 6"};
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>(vtcfl >> 20);
+  h.flow_label = vtcfl & 0xFFFFF;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  Ipv6Address::Bytes b{};
+  auto s = r.bytes(16);
+  std::copy(s.begin(), s.end(), b.begin());
+  h.src = Ipv6Address{b};
+  auto d = r.bytes(16);
+  std::copy(d.begin(), d.end(), b.begin());
+  h.dst = Ipv6Address{b};
+  return h;
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  return h;
+}
+
+void TangoHeader::serialize(ByteWriter& w) const {
+  w.u16(kMagic);
+  w.u8(version);
+  w.u8(flags);
+  w.u16(path_id);
+  w.u16(0);  // reserved
+  w.u64(tx_time_ns);
+  w.u64(sequence);
+  if (authenticated()) w.u64(auth_tag);
+}
+
+std::optional<TangoHeader> TangoHeader::parse(ByteReader& r) {
+  if (r.remaining() < kSize) return std::nullopt;
+  if (r.u16() != kMagic) return std::nullopt;
+  TangoHeader h;
+  h.version = r.u8();
+  if (h.version != kVersion) return std::nullopt;
+  h.flags = r.u8();
+  h.path_id = r.u16();
+  (void)r.u16();  // reserved
+  h.tx_time_ns = r.u64();
+  h.sequence = r.u64();
+  if (h.authenticated()) {
+    if (r.remaining() < kAuthTagSize) return std::nullopt;
+    h.auth_tag = r.u64();
+  }
+  return h;
+}
+
+}  // namespace tango::net

@@ -1,0 +1,110 @@
+// Wire-format headers used by the Tango data plane.
+//
+// The encapsulation stack on the wide-area segment is (paper §3/§4.2):
+//
+//   outer IPv6  |  UDP  |  Tango telemetry header  |  inner (host) packet
+//
+// * The outer IPv6 destination selects the wide-area route (the prefix the
+//   destination Tango switch announced over that route).
+// * The UDP header exists to control ECMP behaviour: a fixed 5-tuple per
+//   tunnel pins all of the tunnel's packets to one core-level path.
+// * The Tango header carries the TX timestamp and a per-tunnel sequence
+//   number so the receiver can compute one-way delay, loss and reordering
+//   from real data packets (no probes, no protocol dependence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/byte_io.hpp"
+#include "net/ip_address.hpp"
+
+namespace tango::net {
+
+/// Fixed 40-byte IPv6 header (RFC 8200).
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+  static constexpr std::uint8_t kNextHeaderUdp = 17;
+  static constexpr std::uint8_t kNextHeaderIpv6 = 41;   // IPv6-in-IPv6
+  static constexpr std::uint8_t kNextHeaderNoNext = 59;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits used
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = kNextHeaderNoNext;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  void serialize(ByteWriter& w) const;
+  static Ipv6Header parse(ByteReader& r);
+
+  bool operator==(const Ipv6Header&) const = default;
+};
+
+/// 8-byte UDP header (RFC 768).
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // header + payload
+  std::uint16_t checksum = 0;  // over IPv6 pseudo-header
+
+  void serialize(ByteWriter& w) const;
+  static UdpHeader parse(ByteReader& r);
+
+  bool operator==(const UdpHeader&) const = default;
+};
+
+/// Tango telemetry header, 24 bytes (32 when authenticated), carried as the
+/// UDP payload prologue.
+///
+/// Layout (big-endian):
+///   magic     u16   0x7A60 ("Tango"), guards against decapsulating
+///                   non-Tango UDP traffic arriving on the Tango port
+///   version   u8    protocol version, currently 1
+///   flags     u8    kFlagHasTimestamp | kFlagHasSequence | kFlagAuthenticated
+///   path_id   u16   sender's id for the wide-area route used
+///   reserved  u16   zero on send, ignored on receive
+///   tx_time   u64   sender clock at encapsulation, nanoseconds
+///   sequence  u64   per-tunnel monotonically increasing counter
+///   auth_tag  u64   (only when kFlagAuthenticated) SipHash-2-4 over the
+///                   measurement fields and the inner packet (§6 trustworthy
+///                   telemetry; see dataplane/encap.hpp)
+struct TangoHeader {
+  static constexpr std::size_t kSize = 24;
+  static constexpr std::size_t kAuthTagSize = 8;
+  static constexpr std::uint16_t kMagic = 0x7A60;
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::uint8_t kFlagHasTimestamp = 0x01;
+  static constexpr std::uint8_t kFlagHasSequence = 0x02;
+  static constexpr std::uint8_t kFlagAuthenticated = 0x04;
+  /// UDP destination port Tango switches listen on.
+  static constexpr std::uint16_t kUdpPort = 7654;
+
+  std::uint8_t version = kVersion;
+  std::uint8_t flags = kFlagHasTimestamp | kFlagHasSequence;
+  std::uint16_t path_id = 0;
+  std::uint64_t tx_time_ns = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t auth_tag = 0;
+
+  void serialize(ByteWriter& w) const;
+
+  /// Returns nullopt (rather than throwing) on bad magic or version so the
+  /// switch can pass non-Tango traffic through unmodified.
+  static std::optional<TangoHeader> parse(ByteReader& r);
+
+  [[nodiscard]] bool has_timestamp() const noexcept { return flags & kFlagHasTimestamp; }
+  [[nodiscard]] bool has_sequence() const noexcept { return flags & kFlagHasSequence; }
+  [[nodiscard]] bool authenticated() const noexcept { return flags & kFlagAuthenticated; }
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return kSize + (authenticated() ? kAuthTagSize : 0);
+  }
+
+  bool operator==(const TangoHeader&) const = default;
+};
+
+}  // namespace tango::net

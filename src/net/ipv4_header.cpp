@@ -1,0 +1,50 @@
+#include "net/ipv4_header.hpp"
+
+#include "net/checksum.hpp"
+
+namespace tango::net {
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(dscp_ecn);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(flags_fragment);
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.bytes(src.bytes());
+  w.bytes(dst.bytes());
+  const std::uint16_t csum = internet_checksum(w.view().subspan(start, kSize));
+  w.patch_u16(start + 10, csum);
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  if (r.remaining() < kSize) throw std::invalid_argument{"Ipv4Header: truncated"};
+  // Verify the checksum over the raw header bytes before decoding.
+  const auto raw = r.rest().subspan(0, kSize);
+  if (internet_checksum(raw) != 0) throw std::invalid_argument{"Ipv4Header: bad checksum"};
+
+  const std::uint8_t version_ihl = r.u8();
+  if ((version_ihl >> 4) != 4) throw std::invalid_argument{"Ipv4Header: version != 4"};
+  if ((version_ihl & 0x0F) != 5) throw std::invalid_argument{"Ipv4Header: options unsupported"};
+
+  Ipv4Header h;
+  h.dscp_ecn = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  h.flags_fragment = r.u16();
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.header_checksum = r.u16();
+  h.src = Ipv4Address{r.u32()};
+  h.dst = Ipv4Address{r.u32()};
+  return h;
+}
+
+std::uint8_t ip_version_of(std::span<const std::uint8_t> bytes) noexcept {
+  return bytes.empty() ? 0 : static_cast<std::uint8_t>(bytes[0] >> 4);
+}
+
+}  // namespace tango::net

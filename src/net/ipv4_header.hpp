@@ -1,0 +1,44 @@
+// IPv4 header (RFC 791), for the paper's §3 note that host addressing "can
+// even be a different IP version" than the (IPv6) tunnel prefixes: Tango
+// switches classify and carry IPv4 host packets inside IPv6 tunnels (4in6),
+// and the simulated WAN forwards plain IPv4 by longest-prefix match too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/byte_io.hpp"
+#include "net/ip_address.hpp"
+
+namespace tango::net {
+
+/// Fixed 20-byte IPv4 header (options unsupported: IHL must be 5, as is
+/// near-universal for transit traffic).
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kProtocolUdp = 17;
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  ///< header + payload
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  ///< DF set, no fragmentation modeled
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtocolUdp;
+  std::uint16_t header_checksum = 0;  ///< filled by serialize()
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes with a freshly computed header checksum.
+  void serialize(ByteWriter& w) const;
+
+  /// Parses and verifies version, IHL and the header checksum.
+  /// Throws std::invalid_argument on violations.
+  static Ipv4Header parse(ByteReader& r);
+
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+/// The IP version nibble of a raw packet buffer (0 when too short).
+[[nodiscard]] std::uint8_t ip_version_of(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace tango::net

@@ -1,0 +1,169 @@
+#include "net/packet.hpp"
+
+#include "net/checksum.hpp"
+
+namespace tango::net {
+
+Ipv6Header Packet::ip() const {
+  ByteReader r{bytes_};
+  return Ipv6Header::parse(r);
+}
+
+Ipv4Header Packet::ip4() const {
+  ByteReader r{bytes_};
+  return Ipv4Header::parse(r);
+}
+
+std::span<const std::uint8_t> Packet::payload() const {
+  if (bytes_.size() < Ipv6Header::kSize) {
+    throw std::out_of_range{"Packet::payload: shorter than IPv6 header"};
+  }
+  return std::span<const std::uint8_t>{bytes_}.subspan(Ipv6Header::kSize);
+}
+
+bool Packet::decrement_hop_limit() {
+  if (bytes_.size() < Ipv6Header::kSize) {
+    throw std::out_of_range{"Packet::decrement_hop_limit: shorter than IPv6 header"};
+  }
+  std::uint8_t& hop = bytes_[7];  // hop limit is byte 7 of the fixed header
+  if (hop == 0) return false;
+  --hop;
+  return true;
+}
+
+bool Packet::decrement_ttl_v4() {
+  if (bytes_.size() < Ipv4Header::kSize) {
+    throw std::out_of_range{"Packet::decrement_ttl_v4: shorter than IPv4 header"};
+  }
+  std::uint8_t& ttl = bytes_[8];
+  if (ttl == 0) return false;
+  --ttl;
+  // RFC 1141 incremental update: the TTL sits in the high byte of word 4,
+  // so subtracting 1 from it adds 0x0100 to the one's-complement sum.
+  std::uint32_t csum = (static_cast<std::uint32_t>(bytes_[10]) << 8) | bytes_[11];
+  csum += 0x0100;
+  csum = (csum & 0xFFFF) + (csum >> 16);
+  bytes_[10] = static_cast<std::uint8_t>(csum >> 8);
+  bytes_[11] = static_cast<std::uint8_t>(csum);
+  return true;
+}
+
+Packet make_udp4_packet(const Ipv4Address& src, const Ipv4Address& dst,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  Ipv4Header ip{.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + udp_len),
+                .ttl = ttl,
+                .protocol = Ipv4Header::kProtocolUdp,
+                .src = src,
+                .dst = dst};
+  ByteWriter w{ip.total_length};
+  ip.serialize(w);
+  UdpHeader udp{.src_port = src_port, .dst_port = dst_port, .length = udp_len,
+                .checksum = 0};  // optional over IPv4
+  udp.serialize(w);
+  w.bytes(payload);
+  return Packet{std::move(w).take()};
+}
+
+Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst, std::uint16_t src_port,
+                       std::uint16_t dst_port, std::span<const std::uint8_t> payload,
+                       std::uint8_t hop_limit) {
+  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+
+  ByteWriter udp_w{udp_len};
+  UdpHeader udp{.src_port = src_port, .dst_port = dst_port, .length = udp_len, .checksum = 0};
+  udp.serialize(udp_w);
+  udp_w.bytes(payload);
+  udp_w.patch_u16(6, udp6_checksum(src, dst, udp_w.view()));
+
+  Ipv6Header ip{.payload_length = udp_len,
+                .next_header = Ipv6Header::kNextHeaderUdp,
+                .hop_limit = hop_limit,
+                .src = src,
+                .dst = dst};
+  ByteWriter w{Ipv6Header::kSize + udp_len};
+  ip.serialize(w);
+  w.bytes(udp_w.view());
+  return Packet{std::move(w).take()};
+}
+
+Packet encapsulate_tango(const Packet& inner, const Ipv6Address& tunnel_src,
+                         const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
+                         const TangoHeader& tango_header, std::uint8_t hop_limit) {
+  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize +
+                                                  tango_header.wire_size() + inner.size());
+
+  ByteWriter udp_w{udp_len};
+  UdpHeader udp{.src_port = udp_src_port,
+                .dst_port = TangoHeader::kUdpPort,
+                .length = udp_len,
+                .checksum = 0};
+  udp.serialize(udp_w);
+  tango_header.serialize(udp_w);
+  udp_w.bytes(inner.bytes());
+  udp_w.patch_u16(6, udp6_checksum(tunnel_src, tunnel_dst, udp_w.view()));
+
+  Ipv6Header outer{.payload_length = udp_len,
+                   .next_header = Ipv6Header::kNextHeaderUdp,
+                   .hop_limit = hop_limit,
+                   .src = tunnel_src,
+                   .dst = tunnel_dst};
+  ByteWriter w{Ipv6Header::kSize + udp_len};
+  outer.serialize(w);
+  w.bytes(udp_w.view());
+  return Packet{std::move(w).take()};
+}
+
+std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet) {
+  try {
+    ByteReader r{wan_packet.bytes()};
+    Ipv6Header outer = Ipv6Header::parse(r);
+    if (outer.next_header != Ipv6Header::kNextHeaderUdp) return std::nullopt;
+
+    const auto udp_segment = r.rest();
+    UdpHeader udp = UdpHeader::parse(r);
+    if (udp.dst_port != TangoHeader::kUdpPort) return std::nullopt;
+    if (udp.length != udp_segment.size()) return std::nullopt;
+    if (udp.checksum != 0 && !udp6_checksum_ok(outer.src, outer.dst, udp_segment)) {
+      return std::nullopt;
+    }
+
+    auto tango = TangoHeader::parse(r);
+    if (!tango) return std::nullopt;
+
+    auto inner_bytes = r.rest();
+    return TangoEncapsulated{
+        .outer_ip = outer,
+        .udp = udp,
+        .tango = *tango,
+        .inner = Packet{std::vector<std::uint8_t>{inner_bytes.begin(), inner_bytes.end()}}};
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated or malformed: not a Tango packet
+  }
+}
+
+std::string describe(const Packet& p) {
+  try {
+    Ipv6Header ip = p.ip();
+    std::string out = "IPv6 " + ip.src.to_string() + " -> " + ip.dst.to_string() +
+                      " plen=" + std::to_string(ip.payload_length);
+    if (ip.next_header == Ipv6Header::kNextHeaderUdp) {
+      ByteReader r{p.payload()};
+      UdpHeader udp = UdpHeader::parse(r);
+      out += " | UDP " + std::to_string(udp.src_port) + "->" + std::to_string(udp.dst_port);
+      if (udp.dst_port == TangoHeader::kUdpPort) {
+        if (auto th = TangoHeader::parse(r)) {
+          out += " | Tango path=" + std::to_string(th->path_id) +
+                 " seq=" + std::to_string(th->sequence) +
+                 " tx=" + std::to_string(th->tx_time_ns) + "ns";
+        }
+      }
+    }
+    return out;
+  } catch (const std::exception&) {
+    return "<malformed packet, " + std::to_string(p.size()) + " bytes>";
+  }
+}
+
+}  // namespace tango::net

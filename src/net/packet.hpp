@@ -1,0 +1,97 @@
+// Packet buffers and builders for the Tango pipeline.
+//
+// A Packet is an owning byte buffer holding a serialized IPv6 packet.  Host
+// packets enter the switch as plain IPv6; on the WAN segment they are
+// wrapped as IPv6|UDP|TangoHeader|inner.  Builders and parsers here keep
+// the encapsulation byte-exact (lengths and UDP checksums included).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "net/ipv4_header.hpp"
+
+namespace tango::net {
+
+/// An owning, serialized IPv6 packet.
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_{std::move(bytes)} {}
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+
+  /// IP version nibble (4 or 6; 0 for an empty buffer).
+  [[nodiscard]] std::uint8_t version() const noexcept {
+    return ip_version_of(bytes_);
+  }
+
+  /// Parses the leading IPv6 header.  Throws on truncation/garbage.
+  [[nodiscard]] Ipv6Header ip() const;
+
+  /// Parses the leading IPv4 header.  Throws on truncation/garbage.
+  [[nodiscard]] Ipv4Header ip4() const;
+
+  /// Bytes after the fixed IPv6 header.
+  [[nodiscard]] std::span<const std::uint8_t> payload() const;
+
+  /// Decrements the IPv6 hop limit in place (router forwarding).
+  /// Returns false when the limit was already zero (drop the packet).
+  bool decrement_hop_limit();
+
+  /// Decrements the IPv4 TTL in place with an RFC 1141 incremental checksum
+  /// update.  Returns false when the TTL was already zero.
+  bool decrement_ttl_v4();
+
+  bool operator==(const Packet&) const = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Builds a plain (host-side) IPv6+UDP packet carrying `payload`.
+/// Used by traffic generators and tests.
+[[nodiscard]] Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst,
+                                     std::uint16_t src_port, std::uint16_t dst_port,
+                                     std::span<const std::uint8_t> payload,
+                                     std::uint8_t hop_limit = 64);
+
+/// Builds a plain IPv4+UDP packet (IPv4 host addressing, paper §3; the UDP
+/// checksum is omitted as IPv4 permits).
+[[nodiscard]] Packet make_udp4_packet(const Ipv4Address& src, const Ipv4Address& dst,
+                                      std::uint16_t src_port, std::uint16_t dst_port,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint8_t ttl = 64);
+
+/// Fields of a decoded Tango WAN packet.
+struct TangoEncapsulated {
+  Ipv6Header outer_ip;
+  UdpHeader udp;
+  TangoHeader tango;
+  Packet inner;  // the original host packet, byte-identical
+};
+
+/// Wraps `inner` for the WAN: outer IPv6 (src/dst = tunnel endpoints), UDP
+/// (fixed ports pin ECMP), Tango telemetry header.  Computes the outer UDP
+/// checksum over the pseudo-header.
+[[nodiscard]] Packet encapsulate_tango(const Packet& inner, const Ipv6Address& tunnel_src,
+                                       const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
+                                       const TangoHeader& tango_header,
+                                       std::uint8_t hop_limit = 64);
+
+/// Attempts to decode a WAN packet as Tango-encapsulated.  Returns nullopt
+/// for anything that is not a valid Tango packet (wrong next header, wrong
+/// port, bad magic, bad UDP checksum, truncation) so callers can fall back
+/// to normal forwarding.
+[[nodiscard]] std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet);
+
+/// Renders the header stack of a packet for logs and examples.
+[[nodiscard]] std::string describe(const Packet& p);
+
+}  // namespace tango::net

@@ -1,0 +1,175 @@
+// Longest-prefix-match binary trie, the FIB structure used by simulated
+// routers and Tango switches.
+//
+// Keyed by Ipv6Prefix (the tunnel address family).  IPv4 routes are carried
+// by mapping them into the IPv4-mapped IPv6 space (::ffff:0:0/96) at the
+// call site, which keeps one trie per FIB.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace tango::net {
+
+/// Binary trie mapping Ipv6Prefix -> V with longest-prefix-match lookup.
+///
+/// Not thread-safe; simulated routers are single-threaded per the
+/// discrete-event model.
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_{std::make_unique<Node>()} {}
+
+  /// Inserts or replaces the value at `prefix`.  Returns true when a new
+  /// entry was created (false when an existing entry was overwritten).
+  bool insert(const Ipv6Prefix& prefix, V value) {
+    Node* node = descend_create(prefix);
+    const bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Removes the entry at exactly `prefix`.  Returns true when present.
+  bool erase(const Ipv6Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    // Dead branches are left in place; the trie is rebuilt rarely (on BGP
+    // reconvergence) and lookups skip value-less nodes for free.
+    return true;
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const V* find(const Ipv6Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for `addr`; nullptr when no covering prefix exists.
+  [[nodiscard]] const V* lookup(const Ipv6Address& addr) const {
+    const Node* node = root_.get();
+    const V* best = node->value ? &*node->value : nullptr;
+    for (std::size_t depth = 0; depth < 128 && node != nullptr; ++depth) {
+      node = addr.bit(depth) ? node->one.get() : node->zero.get();
+      if (node != nullptr && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Longest-prefix match returning the matched prefix alongside the value.
+  [[nodiscard]] std::optional<std::pair<Ipv6Prefix, V>> lookup_entry(
+      const Ipv6Address& addr) const {
+    const Node* node = root_.get();
+    const Node* best = node->value ? node : nullptr;
+    std::size_t best_depth = 0;
+    for (std::size_t depth = 0; depth < 128 && node != nullptr; ++depth) {
+      node = addr.bit(depth) ? node->one.get() : node->zero.get();
+      if (node != nullptr && node->value) {
+        best = node;
+        best_depth = depth + 1;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Ipv6Prefix{addr, static_cast<std::uint8_t>(best_depth)},
+                          *best->value);
+  }
+
+  /// All (prefix, value) entries in lexicographic bit order.
+  [[nodiscard]] std::vector<std::pair<Ipv6Prefix, V>> entries() const {
+    std::vector<std::pair<Ipv6Prefix, V>> out;
+    Ipv6Address addr{};
+    walk(root_.get(), addr, 0, out);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  Node* descend_create(const Ipv6Prefix& prefix) {
+    Node* node = root_.get();
+    for (std::size_t depth = 0; depth < prefix.length(); ++depth) {
+      auto& child = prefix.address().bit(depth) ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    return node;
+  }
+
+  const Node* descend(const Ipv6Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::size_t depth = 0; depth < prefix.length() && node != nullptr; ++depth) {
+      node = prefix.address().bit(depth) ? node->one.get() : node->zero.get();
+    }
+    return node;
+  }
+
+  Node* descend(const Ipv6Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).descend(prefix));
+  }
+
+  void walk(const Node* node, Ipv6Address& addr, std::size_t depth,
+            std::vector<std::pair<Ipv6Prefix, V>>& out) const {
+    if (node == nullptr) return;
+    if (node->value) {
+      out.emplace_back(Ipv6Prefix{addr, static_cast<std::uint8_t>(depth)}, *node->value);
+    }
+    if (depth >= 128) return;
+    if (node->zero) {
+      Ipv6Address next = addr.with_bit(depth, false);
+      walk(node->zero.get(), next, depth + 1, out);
+    }
+    if (node->one) {
+      Ipv6Address next = addr.with_bit(depth, true);
+      walk(node->one.get(), next, depth + 1, out);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+/// Maps an IPv4 address into the IPv4-mapped IPv6 range so IPv4 routes can
+/// share the IPv6 trie (::ffff:a.b.c.d).
+[[nodiscard]] inline Ipv6Address v4_mapped(const Ipv4Address& a) {
+  Ipv6Address::Bytes b{};
+  b[10] = 0xFF;
+  b[11] = 0xFF;
+  auto v4 = a.bytes();
+  for (std::size_t i = 0; i < 4; ++i) b[12 + i] = v4[i];
+  return Ipv6Address{b};
+}
+
+/// Maps an IPv4 prefix into the IPv4-mapped IPv6 space (/len becomes /(96+len)).
+[[nodiscard]] inline Ipv6Prefix v4_mapped(const Ipv4Prefix& p) {
+  return Ipv6Prefix{v4_mapped(p.address()), static_cast<std::uint8_t>(96 + p.length())};
+}
+
+/// Version-erasing helpers so FIB code can key on either family uniformly.
+[[nodiscard]] inline Ipv6Address trie_key(const IpAddress& a) {
+  return a.is_v6() ? a.v6() : v4_mapped(a.v4());
+}
+
+[[nodiscard]] inline Ipv6Prefix trie_key(const Prefix& p) {
+  return p.is_v6() ? p.v6() : v4_mapped(p.v4());
+}
+
+}  // namespace tango::net

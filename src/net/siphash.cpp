@@ -1,0 +1,73 @@
+#include "net/siphash.hpp"
+
+namespace tango::net {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct State {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+/// Little-endian 64-bit load (SipHash is specified little-endian).
+std::uint64_t load_le(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipHashKey& key, std::span<const std::uint8_t> data) noexcept {
+  State s{key.k0 ^ 0x736f6d6570736575ull, key.k1 ^ 0x646f72616e646f6dull,
+          key.k0 ^ 0x6c7967656e657261ull, key.k1 ^ 0x7465646279746573ull};
+
+  const std::size_t full_blocks = data.size() / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le(data.data() + 8 * i);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes + length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xFF) << 56;
+  const std::size_t tail = data.size() % 8;
+  for (std::size_t i = 0; i < tail; ++i) {
+    last |= static_cast<std::uint64_t>(data[8 * full_blocks + i]) << (8 * i);
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xFF;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+}  // namespace tango::net

@@ -1,0 +1,28 @@
+// SipHash-2-4 (Aumasson & Bernstein): a keyed 64-bit PRF small enough for
+// per-packet use on switch-grade budgets.
+//
+// Used for the §6 "trustworthy telemetry" extension: with a shared key, the
+// two Tango endpoints authenticate the measurement fields of every packet,
+// so an off-path attacker cannot inject forged delay/loss samples and an
+// on-path attacker cannot modify them undetected (it can still drop —
+// detected as loss — or delay — which is the measurement itself).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tango::net {
+
+/// 128-bit SipHash key.
+struct SipHashKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  bool operator==(const SipHashKey&) const = default;
+};
+
+/// SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(const SipHashKey& key,
+                                      std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace tango::net

@@ -1,0 +1,52 @@
+#include "sim/delay_model.hpp"
+
+#include <algorithm>
+
+namespace tango::sim {
+
+double DelayModifier::sample_extra_ms(Rng& rng, Time now) const {
+  double extra = shift_ms;
+  if (noise_sigma_ms > 0.0) {
+    extra += std::abs(rng.gaussian(0.0, noise_sigma_ms));
+  }
+  if (spike_prob > 0.0 && rng.bernoulli(spike_prob)) {
+    extra += rng.uniform(spike_min_ms, spike_max_ms);
+  }
+  if (transition > 0) {
+    const bool near_start = now - start < transition;
+    const bool near_end = end - now < transition;
+    if (near_start || near_end) {
+      extra += std::abs(rng.gaussian(0.0, transition_sigma_ms));
+    }
+  }
+  return extra;
+}
+
+double CompositeDelayModel::sample_ms(Rng& rng, Time now) {
+  double ms = base_->sample_ms(rng, now);
+  for (const DelayModifier& m : modifiers_) {
+    if (m.active(now)) ms += m.sample_extra_ms(rng, now);
+  }
+  return std::max(ms, 0.0);
+}
+
+void CompositeDelayModel::prune(Time now) {
+  std::erase_if(modifiers_, [now](const DelayModifier& m) { return m.end <= now; });
+}
+
+std::unique_ptr<DelayModel> make_delay_model(const topo::LinkProfile& profile) {
+  const double floor = profile.floor_ms.value_or(profile.base_delay_ms);
+  switch (profile.jitter) {
+    case topo::JitterKind::none:
+      return std::make_unique<ConstantDelay>(profile.base_delay_ms);
+    case topo::JitterKind::gaussian:
+      return std::make_unique<GaussianJitterDelay>(profile.base_delay_ms,
+                                                   profile.jitter_sigma_ms, floor);
+    case topo::JitterKind::gamma:
+      return std::make_unique<GammaJitterDelay>(profile.base_delay_ms, profile.gamma_shape,
+                                                profile.gamma_scale_ms);
+  }
+  return std::make_unique<ConstantDelay>(profile.base_delay_ms);
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+namespace tango::sim {
+
+void EventQueue::schedule_at(Time at, Action action) {
+  if (at < now_) throw std::invalid_argument{"EventQueue: scheduling into the past"};
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::run_until(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Copy out before pop so the action may schedule more events.
+    Entry e{queue_.top().at, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).action)};
+    queue_.pop();
+    now_ = e.at;
+    ++executed_;
+    e.action();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (!queue_.empty()) {
+    Entry e{queue_.top().at, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).action)};
+    queue_.pop();
+    now_ = e.at;
+    ++executed_;
+    e.action();
+  }
+}
+
+void EventQueue::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace tango::sim

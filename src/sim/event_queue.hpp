@@ -1,0 +1,60 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tango::sim {
+
+/// Single-threaded discrete-event scheduler.  Events at equal times fire in
+/// scheduling order (FIFO), which keeps runs deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `at` (>= now).
+  void schedule_at(Time at, Action action);
+
+  /// Schedules `action` after `delay` from now.
+  void schedule_in(Time delay, Action action) { schedule_at(now_ + delay, std::move(action)); }
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; the clock then rests exactly at `until`.
+  void run_until(Time until);
+
+  /// Runs until the queue drains completely.
+  void run_all();
+
+  /// Drops every pending event (end of scenario).
+  void clear();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // FIFO tiebreak
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tango::sim

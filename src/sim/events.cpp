@@ -1,0 +1,28 @@
+#include "sim/events.hpp"
+
+namespace tango::sim {
+
+void inject(Wan& wan, const RouteChangeEvent& event) {
+  Link& link = wan.link(event.link.from, event.link.to);
+  link.delay().add_modifier(DelayModifier{
+      .start = event.at,
+      .end = event.at + event.duration,
+      .shift_ms = event.shift_ms,
+      .transition = event.transition,
+      .transition_sigma_ms = event.transition_sigma_ms,
+  });
+}
+
+void inject(Wan& wan, const InstabilityEvent& event) {
+  Link& link = wan.link(event.link.from, event.link.to);
+  link.delay().add_modifier(DelayModifier{
+      .start = event.at,
+      .end = event.at + event.duration,
+      .noise_sigma_ms = event.noise_sigma_ms,
+      .spike_prob = event.spike_prob,
+      .spike_min_ms = event.spike_min_ms,
+      .spike_max_ms = event.spike_max_ms,
+  });
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,38 @@
+// Scenario events: the two §5 incident classes injected into link delay
+// models, plus session flaps for failure-injection tests.
+#pragma once
+
+#include "sim/wan.hpp"
+
+namespace tango::sim {
+
+/// "Internal routing changes" (§5, Fig. 4 middle): after a brief period of
+/// instability the path settles at a new minimum `shift_ms` higher, persists
+/// for `duration`, then reverts (with another brief transition).
+struct RouteChangeEvent {
+  topo::LinkKey link;
+  Time at = 0;
+  Time duration = 10 * kMinute;   // paper: "persists for around 10 minutes"
+  double shift_ms = 5.0;          // paper: "a 5ms longer one-way delay"
+  Time transition = 15 * kSecond; // the "brief period of instability"
+  double transition_sigma_ms = 4.0;
+};
+
+/// "Periods of network instability" (§5, Fig. 4 right): ~5 minutes of minor
+/// delay increases plus major spikes, peaking at 78 ms against GTT's 28 ms
+/// floor, while every other path stays clean.
+struct InstabilityEvent {
+  topo::LinkKey link;
+  Time at = 0;
+  Time duration = 5 * kMinute;  // paper: "lasts approximately 5min"
+  double noise_sigma_ms = 1.2;  // minor increases
+  double spike_prob = 0.02;     // major spikes...
+  double spike_min_ms = 20.0;
+  double spike_max_ms = 50.0;   // ...up to 28 + 50 = 78 ms peak
+};
+
+/// Installs the event's delay modifier on the target link.
+void inject(Wan& wan, const RouteChangeEvent& event);
+void inject(Wan& wan, const InstabilityEvent& event);
+
+}  // namespace tango::sim

@@ -1,0 +1,28 @@
+#include "sim/link.hpp"
+
+namespace tango::sim {
+
+Link::Link(const topo::LinkProfile& profile, Rng rng)
+    : delay_{make_delay_model(profile)},
+      loss_{std::make_unique<BernoulliLoss>(profile.loss_rate)},
+      lanes_{profile.ecmp_lanes == 0 ? 1 : profile.ecmp_lanes},
+      lane_spread_ms_{profile.lane_spread_ms},
+      rng_{rng} {}
+
+Transmission Link::transmit(Time now, std::uint64_t flow_hash) {
+  ++packets_;
+  if (loss_->drop(rng_)) {
+    ++drops_;
+    return Transmission{.dropped = true};
+  }
+  const auto lane = static_cast<std::uint32_t>(flow_hash % lanes_);
+  const double ms = delay_.sample_ms(rng_, now) + lane * lane_spread_ms_;
+  return Transmission{.dropped = false, .delay = from_ms(ms), .lane = lane};
+}
+
+void Link::set_ecmp(std::uint32_t lanes, double spread_ms) {
+  lanes_ = lanes == 0 ? 1 : lanes;
+  lane_spread_ms_ = spread_ms;
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,55 @@
+// A directed simulated link: delay model + loss model + optional ECMP lanes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/delay_model.hpp"
+#include "sim/loss_model.hpp"
+
+namespace tango::sim {
+
+/// Outcome of offering one packet to a link.
+struct Transmission {
+  bool dropped = false;
+  Time delay = 0;       ///< propagation + jitter (+ lane offset)
+  std::uint32_t lane = 0;
+};
+
+/// One directed link.  ECMP is modeled as `lanes` parallel equal-cost
+/// sub-paths with staggered extra delay; the lane is picked by flow hash,
+/// which is exactly why Tango fixes the outer 5-tuple per tunnel (§3): with
+/// a fixed tuple every packet of a tunnel rides one lane and measurements
+/// describe a single physical path.
+class Link {
+ public:
+  Link(const topo::LinkProfile& profile, Rng rng);
+
+  /// Samples loss and delay for a packet whose 5-tuple hashes to `flow_hash`.
+  [[nodiscard]] Transmission transmit(Time now, std::uint64_t flow_hash);
+
+  /// The delay model, exposed for scenario event injection.
+  [[nodiscard]] CompositeDelayModel& delay() noexcept { return delay_; }
+
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint32_t lanes() const noexcept { return lanes_; }
+
+  /// Reconfigures ECMP fan-out (E9 ablation).
+  void set_ecmp(std::uint32_t lanes, double spread_ms);
+
+  /// Swaps the loss model at runtime (failure injection: a link turning
+  /// lossy mid-scenario).
+  void set_loss(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
+
+ private:
+  CompositeDelayModel delay_;
+  std::unique_ptr<LossModel> loss_;
+  std::uint32_t lanes_;
+  double lane_spread_ms_;
+  Rng rng_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace tango::sim

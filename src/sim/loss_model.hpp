@@ -1,0 +1,56 @@
+// Packet-loss models.
+#pragma once
+
+#include <memory>
+
+#include "sim/rng.hpp"
+
+namespace tango::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True when the next packet should be dropped.  Stateful models advance.
+  [[nodiscard]] virtual bool drop(Rng& rng) = 0;
+};
+
+/// Independent per-packet loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_{p} {}
+  [[nodiscard]] bool drop(Rng& rng) override { return p_ > 0.0 && rng.bernoulli(p_); }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott bursty loss: a Good and a Bad state with
+/// per-packet transition probabilities and per-state loss rates.  Used by
+/// failure-injection tests and the instability scenarios, where loss comes
+/// in bursts rather than independently.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good, double loss_good,
+                     double loss_bad)
+      : p_gb_{p_good_to_bad}, p_bg_{p_bad_to_good}, loss_good_{loss_good}, loss_bad_{loss_bad} {}
+
+  [[nodiscard]] bool drop(Rng& rng) override {
+    if (bad_) {
+      if (rng.bernoulli(p_bg_)) bad_ = false;
+    } else {
+      if (rng.bernoulli(p_gb_)) bad_ = true;
+    }
+    return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+  }
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  bool bad_ = false;
+};
+
+}  // namespace tango::sim

@@ -1,0 +1,50 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component takes an explicit Rng so scenarios are
+// reproducible from a single seed (the benches print their seeds).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tango::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() { return std::uniform_real_distribution<double>{0.0, 1.0}(engine_); }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>{0, n - 1}(engine_);
+  }
+
+  [[nodiscard]] double gaussian(double mean, double sigma) {
+    return std::normal_distribution<double>{mean, sigma}(engine_);
+  }
+
+  [[nodiscard]] double gamma(double shape, double scale) {
+    return std::gamma_distribution<double>{shape, scale}(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Derives an independent child stream (for per-link rngs).
+  [[nodiscard]] Rng fork() { return Rng{engine_()}; }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tango::sim

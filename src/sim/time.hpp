@@ -1,0 +1,38 @@
+// Simulated time: signed 64-bit nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace tango::sim {
+
+/// Nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+inline constexpr Time kMinute = 60 * kSecond;
+inline constexpr Time kHour = 60 * kMinute;
+
+[[nodiscard]] constexpr Time from_ms(double ms) noexcept {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+[[nodiscard]] constexpr double to_ms(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+[[nodiscard]] constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_hours(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kHour);
+}
+
+}  // namespace tango::sim

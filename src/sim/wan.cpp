@@ -1,0 +1,172 @@
+#include "sim/wan.hpp"
+
+namespace tango::sim {
+
+std::string to_string(DropReason r) {
+  switch (r) {
+    case DropReason::no_route:
+      return "no-route";
+    case DropReason::link_loss:
+      return "link-loss";
+    case DropReason::hop_limit:
+      return "hop-limit";
+    case DropReason::no_handler:
+      return "no-handler";
+    case DropReason::malformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+Wan::Wan(topo::Topology& topo, Rng rng) : topo_{topo} {
+  for (const topo::LinkKey& key : topo.links()) {
+    const topo::LinkProfile* profile = topo.profile(key.from, key.to);
+    links_.emplace(key, Link{*profile, rng.fork()});
+  }
+  for (bgp::RouterId id : topo.bgp().routers()) {
+    routers_[id];  // default-construct state
+  }
+  sync_fibs();
+}
+
+void Wan::sync_fibs() {
+  for (auto& [id, state] : routers_) {
+    state.fib.clear();
+    const bgp::BgpSpeaker& sp = topo_.bgp().router(id);
+    for (const bgp::Route& route : sp.loc_rib().routes()) {
+      const bgp::RouterId next_hop =
+          route.locally_originated() ? id : route.learned_from;
+      state.fib.insert(net::trie_key(route.prefix), next_hop);
+    }
+  }
+}
+
+void Wan::attach(bgp::RouterId id, DeliveryHandler handler) {
+  auto it = routers_.find(id);
+  if (it == routers_.end()) throw std::out_of_range{"Wan::attach: unknown router"};
+  it->second.handler = std::move(handler);
+}
+
+void Wan::send_from(bgp::RouterId id, net::Packet packet) {
+  if (routers_.find(id) == routers_.end()) {
+    throw std::out_of_range{"Wan::send_from: unknown router"};
+  }
+  // Enter the forwarding fabric on the next event so in-handler sends do not
+  // recurse unboundedly.
+  events_.schedule_in(0, [this, id, p = std::move(packet)]() mutable { forward(id, std::move(p)); });
+}
+
+Link& Wan::link(bgp::RouterId from, bgp::RouterId to) {
+  auto it = links_.find(topo::LinkKey{from, to});
+  if (it == links_.end()) throw std::out_of_range{"Wan::link: no such link"};
+  return it->second;
+}
+
+std::uint64_t Wan::total_dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [reason, count] : drops_) n += count;
+  return n;
+}
+
+std::uint64_t Wan::flow_hash(const net::Packet& packet) {
+  // FNV-1a over src addr, dst addr and (when UDP) the port pair: the fields
+  // real routers feed their ECMP hash.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  auto mix_ports = [&mix](std::span<const std::uint8_t> udp_segment) {
+    net::ByteReader r{udp_segment};
+    const net::UdpHeader udp = net::UdpHeader::parse(r);
+    mix(static_cast<std::uint8_t>(udp.src_port >> 8));
+    mix(static_cast<std::uint8_t>(udp.src_port));
+    mix(static_cast<std::uint8_t>(udp.dst_port >> 8));
+    mix(static_cast<std::uint8_t>(udp.dst_port));
+  };
+  try {
+    if (packet.version() == 4) {
+      const net::Ipv4Header ip = packet.ip4();
+      for (std::uint8_t b : ip.src.bytes()) mix(b);
+      for (std::uint8_t b : ip.dst.bytes()) mix(b);
+      mix(ip.protocol);
+      if (ip.protocol == net::Ipv4Header::kProtocolUdp) {
+        mix_ports(packet.bytes().subspan(net::Ipv4Header::kSize));
+      }
+      return h;
+    }
+    const net::Ipv6Header ip = packet.ip();
+    for (std::uint8_t b : ip.src.bytes()) mix(b);
+    for (std::uint8_t b : ip.dst.bytes()) mix(b);
+    mix(ip.next_header);
+    if (ip.next_header == net::Ipv6Header::kNextHeaderUdp) {
+      mix_ports(packet.payload());
+    }
+  } catch (const std::exception&) {
+    // Malformed packets hash on whatever was mixed; forward() will reject.
+  }
+  return h;
+}
+
+void Wan::forward(bgp::RouterId at, net::Packet packet) {
+  // Both IP versions forward by longest-prefix match; IPv4 destinations are
+  // looked up through the v4-mapped key space (host prefixes "can even be a
+  // different IP version", paper §3).
+  net::Ipv6Address key;
+  const bool is_v4 = packet.version() == 4;
+  try {
+    if (is_v4) {
+      key = net::v4_mapped(packet.ip4().dst);
+    } else {
+      key = packet.ip().dst;
+    }
+  } catch (const std::exception&) {
+    drop(DropReason::malformed);
+    return;
+  }
+
+  RouterState& state = routers_.at(at);
+  const bgp::RouterId* next = state.fib.lookup(key);
+  if (next == nullptr) {
+    drop(DropReason::no_route);
+    return;
+  }
+
+  if (*next == at) {
+    // Local delivery: the router originates a covering prefix.
+    if (!state.handler) {
+      drop(DropReason::no_handler);
+      return;
+    }
+    ++delivered_;
+    state.handler(packet);
+    return;
+  }
+
+  const bool alive = is_v4 ? packet.decrement_ttl_v4() : packet.decrement_hop_limit();
+  if (!alive) {
+    drop(DropReason::hop_limit);
+    return;
+  }
+
+  auto link_it = links_.find(topo::LinkKey{at, *next});
+  if (link_it == links_.end()) {
+    // FIB says next hop but no physical link (inconsistent topology).
+    drop(DropReason::no_route);
+    return;
+  }
+
+  const Transmission tx = link_it->second.transmit(events_.now(), flow_hash(packet));
+  if (tx.dropped) {
+    drop(DropReason::link_loss);
+    return;
+  }
+
+  if (hop_observer_) hop_observer_(at, *next, packet);
+
+  const bgp::RouterId to = *next;
+  events_.schedule_in(tx.delay,
+                      [this, to, p = std::move(packet)]() mutable { forward(to, std::move(p)); });
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,101 @@
+// The simulated wide-area network: routers forwarding serialized packets
+// over links, with FIBs derived from the BGP control plane.
+//
+// This substitutes for the public Internet between the paper's two Vultr
+// DCs.  It presents the same contract the real Internet gave the prototype:
+// hand a packet to your first-hop router and it follows each hop's BGP best
+// route for the packet's destination prefix, experiencing that path's delay,
+// jitter and loss.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/link.hpp"
+#include "topo/topology.hpp"
+
+namespace tango::sim {
+
+/// Why a packet never reached a delivery handler.
+enum class DropReason : std::uint8_t {
+  no_route,
+  link_loss,
+  hop_limit,
+  no_handler,
+  malformed,
+};
+
+[[nodiscard]] std::string to_string(DropReason r);
+
+class Wan {
+ public:
+  /// Handler invoked when a packet reaches a router that originates a
+  /// covering prefix (i.e. the packet arrived at its edge destination).
+  using DeliveryHandler = std::function<void(const net::Packet&)>;
+
+  /// Optional observer of every forwarding hop (tests, traces).
+  using HopObserver =
+      std::function<void(bgp::RouterId from, bgp::RouterId to, const net::Packet&)>;
+
+  /// Builds links from the topology's profiles.  The topology must outlive
+  /// the Wan.  FIBs are synced immediately.
+  Wan(topo::Topology& topo, Rng rng);
+
+  /// Rebuilds every router's FIB from the BGP Loc-RIBs.  Call after any
+  /// control-plane change (new origination, community change, session flap).
+  void sync_fibs();
+
+  /// Attaches the edge delivery handler for router `id`.
+  void attach(bgp::RouterId id, DeliveryHandler handler);
+
+  /// Injects `packet` at router `id` (as if a directly connected host sent
+  /// it).  Forwarding happens via scheduled events; run the clock to see it
+  /// arrive.
+  void send_from(bgp::RouterId id, net::Packet packet);
+
+  [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] Time now() const noexcept { return events_.now(); }
+
+  /// Direct access to a link (event injection, ECMP reconfiguration).
+  /// Throws when the link does not exist.
+  [[nodiscard]] Link& link(bgp::RouterId from, bgp::RouterId to);
+
+  void set_hop_observer(HopObserver observer) { hop_observer_ = std::move(observer); }
+
+  // --- Statistics -----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped(DropReason r) const {
+    auto it = drops_.find(r);
+    return it == drops_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept;
+
+ private:
+  /// One router's forwarding state.
+  struct RouterState {
+    /// Longest-prefix-match to the next-hop router; self id = local delivery.
+    net::PrefixTrie<bgp::RouterId> fib;
+    DeliveryHandler handler;
+  };
+
+  void forward(bgp::RouterId at, net::Packet packet);
+  void drop(DropReason r) { ++drops_[r]; }
+
+  /// FNV-1a over the packet's 5-tuple for ECMP lane selection.
+  [[nodiscard]] static std::uint64_t flow_hash(const net::Packet& packet);
+
+  topo::Topology& topo_;
+  EventQueue events_;
+  std::map<bgp::RouterId, RouterState> routers_;
+  std::map<topo::LinkKey, Link> links_;
+  HopObserver hop_observer_;
+  std::uint64_t delivered_ = 0;
+  std::map<DropReason, std::uint64_t> drops_;
+};
+
+}  // namespace tango::sim

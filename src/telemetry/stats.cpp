@@ -1,0 +1,78 @@
+#include "telemetry/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tango::telemetry {
+
+void StreamingStats::update(double value) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = value;
+    min_ = value;
+    max_ = value;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double StreamingStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void StreamingStats::reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void RollingWindow::update(sim::Time at, double value) {
+  samples_.push_back(TimedValue{at, value});
+  evict(at);
+}
+
+void RollingWindow::evict(sim::Time now) {
+  while (!samples_.empty() && samples_.front().at <= now - window_) {
+    samples_.pop_front();
+  }
+}
+
+std::optional<double> RollingWindow::mean() const {
+  if (samples_.empty()) return std::nullopt;
+  double sum = 0.0;
+  for (const TimedValue& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::optional<double> RollingWindow::stddev() const {
+  if (samples_.size() < 2) return std::nullopt;
+  const double m = *mean();
+  double sq = 0.0;
+  for (const TimedValue& s : samples_) sq += (s.value - m) * (s.value - m);
+  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+}
+
+std::optional<double> RollingWindow::min() const {
+  if (samples_.empty()) return std::nullopt;
+  double m = samples_.front().value;
+  for (const TimedValue& s : samples_) m = std::min(m, s.value);
+  return m;
+}
+
+std::optional<double> RollingWindow::max() const {
+  if (samples_.empty()) return std::nullopt;
+  double m = samples_.front().value;
+  for (const TimedValue& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+}  // namespace tango::telemetry

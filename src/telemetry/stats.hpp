@@ -1,0 +1,88 @@
+// Online statistics used by the data plane and the route controller:
+// EWMA, streaming mean/variance, and a time-bounded rolling window that
+// yields the paper's sub-second jitter metric.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace tango::telemetry {
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.1) : alpha_{alpha} {}
+
+  void update(double value) {
+    value_ = initialized_ ? alpha_ * value + (1.0 - alpha_) * value_ : value;
+    initialized_ = true;
+  }
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Streaming mean/variance/min/max (Welford).
+class StreamingStats {
+ public:
+  void update(double value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Samples within a sliding time window (default 1 s): mean, stddev
+/// (= the paper's rolling-window jitter), min, max.  Old samples are
+/// evicted as new ones arrive.
+class RollingWindow {
+ public:
+  explicit RollingWindow(sim::Time window = sim::kSecond) : window_{window} {}
+
+  void update(sim::Time at, double value);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::optional<double> mean() const;
+  [[nodiscard]] std::optional<double> stddev() const;
+  [[nodiscard]] std::optional<double> min() const;
+  [[nodiscard]] std::optional<double> max() const;
+  [[nodiscard]] sim::Time window() const noexcept { return window_; }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  void evict(sim::Time now);
+
+  struct TimedValue {
+    sim::Time at;
+    double value;
+  };
+
+  sim::Time window_;
+  std::deque<TimedValue> samples_;
+};
+
+}  // namespace tango::telemetry

@@ -1,0 +1,118 @@
+#include "telemetry/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tango::telemetry {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"Table::add_row: cell count != header count"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ' + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out + sep;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string render_chart(const std::vector<const TimeSeries*>& series,
+                         const ChartOptions& options) {
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+  if (series.empty()) return "(no series)\n";
+
+  sim::Time from = options.from;
+  sim::Time to = options.to;
+  if (to <= from) {
+    const auto& s = series.front()->samples();
+    if (s.empty()) return "(empty series)\n";
+    from = s.front().at;
+    to = s.back().at + 1;
+  }
+
+  const sim::Time bucket = std::max<sim::Time>((to - from) / options.width, 1);
+
+  // Downsample everything first to find the y-range.
+  std::vector<std::vector<Sample>> down;
+  double y_min = 1e300;
+  double y_max = -1e300;
+  for (const TimeSeries* ts : series) {
+    down.push_back(ts->downsample(from, to, bucket));
+    for (const Sample& s : down.back()) {
+      y_min = std::min(y_min, s.value);
+      y_max = std::max(y_max, s.value);
+    }
+  }
+  if (y_min > y_max) return "(no samples in window)\n";
+  if (y_max - y_min < 1e-9) y_max = y_min + 1.0;
+  const double pad = 0.05 * (y_max - y_min);
+  y_min -= pad;
+  y_max += pad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(options.height),
+                                std::string(static_cast<std::size_t>(options.width), ' '));
+  for (std::size_t si = 0; si < down.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    for (const Sample& s : down[si]) {
+      const auto col = static_cast<std::size_t>(
+          std::min<sim::Time>((s.at - from) / bucket, options.width - 1));
+      const double frac = (s.value - y_min) / (y_max - y_min);
+      const auto row = static_cast<std::size_t>(
+          std::clamp((1.0 - frac) * (options.height - 1), 0.0, options.height - 1.0));
+      grid[row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  for (int r = 0; r < options.height; ++r) {
+    const double y = y_max - (y_max - y_min) * r / (options.height - 1);
+    char label[32];
+    std::snprintf(label, sizeof label, "%8.2f |", y);
+    out += label + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(options.width), '-') +
+         "\n";
+  char footer[128];
+  std::snprintf(footer, sizeof footer, "%10s%-.2f .. %.2f hours  (y: %s)\n", "",
+                sim::to_hours(from), sim::to_hours(to), options.y_label.c_str());
+  out += footer;
+  std::string legend = "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    legend += std::string{"  "} + kGlyphs[si % sizeof kGlyphs] + "=" + series[si]->name();
+  }
+  out += legend + "\n";
+  return out;
+}
+
+}  // namespace tango::telemetry

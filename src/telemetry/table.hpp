@@ -1,0 +1,45 @@
+// Console table and ASCII chart rendering for the benchmark harness, so
+// every bench prints the same rows/series the paper's tables and figures
+// report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/timeseries.hpp"
+
+namespace tango::telemetry {
+
+/// A simple fixed-width console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+/// Renders several aligned time series as an ASCII chart (one glyph per
+/// series), the console stand-in for Fig. 4's panels.
+struct ChartOptions {
+  int width = 100;
+  int height = 18;
+  sim::Time from = 0;
+  sim::Time to = 0;  ///< 0 = span of the first series
+  std::string x_label = "time";
+  std::string y_label = "ms";
+};
+
+[[nodiscard]] std::string render_chart(const std::vector<const TimeSeries*>& series,
+                                       const ChartOptions& options);
+
+}  // namespace tango::telemetry

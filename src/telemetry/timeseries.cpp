@@ -1,0 +1,128 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace tango::telemetry {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&sorted](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+Summary TimeSeries::summary() const {
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const Sample& s : samples_) values.push_back(s.value);
+  return summarize(values);
+}
+
+Summary TimeSeries::summary_between(sim::Time from, sim::Time to) const {
+  std::vector<double> values;
+  for (const Sample& s : samples_) {
+    if (s.at >= from && s.at < to) values.push_back(s.value);
+  }
+  return summarize(values);
+}
+
+double TimeSeries::rolling_stddev(sim::Time window) const {
+  if (samples_.empty() || window <= 0) return 0.0;
+  double total = 0.0;
+  std::size_t windows = 0;
+
+  std::size_t i = 0;
+  const sim::Time start = samples_.front().at;
+  while (i < samples_.size()) {
+    const sim::Time tile_index = (samples_[i].at - start) / window;
+    const sim::Time tile_end = start + (tile_index + 1) * window;
+    std::vector<double> values;
+    while (i < samples_.size() && samples_[i].at < tile_end) {
+      values.push_back(samples_[i].value);
+      ++i;
+    }
+    if (values.size() >= 2) {
+      total += summarize(values).stddev;
+      ++windows;
+    }
+  }
+  return windows == 0 ? 0.0 : total / static_cast<double>(windows);
+}
+
+std::vector<Sample> TimeSeries::downsample(sim::Time from, sim::Time to,
+                                           sim::Time bucket) const {
+  if (bucket <= 0) throw std::invalid_argument{"TimeSeries::downsample: bucket <= 0"};
+  std::vector<Sample> out;
+  double sum = 0.0;
+  std::size_t n = 0;
+  sim::Time tile_start = from;
+  for (const Sample& s : samples_) {
+    if (s.at < from || s.at >= to) continue;
+    while (s.at >= tile_start + bucket) {
+      if (n > 0) {
+        out.push_back(Sample{tile_start + bucket / 2, sum / static_cast<double>(n)});
+        sum = 0.0;
+        n = 0;
+      }
+      tile_start += bucket;
+    }
+    sum += s.value;
+    ++n;
+  }
+  if (n > 0) out.push_back(Sample{tile_start + bucket / 2, sum / static_cast<double>(n)});
+  return out;
+}
+
+std::optional<double> TimeSeries::min_value() const {
+  if (samples_.empty()) return std::nullopt;
+  double m = samples_.front().value;
+  for (const Sample& s : samples_) m = std::min(m, s.value);
+  return m;
+}
+
+std::optional<double> TimeSeries::max_value() const {
+  if (samples_.empty()) return std::nullopt;
+  double m = samples_.front().value;
+  for (const Sample& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+void TimeSeries::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"TimeSeries::write_csv: cannot open " + path};
+  out << "time_s," << (name_.empty() ? "value" : name_) << "\n";
+  for (const Sample& s : samples_) {
+    out << sim::to_seconds(s.at) << ',' << s.value << "\n";
+  }
+}
+
+}  // namespace tango::telemetry

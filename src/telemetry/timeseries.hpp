@@ -1,0 +1,75 @@
+// Time-series recording and summarization for the measurement study.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tango::telemetry {
+
+/// One sample.
+struct Sample {
+  sim::Time at = 0;
+  double value = 0.0;
+};
+
+/// Summary statistics over a set of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+/// An append-only series of (time, value) samples.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_{std::move(name)} {}
+
+  void record(sim::Time at, double value) { samples_.push_back(Sample{at, value}); }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] Summary summary() const;
+
+  /// Summary over samples with at in [from, to).
+  [[nodiscard]] Summary summary_between(sim::Time from, sim::Time to) const;
+
+  /// Mean standard deviation of a rolling window (the paper's sub-second
+  /// jitter metric: "the mean standard deviation of a 1-second rolling
+  /// window", §5).  Windows are non-overlapping tiles of `window` width;
+  /// windows with < 2 samples are skipped.
+  [[nodiscard]] double rolling_stddev(sim::Time window = sim::kSecond) const;
+
+  /// Values in [from, to) bucketed into fixed tiles, averaged per tile —
+  /// the downsampling used to print Fig. 4-style series at console width.
+  [[nodiscard]] std::vector<Sample> downsample(sim::Time from, sim::Time to,
+                                               sim::Time bucket) const;
+
+  /// Minimum value over the whole series; nullopt when empty.
+  [[nodiscard]] std::optional<double> min_value() const;
+  [[nodiscard]] std::optional<double> max_value() const;
+
+  /// Writes "time_s,value" CSV lines (with header) to `path`.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace tango::telemetry

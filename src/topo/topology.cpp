@@ -1,0 +1,68 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+
+namespace tango::topo {
+
+bgp::BgpSpeaker& Topology::add_router(bgp::RouterId id, bgp::Asn asn, std::string name,
+                                      bgp::SpeakerOptions options) {
+  bgp::BgpSpeaker& sp = bgp_.add_router(id, asn, options);
+  router_names_[id] = std::move(name);
+  return sp;
+}
+
+void Topology::name_asn(bgp::Asn asn, std::string name) { asn_names_[asn] = std::move(name); }
+
+void Topology::add_transit(bgp::RouterId provider, bgp::RouterId customer,
+                           const LinkProfile& up, const LinkProfile& down,
+                           std::uint32_t customer_preference) {
+  profiles_[LinkKey{customer, provider}] = up;
+  profiles_[LinkKey{provider, customer}] = down;
+  bgp_.add_transit(provider, customer, customer_preference);
+}
+
+void Topology::add_peering(bgp::RouterId a, bgp::RouterId b, const LinkProfile& ab,
+                           const LinkProfile& ba) {
+  profiles_[LinkKey{a, b}] = ab;
+  profiles_[LinkKey{b, a}] = ba;
+  bgp_.add_peering(a, b);
+}
+
+void Topology::set_profile(bgp::RouterId from, bgp::RouterId to, const LinkProfile& profile) {
+  profiles_[LinkKey{from, to}] = profile;
+}
+
+const LinkProfile* Topology::profile(bgp::RouterId from, bgp::RouterId to) const {
+  auto it = profiles_.find(LinkKey{from, to});
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<LinkKey> Topology::links() const {
+  std::vector<LinkKey> out;
+  out.reserve(profiles_.size());
+  for (const auto& [key, profile] : profiles_) out.push_back(key);
+  return out;
+}
+
+std::string Topology::router_name(bgp::RouterId id) const {
+  auto it = router_names_.find(id);
+  return it == router_names_.end() ? "r" + std::to_string(id) : it->second;
+}
+
+std::string Topology::asn_name(bgp::Asn asn) const {
+  auto it = asn_names_.find(asn);
+  return it == asn_names_.end() ? "AS" + std::to_string(asn) : it->second;
+}
+
+std::string Topology::label_path(const std::vector<bgp::Asn>& as_path,
+                                 const std::vector<bgp::Asn>& endpoints) const {
+  std::string out;
+  for (bgp::Asn asn : as_path) {
+    if (std::find(endpoints.begin(), endpoints.end(), asn) != endpoints.end()) continue;
+    if (!out.empty()) out += ' ';
+    out += asn_name(asn);
+  }
+  return out.empty() ? "direct" : out;
+}
+
+}  // namespace tango::topo

@@ -1,0 +1,95 @@
+// AS-level topology: a BgpNetwork plus everything the data-plane simulator
+// needs that BGP doesn't carry — router names and per-directed-link
+// performance profiles (propagation delay, jitter personality, loss, ECMP
+// fan-out).  The profiles are plain parameters here; sim/ instantiates
+// delay/loss models from them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/network.hpp"
+
+namespace tango::topo {
+
+/// Jitter personality of a directed link.
+enum class JitterKind : std::uint8_t {
+  none,      ///< constant delay
+  gaussian,  ///< base + N(0, sigma), clipped at base_floor
+  gamma,     ///< base + Gamma(shape, scale) — heavy-ish tail
+};
+
+/// Performance parameters of one directed link.
+struct LinkProfile {
+  double base_delay_ms = 1.0;
+  /// Hard floor: sampled delay never goes below this (defaults to base).
+  std::optional<double> floor_ms;
+  JitterKind jitter = JitterKind::none;
+  double jitter_sigma_ms = 0.0;  ///< gaussian sigma
+  double gamma_shape = 0.0;      ///< gamma shape k
+  double gamma_scale_ms = 0.0;   ///< gamma scale theta (ms)
+  double loss_rate = 0.0;        ///< Bernoulli loss probability
+  /// ECMP: number of parallel equal-cost lanes inside this link and the
+  /// per-lane extra delay step.  Lane = hash(5-tuple) % ecmp_lanes.  With
+  /// one lane the link is ECMP-free (what Tango's fixed UDP tuple gives).
+  std::uint32_t ecmp_lanes = 1;
+  double lane_spread_ms = 0.0;
+};
+
+/// A directed link key.
+struct LinkKey {
+  bgp::RouterId from = 0;
+  bgp::RouterId to = 0;
+  auto operator<=>(const LinkKey&) const = default;
+};
+
+/// BgpNetwork + names + link profiles.  Owns the control plane.
+class Topology {
+ public:
+  /// Adds a router with a human-readable name ("NTT", "Vultr-LA", ...).
+  bgp::BgpSpeaker& add_router(bgp::RouterId id, bgp::Asn asn, std::string name,
+                              bgp::SpeakerOptions options = {});
+
+  /// Names a provider ASN for path labeling ("2914" -> "NTT").
+  void name_asn(bgp::Asn asn, std::string name);
+
+  /// Transit (provider-customer) with symmetric link profiles.
+  /// `customer_preference`: the customer's weight-style tiebreak for routes
+  /// from this provider (see bgp::SessionConfig::preference).
+  void add_transit(bgp::RouterId provider, bgp::RouterId customer, const LinkProfile& up,
+                   const LinkProfile& down, std::uint32_t customer_preference = 0);
+
+  /// Peering with symmetric link profiles.
+  void add_peering(bgp::RouterId a, bgp::RouterId b, const LinkProfile& ab,
+                   const LinkProfile& ba);
+
+  /// Replaces a directed link's profile (used by scenario events that model
+  /// permanent re-provisioning; transient events use sim-side modifiers).
+  void set_profile(bgp::RouterId from, bgp::RouterId to, const LinkProfile& profile);
+
+  [[nodiscard]] const LinkProfile* profile(bgp::RouterId from, bgp::RouterId to) const;
+  [[nodiscard]] std::vector<LinkKey> links() const;
+
+  [[nodiscard]] std::string router_name(bgp::RouterId id) const;
+  [[nodiscard]] std::string asn_name(bgp::Asn asn) const;
+
+  /// Human label for an AS-level path as the paper writes them:
+  /// "NTT", "Telia", "NTT Cogent".  Edge ASNs (the two cooperating
+  /// networks' own ASNs in `endpoints`) are omitted.
+  [[nodiscard]] std::string label_path(const std::vector<bgp::Asn>& as_path,
+                                       const std::vector<bgp::Asn>& endpoints) const;
+
+  [[nodiscard]] bgp::BgpNetwork& bgp() noexcept { return bgp_; }
+  [[nodiscard]] const bgp::BgpNetwork& bgp() const noexcept { return bgp_; }
+
+ private:
+  bgp::BgpNetwork bgp_;
+  std::map<bgp::RouterId, std::string> router_names_;
+  std::map<bgp::Asn, std::string> asn_names_;
+  std::map<LinkKey, LinkProfile> profiles_;
+};
+
+}  // namespace tango::topo

@@ -1,0 +1,112 @@
+// The paper's deployment environment (§4, Fig. 3) as a simulated topology:
+//
+//   * two Vultr PoPs (Los Angeles, New York), both AS20473, no private WAN;
+//   * Vultr-LA buys transit from NTT, Telia, GTT and Level3;
+//   * Vultr-NY buys transit from NTT, Telia, GTT and Cogent;
+//   * the five transit providers are a full tier-1 peering mesh;
+//   * one tenant server per DC, speaking eBGP to its PoP with a private ASN
+//     that Vultr strips on export (paper §4.1 footnote 2);
+//   * Vultr prefers its transits in the order NTT > Telia > GTT > others
+//     ("in order of preference by Vultr's routers", §4.1).
+//
+// Link delay/jitter/loss profiles are calibrated so the measurement study's
+// headline numbers (§5) come out of the simulator: GTT one-way floor
+// ~28 ms, NTT default ~30 % worse, per-provider jitter personalities
+// (GTT rolling-1s sigma ~0.01 ms, Telia ~0.33 ms).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace tango::topo {
+
+/// Router ids and ASNs for the scenario.
+namespace vultr {
+
+inline constexpr bgp::RouterId kNtt = 1;
+inline constexpr bgp::RouterId kTelia = 2;
+inline constexpr bgp::RouterId kGtt = 3;
+inline constexpr bgp::RouterId kCogent = 4;
+inline constexpr bgp::RouterId kLevel3 = 5;
+inline constexpr bgp::RouterId kVultrLa = 10;
+inline constexpr bgp::RouterId kVultrNy = 11;
+/// Third PoP (Chicago), used by the Tango-of-N scenario only.
+inline constexpr bgp::RouterId kVultrCh = 12;
+inline constexpr bgp::RouterId kServerLa = 20;
+inline constexpr bgp::RouterId kServerNy = 21;
+inline constexpr bgp::RouterId kServerCh = 22;
+
+inline constexpr bgp::Asn kAsnNtt = 2914;
+inline constexpr bgp::Asn kAsnTelia = 1299;
+inline constexpr bgp::Asn kAsnGtt = 3257;
+inline constexpr bgp::Asn kAsnCogent = 174;
+inline constexpr bgp::Asn kAsnLevel3 = 3356;
+inline constexpr bgp::Asn kAsnVultr = 20473;
+inline constexpr bgp::Asn kAsnServerLa = 64512;  // private, stripped by Vultr
+inline constexpr bgp::Asn kAsnServerNy = 64513;  // private, stripped by Vultr
+inline constexpr bgp::Asn kAsnServerCh = 64514;  // private, stripped by Vultr
+
+/// The five transit ASNs, for iteration.
+inline constexpr std::array<bgp::Asn, 5> kTransitAsns = {kAsnNtt, kAsnTelia, kAsnGtt,
+                                                         kAsnCogent, kAsnLevel3};
+
+}  // namespace vultr
+
+/// Address plan: tunnel and host /48s carved from an institution /44
+/// (the paper used a Princeton IPv6 allocation).
+struct VultrAddressPlan {
+  /// Four tunnel-route prefixes per site (paper: "each server advertises
+  /// four different /48 prefixes").
+  std::array<net::Ipv6Prefix, 4> la_tunnel;
+  std::array<net::Ipv6Prefix, 4> ny_tunnel;
+  /// Distinct host-addressing prefixes, never used for tunnels (paper §3).
+  net::Ipv6Prefix la_hosts;
+  net::Ipv6Prefix ny_hosts;
+};
+
+/// The assembled scenario.
+struct VultrScenario {
+  Topology topo;
+  VultrAddressPlan plan;
+
+  /// Directed backbone edges carrying the cross-country delay, per provider,
+  /// keyed for event injection (E3/E4 modify the GTT edge toward LA).
+  [[nodiscard]] static LinkKey backbone_to_la(bgp::Asn provider_asn);
+  [[nodiscard]] static LinkKey backbone_to_ny(bgp::Asn provider_asn);
+};
+
+/// Builds the converged scenario.  Host prefixes are originated by the two
+/// servers (plain announcements); tunnel prefixes are NOT originated here —
+/// Tango's control plane (core/discovery, core/node) does that with the
+/// appropriate communities.
+[[nodiscard]] VultrScenario make_vultr_scenario();
+
+/// Originates every tunnel prefix with no communities (all four ride the
+/// BGP default path) — the state before Tango's discovery has run.
+void originate_tunnel_prefixes(VultrScenario& s);
+
+/// The Tango-of-N scenario (paper §6): the two-DC environment plus a third
+/// Vultr PoP in Chicago (transits NTT, Telia, Cogent).  Each site gets an
+/// 8-prefix pool so a TangoMesh can slice 4 prefixes per inbound pair.
+///
+/// Modeling note: transit providers are single router nodes, so a
+/// provider's backbone delay attaches to its provider->PoP edge and is the
+/// same regardless of where traffic entered the provider.  Pairwise delays
+/// are therefore approximate for the third site; path *diversity* and the
+/// measurement/control machinery — what the scenario exercises — are exact.
+struct ThreeSiteScenario {
+  topo::Topology topo;
+  struct SitePlan {
+    bgp::RouterId server = 0;
+    bgp::Asn server_asn = 0;
+    std::vector<net::Ipv6Prefix> tunnel_pool;  // 8 prefixes
+    net::Ipv6Prefix hosts;
+  };
+  SitePlan la, ny, ch;
+};
+
+[[nodiscard]] ThreeSiteScenario make_three_site_scenario();
+
+}  // namespace tango::topo

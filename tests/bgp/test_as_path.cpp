@@ -1,0 +1,99 @@
+#include "bgp/as_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::bgp {
+namespace {
+
+TEST(AsPath, EmptyPath) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_FALSE(p.first().has_value());
+  EXPECT_FALSE(p.origin_as().has_value());
+  EXPECT_EQ(p.to_string(), "");
+}
+
+TEST(AsPath, PrependBuildsPath) {
+  AsPath p;
+  p = p.prepended(20473);  // origin announces, provider prepends itself...
+  p = p.prepended(2914);
+  EXPECT_EQ(p.asns(), (std::vector<Asn>{2914, 20473}));
+  EXPECT_EQ(p.first(), 2914u);
+  EXPECT_EQ(p.origin_as(), 20473u);
+  EXPECT_EQ(p.to_string(), "2914 20473");
+}
+
+TEST(AsPath, MultiPrepend) {
+  AsPath p{20473};
+  p = p.prepended(1299, 3);
+  EXPECT_EQ(p.asns(), (std::vector<Asn>{1299, 1299, 1299, 20473}));
+  EXPECT_EQ(p.length(), 4u);
+}
+
+TEST(AsPath, ContainsDetectsLoops) {
+  AsPath p{2914, 174, 20473};
+  EXPECT_TRUE(p.contains(174));
+  EXPECT_FALSE(p.contains(3356));
+}
+
+TEST(AsPath, Parse) {
+  auto p = AsPath::parse("2914 174 20473");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->asns(), (std::vector<Asn>{2914, 174, 20473}));
+  EXPECT_EQ(AsPath::parse("")->length(), 0u);
+  EXPECT_EQ(AsPath::parse("  42  ")->asns(), std::vector<Asn>{42});
+  EXPECT_FALSE(AsPath::parse("2914 abc").has_value());
+}
+
+TEST(AsPath, PrivateAsnDetection) {
+  EXPECT_TRUE(is_private_asn(64512));
+  EXPECT_TRUE(is_private_asn(65534));
+  EXPECT_TRUE(is_private_asn(4200000000u));
+  EXPECT_FALSE(is_private_asn(64511));
+  EXPECT_FALSE(is_private_asn(65535));
+  EXPECT_FALSE(is_private_asn(20473));
+}
+
+TEST(AsPath, StripsPrivateAsns) {
+  // Vultr propagating a customer announcement made with a private ASN
+  // (paper §4.1 footnote 2).
+  AsPath p{20473, 64512};
+  EXPECT_EQ(p.without_private_asns().asns(), std::vector<Asn>{20473});
+  AsPath all_private{64512, 64513};
+  EXPECT_TRUE(all_private.without_private_asns().empty());
+  AsPath none{2914, 174};
+  EXPECT_EQ(none.without_private_asns(), none);
+}
+
+TEST(AsPath, UniqueSequenceCollapsesPrepends) {
+  AsPath p{2914, 2914, 2914, 174, 20473, 20473};
+  EXPECT_EQ(p.unique_sequence(), (std::vector<Asn>{2914, 174, 20473}));
+  // Non-adjacent repeats (allowas-in paths) survive.
+  AsPath q{20473, 2914, 20473};
+  EXPECT_EQ(q.unique_sequence(), (std::vector<Asn>{20473, 2914, 20473}));
+}
+
+TEST(AsPath, ComparisonIsStructural) {
+  EXPECT_EQ((AsPath{1, 2}), (AsPath{1, 2}));
+  EXPECT_NE((AsPath{1, 2}), (AsPath{2, 1}));
+  EXPECT_NE((AsPath{1}), (AsPath{1, 1}));
+}
+
+/// Property: prepending increases length by `times` and preserves the tail.
+class PrependProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrependProperty, LengthAndTail) {
+  const auto times = static_cast<std::size_t>(GetParam());
+  AsPath base{100, 200, 300};
+  AsPath p = base.prepended(999, times);
+  EXPECT_EQ(p.length(), base.length() + times);
+  EXPECT_EQ(p.origin_as(), base.origin_as());
+  for (std::size_t i = 0; i < times; ++i) EXPECT_EQ(p.asns()[i], 999u);
+  EXPECT_TRUE(std::equal(base.asns().begin(), base.asns().end(), p.asns().begin() + times));
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, PrependProperty, ::testing::Values(1, 2, 3, 5, 10));
+
+}  // namespace
+}  // namespace tango::bgp

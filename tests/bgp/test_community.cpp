@@ -1,0 +1,99 @@
+#include "bgp/community.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::bgp {
+namespace {
+
+TEST(Community, ParseAndFormat) {
+  auto c = Community::parse("64600:2914");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->asn, 64600);
+  EXPECT_EQ(c->value, 2914);
+  EXPECT_EQ(c->to_string(), "64600:2914");
+  EXPECT_EQ(c->raw(), (64600u << 16) | 2914u);
+}
+
+TEST(Community, ParseRejectsJunk) {
+  EXPECT_FALSE(Community::parse("").has_value());
+  EXPECT_FALSE(Community::parse("64600").has_value());
+  EXPECT_FALSE(Community::parse("64600:").has_value());
+  EXPECT_FALSE(Community::parse(":2914").has_value());
+  EXPECT_FALSE(Community::parse("70000:1").has_value());  // > 16 bit
+  EXPECT_FALSE(Community::parse("64600:70000").has_value());
+  EXPECT_FALSE(Community::parse("a:b").has_value());
+}
+
+TEST(CommunitySet, ParseListRoundTrip) {
+  auto set = CommunitySet::parse("64600:2914 64600:1299");
+  ASSERT_TRUE(set.has_value());
+  EXPECT_EQ(set->size(), 2u);
+  EXPECT_TRUE(set->contains(action::do_not_announce_to(2914)));
+  EXPECT_TRUE(set->contains(action::do_not_announce_to(1299)));
+  auto again = CommunitySet::parse(set->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *set);
+  // Empty string = empty set.
+  EXPECT_TRUE(CommunitySet::parse("")->empty());
+  EXPECT_FALSE(CommunitySet::parse("64600:1 junk").has_value());
+}
+
+TEST(CommunitySet, AddIsIdempotent) {
+  CommunitySet set;
+  set.add(action::do_not_announce_to(2914));
+  set.add(action::do_not_announce_to(2914));
+  EXPECT_EQ(set.size(), 1u);
+  set.remove(action::do_not_announce_to(2914));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(CommunitySet, ForbidsExportSemantics) {
+  CommunitySet set{action::do_not_announce_to(2914)};
+  EXPECT_TRUE(set.forbids_export_to(2914));
+  EXPECT_FALSE(set.forbids_export_to(1299));
+}
+
+TEST(CommunitySet, AnnounceOnlySemantics) {
+  CommunitySet set{action::announce_only_to(3257)};
+  EXPECT_TRUE(set.has_announce_only());
+  EXPECT_FALSE(set.forbids_export_to(3257));
+  EXPECT_TRUE(set.forbids_export_to(2914));   // everyone else suppressed
+  EXPECT_TRUE(set.forbids_export_to(1299));
+
+  // Multiple announce-only targets whitelist each of them.
+  set.add(action::announce_only_to(174));
+  EXPECT_FALSE(set.forbids_export_to(174));
+  EXPECT_FALSE(set.forbids_export_to(3257));
+}
+
+TEST(CommunitySet, PrependAccumulates) {
+  CommunitySet set{action::prepend_to(2914, 1), action::prepend_to(2914, 3)};
+  EXPECT_EQ(set.prepends_for(2914), 4);
+  EXPECT_EQ(set.prepends_for(1299), 0);
+}
+
+TEST(CommunitySet, WithoutActionsKeepsInformational) {
+  CommunitySet set{action::do_not_announce_to(2914), Community{20473, 100},
+                   action::no_transit()};
+  auto cleaned = set.without_actions();
+  EXPECT_EQ(cleaned.size(), 1u);
+  EXPECT_TRUE(cleaned.contains(Community{20473, 100}));
+}
+
+TEST(CommunitySet, OrderingIndependentEquality) {
+  CommunitySet a;
+  a.add(Community{1, 2});
+  a.add(Community{3, 4});
+  CommunitySet b;
+  b.add(Community{3, 4});
+  b.add(Community{1, 2});
+  EXPECT_EQ(a, b);
+}
+
+TEST(WellKnown, Values) {
+  EXPECT_EQ(kNoExport.raw(), 0xFFFFFF01u);
+  EXPECT_EQ(kNoAdvertise.raw(), 0xFFFFFF02u);
+}
+
+}  // namespace
+}  // namespace tango::bgp

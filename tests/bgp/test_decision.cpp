@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "bgp/rib.hpp"
+
+namespace tango::bgp {
+namespace {
+
+net::Prefix pfx(const char* text) { return *net::Prefix::parse(text); }
+
+Route make_route(std::uint32_t local_pref, std::initializer_list<Asn> path,
+                 RouterId learned_from = 1, Asn learned_asn = 100,
+                 Origin origin = Origin::igp, std::uint32_t med = 0) {
+  return Route{.prefix = pfx("2001:db8::/32"),
+               .as_path = AsPath{path},
+               .origin = origin,
+               .communities = {},
+               .med = med,
+               .local_pref = local_pref,
+               .learned_from = learned_from,
+               .learned_from_asn = learned_asn};
+}
+
+TEST(Decision, HighestLocalPrefWins) {
+  Route a = make_route(300, {1, 2, 3});
+  Route b = make_route(100, {1});
+  EXPECT_TRUE(Decision::better(a, b));
+  EXPECT_FALSE(Decision::better(b, a));
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::local_pref);
+}
+
+TEST(Decision, ShorterAsPathWinsAtEqualPref) {
+  Route a = make_route(100, {1, 2});
+  Route b = make_route(100, {1, 2, 3});
+  EXPECT_TRUE(Decision::better(a, b));
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::as_path_length);
+}
+
+TEST(Decision, LowerOriginWins) {
+  Route a = make_route(100, {1, 2});
+  Route b = make_route(100, {1, 3});
+  a.origin = Origin::igp;
+  b.origin = Origin::incomplete;
+  EXPECT_TRUE(Decision::better(a, b));
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::origin);
+}
+
+TEST(Decision, LowerMedWins) {
+  Route a = make_route(100, {1, 2}, 1, 100, Origin::igp, 10);
+  Route b = make_route(100, {1, 3}, 2, 100, Origin::igp, 20);
+  EXPECT_TRUE(Decision::better(a, b));
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::med);
+}
+
+TEST(Decision, SessionPreferenceBeatsNeighborTiebreaksOnly) {
+  Route a = make_route(100, {1, 2}, 5, 2914);
+  Route b = make_route(100, {1, 3}, 4, 174);
+  a.session_preference = 120;  // operator prefers this transit
+  b.session_preference = 105;
+  EXPECT_TRUE(Decision::better(a, b));
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::session_preference);
+  // ...but never overrides AS-path length.
+  Route shorter = make_route(100, {1}, 6, 9999);
+  EXPECT_TRUE(Decision::better(shorter, a));
+}
+
+TEST(Decision, NeighborAsnTiebreak) {
+  Route a = make_route(100, {1, 2}, 5, 174);
+  Route b = make_route(100, {1, 3}, 4, 2914);
+  EXPECT_TRUE(Decision::better(a, b));  // 174 < 2914 despite higher router id
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::neighbor_asn);
+}
+
+TEST(Decision, NeighborRouterFinalTiebreak) {
+  Route a = make_route(100, {1, 2}, 4, 100);
+  Route b = make_route(100, {1, 3}, 5, 100);
+  EXPECT_TRUE(Decision::better(a, b));
+  EXPECT_EQ(Decision::deciding_step(a, b), DecisionStep::neighbor_router);
+}
+
+TEST(Decision, EqualRoutesAreNotBetter) {
+  Route a = make_route(100, {1, 2});
+  EXPECT_FALSE(Decision::better(a, a));
+  EXPECT_EQ(Decision::deciding_step(a, a), DecisionStep::equal);
+}
+
+TEST(Decision, SelectEmptyIsNullopt) {
+  EXPECT_FALSE(Decision::select({}).has_value());
+}
+
+TEST(Decision, SelectFindsUniqueBest) {
+  std::vector<Route> candidates{
+      make_route(100, {1, 2, 3}, 1, 300),
+      make_route(200, {1, 2, 3, 4}, 2, 200),  // best: pref dominates length
+      make_route(100, {1}, 3, 100),
+  };
+  auto best = Decision::select(candidates);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->learned_from, 2u);
+}
+
+/// Property: `better` is a strict total order on any set of distinct routes
+/// (antisymmetric, and select() is invariant under permutation).
+TEST(Decision, SelectIsPermutationInvariant) {
+  std::vector<Route> candidates{
+      make_route(100, {1, 2}, 1, 2914), make_route(100, {1, 3}, 2, 1299),
+      make_route(100, {1, 4}, 3, 3257), make_route(200, {1, 5, 6}, 4, 174),
+      make_route(100, {9}, 5, 3356),
+  };
+  auto reference = Decision::select(candidates);
+  ASSERT_TRUE(reference.has_value());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Route& a, const Route& b) { return a.learned_from > b.learned_from; });
+  EXPECT_EQ(Decision::select(candidates), reference);
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (i == j) continue;
+      // Antisymmetry.
+      EXPECT_FALSE(Decision::better(candidates[i], candidates[j]) &&
+                   Decision::better(candidates[j], candidates[i]));
+    }
+  }
+}
+
+TEST(AdjRibIn, PutReplacesPerNeighbor) {
+  AdjRibIn rib;
+  rib.put(make_route(100, {1, 2}, 7, 100));
+  rib.put(make_route(100, {1, 9}, 7, 100));  // same neighbor: replace
+  rib.put(make_route(100, {2, 2}, 8, 100));
+  EXPECT_EQ(rib.candidates(pfx("2001:db8::/32")).size(), 2u);
+  EXPECT_EQ(rib.size(), 2u);
+  const Route* r = rib.find(pfx("2001:db8::/32"), 7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->as_path, (AsPath{1, 9}));
+}
+
+TEST(AdjRibIn, EraseAndEraseNeighbor) {
+  AdjRibIn rib;
+  rib.put(make_route(100, {1}, 7, 100));
+  rib.put(make_route(100, {2}, 8, 100));
+  EXPECT_TRUE(rib.erase(pfx("2001:db8::/32"), 7));
+  EXPECT_FALSE(rib.erase(pfx("2001:db8::/32"), 7));
+  auto affected = rib.erase_neighbor(8);
+  EXPECT_EQ(affected.size(), 1u);
+  EXPECT_TRUE(rib.prefixes().empty());
+}
+
+TEST(LocRib, SetReportsChange) {
+  LocRib rib;
+  Route r = make_route(100, {1, 2});
+  EXPECT_TRUE(rib.set(r));
+  EXPECT_FALSE(rib.set(r));  // unchanged
+  r.local_pref = 200;
+  EXPECT_TRUE(rib.set(r));
+  EXPECT_TRUE(rib.erase(r.prefix));
+  EXPECT_FALSE(rib.erase(r.prefix));
+}
+
+}  // namespace
+}  // namespace tango::bgp

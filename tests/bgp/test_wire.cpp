@@ -1,0 +1,219 @@
+// RFC 4271 / RFC 4760 wire format: golden vectors, round-trip properties,
+// malformed-input rejection, and the full control plane running over
+// serialized bytes.
+#include "bgp/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::bgp::wire {
+namespace {
+
+const net::IpAddress kV6NextHop{*net::Ipv6Address::parse("fe80::1")};
+const net::IpAddress kV4NextHop{net::Ipv4Address{10, 0, 0, 1}};
+
+Update sample_announce_v6() {
+  Route route{.prefix = *net::Prefix::parse("2620:110:9011::/48"),
+              .as_path = AsPath{20473, 2914, 20473},
+              .origin = Origin::igp,
+              .communities = CommunitySet{action::do_not_announce_to(2914)},
+              .med = 50,
+              .local_pref = 100};
+  return Update::announce(std::move(route));
+}
+
+TEST(WireKeepalive, GoldenBytes) {
+  const auto bytes = encode_keepalive();
+  ASSERT_EQ(bytes.size(), kHeaderSize);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(bytes[static_cast<std::size_t>(i)], 0xFF);
+  EXPECT_EQ(bytes[16], 0x00);
+  EXPECT_EQ(bytes[17], 19);
+  EXPECT_EQ(bytes[18], 4);  // type = KEEPALIVE
+  const ParsedMessage parsed = parse_message(bytes);
+  EXPECT_EQ(parsed.type, MessageType::keepalive);
+}
+
+TEST(WireOpen, RoundTripWith4ByteAsn) {
+  OpenMessage open{.version = 4,
+                   .asn = 20473,
+                   .hold_time = 180,
+                   .bgp_identifier = 0x0A000001,
+                   .four_octet_asn = 20473,
+                   .mp_ipv6 = true};
+  const auto bytes = encode_open(open);
+  const ParsedMessage parsed = parse_message(bytes);
+  ASSERT_EQ(parsed.type, MessageType::open);
+  ASSERT_TRUE(parsed.open.has_value());
+  EXPECT_EQ(*parsed.open, open);
+}
+
+TEST(WireOpen, AsTransForLargeAsn) {
+  OpenMessage open{.asn = 4200000001u, .four_octet_asn = 4200000001u};
+  const auto bytes = encode_open(open);
+  // The 2-octet field must carry AS_TRANS (23456).
+  EXPECT_EQ((bytes[kHeaderSize + 1] << 8) | bytes[kHeaderSize + 2], 23456);
+  const ParsedMessage parsed = parse_message(bytes);
+  EXPECT_EQ(parsed.open->asn, 4200000001u) << "real ASN recovered from capability 65";
+}
+
+TEST(WireNotification, RoundTrip) {
+  NotificationMessage n{.code = 6, .subcode = 2, .data = {0xDE, 0xAD}};
+  const ParsedMessage parsed = parse_message(encode_notification(n));
+  ASSERT_EQ(parsed.type, MessageType::notification);
+  EXPECT_EQ(*parsed.notification, n);
+}
+
+TEST(WireUpdate, V6AnnounceRoundTrip) {
+  const Update original = sample_announce_v6();
+  const auto bytes = encode_update(original, kV6NextHop);
+  const ParsedMessage parsed = parse_message(bytes);
+  ASSERT_EQ(parsed.type, MessageType::update);
+  ASSERT_TRUE(parsed.update.has_value());
+  const Update& got = *parsed.update;
+  EXPECT_EQ(got.kind, Update::Kind::announce);
+  EXPECT_EQ(got.prefix, original.prefix);
+  EXPECT_EQ(got.route->as_path, original.route->as_path);
+  EXPECT_EQ(got.route->origin, original.route->origin);
+  EXPECT_EQ(got.route->communities, original.route->communities);
+  EXPECT_EQ(got.route->med, original.route->med);
+  EXPECT_EQ(got.route->local_pref, original.route->local_pref);
+  EXPECT_EQ(parsed.next_hop, kV6NextHop);
+}
+
+TEST(WireUpdate, V6WithdrawRoundTrip) {
+  const Update original = Update::withdraw(*net::Prefix::parse("2620:110:9013::/48"));
+  const ParsedMessage parsed = parse_message(encode_update(original, kV6NextHop));
+  ASSERT_TRUE(parsed.update.has_value());
+  EXPECT_EQ(parsed.update->kind, Update::Kind::withdraw);
+  EXPECT_EQ(parsed.update->prefix, original.prefix);
+}
+
+TEST(WireUpdate, V4AnnounceAndWithdrawRoundTrip) {
+  Route route{.prefix = *net::Prefix::parse("203.0.113.0/24"),
+              .as_path = AsPath{64512},
+              .origin = Origin::egp,
+              .med = 7,
+              .local_pref = 200};
+  const Update announce = Update::announce(route);
+  const ParsedMessage got_a = parse_message(encode_update(announce, kV4NextHop));
+  ASSERT_TRUE(got_a.update.has_value());
+  EXPECT_EQ(got_a.update->kind, Update::Kind::announce);
+  EXPECT_EQ(got_a.update->prefix, announce.prefix);
+  EXPECT_EQ(got_a.update->route->origin, Origin::egp);
+  EXPECT_EQ(got_a.next_hop, kV4NextHop);
+
+  const Update withdraw = Update::withdraw(*net::Prefix::parse("203.0.113.0/24"));
+  const ParsedMessage got_w = parse_message(encode_update(withdraw, kV4NextHop));
+  EXPECT_EQ(got_w.update->kind, Update::Kind::withdraw);
+  EXPECT_EQ(got_w.update->prefix, withdraw.prefix);
+}
+
+TEST(WireUpdate, NextHopFamilyValidated) {
+  EXPECT_THROW(encode_update(sample_announce_v6(), kV4NextHop), WireError);
+  Route v4{.prefix = *net::Prefix::parse("203.0.113.0/24"), .as_path = AsPath{1}};
+  EXPECT_THROW(encode_update(Update::announce(v4), kV6NextHop), WireError);
+}
+
+TEST(WireParse, RejectsMalformed) {
+  const auto good = encode_update(sample_announce_v6(), kV6NextHop);
+
+  // Truncated everywhere: every cut must throw, never crash or mis-parse.
+  for (std::size_t keep = 0; keep < good.size(); ++keep) {
+    std::span<const std::uint8_t> cut{good.data(), keep};
+    EXPECT_THROW((void)parse_message(cut), std::exception) << "cut at " << keep;
+  }
+
+  // Bad marker.
+  auto bad_marker = good;
+  bad_marker[3] = 0x00;
+  EXPECT_THROW((void)parse_message(bad_marker), WireError);
+
+  // Length field disagreeing with the buffer.
+  auto bad_len = good;
+  bad_len[17] ^= 0x01;
+  EXPECT_THROW((void)parse_message(bad_len), WireError);
+
+  // Unknown message type.
+  auto bad_type = good;
+  bad_type[18] = 9;
+  EXPECT_THROW((void)parse_message(bad_type), WireError);
+
+  // Keepalive with a body.
+  auto ka = encode_keepalive();
+  ka.push_back(0);
+  ka[17] = static_cast<std::uint8_t>(ka.size());
+  EXPECT_THROW((void)parse_message(ka), WireError);
+}
+
+/// Property: round-trip over randomized updates.
+class WireRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WireRoundTrip, RandomizedUpdates) {
+  std::mt19937_64 rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    Route route;
+    net::Ipv6Address::Bytes b{};
+    b[0] = 0x20;
+    for (std::size_t j = 1; j < 8; ++j) b[j] = static_cast<std::uint8_t>(rng());
+    route.prefix = net::Prefix{
+        net::Ipv6Prefix{net::Ipv6Address{b}, static_cast<std::uint8_t>(rng() % 129)}};
+    std::vector<Asn> asns;
+    for (std::size_t j = 0; j < rng() % 8; ++j) {
+      asns.push_back(static_cast<Asn>(rng() % 4200000000ull));
+    }
+    route.as_path = AsPath{std::move(asns)};
+    route.origin = static_cast<Origin>(rng() % 3);
+    route.med = static_cast<std::uint32_t>(rng());
+    route.local_pref = static_cast<std::uint32_t>(rng());
+    for (std::size_t j = 0; j < rng() % 5; ++j) {
+      route.communities.add(Community{static_cast<std::uint16_t>(rng()),
+                                      static_cast<std::uint16_t>(rng())});
+    }
+
+    const bool withdraw = rng() % 4 == 0;
+    const Update original =
+        withdraw ? Update::withdraw(route.prefix) : Update::announce(route);
+    const Update rebuilt = roundtrip_update(original, kV6NextHop);
+    EXPECT_EQ(rebuilt.kind, original.kind);
+    EXPECT_EQ(rebuilt.prefix, original.prefix);
+    if (!withdraw) {
+      EXPECT_EQ(rebuilt.route->as_path, original.route->as_path);
+      EXPECT_EQ(rebuilt.route->communities, original.route->communities);
+      EXPECT_EQ(rebuilt.route->origin, original.route->origin);
+      EXPECT_EQ(rebuilt.route->med, original.route->med);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTrip, ::testing::Values(1u, 17u, 23u));
+
+TEST(WireTransport, FullControlPlaneOverBytes) {
+  // The whole Fig. 3 control plane — originations, community propagation,
+  // suppression, withdrawals — must behave identically when every UPDATE
+  // crosses the wire encoder.
+  topo::VultrScenario in_memory = topo::make_vultr_scenario();
+
+  topo::VultrScenario on_wire = topo::make_vultr_scenario();
+  on_wire.topo.bgp().set_wire_transport(true);
+
+  const net::Prefix ny{on_wire.plan.ny_hosts};
+  CommunitySet set;
+  for (Asn target : {topo::vultr::kAsnNtt, topo::vultr::kAsnTelia, topo::vultr::kAsnGtt}) {
+    in_memory.topo.bgp().originate(topo::vultr::kServerNy, ny, set);
+    on_wire.topo.bgp().originate(topo::vultr::kServerNy, ny, set);
+
+    const Route* a = in_memory.topo.bgp().best_route(topo::vultr::kServerLa, ny);
+    const Route* b = on_wire.topo.bgp().best_route(topo::vultr::kServerLa, ny);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->as_path, b->as_path) << "wire transport changed the outcome";
+    set.add(action::do_not_announce_to(target));
+  }
+  EXPECT_GT(on_wire.topo.bgp().wire_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tango::bgp::wire

@@ -1,0 +1,82 @@
+#include "core/bird.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::core {
+namespace {
+
+using namespace topo::vultr;
+
+TEST(BirdConfig, RendersDiscoveredStateDeployably) {
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  DiscoveryResult r = discover_paths(
+      s.topo, DiscoveryRequest{
+                  .destination = kServerNy,
+                  .source = kServerLa,
+                  .prefix_pool = {s.plan.ny_tunnel.begin(), s.plan.ny_tunnel.end()},
+                  .edge_asns = {kAsnVultr, kAsnServerLa, kAsnServerNy}});
+  ASSERT_EQ(r.paths.size(), 4u);
+
+  // The NY server must announce these prefixes: render ITS bird.conf.
+  NodeConfig ny{.router = kServerNy,
+                .host_prefix = s.plan.ny_hosts,
+                .tunnel_prefix_pool = {s.plan.ny_tunnel.begin(), s.plan.ny_tunnel.end()},
+                .edge_asns = {kAsnVultr, kAsnServerNy}};
+  BirdConfigOptions opts{.local_asn = 64513, .provider_asn = 20473,
+                         .neighbor_address = "2001:19f0:ffff::1",
+                         .router_id = "10.0.0.2"};
+  const std::string conf = render_bird_config(ny, r.paths, opts);
+
+  // Session setup.
+  EXPECT_NE(conf.find("router id 10.0.0.2;"), std::string::npos);
+  EXPECT_NE(conf.find("local :: as 64513;"), std::string::npos);
+  EXPECT_NE(conf.find("neighbor 2001:19f0:ffff::1 as 20473;"), std::string::npos);
+  EXPECT_NE(conf.find("multihop 2;"), std::string::npos);
+
+  // Every announced prefix appears as a static route and in the filter.
+  EXPECT_NE(conf.find("route 2620:110:901b::/48 unreachable;"), std::string::npos);
+  for (const DiscoveredPath& p : r.paths) {
+    EXPECT_NE(conf.find("route " + p.prefix.to_string() + " unreachable;"),
+              std::string::npos)
+        << p.to_string();
+    EXPECT_NE(conf.find("if net = " + p.prefix.to_string()), std::string::npos);
+  }
+
+  // Community pinning in BIRD syntax: path 2 (Telia) suppresses NTT.
+  EXPECT_NE(conf.find("bgp_community.add((64600,2914));"), std::string::npos);
+  // Path 4 carries all three suppressions.
+  EXPECT_NE(conf.find("bgp_community.add((64600,3257));"), std::string::npos);
+
+  // The default-path prefix gets no community line between its "if net" and
+  // its "accept" (checked coarsely: its block is exactly 4 lines).
+  const auto pos = conf.find("if net = " + r.paths[0].prefix.to_string());
+  ASSERT_NE(pos, std::string::npos);
+  const auto accept = conf.find("accept;", pos);
+  EXPECT_EQ(conf.substr(pos, accept - pos).find("bgp_community"), std::string::npos);
+
+  // Export filter ends closed.
+  EXPECT_NE(conf.find("export filter tango_export;"), std::string::npos);
+}
+
+TEST(BirdConfig, LabelsSanitizedIntoIdentifiers) {
+  NodeConfig node{.host_prefix = *net::Ipv6Prefix::parse("2620:110:901b::/48")};
+  DiscoveredPath path{.id = 4,
+                      .prefix = *net::Ipv6Prefix::parse("2620:110:9014::/48"),
+                      .communities = {},
+                      .as_path = bgp::AsPath{20473, 2914, 174, 20473},
+                      .label = "NTT Cogent"};
+  const std::string conf = render_bird_config(node, {path}, BirdConfigOptions{});
+  EXPECT_NE(conf.find("# ntt_cogent:"), std::string::npos);
+}
+
+TEST(BirdConfig, EmptyAnnouncementsStillValid) {
+  NodeConfig node{.host_prefix = *net::Ipv6Prefix::parse("2620:110:901b::/48")};
+  const std::string conf = render_bird_config(node, {}, BirdConfigOptions{});
+  EXPECT_NE(conf.find("route 2620:110:901b::/48 unreachable;"), std::string::npos);
+  EXPECT_NE(conf.find("reject;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,220 @@
+// End-to-end integration: the full Tango stack on the Vultr scenario —
+// discovery, tunnels, probing, one-way measurement under unsynchronized
+// clocks, cooperative feedback, and adaptive path selection through an
+// injected incident.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "core/pairing.hpp"
+#include "sim/events.hpp"
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::core {
+namespace {
+
+using namespace topo::vultr;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : s_{topo::make_vultr_scenario()},
+        wan_{s_.topo, sim::Rng{2024}},
+        la_{s_.topo, wan_, la_config(s_)},
+        ny_{s_.topo, wan_, ny_config(s_)},
+        pairing_{wan_, la_, ny_} {}
+
+  static NodeConfig la_config(const topo::VultrScenario& s) {
+    return NodeConfig{
+        .router = kServerLa,
+        .host_prefix = s.plan.la_hosts,
+        .tunnel_prefix_pool = {s.plan.la_tunnel.begin(), s.plan.la_tunnel.end()},
+        .edge_asns = {kAsnVultr, kAsnServerLa},
+        // Unsynchronized clocks, deliberately (the paper's setting).
+        .clock = sim::NodeClock{+7 * sim::kMillisecond},
+        .keep_series = true};
+  }
+
+  static NodeConfig ny_config(const topo::VultrScenario& s) {
+    return NodeConfig{
+        .router = kServerNy,
+        .host_prefix = s.plan.ny_hosts,
+        .tunnel_prefix_pool = {s.plan.ny_tunnel.begin(), s.plan.ny_tunnel.end()},
+        .edge_asns = {kAsnVultr, kAsnServerNy},
+        .clock = sim::NodeClock{-4 * sim::kMillisecond},
+        .keep_series = true};
+  }
+
+  topo::VultrScenario s_;
+  sim::Wan wan_;
+  TangoNode la_;
+  TangoNode ny_;
+  TangoPairing pairing_;
+};
+
+TEST_F(IntegrationTest, EstablishDiscoversFourPathsEachWay) {
+  auto [la_out, ny_out] = pairing_.establish();
+  EXPECT_EQ(la_out.paths.size(), 4u);
+  EXPECT_EQ(ny_out.paths.size(), 4u);
+  EXPECT_EQ(la_.dp().tunnels().size(), 4u);
+  EXPECT_EQ(ny_.dp().tunnels().size(), 4u);
+  // Default path active until measurements arrive.
+  EXPECT_EQ(la_.dp().active_path(), PathId{1});
+  EXPECT_EQ(ny_.dp().active_path(), PathId{1});
+  // Registry mirrors the tunnels.
+  EXPECT_EQ(la_.registry().size(), 4u);
+  ASSERT_NE(la_.registry().find(1), nullptr);
+  EXPECT_EQ(la_.registry().find(1)->label, "NTT");
+}
+
+TEST_F(IntegrationTest, ProbesMeasureCalibratedOneWayDelays) {
+  pairing_.establish();
+  ny_.start_probing(10 * sim::kMillisecond);  // NY -> LA probes
+  wan_.events().run_until(30 * sim::kSecond);
+  ny_.stop_probing();
+  wan_.events().run_all();
+
+  // LA's receiver holds NY->LA one-way delays for all four paths; the clock
+  // offset (rx +7ms, tx -4ms => +11ms) shifts everything equally.
+  const double offset = 11.0;
+  struct Expect {
+    PathId id;
+    double true_ms;
+  };
+  // NY->LA totals: backbone + 0.9 handoffs (NTT 36.9, Telia 32.9, GTT 28.4,
+  // NTT+Level3 ~ 0.2+0.5+10+34+0.2 = 44.9 + gamma mean ~0.6).
+  for (const Expect& e : {Expect{1, 36.9}, Expect{2, 32.9}, Expect{3, 28.4}}) {
+    const dataplane::PathTracker* t = la_.dp().receiver().tracker(e.id);
+    ASSERT_NE(t, nullptr) << "path " << e.id;
+    EXPECT_GT(t->delay().lifetime().count(), 1000u);
+    EXPECT_NEAR(t->delay().lifetime().mean(), e.true_ms + offset, 1.0) << "path " << e.id;
+  }
+  const dataplane::PathTracker* level3 = la_.dp().receiver().tracker(4);
+  ASSERT_NE(level3, nullptr);
+  EXPECT_NEAR(level3->delay().lifetime().mean(), 44.9 + 0.3 + offset, 1.5);
+
+  // Relative ordering (what Tango actually uses) is offset-free: GTT best.
+  EXPECT_LT(la_.dp().receiver().tracker(3)->delay().lifetime().mean(),
+            la_.dp().receiver().tracker(2)->delay().lifetime().mean());
+  EXPECT_LT(la_.dp().receiver().tracker(2)->delay().lifetime().mean(),
+            la_.dp().receiver().tracker(1)->delay().lifetime().mean());
+}
+
+TEST_F(IntegrationTest, FeedbackLoopPopulatesSenderReports) {
+  pairing_.establish();
+  pairing_.start();
+  ny_.start_probing(10 * sim::kMillisecond);
+  la_.start_probing(10 * sim::kMillisecond);
+  wan_.events().run_until(5 * sim::kSecond);
+  pairing_.stop();
+  ny_.stop_probing();
+  la_.stop_probing();
+  wan_.events().run_all();
+
+  EXPECT_GT(pairing_.reports_delivered(), 0u);
+  // NY (the sender toward LA) must now have reports on all four paths.
+  for (PathId id = 1; id <= 4; ++id) {
+    const PathReport* r = ny_.registry().report(id);
+    ASSERT_NE(r, nullptr) << "path " << id;
+    EXPECT_GT(r->samples, 0u);
+  }
+  // And the report ordering identifies GTT as fastest despite clock offset.
+  EXPECT_LT(ny_.registry().report(3)->owd_ewma_ms, ny_.registry().report(1)->owd_ewma_ms);
+}
+
+TEST_F(IntegrationTest, AdaptivePolicyLeavesDefaultForGtt) {
+  pairing_.establish();
+  ny_.set_policy(std::make_unique<HysteresisPolicy>(1.0));
+  pairing_.start();
+  ny_.start_probing(10 * sim::kMillisecond);
+  la_.start_probing(10 * sim::kMillisecond);
+
+  wan_.events().run_until(5 * sim::kSecond);
+
+  // NY's sender should have moved off the default (NTT, path 1) to GTT (3).
+  EXPECT_EQ(ny_.dp().active_path(), PathId{3});
+  EXPECT_GE(ny_.path_switches(), 1u);
+
+  pairing_.stop();
+  ny_.stop_probing();
+  la_.stop_probing();
+  wan_.events().run_all();
+}
+
+TEST_F(IntegrationTest, InstabilityEventTriggersSwitchAwayAndApplicationSurvives) {
+  pairing_.establish();
+  ny_.set_policy(std::make_unique<HysteresisPolicy>(1.0));
+  pairing_.start();
+  ny_.start_probing(10 * sim::kMillisecond);
+  la_.start_probing(10 * sim::kMillisecond);
+
+  // Let it settle on GTT first.
+  wan_.events().run_until(5 * sim::kSecond);
+  ASSERT_EQ(ny_.dp().active_path(), PathId{3});
+
+  // Inject the §5 instability storm on GTT toward LA, strong enough that
+  // GTT's EWMA exceeds Telia's 32.9 ms.
+  sim::inject(wan_, sim::InstabilityEvent{.link = topo::VultrScenario::backbone_to_la(kAsnGtt),
+                                          .at = 6 * sim::kSecond,
+                                          .duration = 60 * sim::kSecond,
+                                          .noise_sigma_ms = 4.0,
+                                          .spike_prob = 0.25,
+                                          .spike_min_ms = 20.0,
+                                          .spike_max_ms = 50.0});
+
+  wan_.events().run_until(30 * sim::kSecond);
+  EXPECT_NE(ny_.dp().active_path(), PathId{3})
+      << "policy must abandon GTT during the storm";
+
+  // After the storm ends GTT recovers and wins again.
+  wan_.events().run_until(120 * sim::kSecond);
+  EXPECT_EQ(ny_.dp().active_path(), PathId{3});
+
+  pairing_.stop();
+  ny_.stop_probing();
+  la_.stop_probing();
+  wan_.events().run_all();
+}
+
+TEST_F(IntegrationTest, ApplicationTrafficPiggybacksMeasurements) {
+  pairing_.establish();
+  // No probes at all: send application traffic LA->NY on the active path
+  // and verify the receiver measured it (the "no probing needed" claim).
+  std::uint64_t delivered = 0;
+  ny_.dp().set_host_handler(
+      [&delivered](const net::Packet&, const std::optional<dataplane::ReceiveInfo>& info) {
+        if (info) ++delivered;
+      });
+
+  const std::vector<std::uint8_t> payload(200, 0xAB);
+  for (int i = 0; i < 50; ++i) {
+    const net::Packet p = net::make_udp_packet(la_.host_address(1),
+                                               ny_.host_address(2), 40000, 443, payload);
+    wan_.events().schedule_in(i * sim::kMillisecond, [this, p]() {
+      la_.dp().send_from_host(p);
+    });
+  }
+  wan_.events().run_all();
+
+  EXPECT_EQ(delivered, 50u);
+  const dataplane::PathTracker* t = ny_.dp().receiver().tracker(1);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->delay().lifetime().count(), 50u);
+  EXPECT_EQ(t->loss().lost(), 0u);
+}
+
+TEST_F(IntegrationTest, ConfigRoundTripsFromLiveState) {
+  pairing_.establish();
+  TangoConfig config;
+  config.peer_host_prefix = s_.plan.ny_hosts;
+  for (const auto& [id, tunnel] : la_.dp().tunnels().all()) {
+    config.tunnels.push_back(TunnelConfigEntry{
+        .tunnel = tunnel, .communities = la_.registry().find(id)->communities});
+  }
+  auto parsed = parse_config(render_config(config));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, config);
+  EXPECT_EQ(parsed->tunnels.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tango::core

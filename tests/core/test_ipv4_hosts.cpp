@@ -1,0 +1,107 @@
+// End-to-end IPv4 host addressing over IPv6 tunnels (paper §3: the host
+// prefixes "can even be a different IP version").  The sites' hosts speak
+// IPv4; the wide-area routes, tunnels and measurements are IPv6.
+#include <gtest/gtest.h>
+
+#include "core/pairing.hpp"
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::core {
+namespace {
+
+using namespace topo::vultr;
+
+TEST(Ipv4Hosts, TangoCarriesV4HostTrafficOverV6Tunnels) {
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  sim::Wan wan{s.topo, sim::Rng{12}};
+
+  NodeConfig la_cfg{.router = kServerLa,
+                    .host_prefix = s.plan.la_hosts,
+                    .tunnel_prefix_pool = {s.plan.la_tunnel.begin(), s.plan.la_tunnel.end()},
+                    .edge_asns = {kAsnVultr, kAsnServerLa}};
+  NodeConfig ny_cfg{.router = kServerNy,
+                    .host_prefix = s.plan.ny_hosts,
+                    .tunnel_prefix_pool = {s.plan.ny_tunnel.begin(), s.plan.ny_tunnel.end()},
+                    .edge_asns = {kAsnVultr, kAsnServerNy}};
+  TangoNode la{s.topo, wan, la_cfg};
+  TangoNode ny{s.topo, wan, ny_cfg};
+  TangoPairing pairing{wan, la, ny};
+  pairing.establish();
+
+  // NY's hosts also use an IPv4 block, announced over traditional BGP and
+  // registered at LA's switch as a peer prefix.
+  const net::Prefix ny_v4 = *net::Prefix::parse("198.51.100.0/24");
+  s.topo.bgp().originate(kServerNy, ny_v4);
+  wan.sync_fibs();
+  la.dp().add_peer_prefix(ny_v4, kServerNy);
+
+  std::vector<net::Packet> delivered;
+  std::uint64_t measured = 0;
+  ny.dp().set_host_handler(
+      [&](const net::Packet& inner, const std::optional<dataplane::ReceiveInfo>& info) {
+        delivered.push_back(inner);
+        if (info) ++measured;
+      });
+
+  const std::vector<std::uint8_t> payload{0x42};
+  const net::Packet v4 = net::make_udp4_packet(net::Ipv4Address{203, 0, 113, 5},
+                                               net::Ipv4Address{198, 51, 100, 9}, 1000, 2000,
+                                               payload);
+  la.dp().send_from_host(v4);
+  wan.events().run_all();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered.front(), v4) << "IPv4 inner must arrive byte-identical";
+  EXPECT_EQ(delivered.front().version(), 4);
+  EXPECT_EQ(measured, 1u) << "the 4in6 packet was measured like any other";
+
+  const dataplane::PathTracker* tracker = ny.dp().receiver().tracker(1);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->delay().lifetime().count(), 1u);
+}
+
+TEST(Ipv4Hosts, PlainV4ForwardingFollowsBgp) {
+  // Without Tango: a bare IPv4 packet follows the v4 route end to end, TTL
+  // decremented and header checksum kept valid at every hop.
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  const net::Prefix ny_v4 = *net::Prefix::parse("198.51.100.0/24");
+  s.topo.bgp().originate(kServerNy, ny_v4);
+  sim::Wan wan{s.topo, sim::Rng{13}};
+
+  std::vector<net::Packet> got;
+  wan.attach(kServerNy, [&got](const net::Packet& p) { got.push_back(p); });
+  wan.set_hop_observer([](bgp::RouterId, bgp::RouterId, const net::Packet& p) {
+    // Every in-flight packet must still carry a valid header.
+    EXPECT_NO_THROW((void)p.ip4());
+  });
+
+  const std::vector<std::uint8_t> payload{1};
+  wan.send_from(kServerLa,
+                net::make_udp4_packet(net::Ipv4Address{203, 0, 113, 5},
+                                      net::Ipv4Address{198, 51, 100, 9}, 5, 6, payload,
+                                      /*ttl=*/64));
+  wan.events().run_all();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.front().ip4().ttl, 64 - 4) << "one decrement per forwarding hop";
+  EXPECT_NEAR(sim::to_ms(wan.now()), 37.1, 1.5) << "v4 rides the same NTT default";
+}
+
+TEST(Ipv4Hosts, V4TtlExpiryDrops) {
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  const net::Prefix ny_v4 = *net::Prefix::parse("198.51.100.0/24");
+  s.topo.bgp().originate(kServerNy, ny_v4);
+  sim::Wan wan{s.topo, sim::Rng{14}};
+
+  const std::vector<std::uint8_t> payload{1};
+  wan.send_from(kServerLa,
+                net::make_udp4_packet(net::Ipv4Address{203, 0, 113, 5},
+                                      net::Ipv4Address{198, 51, 100, 9}, 5, 6, payload,
+                                      /*ttl=*/2));
+  wan.events().run_all();
+  EXPECT_EQ(wan.delivered(), 0u);
+  EXPECT_EQ(wan.dropped(sim::DropReason::hop_limit), 1u);
+}
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,199 @@
+// Tango-of-N (paper §6): three sites, six ordered pairs, pairwise discovery
+// with coordinated path-id ranges and pool slicing, per-peer routing.
+#include "core/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/events.hpp"
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::core {
+namespace {
+
+using namespace topo::vultr;
+
+NodeConfig site_config(const topo::ThreeSiteScenario::SitePlan& plan) {
+  return NodeConfig{.router = plan.server,
+                    .host_prefix = plan.hosts,
+                    .tunnel_prefix_pool = plan.tunnel_pool,
+                    .edge_asns = {kAsnVultr, plan.server_asn},
+                    .keep_series = false};
+}
+
+class MeshTest : public ::testing::Test {
+ protected:
+  MeshTest()
+      : s_{topo::make_three_site_scenario()},
+        wan_{s_.topo, sim::Rng{33}},
+        la_{s_.topo, wan_, site_config(s_.la)},
+        ny_{s_.topo, wan_, site_config(s_.ny)},
+        ch_{s_.topo, wan_, site_config(s_.ch)},
+        mesh_{wan_} {
+    mesh_.add_site(la_);
+    mesh_.add_site(ny_);
+    mesh_.add_site(ch_);
+  }
+
+  topo::ThreeSiteScenario s_;
+  sim::Wan wan_;
+  TangoNode la_;
+  TangoNode ny_;
+  TangoNode ch_;
+  TangoMesh mesh_;
+};
+
+TEST_F(MeshTest, EstablishDiscoversEveryOrderedPair) {
+  auto results = mesh_.establish();
+  ASSERT_EQ(results.size(), 6u);  // 3 * 2 ordered pairs
+
+  // Each node knows two peers.
+  EXPECT_EQ(la_.peers().size(), 2u);
+  EXPECT_EQ(ny_.peers().size(), 2u);
+  EXPECT_EQ(ch_.peers().size(), 2u);
+
+  // LA->NY and NY->LA still find the paper's 4 paths; pairs involving
+  // Chicago find 3 (three transits at the CH PoP).
+  EXPECT_EQ(la_.paths_to(kServerNy).size(), 4u);
+  EXPECT_EQ(ny_.paths_to(kServerLa).size(), 4u);
+  EXPECT_EQ(la_.paths_to(kServerCh).size(), 3u);
+  EXPECT_EQ(ch_.paths_to(kServerLa).size(), 4u);
+  EXPECT_EQ(ny_.paths_to(kServerCh).size(), 3u);
+  EXPECT_EQ(ch_.paths_to(kServerNy).size(), 4u);
+}
+
+TEST_F(MeshTest, PathIdRangesAreDisjoint) {
+  mesh_.establish();
+  std::set<PathId> seen;
+  for (TangoNode* node : {&la_, &ny_, &ch_}) {
+    for (bgp::RouterId peer : node->peers()) {
+      for (PathId id : node->paths_to(peer)) {
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate path id " << id;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u + 4u + 3u + 4u + 3u + 4u);
+}
+
+TEST_F(MeshTest, PoolSlicesDoNotCollide) {
+  mesh_.establish();
+  // Every (destination prefix) is used by at most one ordered pair.
+  std::set<std::string> used;
+  for (TangoNode* node : {&la_, &ny_, &ch_}) {
+    for (bgp::RouterId peer : node->peers()) {
+      for (PathId id : node->paths_to(peer)) {
+        const DiscoveredPath* p = node->registry().find(id);
+        ASSERT_NE(p, nullptr);
+        EXPECT_TRUE(used.insert(p->prefix.to_string()).second)
+            << "prefix reused across pairs: " << p->prefix.to_string();
+      }
+    }
+  }
+}
+
+TEST_F(MeshTest, TrafficFlowsOnEveryPairSimultaneously) {
+  mesh_.establish();
+  std::map<bgp::RouterId, std::uint64_t> received;
+  auto count_at = [&received](TangoNode& node, bgp::RouterId id) {
+    node.dp().set_host_handler(
+        [&received, id](const net::Packet&, const std::optional<dataplane::ReceiveInfo>& info) {
+          if (info) ++received[id];
+        });
+  };
+  count_at(la_, kServerLa);
+  count_at(ny_, kServerNy);
+  count_at(ch_, kServerCh);
+
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  auto send = [&payload, this](TangoNode& from, TangoNode& to) {
+    from.dp().send_from_host(net::make_udp_packet(from.host_address(1), to.host_address(1),
+                                                  1000, 2000, payload));
+  };
+  send(la_, ny_);
+  send(la_, ch_);
+  send(ny_, la_);
+  send(ny_, ch_);
+  send(ch_, la_);
+  send(ch_, ny_);
+  wan_.events().run_all();
+
+  EXPECT_EQ(received[kServerLa], 2u);
+  EXPECT_EQ(received[kServerNy], 2u);
+  EXPECT_EQ(received[kServerCh], 2u);
+}
+
+TEST_F(MeshTest, PerPeerPoliciesConvergeIndependently) {
+  mesh_.establish();
+  la_.set_policy(std::make_unique<HysteresisPolicy>(1.0));
+  ny_.set_policy(std::make_unique<HysteresisPolicy>(1.0));
+  ch_.set_policy(std::make_unique<HysteresisPolicy>(1.0));
+  mesh_.start();
+  mesh_.start_probing(20 * sim::kMillisecond);
+
+  wan_.events().run_until(5 * sim::kSecond);
+  mesh_.stop();
+  mesh_.stop_probing();
+  wan_.events().run_all();
+
+  EXPECT_GT(mesh_.reports_delivered(), 0u);
+
+  // NY->LA should sit on GTT; the GTT id for that pair is the third path
+  // discovered by NY toward LA.
+  const auto ny_to_la = ny_.paths_to(kServerLa);
+  ASSERT_EQ(ny_to_la.size(), 4u);
+  EXPECT_EQ(ny_.dp().active_path(kServerLa), ny_to_la[2])
+      << "NY->LA must pick GTT (third discovered)";
+
+  // NY->CH: Chicago's transits are NTT(17.5) / Telia(19) / Cogent(21+):
+  // NTT is both default and fastest, so the active path stays the first.
+  const auto ny_to_ch = ny_.paths_to(kServerCh);
+  ASSERT_EQ(ny_to_ch.size(), 3u);
+  EXPECT_EQ(ny_.dp().active_path(kServerCh), ny_to_ch[0])
+      << "NY->CH: NTT is both default and fastest";
+
+  // Per-pair measurements exist for every ordered pair.
+  for (TangoNode* node : {&la_, &ny_, &ch_}) {
+    for (bgp::RouterId peer : node->peers()) {
+      for (PathId id : node->paths_to(peer)) {
+        EXPECT_NE(node->registry().report(id), nullptr)
+            << "missing report for path " << id;
+      }
+    }
+  }
+}
+
+TEST_F(MeshTest, AddSiteAfterEstablishThrows) {
+  mesh_.establish();
+  TangoNode extra{s_.topo, wan_, site_config(s_.ch)};  // would double-attach anyway
+  EXPECT_THROW(mesh_.add_site(extra), std::logic_error);
+}
+
+TEST(MeshValidation, NeedsTwoSites) {
+  topo::ThreeSiteScenario s = topo::make_three_site_scenario();
+  sim::Wan wan{s.topo, sim::Rng{1}};
+  TangoMesh mesh{wan};
+  EXPECT_THROW(mesh.establish(), std::logic_error);
+
+  TangoNode la{s.topo, wan, site_config(s.la)};
+  mesh.add_site(la);
+  EXPECT_THROW(mesh.establish(), std::logic_error);
+}
+
+TEST(MeshValidation, PoolTooSmallThrows) {
+  topo::ThreeSiteScenario s = topo::make_three_site_scenario();
+  sim::Wan wan{s.topo, sim::Rng{1}};
+  NodeConfig tiny = site_config(s.la);
+  tiny.tunnel_prefix_pool.resize(1);  // 1 prefix cannot serve 2 inbound pairs
+  TangoNode la{s.topo, wan, tiny};
+  TangoNode ny{s.topo, wan, site_config(s.ny)};
+  TangoNode ch{s.topo, wan, site_config(s.ch)};
+  TangoMesh mesh{wan};
+  mesh.add_site(la);
+  mesh.add_site(ny);
+  mesh.add_site(ch);
+  EXPECT_THROW(mesh.establish(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,120 @@
+#include "core/routing_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::core {
+namespace {
+
+PathReport report(double owd, double jitter = 0.0, double loss = 0.0,
+                  sim::Time updated = sim::kSecond, std::uint64_t samples = 100) {
+  return PathReport{.owd_ewma_ms = owd,
+                    .jitter_ms = jitter,
+                    .loss_rate = loss,
+                    .samples = samples,
+                    .updated_at = updated};
+}
+
+const sim::Time kNow = 2 * sim::kSecond;
+
+TEST(PathReport, FreshnessWindow) {
+  PathReport r = report(30.0);
+  EXPECT_TRUE(r.fresh(kNow, 5 * sim::kSecond));
+  EXPECT_FALSE(r.fresh(kNow + 10 * sim::kSecond, 5 * sim::kSecond));
+  PathReport empty;
+  EXPECT_FALSE(empty.fresh(kNow, 5 * sim::kSecond)) << "no samples = not fresh";
+}
+
+TEST(BgpDefaultPolicy, AlwaysDefaultRegardlessOfReports) {
+  BgpDefaultPolicy p{1};
+  PathViews views{{1, report(36.9)}, {3, report(28.4)}};
+  EXPECT_EQ(p.choose(views, kNow, std::nullopt), PathId{1});
+  EXPECT_EQ(p.choose(views, kNow, PathId{3}), PathId{1});
+  EXPECT_EQ(p.name(), "bgp-default");
+}
+
+TEST(StaticPathPolicy, AlwaysPinned) {
+  StaticPathPolicy p{3};
+  EXPECT_EQ(p.choose({}, kNow, std::nullopt), PathId{3});
+}
+
+TEST(LowestDelayPolicy, PicksMinimum) {
+  LowestDelayPolicy p;
+  PathViews views{{1, report(36.9)}, {2, report(32.9)}, {3, report(28.4)}, {4, report(41.0)}};
+  EXPECT_EQ(p.choose(views, kNow, PathId{1}), PathId{3});
+}
+
+TEST(LowestDelayPolicy, IgnoresStaleReports) {
+  LowestDelayPolicy p{/*max_report_age=*/sim::kSecond};
+  PathViews views{{1, report(36.9, 0, 0, kNow)},
+                  {3, report(28.4, 0, 0, /*updated=*/0)}};  // stale by 2 s
+  EXPECT_EQ(p.choose(views, kNow, std::nullopt), PathId{1});
+}
+
+TEST(LowestDelayPolicy, FallsBackToCurrentThenFirst) {
+  LowestDelayPolicy p{sim::kSecond};
+  PathViews stale{{2, report(30.0, 0, 0, 0)}};
+  EXPECT_EQ(p.choose(stale, 10 * sim::kSecond, PathId{7}), PathId{7});
+  EXPECT_EQ(p.choose(stale, 10 * sim::kSecond, std::nullopt), PathId{2});
+  EXPECT_FALSE(p.choose({}, kNow, std::nullopt).has_value());
+}
+
+TEST(LowestJitterPolicy, PicksCalmestPath) {
+  // §5: GTT sigma 0.01 ms vs Telia 0.33 ms — a jitter-sensitive app prefers
+  // GTT even if delay ordering said otherwise.
+  LowestJitterPolicy p;
+  PathViews views{{1, report(36.9, 0.12)}, {2, report(32.9, 0.33)}, {3, report(28.4, 0.01)}};
+  EXPECT_EQ(p.choose(views, kNow, PathId{2}), PathId{3});
+}
+
+TEST(HysteresisPolicy, StaysPutWithinMargin) {
+  HysteresisPolicy p{/*margin_ms=*/1.0};
+  PathViews views{{1, report(29.0)}, {2, report(28.5)}};
+  // Challenger is only 0.5 ms better: stay.
+  EXPECT_EQ(p.choose(views, kNow, PathId{1}), PathId{1});
+}
+
+TEST(HysteresisPolicy, MovesBeyondMargin) {
+  HysteresisPolicy p{1.0};
+  PathViews views{{1, report(31.0)}, {2, report(28.4)}};
+  EXPECT_EQ(p.choose(views, kNow, PathId{1}), PathId{2});
+}
+
+TEST(HysteresisPolicy, MovesWhenIncumbentGoesStale) {
+  HysteresisPolicy p{1.0, /*max_report_age=*/sim::kSecond};
+  const sim::Time now = 10 * sim::kSecond;
+  PathViews views{{1, report(28.0, 0, 0, /*updated=*/0)},  // stale
+                  {2, report(28.5, 0, 0, now)}};
+  EXPECT_EQ(p.choose(views, now, PathId{1}), PathId{2});
+}
+
+TEST(HysteresisPolicy, NoFlappingUnderNoise) {
+  // Two paths whose reports wobble within the margin: the chosen path must
+  // never change.
+  HysteresisPolicy p{1.0};
+  std::optional<PathId> current = PathId{1};
+  for (int i = 0; i < 100; ++i) {
+    const double noise = 0.4 * ((i % 3) - 1);  // -0.4, 0, +0.4
+    PathViews views{{1, report(28.6 + noise, 0, 0, kNow)},
+                    {2, report(28.4 - noise, 0, 0, kNow)}};
+    current = p.choose(views, kNow, current);
+    EXPECT_EQ(current, PathId{1}) << "iteration " << i;
+  }
+}
+
+TEST(WeightedScorePolicy, TradesDelayAgainstLoss) {
+  // Path 3 is fastest but lossy; with loss weighted heavily, path 2 wins.
+  WeightedScorePolicy delay_only{{.delay = 1.0, .jitter = 0.0, .loss = 0.0}};
+  WeightedScorePolicy loss_averse{{.delay = 1.0, .jitter = 0.0, .loss = 1000.0}};
+  PathViews views{{2, report(32.9, 0.3, 0.0)}, {3, report(28.4, 0.0, 0.02)}};
+  EXPECT_EQ(delay_only.choose(views, kNow, std::nullopt), PathId{3});
+  EXPECT_EQ(loss_averse.choose(views, kNow, std::nullopt), PathId{2});
+}
+
+TEST(WeightedScorePolicy, JitterWeightSelectsCalmPath) {
+  WeightedScorePolicy p{{.delay = 0.0, .jitter = 1.0, .loss = 0.0}};
+  PathViews views{{1, report(28.0, 0.33)}, {2, report(33.0, 0.01)}};
+  EXPECT_EQ(p.choose(views, kNow, std::nullopt), PathId{2});
+}
+
+}  // namespace
+}  // namespace tango::core

@@ -1,0 +1,151 @@
+#include "dataplane/encap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::dataplane {
+namespace {
+
+const net::Ipv6Address kHostA = *net::Ipv6Address::parse("2620:110:900a::10");
+const net::Ipv6Address kHostB = *net::Ipv6Address::parse("2620:110:901b::10");
+
+TunnelTable two_tunnels() {
+  TunnelTable table;
+  table.install(Tunnel{.id = 1,
+                       .label = "NTT",
+                       .local_endpoint = *net::Ipv6Address::parse("2620:110:9001::1"),
+                       .remote_endpoint = *net::Ipv6Address::parse("2620:110:9011::1"),
+                       .remote_prefix = *net::Ipv6Prefix::parse("2620:110:9011::/48"),
+                       .udp_src_port = 49153});
+  table.install(Tunnel{.id = 2,
+                       .label = "Telia",
+                       .local_endpoint = *net::Ipv6Address::parse("2620:110:9002::1"),
+                       .remote_endpoint = *net::Ipv6Address::parse("2620:110:9012::1"),
+                       .remote_prefix = *net::Ipv6Prefix::parse("2620:110:9012::/48"),
+                       .udp_src_port = 49154});
+  return table;
+}
+
+net::Packet inner_packet() {
+  const std::vector<std::uint8_t> payload{9, 8, 7};
+  return net::make_udp_packet(kHostA, kHostB, 1111, 2222, payload);
+}
+
+TEST(TunnelTable, InstallFindRemove) {
+  TunnelTable t = two_tunnels();
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_EQ(t.find(1)->label, "NTT");
+  EXPECT_EQ(t.find(99), nullptr);
+  EXPECT_EQ(t.ids(), (std::vector<PathId>{1, 2}));
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TunnelSender, WrapsOnChosenTunnelWithSequence) {
+  TunnelTable table = two_tunnels();
+  sim::NodeClock clock;
+  TunnelSender sender{table, clock};
+
+  auto w1 = sender.wrap(inner_packet(), 1, sim::from_ms(5));
+  ASSERT_TRUE(w1.has_value());
+  auto d1 = net::decapsulate_tango(*w1);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d1->tango.path_id, 1);
+  EXPECT_EQ(d1->tango.sequence, 0u);
+  EXPECT_EQ(d1->tango.tx_time_ns, static_cast<std::uint64_t>(sim::from_ms(5)));
+  EXPECT_EQ(d1->outer_ip.dst, *net::Ipv6Address::parse("2620:110:9011::1"));
+  EXPECT_EQ(d1->udp.src_port, 49153);
+
+  auto w2 = sender.wrap(inner_packet(), 1, sim::from_ms(6));
+  auto d2 = net::decapsulate_tango(*w2);
+  EXPECT_EQ(d2->tango.sequence, 1u) << "per-tunnel sequence must increment";
+
+  auto w3 = sender.wrap(inner_packet(), 2, sim::from_ms(7));
+  auto d3 = net::decapsulate_tango(*w3);
+  EXPECT_EQ(d3->tango.sequence, 0u) << "sequences are per-tunnel";
+  EXPECT_EQ(d3->udp.src_port, 49154);
+
+  EXPECT_EQ(sender.packets_sent(), 3u);
+  EXPECT_EQ(sender.next_sequence(1), 2u);
+  EXPECT_EQ(sender.next_sequence(99), 0u);
+}
+
+TEST(TunnelSender, UnknownTunnelReturnsNullopt) {
+  TunnelTable table = two_tunnels();
+  sim::NodeClock clock;
+  TunnelSender sender{table, clock};
+  EXPECT_FALSE(sender.wrap(inner_packet(), 42, 0).has_value());
+  EXPECT_EQ(sender.packets_sent(), 0u);
+}
+
+TEST(TunnelReceiver, MeasuresOneWayDelay) {
+  TunnelTable table = two_tunnels();
+  sim::NodeClock tx_clock;
+  sim::NodeClock rx_clock;
+  TunnelSender sender{table, tx_clock};
+  TunnelReceiver receiver{rx_clock};
+
+  const sim::Time sent_at = sim::from_ms(100);
+  const sim::Time arrived_at = sent_at + sim::from_ms(28.4);
+  auto wan = sender.wrap(inner_packet(), 1, sent_at);
+  auto result = receiver.unwrap(*wan, arrived_at);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->second.path, 1);
+  EXPECT_NEAR(result->second.owd_ms, 28.4, 1e-6);
+  EXPECT_EQ(result->first, inner_packet());
+
+  const PathTracker* tracker = receiver.tracker(1);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->delay().lifetime().count(), 1u);
+  EXPECT_NEAR(tracker->delay().lifetime().mean(), 28.4, 1e-6);
+}
+
+TEST(TunnelReceiver, ClockOffsetShiftsAllPathsEqually) {
+  // The §3 soundness property: with sender/receiver clocks offset by a
+  // constant, measured OWDs are wrong absolutely but exactly comparable
+  // across paths.
+  TunnelTable table = two_tunnels();
+  sim::NodeClock tx_clock{+2 * sim::kMillisecond};
+  sim::NodeClock rx_clock{-3 * sim::kMillisecond};
+  TunnelSender sender{table, tx_clock};
+  TunnelReceiver receiver{rx_clock};
+
+  const double true_owd_1 = 36.9;
+  const double true_owd_2 = 32.9;
+  auto wan1 = sender.wrap(inner_packet(), 1, 0);
+  auto r1 = receiver.unwrap(*wan1, sim::from_ms(true_owd_1));
+  auto wan2 = sender.wrap(inner_packet(), 2, 0);
+  auto r2 = receiver.unwrap(*wan2, sim::from_ms(true_owd_2));
+
+  const double offset_ms = -5.0;  // rx - tx offset
+  EXPECT_NEAR(r1->second.owd_ms, true_owd_1 + offset_ms, 1e-6);
+  EXPECT_NEAR(r2->second.owd_ms, true_owd_2 + offset_ms, 1e-6);
+  // The relative comparison is exact.
+  EXPECT_NEAR(r1->second.owd_ms - r2->second.owd_ms, true_owd_1 - true_owd_2, 1e-6);
+}
+
+TEST(TunnelReceiver, NegativeApparentOwdStaysComparable) {
+  // Extreme offset makes apparent OWD negative — still fine for relative use.
+  TunnelTable table = two_tunnels();
+  sim::NodeClock tx_clock{+100 * sim::kMillisecond};
+  sim::NodeClock rx_clock{0};
+  TunnelSender sender{table, tx_clock};
+  TunnelReceiver receiver{rx_clock};
+
+  auto wan = sender.wrap(inner_packet(), 1, 0);
+  auto r = receiver.unwrap(*wan, sim::from_ms(28.4));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->second.owd_ms, 28.4 - 100.0, 1e-6);
+}
+
+TEST(TunnelReceiver, RejectsNonTango) {
+  sim::NodeClock clock;
+  TunnelReceiver receiver{clock};
+  EXPECT_FALSE(receiver.unwrap(inner_packet(), 0).has_value());
+  EXPECT_EQ(receiver.packets_received(), 0u);
+  EXPECT_EQ(receiver.tracker(1), nullptr);
+}
+
+}  // namespace
+}  // namespace tango::dataplane

@@ -1,0 +1,103 @@
+#include "dataplane/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/wan.hpp"
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::dataplane {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+std::uint32_t le32(const std::vector<std::uint8_t>& b, std::size_t at) {
+  return static_cast<std::uint32_t>(b[at]) | (static_cast<std::uint32_t>(b[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[at + 3]) << 24);
+}
+
+TEST(Pcap, FileHeaderIsStandard) {
+  const std::string path = ::testing::TempDir() + "/tango_test.pcap";
+  {
+    PcapWriter w{path};
+    w.close();
+  }
+  const auto bytes = slurp(path);
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(le32(bytes, 0), 0xA1B2C3D4u);   // magic, LE
+  EXPECT_EQ(bytes[4] | (bytes[5] << 8), 2);  // version major
+  EXPECT_EQ(bytes[6] | (bytes[7] << 8), 4);  // version minor
+  EXPECT_EQ(le32(bytes, 16), 65535u);        // snaplen
+  EXPECT_EQ(le32(bytes, 20), 101u);          // LINKTYPE_RAW
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RecordsFramePerPacketWithTimestamps) {
+  const std::string path = ::testing::TempDir() + "/tango_records.pcap";
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const net::Packet p = net::make_udp_packet(*net::Ipv6Address::parse("2620:110:900a::1"),
+                                             *net::Ipv6Address::parse("2620:110:901b::1"),
+                                             1000, 2000, payload);
+  {
+    PcapWriter w{path};
+    w.write(sim::from_seconds(1.5), p);
+    w.write(sim::from_seconds(2.25), p);
+    EXPECT_EQ(w.packets_written(), 2u);
+  }
+  const auto bytes = slurp(path);
+  const std::size_t rec1 = 24;
+  EXPECT_EQ(le32(bytes, rec1 + 0), 1u);        // ts_sec
+  EXPECT_EQ(le32(bytes, rec1 + 4), 500000u);   // ts_usec
+  EXPECT_EQ(le32(bytes, rec1 + 8), p.size());  // incl_len
+  EXPECT_EQ(le32(bytes, rec1 + 12), p.size());
+  // Packet bytes follow verbatim (first byte of an IPv6 header: 0x60).
+  EXPECT_EQ(bytes[rec1 + 16], 0x60);
+  const std::size_t rec2 = rec1 + 16 + p.size();
+  EXPECT_EQ(le32(bytes, rec2 + 0), 2u);
+  EXPECT_EQ(le32(bytes, rec2 + 4), 250000u);
+  ASSERT_EQ(bytes.size(), rec2 + 16 + p.size());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, CapturesLiveWanTraffic) {
+  // Attach to the WAN's hop observer: every forwarded packet lands in the
+  // trace, Tango encapsulation and all.
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  sim::Wan wan{s.topo, sim::Rng{4}};
+  const std::string path = ::testing::TempDir() + "/tango_wan.pcap";
+  PcapWriter writer{path};
+  wan.set_hop_observer(
+      [&writer, &wan](bgp::RouterId from, bgp::RouterId, const net::Packet& p) {
+        if (from == topo::vultr::kVultrLa) writer.write(wan.now(), p);
+      });
+
+  std::uint64_t delivered = 0;
+  wan.attach(topo::vultr::kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+  const std::vector<std::uint8_t> payload{7};
+  for (int i = 0; i < 5; ++i) {
+    wan.send_from(topo::vultr::kServerLa,
+                  net::make_udp_packet(s.plan.la_hosts.host(1), s.plan.ny_hosts.host(1), 1, 2,
+                                       payload));
+  }
+  wan.events().run_all();
+  writer.close();
+
+  EXPECT_EQ(delivered, 5u);
+  EXPECT_EQ(writer.packets_written(), 5u);
+  const auto bytes = slurp(path);
+  EXPECT_GT(bytes.size(), 24u + 5 * 16u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, UnwritablePathThrows) {
+  EXPECT_THROW(PcapWriter{"/nonexistent-dir/x.pcap"}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tango::dataplane

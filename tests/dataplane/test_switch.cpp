@@ -1,0 +1,171 @@
+// TangoSwitch behaviour on the simulated Vultr WAN.
+#include "dataplane/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::dataplane {
+namespace {
+
+using namespace topo::vultr;
+
+class SwitchTest : public ::testing::Test {
+ protected:
+  SwitchTest()
+      : s_{topo::make_vultr_scenario()},
+        wan_{s_.topo, sim::Rng{99}},
+        la_{kServerLa, wan_, SwitchOptions{}},
+        ny_{kServerNy, wan_, SwitchOptions{}} {
+    // Expose one NY tunnel prefix over the default path and install the
+    // matching tunnel at LA.
+    s_.topo.bgp().originate(kServerNy, net::Prefix{s_.plan.ny_tunnel[0]});
+    wan_.sync_fibs();
+    la_.tunnels().install(Tunnel{.id = 1,
+                                 .label = "NTT",
+                                 .local_endpoint = s_.plan.la_tunnel[0].host(1),
+                                 .remote_endpoint = s_.plan.ny_tunnel[0].host(1),
+                                 .remote_prefix = s_.plan.ny_tunnel[0],
+                                 .udp_src_port = 49153});
+    la_.add_peer_prefix(s_.plan.ny_hosts);
+    la_.set_active_path(1);
+  }
+
+  net::Packet to_peer(std::uint16_t dport = 2000) {
+    const std::vector<std::uint8_t> payload{1, 2, 3};
+    return net::make_udp_packet(s_.plan.la_hosts.host(1), s_.plan.ny_hosts.host(7), 1000,
+                                dport, payload);
+  }
+
+  topo::VultrScenario s_;
+  sim::Wan wan_;
+  TangoSwitch la_;
+  TangoSwitch ny_;
+};
+
+TEST_F(SwitchTest, PeerTrafficIsEncapsulatedMeasuredAndDelivered) {
+  std::vector<net::Packet> delivered;
+  std::vector<ReceiveInfo> infos;
+  ny_.set_host_handler([&](const net::Packet& p, const std::optional<ReceiveInfo>& info) {
+    delivered.push_back(p);
+    if (info) infos.push_back(*info);
+  });
+
+  const net::Packet p = to_peer();
+  la_.send_from_host(p);
+  wan_.events().run_all();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered.front(), p) << "inner packet must arrive byte-identical";
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos.front().path, 1);
+  EXPECT_EQ(infos.front().sequence, 0u);
+  EXPECT_NEAR(infos.front().owd_ms, 37.1, 1.5);  // NTT toward NY
+
+  const PathTracker* tracker = ny_.receiver().tracker(1);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->delay().lifetime().count(), 1u);
+}
+
+TEST_F(SwitchTest, NonPeerTrafficPassesThrough) {
+  // Traffic to a non-Tango destination (the NY tunnel prefix itself is not a
+  // peer host prefix) rides plain BGP and is delivered without Tango info.
+  std::uint64_t plain = 0;
+  ny_.set_host_handler([&](const net::Packet&, const std::optional<ReceiveInfo>& info) {
+    if (!info) ++plain;
+  });
+
+  const std::vector<std::uint8_t> payload{5};
+  net::Packet p = net::make_udp_packet(s_.plan.la_hosts.host(1),
+                                       s_.plan.ny_tunnel[0].host(99), 1, 2, payload);
+  la_.send_from_host(p);
+  wan_.events().run_all();
+
+  EXPECT_EQ(plain, 1u);
+  EXPECT_EQ(la_.passthrough(), 1u);
+  EXPECT_EQ(la_.sender().packets_sent(), 0u);
+}
+
+TEST_F(SwitchTest, NoActivePathDropsAndCounts) {
+  TangoSwitch fresh{kServerLa, wan_, SwitchOptions{}};
+  // Steal the attachment back for this test switch.
+  fresh.add_peer_prefix(s_.plan.ny_hosts);
+  fresh.send_from_host(to_peer());
+  wan_.events().run_all();
+  EXPECT_EQ(fresh.no_tunnel_drops(), 1u);
+}
+
+TEST_F(SwitchTest, UnknownActivePathCountsAsNoTunnel) {
+  la_.set_active_path(77);
+  la_.send_from_host(to_peer());
+  wan_.events().run_all();
+  EXPECT_EQ(la_.no_tunnel_drops(), 1u);
+}
+
+TEST_F(SwitchTest, SelectorOverridesActivePath) {
+  // Application-specific routing (§3): the selector steers by inner dport.
+  la_.tunnels().install(Tunnel{.id = 2,
+                               .label = "Telia",
+                               .local_endpoint = s_.plan.la_tunnel[1].host(1),
+                               .remote_endpoint = s_.plan.ny_tunnel[1].host(1),
+                               .remote_prefix = s_.plan.ny_tunnel[1],
+                               .udp_src_port = 49154});
+  s_.topo.bgp().originate(kServerNy, net::Prefix{s_.plan.ny_tunnel[1]},
+                          bgp::CommunitySet{bgp::action::do_not_announce_to(kAsnNtt)});
+  wan_.sync_fibs();
+
+  la_.set_selector([](const net::Packet& inner) -> std::optional<PathId> {
+    net::ByteReader r{inner.payload()};
+    const net::UdpHeader udp = net::UdpHeader::parse(r);
+    if (udp.dst_port == 5555) return PathId{2};  // latency-critical app
+    return std::nullopt;                         // default path otherwise
+  });
+
+  std::vector<PathId> seen;
+  ny_.set_host_handler([&](const net::Packet&, const std::optional<ReceiveInfo>& info) {
+    if (info) seen.push_back(info->path);
+  });
+
+  la_.send_from_host(to_peer(2000));  // selector declines -> active path 1
+  la_.send_from_host(to_peer(5555));  // selector picks path 2
+  wan_.events().run_all();
+
+  // Telia (path 2) is faster toward NY, so it arrives first; compare as a set.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<PathId>{1, 2}));
+}
+
+TEST_F(SwitchTest, MalformedHostPacketIgnored) {
+  la_.send_from_host(net::Packet{std::vector<std::uint8_t>{1, 2}});
+  wan_.events().run_all();
+  EXPECT_EQ(la_.sender().packets_sent(), 0u);
+  EXPECT_EQ(la_.passthrough(), 0u);
+}
+
+TEST_F(SwitchTest, ClockOffsetsDoNotBreakRelativeComparison) {
+  // Rebuild switches with wildly offset clocks: measured OWDs shift but the
+  // by-path ordering at the receiver stays usable (constant offset).
+  sim::Wan wan2{s_.topo, sim::Rng{5}};
+  TangoSwitch la2{kServerLa, wan2,
+                  SwitchOptions{.clock = sim::NodeClock{+50 * sim::kMillisecond}}};
+  TangoSwitch ny2{kServerNy, wan2,
+                  SwitchOptions{.clock = sim::NodeClock{-20 * sim::kMillisecond}}};
+  la2.tunnels().install(*la_.tunnels().find(1));
+  la2.add_peer_prefix(s_.plan.ny_hosts);
+  la2.set_active_path(1);
+  ny2.set_host_handler([](const net::Packet&, const std::optional<ReceiveInfo>&) {});
+
+  for (int i = 0; i < 20; ++i) la2.send_from_host(to_peer());
+  wan2.events().run_all();
+
+  const PathTracker* tracker = ny2.receiver().tracker(1);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->delay().lifetime().count(), 20u);
+  // Apparent OWD = true OWD + (rx_offset - tx_offset) = ~37.1 - 70.
+  EXPECT_NEAR(tracker->delay().lifetime().mean(), 37.1 - 70.0, 2.0);
+}
+
+}  // namespace
+}  // namespace tango::dataplane

@@ -1,0 +1,127 @@
+#include "dataplane/trackers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace tango::dataplane {
+namespace {
+
+TEST(OneWayDelayTracker, AccumulatesStats) {
+  OneWayDelayTracker t;
+  for (int i = 0; i < 100; ++i) t.record(i * 10 * sim::kMillisecond, 28.0);
+  EXPECT_EQ(t.lifetime().count(), 100u);
+  EXPECT_DOUBLE_EQ(t.lifetime().mean(), 28.0);
+  EXPECT_DOUBLE_EQ(t.ewma().value(), 28.0);
+  EXPECT_DOUBLE_EQ(t.mean_rolling_stddev(), 0.0);
+}
+
+TEST(OneWayDelayTracker, JitterReflectsVariation) {
+  OneWayDelayTracker noisy;
+  OneWayDelayTracker quiet;
+  for (int i = 0; i < 500; ++i) {
+    noisy.record(i * 10 * sim::kMillisecond, i % 2 == 0 ? 32.0 : 33.0);
+    quiet.record(i * 10 * sim::kMillisecond, 28.0);
+  }
+  EXPECT_GT(noisy.mean_rolling_stddev(), 0.4);
+  EXPECT_DOUBLE_EQ(quiet.mean_rolling_stddev(), 0.0);
+}
+
+TEST(LossTracker, InOrderStreamHasNoLoss) {
+  LossTracker t;
+  for (std::uint64_t s = 0; s < 1000; ++s) t.record(s);
+  EXPECT_EQ(t.received(), 1000u);
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.duplicates(), 0u);
+  EXPECT_DOUBLE_EQ(t.loss_rate(), 0.0);
+  EXPECT_EQ(t.highest_seen(), 999u);
+}
+
+TEST(LossTracker, HoleBeyondHorizonIsLoss) {
+  LossTracker t{/*reorder_horizon=*/16};
+  t.record(0);
+  t.record(1);
+  // seq 2 never arrives; jump far past the horizon.
+  for (std::uint64_t s = 3; s < 40; ++s) t.record(s);
+  EXPECT_EQ(t.lost(), 1u);
+  EXPECT_NEAR(t.loss_rate(), 1.0 / 40.0, 1e-9);
+}
+
+TEST(LossTracker, LateArrivalWithinHorizonIsNotLoss) {
+  LossTracker t{/*reorder_horizon=*/16};
+  t.record(0);
+  t.record(2);  // 1 missing
+  t.record(3);
+  t.record(1);  // late but inside horizon: reordering, not loss
+  t.record(4);
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.duplicates(), 0u);
+}
+
+TEST(LossTracker, DuplicatesCounted) {
+  LossTracker t;
+  t.record(0);
+  t.record(1);
+  t.record(1);
+  EXPECT_EQ(t.duplicates(), 1u);
+  EXPECT_EQ(t.received(), 3u);
+}
+
+TEST(LossTracker, BurstLossCountsEveryHole) {
+  LossTracker t{8};
+  t.record(0);
+  t.record(100);  // 99 missing
+  for (std::uint64_t s = 101; s < 120; ++s) t.record(s);
+  EXPECT_EQ(t.lost(), 99u);
+}
+
+TEST(ReorderTracker, CountsLateArrivals) {
+  ReorderTracker t;
+  for (std::uint64_t s : {0ull, 1ull, 2ull, 5ull, 3ull, 4ull, 6ull}) t.record(s);
+  EXPECT_EQ(t.total(), 7u);
+  EXPECT_EQ(t.reordered(), 2u);  // 3 and 4 arrive after 5
+  EXPECT_NEAR(t.reorder_rate(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(ReorderTracker, InOrderIsClean) {
+  ReorderTracker t;
+  for (std::uint64_t s = 0; s < 100; ++s) t.record(s);
+  EXPECT_EQ(t.reordered(), 0u);
+}
+
+TEST(PathTracker, SeriesOnlyWhenEnabled) {
+  PathTracker with{true};
+  PathTracker without{false};
+  with.record(0, 28.0, 0);
+  without.record(0, 28.0, 0);
+  EXPECT_EQ(with.series().size(), 1u);
+  EXPECT_TRUE(without.series().empty());
+  EXPECT_EQ(with.delay().lifetime().count(), 1u);
+  EXPECT_EQ(with.loss().received(), 1u);
+  EXPECT_EQ(with.reorder().total(), 1u);
+}
+
+/// Property: for a random permutation within the horizon, nothing is lost.
+class ReorderWithinHorizon : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReorderWithinHorizon, NoFalseLoss) {
+  std::mt19937_64 rng{GetParam()};
+  LossTracker t{/*reorder_horizon=*/64};
+  std::vector<std::uint64_t> seqs;
+  // Shuffle within blocks of 32 (< horizon).
+  for (std::uint64_t block = 0; block < 30; ++block) {
+    std::vector<std::uint64_t> chunk;
+    for (std::uint64_t i = 0; i < 32; ++i) chunk.push_back(block * 32 + i);
+    std::shuffle(chunk.begin(), chunk.end(), rng);
+    seqs.insert(seqs.end(), chunk.begin(), chunk.end());
+  }
+  for (std::uint64_t s : seqs) t.record(s);
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.duplicates(), 0u);
+  EXPECT_EQ(t.received(), 960u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderWithinHorizon, ::testing::Values(1u, 7u, 99u));
+
+}  // namespace
+}  // namespace tango::dataplane

@@ -1,0 +1,95 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace tango::net {
+namespace {
+
+TEST(Checksum, Rfc1071WorkedExample) {
+  // The classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, EmptyBufferIsAllOnes) {
+  EXPECT_EQ(internet_checksum(std::vector<std::uint8_t>{}), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd{0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, PartialSumsChain) {
+  const std::vector<std::uint8_t> all{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  const std::vector<std::uint8_t> a{0xde, 0xad};
+  const std::vector<std::uint8_t> b{0xbe, 0xef, 0x01, 0x02};
+  const auto chained = checksum_finish(checksum_partial(b, checksum_partial(a)));
+  EXPECT_EQ(chained, internet_checksum(all));
+}
+
+TEST(Udp6Checksum, ValidSegmentVerifies) {
+  const Ipv6Address src = *Ipv6Address::parse("2620:110:9001::1");
+  const Ipv6Address dst = *Ipv6Address::parse("2620:110:9011::1");
+  // Build a UDP segment: header (ports 7654/7654, length) + payload.
+  std::vector<std::uint8_t> seg{0x1d, 0xe6, 0x1d, 0xe6, 0x00, 0x0c,
+                                0x00, 0x00,  // checksum placeholder
+                                0xde, 0xad, 0xbe, 0xef};
+  const std::uint16_t csum = udp6_checksum(src, dst, seg);
+  seg[6] = static_cast<std::uint8_t>(csum >> 8);
+  seg[7] = static_cast<std::uint8_t>(csum);
+  EXPECT_TRUE(udp6_checksum_ok(src, dst, seg));
+}
+
+TEST(Udp6Checksum, DetectsSingleBitFlipsEverywhere) {
+  const Ipv6Address src = *Ipv6Address::parse("2001:db8::1");
+  const Ipv6Address dst = *Ipv6Address::parse("2001:db8::2");
+  std::vector<std::uint8_t> seg{0x30, 0x39, 0x1d, 0xe6, 0x00, 0x10, 0x00, 0x00,
+                                0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  const std::uint16_t csum = udp6_checksum(src, dst, seg);
+  seg[6] = static_cast<std::uint8_t>(csum >> 8);
+  seg[7] = static_cast<std::uint8_t>(csum);
+  ASSERT_TRUE(udp6_checksum_ok(src, dst, seg));
+
+  for (std::size_t byte = 0; byte < seg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = seg;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(udp6_checksum_ok(src, dst, corrupted))
+          << "flip at byte " << byte << " bit " << bit << " undetected";
+    }
+  }
+}
+
+TEST(Udp6Checksum, DetectsWrongPseudoHeader) {
+  const Ipv6Address src = *Ipv6Address::parse("2001:db8::1");
+  const Ipv6Address dst = *Ipv6Address::parse("2001:db8::2");
+  std::vector<std::uint8_t> seg{0x30, 0x39, 0x1d, 0xe6, 0x00, 0x0a, 0x00, 0x00, 0xaa, 0xbb};
+  const std::uint16_t csum = udp6_checksum(src, dst, seg);
+  seg[6] = static_cast<std::uint8_t>(csum >> 8);
+  seg[7] = static_cast<std::uint8_t>(csum);
+  // Swap src/dst roles: different pseudo-header must fail unless symmetric —
+  // use a genuinely different address.
+  EXPECT_FALSE(udp6_checksum_ok(src, *Ipv6Address::parse("2001:db8::3"), seg));
+}
+
+TEST(Udp6Checksum, NeverEmitsZero) {
+  // RFC 768: a computed 0 is sent as 0xFFFF.  Find inputs by brute force:
+  // any result is acceptable as long as it is nonzero.
+  std::mt19937_64 rng{7};
+  const Ipv6Address src = *Ipv6Address::parse("2001:db8::1");
+  const Ipv6Address dst = *Ipv6Address::parse("2001:db8::2");
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> seg(10);
+    for (auto& b : seg) b = static_cast<std::uint8_t>(rng());
+    seg[6] = seg[7] = 0;
+    EXPECT_NE(udp6_checksum(src, dst, seg), 0);
+  }
+}
+
+}  // namespace
+}  // namespace tango::net

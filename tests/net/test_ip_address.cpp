@@ -1,0 +1,166 @@
+#include "net/ip_address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("01.2.3.4").has_value());  // leading zero
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4").has_value());
+}
+
+TEST(Ipv4Address, BytesAreNetworkOrder) {
+  Ipv4Address a{10, 20, 30, 40};
+  auto b = a.bytes();
+  EXPECT_EQ(b[0], 10);
+  EXPECT_EQ(b[1], 20);
+  EXPECT_EQ(b[2], 30);
+  EXPECT_EQ(b[3], 40);
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), *Ipv4Address::parse("1.2.3.4"));
+}
+
+TEST(Ipv6Address, ParsesFullForm) {
+  auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 0x0001);
+}
+
+TEST(Ipv6Address, ParsesCompressed) {
+  auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  for (std::size_t i = 2; i < 7; ++i) EXPECT_EQ(a->group(i), 0) << i;
+  EXPECT_EQ(a->group(7), 1);
+}
+
+TEST(Ipv6Address, ParsesAllZeros) {
+  auto a = Ipv6Address::parse("::");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv6Address{});
+  EXPECT_EQ(a->to_string(), "::");
+}
+
+TEST(Ipv6Address, ParsesLeadingGap) {
+  auto a = Ipv6Address::parse("::ffff:1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(6), 0xffff);
+  EXPECT_EQ(a->group(7), 1);
+}
+
+TEST(Ipv6Address, ParsesTrailingGap) {
+  auto a = Ipv6Address::parse("fe80::");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0xfe80);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(a->group(i), 0);
+}
+
+TEST(Ipv6Address, ParsesEmbeddedIpv4) {
+  auto a = Ipv6Address::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(5), 0xffff);
+  EXPECT_EQ(a->group(6), 0xc000);
+  EXPECT_EQ(a->group(7), 0x0201);
+}
+
+TEST(Ipv6Address, RejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse("").has_value());
+  EXPECT_FALSE(Ipv6Address::parse(":::").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7").has_value());        // 7 groups, no gap
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());    // 9 groups
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8::").has_value());    // gap covers nothing
+  EXPECT_FALSE(Ipv6Address::parse("12345::").has_value());              // group too long
+  EXPECT_FALSE(Ipv6Address::parse("g::1").has_value());                 // bad hex
+  EXPECT_FALSE(Ipv6Address::parse("1::2::3").has_value());              // two gaps
+  EXPECT_FALSE(Ipv6Address::parse("1:").has_value());
+}
+
+TEST(Ipv6Address, Rfc5952Formatting) {
+  // Longest zero run compressed; single zero group not compressed.
+  EXPECT_EQ(Ipv6Address::parse("2001:db8:0:0:1:0:0:1")->to_string(), "2001:db8::1:0:0:1");
+  EXPECT_EQ(Ipv6Address::parse("2001:0:0:1:0:0:0:1")->to_string(), "2001:0:0:1::1");
+  EXPECT_EQ(Ipv6Address::parse("2001:db8:0:1:1:1:1:1")->to_string(), "2001:db8:0:1:1:1:1:1");
+  EXPECT_EQ(Ipv6Address::parse("::1")->to_string(), "::1");
+  EXPECT_EQ(Ipv6Address::parse("ff00::")->to_string(), "ff00::");
+}
+
+/// Property: parse(to_string(a)) == a over a corpus of addresses.
+class Ipv6RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv6RoundTrip, ParseFormatParse) {
+  auto a = Ipv6Address::parse(GetParam());
+  ASSERT_TRUE(a.has_value()) << GetParam();
+  auto again = Ipv6Address::parse(a->to_string());
+  ASSERT_TRUE(again.has_value()) << a->to_string();
+  EXPECT_EQ(*a, *again);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, Ipv6RoundTrip,
+                         ::testing::Values("::", "::1", "1::", "2001:db8::1",
+                                           "2620:110:9001::1", "fe80::1:2:3:4",
+                                           "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+                                           "1:0:0:2:0:0:0:3", "a:b:c:d:e:f:1:2",
+                                           "::ffff:10.0.0.1", "100::"));
+
+TEST(Ipv6Address, BitAccess) {
+  auto a = *Ipv6Address::parse("8000::");
+  EXPECT_TRUE(a.bit(0));
+  for (std::size_t i = 1; i < 128; ++i) EXPECT_FALSE(a.bit(i)) << i;
+
+  auto b = *Ipv6Address::parse("::1");
+  EXPECT_TRUE(b.bit(127));
+  EXPECT_FALSE(b.bit(126));
+}
+
+TEST(Ipv6Address, WithBitSetsAndClears) {
+  Ipv6Address zero{};
+  auto one = zero.with_bit(127, true);
+  EXPECT_EQ(one, *Ipv6Address::parse("::1"));
+  EXPECT_EQ(one.with_bit(127, false), zero);
+  // with_bit does not mutate the source.
+  EXPECT_EQ(zero, Ipv6Address{});
+}
+
+TEST(IpAddress, ParsesEitherFamily) {
+  auto v4 = IpAddress::parse("10.1.2.3");
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_TRUE(v4->is_v4());
+  EXPECT_EQ(v4->to_string(), "10.1.2.3");
+
+  auto v6 = IpAddress::parse("2001:db8::5");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_TRUE(v6->is_v6());
+  EXPECT_EQ(v6->to_string(), "2001:db8::5");
+
+  EXPECT_FALSE(IpAddress::parse("not-an-address").has_value());
+}
+
+TEST(IpAddress, OrderingIsTotalAcrossFamilies) {
+  IpAddress a = *IpAddress::parse("10.0.0.1");
+  IpAddress b = *IpAddress::parse("2001:db8::1");
+  EXPECT_TRUE((a < b) || (b < a));
+  EXPECT_EQ(a, a);
+}
+
+}  // namespace
+}  // namespace tango::net

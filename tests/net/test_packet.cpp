@@ -1,0 +1,203 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "net/checksum.hpp"
+
+namespace tango::net {
+namespace {
+
+const Ipv6Address kHostA = *Ipv6Address::parse("2620:110:900a::10");
+const Ipv6Address kHostB = *Ipv6Address::parse("2620:110:901b::10");
+const Ipv6Address kTunA = *Ipv6Address::parse("2620:110:9001::1");
+const Ipv6Address kTunB = *Ipv6Address::parse("2620:110:9011::1");
+
+std::vector<std::uint8_t> payload_bytes(std::size_t n, std::uint8_t seed = 7) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(seed + i);
+  return out;
+}
+
+TEST(Headers, Ipv6RoundTrip) {
+  Ipv6Header h{.traffic_class = 0xAB,
+               .flow_label = 0xFFFFF,
+               .payload_length = 1234,
+               .next_header = Ipv6Header::kNextHeaderUdp,
+               .hop_limit = 17,
+               .src = kHostA,
+               .dst = kHostB};
+  ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), Ipv6Header::kSize);
+  ByteReader r{w.view()};
+  EXPECT_EQ(Ipv6Header::parse(r), h);
+}
+
+TEST(Headers, Ipv6ParseRejectsWrongVersion) {
+  std::vector<std::uint8_t> bytes(40, 0);
+  bytes[0] = 0x40;  // version 4
+  ByteReader r{bytes};
+  EXPECT_THROW(Ipv6Header::parse(r), std::invalid_argument);
+}
+
+TEST(Headers, UdpRoundTrip) {
+  UdpHeader h{.src_port = 49153, .dst_port = 7654, .length = 100, .checksum = 0xBEEF};
+  ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), UdpHeader::kSize);
+  ByteReader r{w.view()};
+  EXPECT_EQ(UdpHeader::parse(r), h);
+}
+
+TEST(Headers, TangoRoundTrip) {
+  TangoHeader h;
+  h.path_id = 3;
+  h.tx_time_ns = 0x0123456789ABCDEFull;
+  h.sequence = 42;
+  ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), TangoHeader::kSize);
+  ByteReader r{w.view()};
+  auto parsed = TangoHeader::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(Headers, TangoParseRejectsBadMagicAndVersion) {
+  TangoHeader h;
+  ByteWriter w;
+  h.serialize(w);
+  auto bytes = std::vector<std::uint8_t>{w.view().begin(), w.view().end()};
+
+  auto corrupt_magic = bytes;
+  corrupt_magic[0] = 0x00;
+  ByteReader r1{corrupt_magic};
+  EXPECT_FALSE(TangoHeader::parse(r1).has_value());
+
+  auto corrupt_version = bytes;
+  corrupt_version[2] = 99;
+  ByteReader r2{corrupt_version};
+  EXPECT_FALSE(TangoHeader::parse(r2).has_value());
+
+  ByteReader r3{std::span<const std::uint8_t>{bytes.data(), 10}};  // truncated
+  EXPECT_FALSE(TangoHeader::parse(r3).has_value());
+}
+
+TEST(Packet, MakeUdpPacketIsWellFormed) {
+  auto payload = payload_bytes(32);
+  Packet p = make_udp_packet(kHostA, kHostB, 1111, 2222, payload);
+  Ipv6Header ip = p.ip();
+  EXPECT_EQ(ip.src, kHostA);
+  EXPECT_EQ(ip.dst, kHostB);
+  EXPECT_EQ(ip.next_header, Ipv6Header::kNextHeaderUdp);
+  EXPECT_EQ(ip.payload_length, UdpHeader::kSize + payload.size());
+  EXPECT_EQ(p.size(), Ipv6Header::kSize + UdpHeader::kSize + payload.size());
+  // Valid UDP checksum over the pseudo-header.
+  EXPECT_TRUE(udp6_checksum_ok(ip.src, ip.dst, p.payload()));
+}
+
+TEST(Packet, DecrementHopLimit) {
+  Packet p = make_udp_packet(kHostA, kHostB, 1, 2, payload_bytes(4), /*hop_limit=*/2);
+  EXPECT_TRUE(p.decrement_hop_limit());
+  EXPECT_EQ(p.ip().hop_limit, 1);
+  EXPECT_TRUE(p.decrement_hop_limit());
+  EXPECT_FALSE(p.decrement_hop_limit());  // at zero: drop
+}
+
+TEST(Packet, EncapDecapRoundTripPreservesInnerExactly) {
+  Packet inner = make_udp_packet(kHostA, kHostB, 5000, 6000, payload_bytes(100));
+  TangoHeader th;
+  th.path_id = 2;
+  th.tx_time_ns = 123456789;
+  th.sequence = 7;
+
+  Packet wan = encapsulate_tango(inner, kTunA, kTunB, 49154, th);
+  Ipv6Header outer = wan.ip();
+  EXPECT_EQ(outer.src, kTunA);
+  EXPECT_EQ(outer.dst, kTunB);
+  EXPECT_EQ(outer.next_header, Ipv6Header::kNextHeaderUdp);
+
+  auto decoded = decapsulate_tango(wan);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tango, th);
+  EXPECT_EQ(decoded->udp.src_port, 49154);
+  EXPECT_EQ(decoded->udp.dst_port, TangoHeader::kUdpPort);
+  EXPECT_EQ(decoded->inner, inner);  // byte-identical
+}
+
+TEST(Packet, DecapsulateRejectsNonTangoTraffic) {
+  // Plain UDP to a non-Tango port.
+  Packet plain = make_udp_packet(kHostA, kHostB, 1234, 80, payload_bytes(8));
+  EXPECT_FALSE(decapsulate_tango(plain).has_value());
+
+  // UDP to the Tango port but garbage payload (bad magic).
+  Packet fake = make_udp_packet(kHostA, kHostB, 1234, TangoHeader::kUdpPort,
+                                payload_bytes(TangoHeader::kSize + 4));
+  EXPECT_FALSE(decapsulate_tango(fake).has_value());
+}
+
+TEST(Packet, DecapsulateRejectsCorruptedChecksum) {
+  Packet inner = make_udp_packet(kHostA, kHostB, 5000, 6000, payload_bytes(10));
+  TangoHeader th;
+  Packet wan = encapsulate_tango(inner, kTunA, kTunB, 49152, th);
+
+  auto bytes = std::vector<std::uint8_t>{wan.bytes().begin(), wan.bytes().end()};
+  bytes.back() ^= 0xFF;  // corrupt the inner payload; outer UDP checksum breaks
+  EXPECT_FALSE(decapsulate_tango(Packet{bytes}).has_value());
+}
+
+TEST(Packet, DecapsulateRejectsTruncation) {
+  Packet inner = make_udp_packet(kHostA, kHostB, 5000, 6000, payload_bytes(10));
+  Packet wan = encapsulate_tango(inner, kTunA, kTunB, 49152, TangoHeader{});
+  for (std::size_t keep : {std::size_t{0}, std::size_t{10}, Ipv6Header::kSize,
+                           Ipv6Header::kSize + 4}) {
+    std::vector<std::uint8_t> cut{wan.bytes().begin(), wan.bytes().begin() + keep};
+    EXPECT_FALSE(decapsulate_tango(Packet{std::move(cut)}).has_value()) << keep;
+  }
+}
+
+TEST(Packet, DescribeRendersStack) {
+  Packet inner = make_udp_packet(kHostA, kHostB, 5000, 6000, payload_bytes(4));
+  TangoHeader th;
+  th.path_id = 9;
+  th.sequence = 11;
+  Packet wan = encapsulate_tango(inner, kTunA, kTunB, 49152, th);
+  const std::string text = describe(wan);
+  EXPECT_NE(text.find("Tango"), std::string::npos);
+  EXPECT_NE(text.find("path=9"), std::string::npos);
+  EXPECT_NE(text.find("seq=11"), std::string::npos);
+  EXPECT_EQ(describe(Packet{}), "<malformed packet, 0 bytes>");
+}
+
+/// Property: encapsulation round-trips across random payload sizes and
+/// header field values.
+class EncapRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EncapRoundTrip, RandomizedRoundTrip) {
+  std::mt19937_64 rng{GetParam()};
+  for (int i = 0; i < 50; ++i) {
+    const auto n = static_cast<std::size_t>(rng() % 600);
+    std::vector<std::uint8_t> payload(n);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+    Packet inner = make_udp_packet(kHostA, kHostB, static_cast<std::uint16_t>(rng()),
+                                   static_cast<std::uint16_t>(rng()), payload);
+    TangoHeader th;
+    th.path_id = static_cast<std::uint16_t>(rng());
+    th.tx_time_ns = rng();
+    th.sequence = rng();
+
+    Packet wan = encapsulate_tango(inner, kTunA, kTunB, static_cast<std::uint16_t>(rng()), th);
+    auto decoded = decapsulate_tango(wan);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->inner, inner);
+    EXPECT_EQ(decoded->tango, th);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncapRoundTrip, ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace tango::net

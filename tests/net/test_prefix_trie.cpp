@@ -1,0 +1,164 @@
+#include "net/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace tango::net {
+namespace {
+
+Ipv6Prefix pfx(const char* text) { return *Ipv6Prefix::parse(text); }
+Ipv6Address addr(const char* text) { return *Ipv6Address::parse(text); }
+
+TEST(PrefixTrie, EmptyLookupsMiss) {
+  PrefixTrie<int> trie;
+  EXPECT_EQ(trie.lookup(addr("2001:db8::1")), nullptr);
+  EXPECT_EQ(trie.find(pfx("::/0")), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, InsertAndExactMatch) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("2001:db8::/32"), 1));
+  EXPECT_FALSE(trie.insert(pfx("2001:db8::/32"), 2));  // overwrite
+  ASSERT_NE(trie.find(pfx("2001:db8::/32")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("2001:db8::/32")), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  // Same bits, different length: distinct entry.
+  EXPECT_TRUE(trie.insert(pfx("2001:db8::/48"), 3));
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, LongestPrefixMatchPrefersDeeper) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("::/0"), 0);
+  trie.insert(pfx("2001:db8::/32"), 32);
+  trie.insert(pfx("2001:db8:1::/48"), 48);
+
+  EXPECT_EQ(*trie.lookup(addr("9999::1")), 0);
+  EXPECT_EQ(*trie.lookup(addr("2001:db8:ffff::1")), 32);
+  EXPECT_EQ(*trie.lookup(addr("2001:db8:1::77")), 48);
+}
+
+TEST(PrefixTrie, LookupEntryReportsMatchedPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2620:110:9011::/48"), 7);
+  auto entry = trie.lookup_entry(addr("2620:110:9011::1"));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first, pfx("2620:110:9011::/48"));
+  EXPECT_EQ(entry->second, 7);
+  EXPECT_FALSE(trie.lookup_entry(addr("2620:110:9012::1")).has_value());
+}
+
+TEST(PrefixTrie, EraseRemovesOnlyExact) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("2001:db8::/32"), 1);
+  trie.insert(pfx("2001:db8:1::/48"), 2);
+  EXPECT_FALSE(trie.erase(pfx("2001:db8::/31")));
+  EXPECT_TRUE(trie.erase(pfx("2001:db8::/32")));
+  EXPECT_EQ(trie.lookup(addr("2001:db8:2::1")), nullptr);   // /32 gone
+  EXPECT_EQ(*trie.lookup(addr("2001:db8:1::1")), 2);        // /48 intact
+  EXPECT_FALSE(trie.erase(pfx("2001:db8::/32")));           // already gone
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, EntriesEnumerateEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("::/0"), 0);
+  trie.insert(pfx("8000::/1"), 1);
+  trie.insert(pfx("2001:db8::/32"), 2);
+  auto entries = trie.entries();
+  EXPECT_EQ(entries.size(), 3u);
+  std::map<std::string, int> by_text;
+  for (const auto& [p, v] : entries) by_text[p.to_string()] = v;
+  EXPECT_EQ(by_text.at("::/0"), 0);
+  EXPECT_EQ(by_text.at("8000::/1"), 1);
+  EXPECT_EQ(by_text.at("2001:db8::/32"), 2);
+}
+
+TEST(PrefixTrie, DefaultRouteOnly) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("::/0"), 42);
+  EXPECT_EQ(*trie.lookup(addr("::")), 42);
+  EXPECT_EQ(*trie.lookup(addr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff")), 42);
+}
+
+TEST(PrefixTrie, FullLengthPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv6Prefix{addr("2001:db8::1"), 128}, 9);
+  EXPECT_EQ(*trie.lookup(addr("2001:db8::1")), 9);
+  EXPECT_EQ(trie.lookup(addr("2001:db8::2")), nullptr);
+}
+
+TEST(PrefixTrie, V4MappedHelpers) {
+  EXPECT_EQ(v4_mapped(Ipv4Address{192, 0, 2, 1}), addr("::ffff:192.0.2.1"));
+  auto mapped = v4_mapped(*Ipv4Prefix::parse("10.0.0.0/8"));
+  EXPECT_EQ(mapped.length(), 104);
+  EXPECT_TRUE(mapped.contains(v4_mapped(Ipv4Address{10, 9, 8, 7})));
+  EXPECT_FALSE(mapped.contains(v4_mapped(Ipv4Address{11, 0, 0, 1})));
+
+  PrefixTrie<int> trie;
+  trie.insert(trie_key(*Prefix::parse("10.0.0.0/8")), 4);
+  trie.insert(trie_key(*Prefix::parse("2001:db8::/32")), 6);
+  EXPECT_EQ(*trie.lookup(trie_key(*IpAddress::parse("10.1.1.1"))), 4);
+  EXPECT_EQ(*trie.lookup(trie_key(*IpAddress::parse("2001:db8::9"))), 6);
+}
+
+/// Property test: trie longest-prefix-match agrees with a brute-force linear
+/// scan over random prefix sets and random lookup addresses.
+class TrieVsLinear : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TrieVsLinear, AgreesWithBruteForce) {
+  std::mt19937_64 rng{GetParam()};
+  auto random_addr = [&rng]() {
+    Ipv6Address::Bytes b{};
+    // Cluster addresses in a narrow space so prefixes actually collide.
+    b[0] = 0x20;
+    b[1] = 0x01;
+    for (std::size_t i = 2; i < 6; ++i) b[i] = static_cast<std::uint8_t>(rng() % 4);
+    for (std::size_t i = 6; i < 16; ++i) b[i] = static_cast<std::uint8_t>(rng());
+    return Ipv6Address{b};
+  };
+
+  PrefixTrie<int> trie;
+  std::vector<std::pair<Ipv6Prefix, int>> linear;
+  for (int i = 0; i < 200; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng() % 65);
+    Ipv6Prefix p{random_addr(), len};
+    trie.insert(p, i);
+    // Mirror overwrite semantics in the linear copy.
+    bool replaced = false;
+    for (auto& [lp, lv] : linear) {
+      if (lp == p) {
+        lv = i;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) linear.emplace_back(p, i);
+  }
+
+  for (int q = 0; q < 500; ++q) {
+    const Ipv6Address a = random_addr();
+    // Brute force: the longest containing prefix wins; ties impossible
+    // (same prefix+length collapses to one entry).
+    const std::pair<Ipv6Prefix, int>* best = nullptr;
+    for (const auto& entry : linear) {
+      if (!entry.first.contains(a)) continue;
+      if (best == nullptr || entry.first.length() > best->first.length()) best = &entry;
+    }
+    const int* got = trie.lookup(a);
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr) << a.to_string();
+      EXPECT_EQ(*got, best->second) << a.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsLinear, ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+}  // namespace
+}  // namespace tango::net

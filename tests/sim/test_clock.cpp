@@ -1,0 +1,50 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::sim {
+namespace {
+
+TEST(NodeClock, NoOffsetTracksTrueTime) {
+  NodeClock c;
+  EXPECT_EQ(c.now(0), 0u);
+  EXPECT_EQ(c.now(kSecond), static_cast<std::uint64_t>(kSecond));
+}
+
+TEST(NodeClock, ConstantOffsetShiftsUniformly) {
+  NodeClock c{3 * kMillisecond};
+  EXPECT_EQ(c.now(0), static_cast<std::uint64_t>(3 * kMillisecond));
+  // The offset cancels in differences: the core soundness property behind
+  // Tango's relative one-way-delay comparisons (§3).
+  const auto d1 = c.now(kSecond) - c.now(0);
+  NodeClock honest;
+  const auto d2 = honest.now(kSecond) - honest.now(0);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(NodeClock, NegativeOffsetWrapsConsistently) {
+  NodeClock c{-5 * kMillisecond};
+  // Differences still come out right even when now() wrapped below zero.
+  const std::uint64_t a = c.now(10 * kMillisecond);
+  const std::uint64_t b = c.now(30 * kMillisecond);
+  EXPECT_EQ(static_cast<Time>(b - a), 20 * kMillisecond);
+}
+
+TEST(NodeClock, DriftAccumulates) {
+  NodeClock c{0, /*drift_ppm=*/100.0};  // 100 us per second
+  const std::uint64_t at_1s = c.now(kSecond);
+  EXPECT_EQ(static_cast<Time>(at_1s) - kSecond, 100 * kMicrosecond);
+  const std::uint64_t at_100s = c.now(100 * kSecond);
+  EXPECT_EQ(static_cast<Time>(at_100s) - 100 * kSecond, 10 * kMillisecond);
+}
+
+TEST(NodeClock, SettersWork) {
+  NodeClock c;
+  c.set_offset(7);
+  c.set_drift_ppm(1.5);
+  EXPECT_EQ(c.offset(), 7);
+  EXPECT_DOUBLE_EQ(c.drift_ppm(), 1.5);
+}
+
+}  // namespace
+}  // namespace tango::sim

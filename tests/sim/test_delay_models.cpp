@@ -1,0 +1,146 @@
+#include "sim/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::sim {
+namespace {
+
+TEST(ConstantDelay, AlwaysSame) {
+  Rng rng{1};
+  ConstantDelay m{27.5};
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(m.sample_ms(rng, i), 27.5);
+  EXPECT_DOUBLE_EQ(m.floor_ms(), 27.5);
+}
+
+TEST(GaussianJitterDelay, NeverBelowFloorAndMeanClose) {
+  Rng rng{2};
+  GaussianJitterDelay m{36.0, 0.5, 35.0};
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = m.sample_ms(rng, i);
+    EXPECT_GE(v, 35.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 36.0, 0.1);
+}
+
+TEST(GaussianJitterDelay, TightSigmaIsNearlyConstant) {
+  // GTT's personality: sigma 0.01 ms (§5).
+  Rng rng{3};
+  GaussianJitterDelay m{27.5, 0.01, 27.5};
+  double min = 1e9, max = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = m.sample_ms(rng, i);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(max - min, 0.2);
+}
+
+TEST(GammaJitterDelay, AlwaysAboveBaseWithPositiveSkew) {
+  Rng rng{4};
+  GammaJitterDelay m{31.0, 2.0, 0.15};
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = m.sample_ms(rng, i);
+    EXPECT_GE(v, 31.0);
+    sum += v;
+  }
+  // Gamma(2, 0.15) has mean 0.3.
+  EXPECT_NEAR(sum / 20000.0, 31.3, 0.05);
+}
+
+TEST(DelayModifier, ActiveWindowIsHalfOpen) {
+  DelayModifier m{.start = 100, .end = 200};
+  EXPECT_FALSE(m.active(99));
+  EXPECT_TRUE(m.active(100));
+  EXPECT_TRUE(m.active(199));
+  EXPECT_FALSE(m.active(200));
+}
+
+TEST(DelayModifier, ShiftAppliesInsideWindowOnly) {
+  Rng rng{5};
+  CompositeDelayModel model{std::make_unique<ConstantDelay>(27.5)};
+  model.add_modifier(DelayModifier{.start = from_ms(100), .end = from_ms(200), .shift_ms = 5.0});
+
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, from_ms(50)), 27.5);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, from_ms(150)), 32.5);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, from_ms(250)), 27.5);
+}
+
+TEST(DelayModifier, SpikesBoundedAndProbable) {
+  Rng rng{6};
+  DelayModifier m{.start = 0, .end = kHour, .spike_prob = 0.3, .spike_min_ms = 20.0,
+                  .spike_max_ms = 50.0};
+  int spikes = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double extra = m.sample_extra_ms(rng, kSecond);
+    EXPECT_GE(extra, 0.0);
+    EXPECT_LE(extra, 50.0);
+    if (extra > 0.0) {
+      EXPECT_GE(extra, 20.0);
+      ++spikes;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(spikes) / 20000.0, 0.3, 0.02);
+}
+
+TEST(DelayModifier, TransitionNoiseOnlyNearEdges) {
+  Rng rng{7};
+  DelayModifier m{.start = 0, .end = kMinute, .shift_ms = 5.0, .transition = kSecond,
+                  .transition_sigma_ms = 4.0};
+  // Middle of the window: pure shift.
+  EXPECT_DOUBLE_EQ(m.sample_extra_ms(rng, 30 * kSecond), 5.0);
+  // Near the start: shift + noise (strictly more, almost surely over many draws).
+  double noisy = 0.0;
+  for (int i = 0; i < 100; ++i) noisy += m.sample_extra_ms(rng, kSecond / 2);
+  EXPECT_GT(noisy / 100.0, 5.5);
+}
+
+TEST(CompositeDelayModel, ModifiersStackAndPrune) {
+  Rng rng{8};
+  CompositeDelayModel model{std::make_unique<ConstantDelay>(10.0)};
+  model.add_modifier(DelayModifier{.start = 0, .end = 100, .shift_ms = 1.0});
+  model.add_modifier(DelayModifier{.start = 0, .end = 200, .shift_ms = 2.0});
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 50), 13.0);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 150), 12.0);
+  EXPECT_EQ(model.modifier_count(), 2u);
+  model.prune(150);
+  EXPECT_EQ(model.modifier_count(), 1u);
+  model.prune(200);
+  EXPECT_EQ(model.modifier_count(), 0u);
+}
+
+TEST(MakeDelayModel, BuildsFromProfiles) {
+  Rng rng{9};
+  topo::LinkProfile constant{.base_delay_ms = 3.0};
+  EXPECT_DOUBLE_EQ(make_delay_model(constant)->sample_ms(rng, 0), 3.0);
+
+  topo::LinkProfile gauss{.base_delay_ms = 10.0, .floor_ms = 9.5,
+                          .jitter = topo::JitterKind::gaussian, .jitter_sigma_ms = 0.2};
+  auto g = make_delay_model(gauss);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(g->sample_ms(rng, i), 9.5);
+
+  topo::LinkProfile gamma{.base_delay_ms = 10.0, .jitter = topo::JitterKind::gamma,
+                          .gamma_shape = 2.0, .gamma_scale_ms = 0.1};
+  auto gm = make_delay_model(gamma);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(gm->sample_ms(rng, i), 10.0);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng a{42};
+  Rng b = a.fork();
+  // Streams differ (overwhelmingly likely).
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform() != b.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  // Same seed -> same stream (determinism).
+  Rng c{42};
+  Rng d{42};
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(c.uniform(), d.uniform());
+}
+
+}  // namespace
+}  // namespace tango::sim

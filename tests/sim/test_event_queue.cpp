@@ -1,0 +1,82 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&order] { order.push_back(3); });
+  q.schedule_at(10, [&order] { order.push_back(1); });
+  q.schedule_at(20, [&order] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&fired] { ++fired; });
+  q.schedule_at(100, [&fired] { ++fired; });
+  q.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 50);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) q.schedule_in(10, step);
+  };
+  q.schedule_in(10, step);
+  q.run_all();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule_at(10, [] {}));  // "now" is allowed
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&fired] { ++fired; });
+  q.clear();
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  Time observed = -1;
+  q.schedule_at(100, [&] { q.schedule_in(25, [&] { observed = q.now(); }); });
+  q.run_all();
+  EXPECT_EQ(observed, 125);
+}
+
+}  // namespace
+}  // namespace tango::sim

@@ -1,0 +1,67 @@
+#include "sim/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::sim {
+namespace {
+
+TEST(BernoulliLoss, ZeroNeverDrops) {
+  Rng rng{1};
+  BernoulliLoss m{0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.drop(rng));
+}
+
+TEST(BernoulliLoss, OneAlwaysDrops) {
+  Rng rng{2};
+  BernoulliLoss m{1.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(m.drop(rng));
+}
+
+TEST(BernoulliLoss, RateMatches) {
+  Rng rng{3};
+  BernoulliLoss m{0.05};
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) drops += m.drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.05, 0.005);
+}
+
+TEST(GilbertElliottLoss, BurstyLossClusters) {
+  // Good state nearly lossless, bad state heavy: conditional loss
+  // probability after a loss must far exceed the marginal rate.
+  Rng rng{4};
+  GilbertElliottLoss m{/*p_good_to_bad=*/0.002, /*p_bad_to_good=*/0.1,
+                       /*loss_good=*/0.0001, /*loss_bad=*/0.5};
+  const int n = 200000;
+  std::vector<bool> dropped(n);
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    dropped[static_cast<std::size_t>(i)] = m.drop(rng);
+    total += dropped[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  int after_loss = 0;
+  int after_loss_losses = 0;
+  for (int i = 1; i < n; ++i) {
+    if (dropped[static_cast<std::size_t>(i - 1)]) {
+      ++after_loss;
+      after_loss_losses += dropped[static_cast<std::size_t>(i)] ? 1 : 0;
+    }
+  }
+  const double marginal = static_cast<double>(total) / n;
+  const double conditional = static_cast<double>(after_loss_losses) / after_loss;
+  EXPECT_GT(conditional, 5.0 * marginal)
+      << "marginal=" << marginal << " conditional=" << conditional;
+}
+
+TEST(GilbertElliottLoss, StateTransitions) {
+  Rng rng{5};
+  GilbertElliottLoss m{1.0, 1.0, 0.0, 0.0};  // flips state every packet
+  EXPECT_FALSE(m.in_bad_state());
+  (void)m.drop(rng);
+  EXPECT_TRUE(m.in_bad_state());
+  (void)m.drop(rng);
+  EXPECT_FALSE(m.in_bad_state());
+}
+
+}  // namespace
+}  // namespace tango::sim

@@ -1,0 +1,141 @@
+// Packet-level tests of the WAN fabric on the Vultr scenario.
+#include "sim/wan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::sim {
+namespace {
+
+using namespace topo::vultr;
+
+net::Packet host_packet(const topo::VultrScenario& s, std::uint16_t sport = 1000,
+                        std::uint16_t dport = 2000, std::uint8_t hop_limit = 64) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  return net::make_udp_packet(s.plan.la_hosts.host(1), s.plan.ny_hosts.host(1), sport, dport,
+                              payload, hop_limit);
+}
+
+class WanTest : public ::testing::Test {
+ protected:
+  WanTest() : s_{topo::make_vultr_scenario()}, wan_{s_.topo, Rng{1234}} {}
+
+  topo::VultrScenario s_;
+  Wan wan_;
+};
+
+TEST_F(WanTest, DeliversAlongBgpDefaultWithExpectedDelay) {
+  std::vector<net::Packet> delivered;
+  wan_.attach(kServerNy, [&delivered](const net::Packet& p) { delivered.push_back(p); });
+
+  std::vector<std::pair<bgp::RouterId, bgp::RouterId>> hops;
+  wan_.set_hop_observer([&hops](bgp::RouterId from, bgp::RouterId to, const net::Packet&) {
+    hops.emplace_back(from, to);
+  });
+
+  const net::Packet p = host_packet(s_);
+  wan_.send_from(kServerLa, p);
+  wan_.events().run_all();
+
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(wan_.delivered(), 1u);
+  // LA -> Vultr-LA -> NTT -> Vultr-NY -> Server-NY (the BGP default).
+  EXPECT_EQ(hops, (std::vector<std::pair<bgp::RouterId, bgp::RouterId>>{
+                      {kServerLa, kVultrLa}, {kVultrLa, kNtt}, {kNtt, kVultrNy},
+                      {kVultrNy, kServerNy}}));
+  // One-way delay ~ 0.2 + 0.5 + 36.2 + 0.2 = 37.1 ms via NTT toward NY.
+  EXPECT_NEAR(to_ms(wan_.now()), 37.1, 1.5);
+  // Hop limit decremented once per forwarding hop (not at delivery).
+  EXPECT_EQ(delivered.front().ip().hop_limit, 64 - 4);
+}
+
+TEST_F(WanTest, UnroutableDestinationCountsAsNoRoute) {
+  const std::vector<std::uint8_t> payload{1};
+  net::Packet p = net::make_udp_packet(s_.plan.la_hosts.host(1),
+                                       *net::Ipv6Address::parse("9999::1"), 1, 2, payload);
+  wan_.send_from(kServerLa, p);
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.delivered(), 0u);
+  EXPECT_EQ(wan_.dropped(DropReason::no_route), 1u);
+}
+
+TEST_F(WanTest, HopLimitExpiryDrops) {
+  const net::Packet p = host_packet(s_, 1000, 2000, /*hop_limit=*/2);
+  wan_.send_from(kServerLa, p);
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.delivered(), 0u);
+  EXPECT_EQ(wan_.dropped(DropReason::hop_limit), 1u);
+}
+
+TEST_F(WanTest, NoHandlerDropIsCounted) {
+  // kServerNy has no handler attached in this test.
+  wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.dropped(DropReason::no_handler), 1u);
+}
+
+TEST_F(WanTest, MalformedPacketDropped) {
+  wan_.send_from(kServerLa, net::Packet{std::vector<std::uint8_t>{1, 2, 3}});
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.dropped(DropReason::malformed), 1u);
+}
+
+TEST_F(WanTest, FibSyncTracksControlPlaneChanges) {
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+
+  // Suppress NTT for the NY host prefix: traffic must shift to Telia.
+  s_.topo.bgp().originate(kServerNy, net::Prefix{s_.plan.ny_hosts},
+                          bgp::CommunitySet{bgp::action::do_not_announce_to(kAsnNtt)});
+  wan_.sync_fibs();
+
+  std::vector<bgp::RouterId> visited;
+  wan_.set_hop_observer([&visited](bgp::RouterId from, bgp::RouterId, const net::Packet&) {
+    visited.push_back(from);
+  });
+  wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_NE(std::find(visited.begin(), visited.end(), kTelia), visited.end())
+      << "expected the Telia path after suppression";
+}
+
+TEST_F(WanTest, LinkLossDrops) {
+  // Make the LA uplink fully lossy.
+  s_.topo.set_profile(kServerLa, kVultrLa, topo::LinkProfile{.base_delay_ms = 0.2,
+                                                             .loss_rate = 1.0});
+  Wan lossy{s_.topo, Rng{7}};
+  lossy.send_from(kServerLa, host_packet(s_));
+  lossy.events().run_all();
+  EXPECT_EQ(lossy.dropped(DropReason::link_loss), 1u);
+}
+
+TEST_F(WanTest, EcmpLanesSplitByFlowButPinnedWithinFlow) {
+  Link& backbone = wan_.link(kNtt, kVultrNy);
+  backbone.set_ecmp(/*lanes=*/4, /*spread_ms=*/2.0);
+
+  std::map<std::uint32_t, int> lane_hits;
+  // Distinct source ports = distinct flows: should spread across lanes.
+  for (std::uint16_t sport = 1000; sport < 1064; ++sport) {
+    const Transmission tx = backbone.transmit(0, sport * 2654435761u);
+    ++lane_hits[tx.lane];
+  }
+  EXPECT_GE(lane_hits.size(), 3u) << "hash should reach most lanes";
+
+  // A fixed flow hash always rides one lane (what Tango's fixed tuple buys).
+  const std::uint64_t pinned = 0xABCDEF;
+  const std::uint32_t lane0 = backbone.transmit(0, pinned).lane;
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(backbone.transmit(0, pinned).lane, lane0);
+}
+
+TEST_F(WanTest, LinkAccessorValidates) {
+  EXPECT_NO_THROW(wan_.link(kNtt, kVultrLa));
+  EXPECT_THROW(wan_.link(kNtt, kServerLa), std::out_of_range);
+  EXPECT_THROW(wan_.send_from(999, host_packet(s_)), std::out_of_range);
+  EXPECT_THROW(wan_.attach(999, [](const net::Packet&) {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tango::sim

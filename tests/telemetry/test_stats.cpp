@@ -1,0 +1,132 @@
+#include "telemetry/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace tango::telemetry {
+namespace {
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e{0.1};
+  EXPECT_FALSE(e.initialized());
+  e.update(30.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 30.0);
+}
+
+TEST(Ewma, ConvergesTowardNewLevel) {
+  Ewma e{0.1};
+  e.update(30.0);
+  for (int i = 0; i < 200; ++i) e.update(40.0);
+  EXPECT_NEAR(e.value(), 40.0, 0.01);
+}
+
+TEST(Ewma, AlphaControlsResponsiveness) {
+  Ewma fast{0.5};
+  Ewma slow{0.01};
+  fast.update(0.0);
+  slow.update(0.0);
+  fast.update(10.0);
+  slow.update(10.0);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e{0.1};
+  e.update(5.0);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  e.update(7.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.0);
+}
+
+TEST(StreamingStats, MatchesNaiveComputation) {
+  std::mt19937_64 rng{11};
+  std::vector<double> values;
+  StreamingStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::uniform_real_distribution<double>{10.0, 50.0}(rng);
+    values.push_back(v);
+    s.update(v);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-6);
+  EXPECT_EQ(s.count(), values.size());
+  EXPECT_DOUBLE_EQ(s.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(s.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(StreamingStats, SingleSampleHasZeroVariance) {
+  StreamingStats s;
+  s.update(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, ResetClears) {
+  StreamingStats s;
+  s.update(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.update(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(RollingWindow, EvictsOldSamples) {
+  RollingWindow w{sim::kSecond};
+  w.update(0, 1.0);
+  w.update(sim::kSecond / 2, 2.0);
+  EXPECT_EQ(w.count(), 2u);
+  w.update(sim::kSecond + 1, 3.0);  // evicts the t=0 sample
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(*w.mean(), 2.5);
+}
+
+TEST(RollingWindow, StatsWithinWindow) {
+  RollingWindow w{sim::kSecond};
+  EXPECT_FALSE(w.mean().has_value());
+  EXPECT_FALSE(w.stddev().has_value());
+  w.update(0, 10.0);
+  EXPECT_TRUE(w.mean().has_value());
+  EXPECT_FALSE(w.stddev().has_value());  // needs >= 2 samples
+  w.update(1, 14.0);
+  EXPECT_DOUBLE_EQ(*w.mean(), 12.0);
+  EXPECT_NEAR(*w.stddev(), std::sqrt(8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(*w.min(), 10.0);
+  EXPECT_DOUBLE_EQ(*w.max(), 14.0);
+}
+
+TEST(RollingWindow, ClearEmpties) {
+  RollingWindow w;
+  w.update(0, 1.0);
+  w.clear();
+  EXPECT_EQ(w.count(), 0u);
+}
+
+/// Property: rolling stddev of a constant stream is zero for any window.
+class ConstantStream : public ::testing::TestWithParam<sim::Time> {};
+
+TEST_P(ConstantStream, ZeroJitter) {
+  RollingWindow w{GetParam()};
+  for (int i = 0; i < 1000; ++i) {
+    w.update(i * sim::kMillisecond, 27.5);
+  }
+  ASSERT_TRUE(w.stddev().has_value());
+  EXPECT_DOUBLE_EQ(*w.stddev(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, ConstantStream,
+                         ::testing::Values(sim::kSecond / 10, sim::kSecond, 5 * sim::kSecond));
+
+}  // namespace
+}  // namespace tango::telemetry

@@ -1,0 +1,60 @@
+#include "telemetry/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::telemetry {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"Path", "Mean (ms)"}};
+  t.add_row({"NTT", "36.90"});
+  t.add_row({"GTT", "28.40"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Path |"), std::string::npos);
+  EXPECT_NE(out.find("| NTT "), std::string::npos);
+  EXPECT_NE(out.find("| GTT "), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(27.456, 2), "27.46");
+  EXPECT_EQ(fmt(27.0, 0), "27");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Chart, RendersSeries) {
+  TimeSeries a{"NTT"};
+  TimeSeries b{"GTT"};
+  for (int i = 0; i < 100; ++i) {
+    a.record(i * sim::kSecond, 36.9);
+    b.record(i * sim::kSecond, 28.4);
+  }
+  ChartOptions opts;
+  opts.width = 40;
+  opts.height = 8;
+  const std::string chart = render_chart({&a, &b}, opts);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("NTT"), std::string::npos);
+  EXPECT_NE(chart.find("GTT"), std::string::npos);
+}
+
+TEST(Chart, HandlesDegenerateInputs) {
+  EXPECT_EQ(render_chart({}, ChartOptions{}), "(no series)\n");
+  TimeSeries empty{"x"};
+  EXPECT_EQ(render_chart({&empty}, ChartOptions{}), "(empty series)\n");
+}
+
+}  // namespace
+}  // namespace tango::telemetry

@@ -1,0 +1,112 @@
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tango::telemetry {
+namespace {
+
+TEST(Summarize, EmptyIsZeroed) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicStats) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Summarize, Percentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  Summary s = summarize(v);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+}
+
+TEST(TimeSeries, RecordAndSummary) {
+  TimeSeries ts{"owd"};
+  for (int i = 0; i < 10; ++i) ts.record(i * sim::kSecond, 30.0 + i);
+  EXPECT_EQ(ts.size(), 10u);
+  EXPECT_EQ(ts.name(), "owd");
+  EXPECT_DOUBLE_EQ(ts.summary().mean, 34.5);
+  EXPECT_DOUBLE_EQ(*ts.min_value(), 30.0);
+  EXPECT_DOUBLE_EQ(*ts.max_value(), 39.0);
+}
+
+TEST(TimeSeries, SummaryBetweenIsHalfOpen) {
+  TimeSeries ts;
+  ts.record(0, 1.0);
+  ts.record(10, 2.0);
+  ts.record(20, 3.0);
+  Summary s = ts.summary_between(0, 20);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.5);
+}
+
+TEST(TimeSeries, RollingStddevConstantIsZero) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.record(i * 10 * sim::kMillisecond, 27.5);
+  EXPECT_DOUBLE_EQ(ts.rolling_stddev(sim::kSecond), 0.0);
+}
+
+TEST(TimeSeries, RollingStddevSeesVariation) {
+  TimeSeries ts;
+  // Alternate 30/31 within every window: per-window stddev ~0.5.
+  for (int i = 0; i < 1000; ++i) {
+    ts.record(i * 10 * sim::kMillisecond, i % 2 == 0 ? 30.0 : 31.0);
+  }
+  EXPECT_NEAR(ts.rolling_stddev(sim::kSecond), 0.5, 0.01);
+}
+
+TEST(TimeSeries, RollingStddevSkipsSparseWindows) {
+  TimeSeries ts;
+  ts.record(0, 1.0);                    // lone sample in its window
+  ts.record(10 * sim::kSecond, 5.0);    // lone sample
+  EXPECT_DOUBLE_EQ(ts.rolling_stddev(sim::kSecond), 0.0);
+}
+
+TEST(TimeSeries, DownsampleAveragesBuckets) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.record(i * sim::kMillisecond, static_cast<double>(i));
+  auto buckets = ts.downsample(0, 100 * sim::kMillisecond, 10 * sim::kMillisecond);
+  ASSERT_EQ(buckets.size(), 10u);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 4.5);   // avg of 0..9
+  EXPECT_DOUBLE_EQ(buckets[9].value, 94.5);  // avg of 90..99
+  EXPECT_THROW(ts.downsample(0, 1, 0), std::invalid_argument);
+}
+
+TEST(TimeSeries, DownsampleSkipsEmptyBuckets) {
+  TimeSeries ts;
+  ts.record(0, 1.0);
+  ts.record(35 * sim::kMillisecond, 2.0);
+  auto buckets = ts.downsample(0, 40 * sim::kMillisecond, 10 * sim::kMillisecond);
+  ASSERT_EQ(buckets.size(), 2u);  // empty middle buckets omitted
+}
+
+TEST(TimeSeries, CsvWrite) {
+  TimeSeries ts{"delay_ms"};
+  ts.record(sim::kSecond, 27.5);
+  ts.record(2 * sim::kSecond, 28.0);
+  const std::string path = ::testing::TempDir() + "/tango_ts_test.csv";
+  ts.write_csv(path);
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time_s,delay_ms");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,27.5");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tango::telemetry

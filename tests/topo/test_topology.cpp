@@ -1,0 +1,66 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::topo {
+namespace {
+
+TEST(Topology, NamesAndProfiles) {
+  Topology t;
+  t.add_router(1, 2914, "NTT");
+  t.add_router(2, 20473, "Vultr-LA");
+  t.name_asn(2914, "NTT");
+
+  EXPECT_EQ(t.router_name(1), "NTT");
+  EXPECT_EQ(t.router_name(99), "r99");
+  EXPECT_EQ(t.asn_name(2914), "NTT");
+  EXPECT_EQ(t.asn_name(174), "AS174");
+
+  LinkProfile up{.base_delay_ms = 0.5};
+  LinkProfile down{.base_delay_ms = 36.0};
+  t.add_transit(1, 2, up, down);
+
+  const LinkProfile* p = t.profile(2, 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->base_delay_ms, 0.5);
+  p = t.profile(1, 2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->base_delay_ms, 36.0);
+  EXPECT_EQ(t.profile(1, 99), nullptr);
+  EXPECT_EQ(t.links().size(), 2u);
+}
+
+TEST(Topology, SetProfileReplaces) {
+  Topology t;
+  t.add_router(1, 100, "a");
+  t.add_router(2, 200, "b");
+  t.add_peering(1, 2, LinkProfile{.base_delay_ms = 1.0}, LinkProfile{.base_delay_ms = 2.0});
+  t.set_profile(1, 2, LinkProfile{.base_delay_ms = 9.0});
+  EXPECT_DOUBLE_EQ(t.profile(1, 2)->base_delay_ms, 9.0);
+  EXPECT_DOUBLE_EQ(t.profile(2, 1)->base_delay_ms, 2.0);
+}
+
+TEST(Topology, LabelPathSkipsEndpointAsns) {
+  Topology t;
+  t.name_asn(2914, "NTT");
+  t.name_asn(174, "Cogent");
+  const std::vector<bgp::Asn> endpoints{20473, 64512, 64513};
+
+  EXPECT_EQ(t.label_path({20473, 2914, 20473}, endpoints), "NTT");
+  EXPECT_EQ(t.label_path({20473, 2914, 174, 20473}, endpoints), "NTT Cogent");
+  EXPECT_EQ(t.label_path({20473, 20473}, endpoints), "direct");
+  // Unnamed ASNs fall back to AS-number labels.
+  EXPECT_EQ(t.label_path({20473, 3356, 20473}, endpoints), "AS3356");
+}
+
+TEST(Topology, BgpIsLive) {
+  Topology t;
+  t.add_router(1, 100, "provider");
+  t.add_router(2, 200, "customer");
+  t.add_transit(1, 2, LinkProfile{}, LinkProfile{});
+  t.bgp().originate(2, *net::Prefix::parse("2001:db8::/32"));
+  EXPECT_NE(t.bgp().best_route(1, *net::Prefix::parse("2001:db8::/32")), nullptr);
+}
+
+}  // namespace
+}  // namespace tango::topo

@@ -1,0 +1,126 @@
+// Control-plane checks of the Fig. 3 environment: default routes, Vultr's
+// transit preference order, community-driven path exposure, and the
+// allowas-in/private-ASN mechanics the paper's deployment relies on.
+#include "topo/vultr_scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tango::topo {
+namespace {
+
+using namespace vultr;
+
+class VultrScenarioTest : public ::testing::Test {
+ protected:
+  VultrScenarioTest() : s_{make_vultr_scenario()} {}
+
+  VultrScenario s_;
+};
+
+TEST_F(VultrScenarioTest, HostPrefixesAreGloballyReachable) {
+  const net::Prefix la{s_.plan.la_hosts};
+  const net::Prefix ny{s_.plan.ny_hosts};
+  for (bgp::RouterId id : {kNtt, kTelia, kGtt, kCogent, kLevel3, kVultrLa, kVultrNy,
+                           kServerLa, kServerNy}) {
+    if (id != kServerLa) EXPECT_NE(s_.topo.bgp().best_route(id, la), nullptr) << id;
+    if (id != kServerNy) EXPECT_NE(s_.topo.bgp().best_route(id, ny), nullptr) << id;
+  }
+}
+
+TEST_F(VultrScenarioTest, PrivateAsnsAreStrippedAtVultr) {
+  const bgp::Route* at_ntt = s_.topo.bgp().best_route(kNtt, net::Prefix{s_.plan.ny_hosts});
+  ASSERT_NE(at_ntt, nullptr);
+  EXPECT_EQ(at_ntt->as_path, (bgp::AsPath{20473}))
+      << "NTT must see Vultr as origin, not the tenant's private ASN";
+}
+
+TEST_F(VultrScenarioTest, DefaultPathIsNttBothDirections) {
+  // "in order of preference by Vultr's routers: (i) NTT" (§4.1).
+  const bgp::Route* la_view = s_.topo.bgp().best_route(kServerLa, net::Prefix{s_.plan.ny_hosts});
+  ASSERT_NE(la_view, nullptr);
+  EXPECT_EQ(la_view->as_path, (bgp::AsPath{20473, 2914, 20473}));
+
+  const bgp::Route* ny_view = s_.topo.bgp().best_route(kServerNy, net::Prefix{s_.plan.la_hosts});
+  ASSERT_NE(ny_view, nullptr);
+  EXPECT_EQ(ny_view->as_path, (bgp::AsPath{20473, 2914, 20473}));
+}
+
+TEST_F(VultrScenarioTest, ForwardingPathMatchesControlPlane) {
+  EXPECT_EQ(s_.topo.bgp().forwarding_path(kServerLa, net::Prefix{s_.plan.ny_hosts}),
+            (std::vector<bgp::RouterId>{kServerLa, kVultrLa, kNtt, kVultrNy, kServerNy}));
+}
+
+TEST_F(VultrScenarioTest, SuppressionWalksThePreferenceOrder) {
+  // Re-originate the NY host prefix with ever-larger suppression sets; the
+  // LA view must walk NTT -> Telia -> GTT -> Cogent -> unreachable.
+  const net::Prefix ny{s_.plan.ny_hosts};
+  bgp::CommunitySet set;
+
+  struct Expect {
+    bgp::Asn suppress_next;
+    bgp::AsPath expected;
+  };
+  const Expect sequence[] = {
+      {kAsnNtt, bgp::AsPath{20473, 2914, 20473}},
+      {kAsnTelia, bgp::AsPath{20473, 1299, 20473}},
+      {kAsnGtt, bgp::AsPath{20473, 3257, 20473}},
+      {kAsnCogent, bgp::AsPath{20473, 2914, 174, 20473}},  // "NTT and Cogent"
+  };
+
+  for (const Expect& step : sequence) {
+    s_.topo.bgp().originate(kServerNy, ny, set);
+    const bgp::Route* seen = s_.topo.bgp().best_route(kServerLa, ny);
+    ASSERT_NE(seen, nullptr);
+    EXPECT_EQ(seen->as_path, step.expected);
+    set.add(bgp::action::do_not_announce_to(step.suppress_next));
+  }
+
+  // All four suppressed: unreachable from LA.
+  s_.topo.bgp().originate(kServerNy, ny, set);
+  EXPECT_EQ(s_.topo.bgp().best_route(kServerLa, ny), nullptr);
+}
+
+TEST_F(VultrScenarioTest, ReverseDirectionFourthPathIsLevel3) {
+  const net::Prefix la{s_.plan.la_hosts};
+  bgp::CommunitySet set{bgp::action::do_not_announce_to(kAsnNtt),
+                        bgp::action::do_not_announce_to(kAsnTelia),
+                        bgp::action::do_not_announce_to(kAsnGtt)};
+  s_.topo.bgp().originate(kServerLa, la, set);
+  const bgp::Route* seen = s_.topo.bgp().best_route(kServerNy, la);
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen->as_path, (bgp::AsPath{20473, 2914, 3356, 20473}))
+      << "LA's fourth exit is Level3, reached via NY's default transit NTT";
+}
+
+TEST_F(VultrScenarioTest, TunnelPrefixOriginationAllRideDefault) {
+  originate_tunnel_prefixes(s_);
+  for (const auto& p : s_.plan.ny_tunnel) {
+    const bgp::Route* seen = s_.topo.bgp().best_route(kServerLa, net::Prefix{p});
+    ASSERT_NE(seen, nullptr) << p.to_string();
+    EXPECT_EQ(seen->as_path, (bgp::AsPath{20473, 2914, 20473}));
+  }
+}
+
+TEST_F(VultrScenarioTest, BackboneEdgeLookupValidates) {
+  EXPECT_EQ(VultrScenario::backbone_to_la(kAsnGtt), (LinkKey{kGtt, kVultrLa}));
+  EXPECT_EQ(VultrScenario::backbone_to_ny(kAsnCogent), (LinkKey{kCogent, kVultrNy}));
+  EXPECT_THROW(VultrScenario::backbone_to_la(kAsnCogent), std::invalid_argument);
+  EXPECT_THROW(VultrScenario::backbone_to_ny(kAsnLevel3), std::invalid_argument);
+}
+
+TEST_F(VultrScenarioTest, AddressPlanIsDisjoint) {
+  std::vector<net::Ipv6Prefix> all;
+  for (const auto& p : s_.plan.la_tunnel) all.push_back(p);
+  for (const auto& p : s_.plan.ny_tunnel) all.push_back(p);
+  all.push_back(s_.plan.la_hosts);
+  all.push_back(s_.plan.ny_hosts);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_FALSE(all[i].overlaps(all[j]))
+          << all[i].to_string() << " overlaps " << all[j].to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tango::topo
