@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecmp_pinning.dir/bench_ecmp_pinning.cpp.o"
+  "CMakeFiles/bench_ecmp_pinning.dir/bench_ecmp_pinning.cpp.o.d"
+  "bench_ecmp_pinning"
+  "bench_ecmp_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecmp_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

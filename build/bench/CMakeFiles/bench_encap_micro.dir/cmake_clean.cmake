@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encap_micro.dir/bench_encap_micro.cpp.o"
+  "CMakeFiles/bench_encap_micro.dir/bench_encap_micro.cpp.o.d"
+  "bench_encap_micro"
+  "bench_encap_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encap_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

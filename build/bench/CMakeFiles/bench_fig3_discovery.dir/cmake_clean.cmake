@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_discovery.dir/bench_fig3_discovery.cpp.o"
+  "CMakeFiles/bench_fig3_discovery.dir/bench_fig3_discovery.cpp.o.d"
+  "bench_fig3_discovery"
+  "bench_fig3_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_left_daylong.dir/bench_fig4_left_daylong.cpp.o"
+  "CMakeFiles/bench_fig4_left_daylong.dir/bench_fig4_left_daylong.cpp.o.d"
+  "bench_fig4_left_daylong"
+  "bench_fig4_left_daylong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_left_daylong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_middle_routechange.dir/bench_fig4_middle_routechange.cpp.o"
+  "CMakeFiles/bench_fig4_middle_routechange.dir/bench_fig4_middle_routechange.cpp.o.d"
+  "bench_fig4_middle_routechange"
+  "bench_fig4_middle_routechange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_middle_routechange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

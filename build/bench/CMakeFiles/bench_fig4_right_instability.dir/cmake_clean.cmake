@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_right_instability.dir/bench_fig4_right_instability.cpp.o"
+  "CMakeFiles/bench_fig4_right_instability.dir/bench_fig4_right_instability.cpp.o.d"
+  "bench_fig4_right_instability"
+  "bench_fig4_right_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_right_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

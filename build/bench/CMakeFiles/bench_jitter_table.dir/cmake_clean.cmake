@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jitter_table.dir/bench_jitter_table.cpp.o"
+  "CMakeFiles/bench_jitter_table.dir/bench_jitter_table.cpp.o.d"
+  "bench_jitter_table"
+  "bench_jitter_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jitter_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

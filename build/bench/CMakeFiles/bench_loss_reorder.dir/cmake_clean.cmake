@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loss_reorder.dir/bench_loss_reorder.cpp.o"
+  "CMakeFiles/bench_loss_reorder.dir/bench_loss_reorder.cpp.o.d"
+  "bench_loss_reorder"
+  "bench_loss_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loss_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

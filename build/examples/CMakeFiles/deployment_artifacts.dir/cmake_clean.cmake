@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_artifacts.dir/deployment_artifacts.cpp.o"
+  "CMakeFiles/deployment_artifacts.dir/deployment_artifacts.cpp.o.d"
+  "deployment_artifacts"
+  "deployment_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_control.dir/drone_control.cpp.o"
+  "CMakeFiles/drone_control.dir/drone_control.cpp.o.d"
+  "drone_control"
+  "drone_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_overlay.dir/mesh_overlay.cpp.o"
+  "CMakeFiles/mesh_overlay.dir/mesh_overlay.cpp.o.d"
+  "mesh_overlay"
+  "mesh_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/path_discovery.cpp" "examples/CMakeFiles/path_discovery.dir/path_discovery.cpp.o" "gcc" "examples/CMakeFiles/path_discovery.dir/path_discovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

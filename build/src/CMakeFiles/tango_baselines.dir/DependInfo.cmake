@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bgp_default.cpp" "src/CMakeFiles/tango_baselines.dir/baselines/bgp_default.cpp.o" "gcc" "src/CMakeFiles/tango_baselines.dir/baselines/bgp_default.cpp.o.d"
+  "/root/repo/src/baselines/multihoming.cpp" "src/CMakeFiles/tango_baselines.dir/baselines/multihoming.cpp.o" "gcc" "src/CMakeFiles/tango_baselines.dir/baselines/multihoming.cpp.o.d"
+  "/root/repo/src/baselines/rtt_prober.cpp" "src/CMakeFiles/tango_baselines.dir/baselines/rtt_prober.cpp.o" "gcc" "src/CMakeFiles/tango_baselines.dir/baselines/rtt_prober.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

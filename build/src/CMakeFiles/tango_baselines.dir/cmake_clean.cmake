@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_baselines.dir/baselines/bgp_default.cpp.o"
+  "CMakeFiles/tango_baselines.dir/baselines/bgp_default.cpp.o.d"
+  "CMakeFiles/tango_baselines.dir/baselines/multihoming.cpp.o"
+  "CMakeFiles/tango_baselines.dir/baselines/multihoming.cpp.o.d"
+  "CMakeFiles/tango_baselines.dir/baselines/rtt_prober.cpp.o"
+  "CMakeFiles/tango_baselines.dir/baselines/rtt_prober.cpp.o.d"
+  "libtango_baselines.a"
+  "libtango_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

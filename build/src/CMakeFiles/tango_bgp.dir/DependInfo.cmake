@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/as_path.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/as_path.cpp.o.d"
+  "/root/repo/src/bgp/community.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/community.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/community.cpp.o.d"
+  "/root/repo/src/bgp/network.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/network.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/network.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/policy.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/policy.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/rib.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/rib.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/route.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/route.cpp.o.d"
+  "/root/repo/src/bgp/speaker.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/speaker.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/speaker.cpp.o.d"
+  "/root/repo/src/bgp/wire.cpp" "src/CMakeFiles/tango_bgp.dir/bgp/wire.cpp.o" "gcc" "src/CMakeFiles/tango_bgp.dir/bgp/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

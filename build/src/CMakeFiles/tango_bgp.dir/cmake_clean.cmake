@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_bgp.dir/bgp/as_path.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/as_path.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/community.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/community.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/network.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/network.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/policy.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/policy.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/rib.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/rib.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/route.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/route.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/speaker.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/speaker.cpp.o.d"
+  "CMakeFiles/tango_bgp.dir/bgp/wire.cpp.o"
+  "CMakeFiles/tango_bgp.dir/bgp/wire.cpp.o.d"
+  "libtango_bgp.a"
+  "libtango_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

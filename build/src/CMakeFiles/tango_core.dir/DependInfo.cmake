@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bird.cpp" "src/CMakeFiles/tango_core.dir/core/bird.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/bird.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/tango_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/discovery.cpp" "src/CMakeFiles/tango_core.dir/core/discovery.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/discovery.cpp.o.d"
+  "/root/repo/src/core/mesh.cpp" "src/CMakeFiles/tango_core.dir/core/mesh.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/mesh.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/tango_core.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/pairing.cpp" "src/CMakeFiles/tango_core.dir/core/pairing.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/pairing.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/CMakeFiles/tango_core.dir/core/path.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/path.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/tango_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/routing_policy.cpp" "src/CMakeFiles/tango_core.dir/core/routing_policy.cpp.o" "gcc" "src/CMakeFiles/tango_core.dir/core/routing_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_core.dir/core/bird.cpp.o"
+  "CMakeFiles/tango_core.dir/core/bird.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/config.cpp.o"
+  "CMakeFiles/tango_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/discovery.cpp.o"
+  "CMakeFiles/tango_core.dir/core/discovery.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/mesh.cpp.o"
+  "CMakeFiles/tango_core.dir/core/mesh.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/node.cpp.o"
+  "CMakeFiles/tango_core.dir/core/node.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/pairing.cpp.o"
+  "CMakeFiles/tango_core.dir/core/pairing.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/path.cpp.o"
+  "CMakeFiles/tango_core.dir/core/path.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/registry.cpp.o"
+  "CMakeFiles/tango_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/tango_core.dir/core/routing_policy.cpp.o"
+  "CMakeFiles/tango_core.dir/core/routing_policy.cpp.o.d"
+  "libtango_core.a"
+  "libtango_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/encap.cpp" "src/CMakeFiles/tango_dataplane.dir/dataplane/encap.cpp.o" "gcc" "src/CMakeFiles/tango_dataplane.dir/dataplane/encap.cpp.o.d"
+  "/root/repo/src/dataplane/pcap.cpp" "src/CMakeFiles/tango_dataplane.dir/dataplane/pcap.cpp.o" "gcc" "src/CMakeFiles/tango_dataplane.dir/dataplane/pcap.cpp.o.d"
+  "/root/repo/src/dataplane/switch.cpp" "src/CMakeFiles/tango_dataplane.dir/dataplane/switch.cpp.o" "gcc" "src/CMakeFiles/tango_dataplane.dir/dataplane/switch.cpp.o.d"
+  "/root/repo/src/dataplane/trackers.cpp" "src/CMakeFiles/tango_dataplane.dir/dataplane/trackers.cpp.o" "gcc" "src/CMakeFiles/tango_dataplane.dir/dataplane/trackers.cpp.o.d"
+  "/root/repo/src/dataplane/tunnel_table.cpp" "src/CMakeFiles/tango_dataplane.dir/dataplane/tunnel_table.cpp.o" "gcc" "src/CMakeFiles/tango_dataplane.dir/dataplane/tunnel_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

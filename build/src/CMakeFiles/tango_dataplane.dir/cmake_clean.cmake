@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_dataplane.dir/dataplane/encap.cpp.o"
+  "CMakeFiles/tango_dataplane.dir/dataplane/encap.cpp.o.d"
+  "CMakeFiles/tango_dataplane.dir/dataplane/pcap.cpp.o"
+  "CMakeFiles/tango_dataplane.dir/dataplane/pcap.cpp.o.d"
+  "CMakeFiles/tango_dataplane.dir/dataplane/switch.cpp.o"
+  "CMakeFiles/tango_dataplane.dir/dataplane/switch.cpp.o.d"
+  "CMakeFiles/tango_dataplane.dir/dataplane/trackers.cpp.o"
+  "CMakeFiles/tango_dataplane.dir/dataplane/trackers.cpp.o.d"
+  "CMakeFiles/tango_dataplane.dir/dataplane/tunnel_table.cpp.o"
+  "CMakeFiles/tango_dataplane.dir/dataplane/tunnel_table.cpp.o.d"
+  "libtango_dataplane.a"
+  "libtango_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/tango_net.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/tango_net.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/ip_address.cpp" "src/CMakeFiles/tango_net.dir/net/ip_address.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/ip_address.cpp.o.d"
+  "/root/repo/src/net/ipv4_header.cpp" "src/CMakeFiles/tango_net.dir/net/ipv4_header.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/ipv4_header.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/tango_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/tango_net.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/net/siphash.cpp" "src/CMakeFiles/tango_net.dir/net/siphash.cpp.o" "gcc" "src/CMakeFiles/tango_net.dir/net/siphash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_net.dir/net/checksum.cpp.o"
+  "CMakeFiles/tango_net.dir/net/checksum.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/headers.cpp.o"
+  "CMakeFiles/tango_net.dir/net/headers.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/ip_address.cpp.o"
+  "CMakeFiles/tango_net.dir/net/ip_address.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/ipv4_header.cpp.o"
+  "CMakeFiles/tango_net.dir/net/ipv4_header.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/packet.cpp.o"
+  "CMakeFiles/tango_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/prefix.cpp.o"
+  "CMakeFiles/tango_net.dir/net/prefix.cpp.o.d"
+  "CMakeFiles/tango_net.dir/net/siphash.cpp.o"
+  "CMakeFiles/tango_net.dir/net/siphash.cpp.o.d"
+  "libtango_net.a"
+  "libtango_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

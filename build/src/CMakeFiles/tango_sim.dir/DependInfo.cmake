@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay_model.cpp" "src/CMakeFiles/tango_sim.dir/sim/delay_model.cpp.o" "gcc" "src/CMakeFiles/tango_sim.dir/sim/delay_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/tango_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/tango_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/events.cpp" "src/CMakeFiles/tango_sim.dir/sim/events.cpp.o" "gcc" "src/CMakeFiles/tango_sim.dir/sim/events.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/tango_sim.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/tango_sim.dir/sim/link.cpp.o.d"
+  "/root/repo/src/sim/wan.cpp" "src/CMakeFiles/tango_sim.dir/sim/wan.cpp.o" "gcc" "src/CMakeFiles/tango_sim.dir/sim/wan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_sim.dir/sim/delay_model.cpp.o"
+  "CMakeFiles/tango_sim.dir/sim/delay_model.cpp.o.d"
+  "CMakeFiles/tango_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/tango_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/tango_sim.dir/sim/events.cpp.o"
+  "CMakeFiles/tango_sim.dir/sim/events.cpp.o.d"
+  "CMakeFiles/tango_sim.dir/sim/link.cpp.o"
+  "CMakeFiles/tango_sim.dir/sim/link.cpp.o.d"
+  "CMakeFiles/tango_sim.dir/sim/wan.cpp.o"
+  "CMakeFiles/tango_sim.dir/sim/wan.cpp.o.d"
+  "libtango_sim.a"
+  "libtango_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

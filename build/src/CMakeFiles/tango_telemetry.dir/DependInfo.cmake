@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/stats.cpp" "src/CMakeFiles/tango_telemetry.dir/telemetry/stats.cpp.o" "gcc" "src/CMakeFiles/tango_telemetry.dir/telemetry/stats.cpp.o.d"
+  "/root/repo/src/telemetry/table.cpp" "src/CMakeFiles/tango_telemetry.dir/telemetry/table.cpp.o" "gcc" "src/CMakeFiles/tango_telemetry.dir/telemetry/table.cpp.o.d"
+  "/root/repo/src/telemetry/timeseries.cpp" "src/CMakeFiles/tango_telemetry.dir/telemetry/timeseries.cpp.o" "gcc" "src/CMakeFiles/tango_telemetry.dir/telemetry/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

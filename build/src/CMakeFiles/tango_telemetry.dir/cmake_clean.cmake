@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_telemetry.dir/telemetry/stats.cpp.o"
+  "CMakeFiles/tango_telemetry.dir/telemetry/stats.cpp.o.d"
+  "CMakeFiles/tango_telemetry.dir/telemetry/table.cpp.o"
+  "CMakeFiles/tango_telemetry.dir/telemetry/table.cpp.o.d"
+  "CMakeFiles/tango_telemetry.dir/telemetry/timeseries.cpp.o"
+  "CMakeFiles/tango_telemetry.dir/telemetry/timeseries.cpp.o.d"
+  "libtango_telemetry.a"
+  "libtango_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/tango_topo.dir/topo/topology.cpp.o.d"
+  "CMakeFiles/tango_topo.dir/topo/vultr_scenario.cpp.o"
+  "CMakeFiles/tango_topo.dir/topo/vultr_scenario.cpp.o.d"
+  "libtango_topo.a"
+  "libtango_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/test_as_path.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_as_path.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_as_path.cpp.o.d"
+  "/root/repo/tests/bgp/test_community.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_community.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_community.cpp.o.d"
+  "/root/repo/tests/bgp/test_convergence.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_convergence.cpp.o.d"
+  "/root/repo/tests/bgp/test_decision.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_decision.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_decision.cpp.o.d"
+  "/root/repo/tests/bgp/test_policy.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_policy.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_policy.cpp.o.d"
+  "/root/repo/tests/bgp/test_speaker_network.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_speaker_network.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_speaker_network.cpp.o.d"
+  "/root/repo/tests/bgp/test_wire.cpp" "tests/CMakeFiles/test_bgp.dir/bgp/test_wire.cpp.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

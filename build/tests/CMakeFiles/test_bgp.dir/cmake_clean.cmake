@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/bgp/test_as_path.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_as_path.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_community.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_community.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_convergence.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_convergence.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_decision.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_decision.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_policy.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_policy.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_speaker_network.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_speaker_network.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_wire.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_wire.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+  "test_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_bird.cpp" "tests/CMakeFiles/test_core.dir/core/test_bird.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_bird.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_discovery.cpp" "tests/CMakeFiles/test_core.dir/core/test_discovery.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_discovery.cpp.o.d"
+  "/root/repo/tests/core/test_discovery_random.cpp" "tests/CMakeFiles/test_core.dir/core/test_discovery_random.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_discovery_random.cpp.o.d"
+  "/root/repo/tests/core/test_failure_injection.cpp" "tests/CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/test_core.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_ipv4_hosts.cpp" "tests/CMakeFiles/test_core.dir/core/test_ipv4_hosts.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ipv4_hosts.cpp.o.d"
+  "/root/repo/tests/core/test_mesh.cpp" "tests/CMakeFiles/test_core.dir/core/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mesh.cpp.o.d"
+  "/root/repo/tests/core/test_poisoning.cpp" "tests/CMakeFiles/test_core.dir/core/test_poisoning.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_poisoning.cpp.o.d"
+  "/root/repo/tests/core/test_policies.cpp" "tests/CMakeFiles/test_core.dir/core/test_policies.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_bird.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_bird.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_discovery.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_discovery.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_discovery_random.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_discovery_random.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ipv4_hosts.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ipv4_hosts.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mesh.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mesh.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_poisoning.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_poisoning.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

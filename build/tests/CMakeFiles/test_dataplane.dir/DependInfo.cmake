@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataplane/test_auth.cpp" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_auth.cpp.o" "gcc" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_auth.cpp.o.d"
+  "/root/repo/tests/dataplane/test_encap.cpp" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_encap.cpp.o" "gcc" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_encap.cpp.o.d"
+  "/root/repo/tests/dataplane/test_pcap.cpp" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_pcap.cpp.o.d"
+  "/root/repo/tests/dataplane/test_switch.cpp" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_switch.cpp.o" "gcc" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_switch.cpp.o.d"
+  "/root/repo/tests/dataplane/test_trackers.cpp" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_trackers.cpp.o" "gcc" "tests/CMakeFiles/test_dataplane.dir/dataplane/test_trackers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

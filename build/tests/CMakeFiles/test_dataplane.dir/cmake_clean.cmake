@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataplane.dir/dataplane/test_auth.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_auth.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_encap.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_encap.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_pcap.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_pcap.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_switch.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_switch.cpp.o.d"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_trackers.cpp.o"
+  "CMakeFiles/test_dataplane.dir/dataplane/test_trackers.cpp.o.d"
+  "test_dataplane"
+  "test_dataplane.pdb"
+  "test_dataplane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

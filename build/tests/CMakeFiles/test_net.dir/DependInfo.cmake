@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_checksum.cpp" "tests/CMakeFiles/test_net.dir/net/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_checksum.cpp.o.d"
+  "/root/repo/tests/net/test_ip_address.cpp" "tests/CMakeFiles/test_net.dir/net/test_ip_address.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ip_address.cpp.o.d"
+  "/root/repo/tests/net/test_ipv4.cpp" "tests/CMakeFiles/test_net.dir/net/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ipv4.cpp.o.d"
+  "/root/repo/tests/net/test_packet.cpp" "tests/CMakeFiles/test_net.dir/net/test_packet.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_packet.cpp.o.d"
+  "/root/repo/tests/net/test_prefix.cpp" "tests/CMakeFiles/test_net.dir/net/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_prefix.cpp.o.d"
+  "/root/repo/tests/net/test_prefix_trie.cpp" "tests/CMakeFiles/test_net.dir/net/test_prefix_trie.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_prefix_trie.cpp.o.d"
+  "/root/repo/tests/net/test_siphash.cpp" "tests/CMakeFiles/test_net.dir/net/test_siphash.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_siphash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_checksum.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_checksum.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ip_address.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ip_address.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ipv4.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ipv4.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_packet.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_packet.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_prefix.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_prefix.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_prefix_trie.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_prefix_trie.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_siphash.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_siphash.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

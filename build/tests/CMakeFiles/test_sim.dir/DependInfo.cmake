@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_clock.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_clock.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_clock.cpp.o.d"
+  "/root/repo/tests/sim/test_delay_models.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_delay_models.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_delay_models.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_loss_models.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_loss_models.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_loss_models.cpp.o.d"
+  "/root/repo/tests/sim/test_wan.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_wan.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_wan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tango_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tango_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
