@@ -1,0 +1,378 @@
+// E11: data-plane throughput and allocation budget.
+//
+// Two measurements, one binary:
+//
+//  1. Encap/decap microbench — the seed's copying implementation (ByteWriter
+//     per header stack, owning inner copy on decap) against the headroom
+//     fast path (prepend into reserved headroom, zero-copy view + trim),
+//     with wire output asserted byte-identical first.
+//  2. Pipeline throughput — N concurrent flows pushed through the full
+//     LA<->NY Vultr testbed (encap, WAN forwarding, ECMP, decap), measuring
+//     delivered packets per wall-clock second and steady-state heap
+//     allocations per packet.
+//
+// Heap allocations are counted by overriding global operator new/delete in
+// this binary.  Results go to stdout and BENCH_dataplane.json; the process
+// exits nonzero if the shape checks fail (fast path must allocate at most
+// half of what the legacy path does; the pipeline must deliver traffic).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "common.hpp"
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+// --- Counting allocator hook -----------------------------------------------
+
+namespace {
+bool g_counting = false;
+std::uint64_t g_allocs = 0;
+std::uint64_t g_alloc_bytes = 0;
+
+void* counted_alloc(std::size_t n) {
+  if (g_counting) {
+    ++g_allocs;
+    g_alloc_bytes += n;
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tango::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Counted {
+  double ns_per_packet = 0;
+  double allocs_per_packet = 0;
+  double bytes_per_packet = 0;
+};
+
+template <class Fn>
+Counted measure(std::size_t iterations, Fn&& fn) {
+  g_allocs = 0;
+  g_alloc_bytes = 0;
+  g_counting = true;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) fn(i);
+  const auto t1 = Clock::now();
+  g_counting = false;
+  const double n = static_cast<double>(iterations);
+  return Counted{
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+          n,
+      static_cast<double>(g_allocs) / n,
+      static_cast<double>(g_alloc_bytes) / n,
+  };
+}
+
+// --- Seed-replica legacy path ----------------------------------------------
+// The copying implementation this PR replaced, kept here verbatim so the
+// comparison is against real seed behaviour rather than a strawman.
+
+net::Packet legacy_make_udp_packet(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                                   std::uint16_t src_port, std::uint16_t dst_port,
+                                   std::span<const std::uint8_t> payload,
+                                   std::uint8_t hop_limit = 64) {
+  const auto udp_len = static_cast<std::uint16_t>(net::UdpHeader::kSize + payload.size());
+  net::ByteWriter udp_w{udp_len};
+  net::UdpHeader udp{
+      .src_port = src_port, .dst_port = dst_port, .length = udp_len, .checksum = 0};
+  udp.serialize(udp_w);
+  udp_w.bytes(payload);
+  udp_w.patch_u16(6, net::udp6_checksum(src, dst, udp_w.view()));
+
+  net::Ipv6Header ip{.payload_length = udp_len,
+                     .next_header = net::Ipv6Header::kNextHeaderUdp,
+                     .hop_limit = hop_limit,
+                     .src = src,
+                     .dst = dst};
+  net::ByteWriter w{net::Ipv6Header::kSize + udp_len};
+  ip.serialize(w);
+  w.bytes(udp_w.view());
+  return net::Packet{std::move(w).take()};
+}
+
+net::Packet legacy_encapsulate_tango(const net::Packet& inner, const net::Ipv6Address& tunnel_src,
+                                     const net::Ipv6Address& tunnel_dst,
+                                     std::uint16_t udp_src_port,
+                                     const net::TangoHeader& tango_header,
+                                     std::uint8_t hop_limit = 64) {
+  const auto udp_len = static_cast<std::uint16_t>(net::UdpHeader::kSize +
+                                                  tango_header.wire_size() + inner.size());
+  net::ByteWriter udp_w{udp_len};
+  net::UdpHeader udp{.src_port = udp_src_port,
+                     .dst_port = net::TangoHeader::kUdpPort,
+                     .length = udp_len,
+                     .checksum = 0};
+  udp.serialize(udp_w);
+  tango_header.serialize(udp_w);
+  udp_w.bytes(inner.bytes());
+  udp_w.patch_u16(6, net::udp6_checksum(tunnel_src, tunnel_dst, udp_w.view()));
+
+  net::Ipv6Header outer{.payload_length = udp_len,
+                        .next_header = net::Ipv6Header::kNextHeaderUdp,
+                        .hop_limit = hop_limit,
+                        .src = tunnel_src,
+                        .dst = tunnel_dst};
+  net::ByteWriter w{net::Ipv6Header::kSize + udp_len};
+  outer.serialize(w);
+  w.bytes(udp_w.view());
+  return net::Packet{std::move(w).take()};
+}
+
+// --- Microbench -------------------------------------------------------------
+
+struct MicroResult {
+  Counted legacy;
+  Counted fast;
+};
+
+MicroResult run_micro(std::size_t iterations) {
+  const auto src = *net::Ipv6Address::parse("2001:db8:100::1");
+  const auto dst = *net::Ipv6Address::parse("2001:db8:200::1");
+  const auto tun_src = *net::Ipv6Address::parse("2001:db8:a::1");
+  const auto tun_dst = *net::Ipv6Address::parse("2001:db8:b::1");
+  const std::vector<std::uint8_t> payload(512, 0x5A);
+  const net::TangoHeader tango{.path_id = 3, .tx_time_ns = 123456789, .sequence = 42};
+
+  // Byte-identical check before timing anything.
+  {
+    const net::Packet inner = legacy_make_udp_packet(src, dst, 4000, 9, payload);
+    const net::Packet legacy_wire = legacy_encapsulate_tango(inner, tun_src, tun_dst, 40001, tango);
+    net::Packet fast = net::make_udp_packet(src, dst, 4000, 9, payload);
+    net::encapsulate_tango_inplace(fast, tun_src, tun_dst, 40001, tango);
+    if (!(legacy_wire == fast)) {
+      std::fprintf(stderr, "FAIL: fast-path wire bytes differ from legacy encapsulation\n");
+      std::exit(1);
+    }
+    const auto view = net::decapsulate_tango_view(fast);
+    if (!view || view->tango.sequence != 42) {
+      std::fprintf(stderr, "FAIL: fast-path decapsulation rejected its own wire format\n");
+      std::exit(1);
+    }
+    fast.trim_front(view->outer_size);
+    if (!(fast == inner)) {
+      std::fprintf(stderr, "FAIL: trim_front did not recover the inner packet\n");
+      std::exit(1);
+    }
+  }
+
+  MicroResult result;
+
+  // Legacy cycle: build inner, copy-encapsulate, copy-decapsulate.
+  result.legacy = measure(iterations, [&](std::size_t i) {
+    net::TangoHeader hdr = tango;
+    hdr.sequence = i;
+    const net::Packet inner = legacy_make_udp_packet(src, dst, 4000, 9, payload);
+    const net::Packet wan = legacy_encapsulate_tango(inner, tun_src, tun_dst, 40001, hdr);
+    const auto dec = net::decapsulate_tango(wan);
+    if (!dec || dec->inner.size() != inner.size()) std::abort();
+  });
+
+  // Fast cycle: pooled inner build, in-place encap, zero-copy decap + trim,
+  // buffer recycled.  Warm the pool first (first lap allocates).
+  net::BufferPool pool;
+  auto fast_cycle = [&](std::size_t i) {
+    net::TangoHeader hdr = tango;
+    hdr.sequence = i;
+    net::Packet p = net::make_udp_packet(pool, src, dst, 4000, 9, payload);
+    net::encapsulate_tango_inplace(p, tun_src, tun_dst, 40001, hdr);
+    const auto view = net::decapsulate_tango_view(p);
+    if (!view) std::abort();
+    p.trim_front(view->outer_size);
+    pool.release(std::move(p).release_buffer());
+  };
+  fast_cycle(0);
+  result.fast = measure(iterations, fast_cycle);
+  return result;
+}
+
+// --- Pipeline throughput -----------------------------------------------------
+
+struct PipelineResult {
+  std::size_t flows = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  double wall_seconds = 0;
+  double pkts_per_sec = 0;
+  double ns_per_packet = 0;
+  double allocs_per_packet = 0;
+  double pool_hit_rate = 0;
+};
+
+PipelineResult run_pipeline(std::uint64_t seed, std::size_t flows, std::size_t rounds,
+                            std::size_t warmup_rounds) {
+  Testbed tb{seed, /*keep_series=*/false};
+  const std::vector<std::uint8_t> payload(512, 0x42);
+
+  std::vector<net::Ipv6Address> srcs;
+  std::vector<net::Ipv6Address> dsts;
+  for (std::size_t f = 0; f < flows; ++f) {
+    srcs.push_back(tb.la.host_address(0x100 + f));
+    dsts.push_back(tb.scenario.plan.ny_hosts.host(0x200 + f));
+  }
+
+  PipelineResult result;
+  result.flows = flows;
+
+  auto send_round = [&]() {
+    for (std::size_t f = 0; f < flows; ++f) {
+      tb.la.dp().send_from_host(net::make_udp_packet(
+          tb.wan.buffer_pool(), srcs[f], dsts[f],
+          static_cast<std::uint16_t>(40000 + f), 9, payload));
+      ++result.sent;
+    }
+    tb.wan.events().run_all();
+  };
+
+  // Warmup: fills the buffer pool, grows the event queue, touches every
+  // code path once.  Not counted.
+  for (std::size_t r = 0; r < warmup_rounds; ++r) send_round();
+
+  const std::uint64_t sent_before = result.sent;
+  const std::uint64_t delivered_before = tb.wan.delivered();
+  const std::uint64_t pool_ops_before = tb.wan.buffer_pool().hits() + tb.wan.buffer_pool().misses();
+  const std::uint64_t pool_hits_before = tb.wan.buffer_pool().hits();
+
+  g_allocs = 0;
+  g_counting = true;
+  const auto t0 = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) send_round();
+  const auto t1 = Clock::now();
+  g_counting = false;
+
+  const std::uint64_t measured_sent = result.sent - sent_before;
+  result.delivered = tb.wan.delivered() - delivered_before;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  result.pkts_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.delivered) / result.wall_seconds : 0;
+  result.ns_per_packet = measured_sent > 0
+                             ? result.wall_seconds * 1e9 / static_cast<double>(measured_sent)
+                             : 0;
+  result.allocs_per_packet =
+      measured_sent > 0 ? static_cast<double>(g_allocs) / static_cast<double>(measured_sent) : 0;
+  const std::uint64_t pool_ops =
+      tb.wan.buffer_pool().hits() + tb.wan.buffer_pool().misses() - pool_ops_before;
+  result.pool_hit_rate =
+      pool_ops > 0
+          ? static_cast<double>(tb.wan.buffer_pool().hits() - pool_hits_before) /
+                static_cast<double>(pool_ops)
+          : 0;
+  result.sent = measured_sent;
+  return result;
+}
+
+void write_json(const MicroResult& micro, const PipelineResult& pipe) {
+  std::FILE* f = std::fopen("BENCH_dataplane.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot open BENCH_dataplane.json for writing\n");
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"microbench\": {\n");
+  std::fprintf(f,
+               "    \"legacy\": {\"ns_per_packet\": %.1f, \"allocs_per_packet\": %.2f, "
+               "\"alloc_bytes_per_packet\": %.1f},\n",
+               micro.legacy.ns_per_packet, micro.legacy.allocs_per_packet,
+               micro.legacy.bytes_per_packet);
+  std::fprintf(f,
+               "    \"fastpath\": {\"ns_per_packet\": %.1f, \"allocs_per_packet\": %.2f, "
+               "\"alloc_bytes_per_packet\": %.1f},\n",
+               micro.fast.ns_per_packet, micro.fast.allocs_per_packet,
+               micro.fast.bytes_per_packet);
+  std::fprintf(f, "    \"alloc_reduction\": %.1f,\n",
+               micro.fast.allocs_per_packet > 0
+                   ? micro.legacy.allocs_per_packet / micro.fast.allocs_per_packet
+                   : micro.legacy.allocs_per_packet);
+  std::fprintf(f, "    \"speedup\": %.2f\n",
+               micro.fast.ns_per_packet > 0
+                   ? micro.legacy.ns_per_packet / micro.fast.ns_per_packet
+                   : 0.0);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"pipeline\": {\n");
+  std::fprintf(f, "    \"flows\": %zu,\n", pipe.flows);
+  std::fprintf(f, "    \"packets_sent\": %llu,\n",
+               static_cast<unsigned long long>(pipe.sent));
+  std::fprintf(f, "    \"packets_delivered\": %llu,\n",
+               static_cast<unsigned long long>(pipe.delivered));
+  std::fprintf(f, "    \"pkts_per_sec\": %.0f,\n", pipe.pkts_per_sec);
+  std::fprintf(f, "    \"ns_per_packet\": %.1f,\n", pipe.ns_per_packet);
+  std::fprintf(f, "    \"allocs_per_packet\": %.3f,\n", pipe.allocs_per_packet);
+  std::fprintf(f, "    \"pool_hit_rate\": %.3f\n", pipe.pool_hit_rate);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int run(std::uint64_t seed, std::size_t micro_iters, std::size_t flows, std::size_t rounds) {
+  print_header("E11: data-plane throughput",
+               "encap/decap allocation budget + full-testbed pkts/sec", seed);
+
+  const MicroResult micro = run_micro(micro_iters);
+  std::printf("encap/decap cycle (%zu iterations, 512 B payload):\n", micro_iters);
+  std::printf("  %-10s %10s %16s %18s\n", "variant", "ns/packet", "allocs/packet",
+              "alloc bytes/packet");
+  std::printf("  %-10s %10.1f %16.2f %18.1f\n", "legacy", micro.legacy.ns_per_packet,
+              micro.legacy.allocs_per_packet, micro.legacy.bytes_per_packet);
+  std::printf("  %-10s %10.1f %16.2f %18.1f\n", "fastpath", micro.fast.ns_per_packet,
+              micro.fast.allocs_per_packet, micro.fast.bytes_per_packet);
+  std::printf("  wire output: byte-identical (checked)\n\n");
+
+  const PipelineResult pipe = run_pipeline(seed, flows, rounds, /*warmup_rounds=*/20);
+  std::printf("pipeline (%zu flows LA->NY through the Vultr testbed):\n", pipe.flows);
+  std::printf("  sent=%llu delivered=%llu wall=%.3fs\n",
+              static_cast<unsigned long long>(pipe.sent),
+              static_cast<unsigned long long>(pipe.delivered), pipe.wall_seconds);
+  std::printf("  %.0f pkts/sec, %.1f ns/packet end-to-end\n", pipe.pkts_per_sec,
+              pipe.ns_per_packet);
+  std::printf("  %.3f heap allocs/packet steady-state, pool hit rate %.1f%%\n\n",
+              pipe.allocs_per_packet, 100.0 * pipe.pool_hit_rate);
+
+  write_json(micro, pipe);
+  std::printf("wrote BENCH_dataplane.json\n");
+
+  // Shape checks (the acceptance criteria for this bench).
+  bool ok = true;
+  if (pipe.delivered == 0) {
+    std::fprintf(stderr, "FAIL: pipeline delivered no packets\n");
+    ok = false;
+  }
+  if (micro.fast.allocs_per_packet * 2.0 > micro.legacy.allocs_per_packet) {
+    std::fprintf(stderr,
+                 "FAIL: fast path allocates %.2f/packet, legacy %.2f/packet — "
+                 "need at least a 2x reduction\n",
+                 micro.fast.allocs_per_packet, micro.legacy.allocs_per_packet);
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("shape checks passed (fast path <= legacy/2 allocs, traffic delivered)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tango::bench
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  const std::size_t micro_iters = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
+  const std::size_t flows = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32;
+  const std::size_t rounds = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 200;
+  return tango::bench::run(seed, micro_iters, flows, rounds);
+}

@@ -56,9 +56,10 @@ int main() {
   std::printf("===== tango.conf (LA switch: tunnels toward NY) =====\n\n");
   core::TangoConfig config;
   config.peer_host_prefix = s.plan.ny_hosts;
-  for (const auto& [id, tunnel] : la.dp().tunnels().all()) {
+  for (core::PathId id : la.dp().tunnels().ids()) {
     config.tunnels.push_back(core::TunnelConfigEntry{
-        .tunnel = tunnel, .communities = la.registry().find(id)->communities});
+        .tunnel = *la.dp().tunnels().find(id),
+        .communities = la.registry().find(id)->communities});
   }
   const std::string tango_conf = core::render_config(config);
   std::printf("%s\n", tango_conf.c_str());

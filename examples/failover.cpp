@@ -47,7 +47,7 @@ int main() {
   // Poll the sender's state once a second and log path changes.
   auto last_path = std::make_shared<std::optional<core::PathId>>();
   std::function<void()> monitor = [&]() {
-    const auto active = ny.dp().active_path();
+    const auto active = ny.dp().active_path(kServerLa);
     if (active != *last_path) {
       const core::DiscoveredPath* p = ny.registry().find(*active);
       const core::PathReport* r = ny.registry().report(*active);
@@ -84,7 +84,7 @@ int main() {
   std::printf("(paper §5: \"during these route-change events, selecting an alternate\n");
   std::printf(" path based on live data is required for optimal performance\")\n");
 
-  const core::DiscoveredPath* final_path = ny.registry().find(*ny.dp().active_path());
+  const core::DiscoveredPath* final_path = ny.registry().find(*ny.dp().active_path(kServerLa));
   const bool back_on_gtt = final_path != nullptr && final_path->label == "GTT";
   return back_on_gtt && ny.path_switches() >= 2 ? 0 : 1;
 }

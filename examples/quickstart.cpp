@@ -91,7 +91,7 @@ int main() {
   }
   std::printf("%s", table.render().c_str());
 
-  const core::DiscoveredPath* active = la.registry().find(*la.dp().active_path());
+  const core::DiscoveredPath* active = la.registry().find(*la.dp().active_path(kServerNy));
   std::printf("\napplication packets delivered: %llu\n",
               static_cast<unsigned long long>(delivered));
   std::printf("LA's active path after convergence: %s (policy: %s, %llu switches)\n",

@@ -1,23 +1,25 @@
 #include "dataplane/encap.hpp"
 
-#include "net/byte_io.hpp"
-
 namespace tango::dataplane {
 
-std::uint64_t telemetry_auth_tag(const net::SipHashKey& key,
-                                 const net::TangoHeader& header, const net::Packet& inner) {
-  net::ByteWriter w{18 + inner.size()};
-  w.u16(header.path_id);
-  w.u64(header.tx_time_ns);
-  w.u64(header.sequence);
-  w.bytes(inner.bytes());
-  return net::siphash24(key, w.view());
+std::uint64_t telemetry_auth_tag(const net::SipHashKey& key, const net::TangoHeader& header,
+                                 std::span<const std::uint8_t> inner_bytes) {
+  // Streaming SipHash over the big-endian measurement fields followed by the
+  // inner bytes: identical to hashing the concatenated buffer, without
+  // materializing it.
+  net::SipHash h{key};
+  h.update_u16(header.path_id);
+  h.update_u64(header.tx_time_ns);
+  h.update_u64(header.sequence);
+  h.update(inner_bytes);
+  return h.finish();
 }
 
-std::optional<net::Packet> TunnelSender::wrap(const net::Packet& inner, PathId path,
-                                              sim::Time now) {
+bool TunnelSender::wrap_inplace(net::Packet& packet, PathId path, sim::Time now) {
   const Tunnel* tunnel = table_->find(path);
-  if (tunnel == nullptr) return std::nullopt;
+  if (tunnel == nullptr) return false;
+
+  if (seq_.size() <= path) seq_.resize(static_cast<std::size_t>(path) + 1, 0);
 
   net::TangoHeader header;
   header.path_id = path;
@@ -25,31 +27,36 @@ std::optional<net::Packet> TunnelSender::wrap(const net::Packet& inner, PathId p
   header.sequence = seq_[path]++;
   if (auth_key_) {
     header.flags |= net::TangoHeader::kFlagAuthenticated;
-    header.auth_tag = telemetry_auth_tag(*auth_key_, header, inner);
+    header.auth_tag = telemetry_auth_tag(*auth_key_, header, packet.bytes());
   }
 
   ++sent_;
-  return net::encapsulate_tango(inner, tunnel->local_endpoint, tunnel->remote_endpoint,
-                                tunnel->udp_src_port, header);
+  net::encapsulate_tango_inplace(packet, tunnel->local_endpoint, tunnel->remote_endpoint,
+                                 tunnel->udp_src_port, header);
+  return true;
+}
+
+std::optional<net::Packet> TunnelSender::wrap(const net::Packet& inner, PathId path,
+                                              sim::Time now) {
+  net::Packet packet = inner;
+  if (!wrap_inplace(packet, path, now)) return std::nullopt;
+  return packet;
 }
 
 std::uint64_t TunnelSender::next_sequence(PathId path) const {
-  auto it = seq_.find(path);
-  return it == seq_.end() ? 0 : it->second;
+  return path < seq_.size() ? seq_[path] : 0;
 }
 
-std::optional<std::pair<net::Packet, ReceiveInfo>> TunnelReceiver::unwrap(
-    const net::Packet& wan_packet, sim::Time now) {
-  auto decoded = net::decapsulate_tango(wan_packet);
-  if (!decoded) return std::nullopt;
+std::optional<ReceiveInfo> TunnelReceiver::unwrap_inplace(net::Packet& packet, sim::Time now) {
+  auto view = net::decapsulate_tango_view(packet);
+  if (!view) return std::nullopt;
 
   if (auth_key_) {
     // §6 trustworthy telemetry: drop anything unauthenticated or forged
     // before it reaches the trackers.
-    const bool valid =
-        decoded->tango.authenticated() &&
-        decoded->tango.auth_tag ==
-            telemetry_auth_tag(*auth_key_, decoded->tango, decoded->inner);
+    const bool valid = view->tango.authenticated() &&
+                       view->tango.auth_tag ==
+                           telemetry_auth_tag(*auth_key_, view->tango, view->inner);
     if (!valid) {
       ++auth_failures_;
       return std::nullopt;
@@ -57,29 +64,46 @@ std::optional<std::pair<net::Packet, ReceiveInfo>> TunnelReceiver::unwrap(
   }
 
   ReceiveInfo info;
-  info.path = decoded->tango.path_id;
-  info.sequence = decoded->tango.sequence;
+  info.path = view->tango.path_id;
+  info.sequence = view->tango.sequence;
   // Unsigned wraparound is intended: with clocks offset in either direction
   // the difference is still the same constant across paths.
   const std::uint64_t rx = clock_->now(now);
-  info.owd_ms = static_cast<double>(static_cast<std::int64_t>(rx - decoded->tango.tx_time_ns)) /
+  info.owd_ms = static_cast<double>(static_cast<std::int64_t>(rx - view->tango.tx_time_ns)) /
                 static_cast<double>(sim::kMillisecond);
 
-  auto [it, created] = trackers_.try_emplace(info.path, keep_series_);
-  it->second.record(now, info.owd_ms, info.sequence);
+  if (trackers_.size() <= info.path) trackers_.resize(static_cast<std::size_t>(info.path) + 1);
+  auto& slot = trackers_[info.path];
+  if (!slot) slot = std::make_unique<PathTracker>(keep_series_);
+  slot->record(now, info.owd_ms, info.sequence);
   ++received_;
 
-  return std::make_pair(std::move(decoded->inner), info);
+  packet.trim_front(view->outer_size);
+  return info;
+}
+
+std::optional<std::pair<net::Packet, ReceiveInfo>> TunnelReceiver::unwrap(
+    const net::Packet& wan_packet, sim::Time now) {
+  net::Packet packet = wan_packet;
+  auto info = unwrap_inplace(packet, now);
+  if (!info) return std::nullopt;
+  return std::make_pair(std::move(packet), *info);
 }
 
 const PathTracker* TunnelReceiver::tracker(PathId path) const {
-  auto it = trackers_.find(path);
-  return it == trackers_.end() ? nullptr : &it->second;
+  return path < trackers_.size() ? trackers_[path].get() : nullptr;
 }
 
 PathTracker* TunnelReceiver::tracker(PathId path) {
-  auto it = trackers_.find(path);
-  return it == trackers_.end() ? nullptr : &it->second;
+  return path < trackers_.size() ? trackers_[path].get() : nullptr;
+}
+
+std::vector<PathId> TunnelReceiver::paths() const {
+  std::vector<PathId> out;
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    if (trackers_[i]) out.push_back(static_cast<PathId>(i));
+  }
+  return out;
 }
 
 }  // namespace tango::dataplane

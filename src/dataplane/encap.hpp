@@ -2,10 +2,16 @@
 // programs (§4.2): the sender timestamps and encapsulates packets onto the
 // chosen path; the receiver computes the one-way delay, records it and
 // decapsulates.
+//
+// Both stages have an in-place fast path (wrap_inplace / unwrap_inplace)
+// that rewrites the packet buffer through its headroom — zero per-packet
+// allocations in the steady state — and per-path state lives in dense
+// PathId-indexed vectors instead of trees.
 #pragma once
 
-#include <map>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "dataplane/tunnel_table.hpp"
 #include "net/packet.hpp"
@@ -21,7 +27,13 @@ namespace tango::dataplane {
 /// the measurement fields and payload cannot be forged or altered.
 [[nodiscard]] std::uint64_t telemetry_auth_tag(const net::SipHashKey& key,
                                                const net::TangoHeader& header,
-                                               const net::Packet& inner);
+                                               std::span<const std::uint8_t> inner_bytes);
+
+[[nodiscard]] inline std::uint64_t telemetry_auth_tag(const net::SipHashKey& key,
+                                                      const net::TangoHeader& header,
+                                                      const net::Packet& inner) {
+  return telemetry_auth_tag(key, header, inner.bytes());
+}
 
 /// Sender side: per-tunnel sequence counters + timestamping + encapsulation.
 class TunnelSender {
@@ -33,8 +45,12 @@ class TunnelSender {
                std::optional<net::SipHashKey> auth_key = std::nullopt)
       : table_{&table}, clock_{&clock}, auth_key_{auth_key} {}
 
-  /// Wraps `inner` for the wide area over tunnel `path`.  Returns nullopt
-  /// when the tunnel is unknown.
+  /// Fast path: turns `packet` into its WAN form in place (headroom
+  /// prepend).  Returns false (packet untouched) when the tunnel is unknown.
+  bool wrap_inplace(net::Packet& packet, PathId path, sim::Time now);
+
+  /// Copying wrapper around wrap_inplace.  Returns nullopt when the tunnel
+  /// is unknown.
   [[nodiscard]] std::optional<net::Packet> wrap(const net::Packet& inner, PathId path,
                                                 sim::Time now);
 
@@ -45,7 +61,9 @@ class TunnelSender {
   const TunnelTable* table_;
   const sim::NodeClock* clock_;
   std::optional<net::SipHashKey> auth_key_;
-  std::map<PathId, std::uint64_t> seq_;
+  /// Dense per-path sequence counters indexed by PathId (path ids are small
+  /// per-pairing integers; the vector grows to the highest id used).
+  std::vector<std::uint64_t> seq_;
   std::uint64_t sent_ = 0;
 };
 
@@ -70,17 +88,20 @@ class TunnelReceiver {
                  std::optional<net::SipHashKey> auth_key = std::nullopt)
       : clock_{&clock}, keep_series_{keep_series}, auth_key_{auth_key} {}
 
-  /// Attempts to decode `wan_packet`.  On success updates the path's
-  /// trackers and returns the inner packet plus measurement info; returns
-  /// nullopt for non-Tango traffic (caller forwards it unmodified).
+  /// Fast path: validates and measures `packet`, then trims the outer
+  /// headers in place so the same buffer becomes the inner packet.  Returns
+  /// nullopt (packet untouched) for non-Tango traffic or auth failures.
+  [[nodiscard]] std::optional<ReceiveInfo> unwrap_inplace(net::Packet& packet, sim::Time now);
+
+  /// Copying wrapper: on success returns the inner packet plus measurement
+  /// info; nullopt for non-Tango traffic (caller forwards it unmodified).
   [[nodiscard]] std::optional<std::pair<net::Packet, ReceiveInfo>> unwrap(
       const net::Packet& wan_packet, sim::Time now);
 
   [[nodiscard]] const PathTracker* tracker(PathId path) const;
   [[nodiscard]] PathTracker* tracker(PathId path);
-  [[nodiscard]] const std::map<PathId, PathTracker>& trackers() const noexcept {
-    return trackers_;
-  }
+  /// Path ids with at least one received packet, ascending.
+  [[nodiscard]] std::vector<PathId> paths() const;
   [[nodiscard]] std::uint64_t packets_received() const noexcept { return received_; }
   /// Packets rejected for missing/invalid authentication tags.
   [[nodiscard]] std::uint64_t auth_failures() const noexcept { return auth_failures_; }
@@ -89,7 +110,9 @@ class TunnelReceiver {
   const sim::NodeClock* clock_;
   bool keep_series_;
   std::optional<net::SipHashKey> auth_key_;
-  std::map<PathId, PathTracker> trackers_;
+  /// Dense PathId-indexed slots; unique_ptr keeps tracker addresses stable
+  /// across growth (callers hold PathTracker* across packets).
+  std::vector<std::unique_ptr<PathTracker>> trackers_;
   std::uint64_t received_ = 0;
   std::uint64_t auth_failures_ = 0;
 };

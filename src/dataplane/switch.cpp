@@ -8,7 +8,7 @@ TangoSwitch::TangoSwitch(bgp::RouterId router, sim::Wan& wan, SwitchOptions opti
       clock_{options.clock},
       sender_{tunnels_, clock_, options.auth_key},
       receiver_{clock_, options.keep_series, options.auth_key} {
-  wan_.attach(router_, [this](const net::Packet& p) { on_wan_packet(p); });
+  wan_.attach(router_, [this](net::Packet& p) { on_wan_packet(p); });
 }
 
 void TangoSwitch::add_peer_prefix(const net::Ipv6Prefix& prefix, PeerId peer) {
@@ -20,26 +20,25 @@ void TangoSwitch::add_peer_prefix(const net::Prefix& prefix, PeerId peer) {
 }
 
 std::optional<PathId> TangoSwitch::active_path(TangoSwitch::PeerId peer) const {
-  auto it = active_by_peer_.find(peer);
-  if (it != active_by_peer_.end()) return it->second;
+  for (const auto& [p, path] : active_by_peer_) {
+    if (p == peer) return path;
+  }
   return active_default_;
 }
 
-void TangoSwitch::send_from_host(const net::Packet& inner) {
+void TangoSwitch::send_from_host(net::Packet inner) {
   // Host traffic may be IPv4 or IPv6 (paper §3: host addressing "can even
-  // be a different IP version"); the tunnels themselves are IPv6.
-  net::Ipv6Address key;
-  try {
-    key = inner.version() == 4 ? net::v4_mapped(inner.ip4().dst) : inner.ip().dst;
-  } catch (const std::exception&) {
-    return;  // malformed host packet: nothing sensible to do
-  }
+  // be a different IP version"); the tunnels themselves are IPv6.  The flow
+  // key gives the (v4-mapped) destination without a second header parse,
+  // and stays cached for the WAN hops when the packet passes through.
+  const net::Packet::FlowKey* flow = inner.flow_key();
+  if (flow == nullptr) return;  // malformed host packet: nothing sensible to do
 
-  const PeerId* peer = peer_prefixes_.lookup(key);
+  const PeerId* peer = peer_prefixes_.lookup(flow->dst);
   if (peer == nullptr) {
     // Not for a cooperating peer: traditional forwarding.
     ++passthrough_;
-    wan_.send_from(router_, inner);
+    wan_.send_from(router_, std::move(inner));
     return;
   }
 
@@ -51,28 +50,27 @@ void TangoSwitch::send_from_host(const net::Packet& inner) {
     return;
   }
 
-  auto wrapped = sender_.wrap(inner, *path, wan_.now());
-  if (!wrapped) {
+  if (!sender_.wrap_inplace(inner, *path, wan_.now())) {
     ++no_tunnel_drops_;
     return;
   }
-  wan_.send_from(router_, std::move(*wrapped));
+  wan_.send_from(router_, std::move(inner));
 }
 
-bool TangoSwitch::send_on_path(const net::Packet& inner, PathId path) {
-  auto wrapped = sender_.wrap(inner, path, wan_.now());
-  if (!wrapped) {
+bool TangoSwitch::send_on_path(net::Packet inner, PathId path) {
+  if (!sender_.wrap_inplace(inner, path, wan_.now())) {
     ++no_tunnel_drops_;
     return false;
   }
-  wan_.send_from(router_, std::move(*wrapped));
+  wan_.send_from(router_, std::move(inner));
   return true;
 }
 
-void TangoSwitch::on_wan_packet(const net::Packet& packet) {
-  auto unwrapped = receiver_.unwrap(packet, wan_.now());
-  if (unwrapped) {
-    if (host_handler_) host_handler_(unwrapped->first, unwrapped->second);
+void TangoSwitch::on_wan_packet(net::Packet& packet) {
+  auto info = receiver_.unwrap_inplace(packet, wan_.now());
+  if (info) {
+    // The buffer now holds the inner packet (outer headers trimmed away).
+    if (host_handler_) host_handler_(packet, info);
     return;
   }
   // Non-Tango traffic destined to our prefixes: plain delivery.

@@ -10,11 +10,16 @@
 // WAN-to-host direction: Tango-encapsulated packets are measured (one-way
 // delay, loss, reordering) and decapsulated; non-Tango traffic is delivered
 // unmodified.
+//
+// The data path is in-place throughout: encapsulation prepends into the
+// packet's headroom, decapsulation trims it, and per-peer state is a small
+// flat vector — no per-packet allocations or tree walks.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "dataplane/encap.hpp"
 #include "net/prefix_trie.hpp"
@@ -75,15 +80,26 @@ class TangoSwitch {
     active_default_ = path;
   }
 
-  /// The sole per-peer choice when exactly one exists, else the default —
-  /// so two-party callers always read the effective path.
+  /// The effective path a two-party caller reads: the default-peer choice
+  /// when one was made, else the default.  (A per-peer entry for any *other*
+  /// peer must not leak here — Tango-of-N peers have their own paths.)
   [[nodiscard]] std::optional<PathId> active_path() const noexcept {
-    if (active_by_peer_.size() == 1) return active_by_peer_.begin()->second;
+    for (const auto& [peer, path] : active_by_peer_) {
+      if (peer == kDefaultPeer) return path;
+    }
     return active_default_;
   }
 
   /// Per-peer active path (Tango-of-N); falls back to the default.
-  void set_active_path(PeerId peer, PathId path) { active_by_peer_[peer] = path; }
+  void set_active_path(PeerId peer, PathId path) {
+    for (auto& [p, existing] : active_by_peer_) {
+      if (p == peer) {
+        existing = path;
+        return;
+      }
+    }
+    active_by_peer_.emplace_back(peer, path);
+  }
   [[nodiscard]] std::optional<PathId> active_path(PeerId peer) const;
 
   static constexpr PeerId kDefaultPeer = 0;
@@ -93,13 +109,15 @@ class TangoSwitch {
 
   // --- Data path --------------------------------------------------------------
 
-  /// A local host hands the switch an outbound packet.
-  void send_from_host(const net::Packet& inner);
+  /// A local host hands the switch an outbound packet.  Pass an rvalue to
+  /// take the zero-copy path (the packet's own headroom receives the outer
+  /// headers); an lvalue is copied once.
+  void send_from_host(net::Packet inner);
 
   /// Sends `inner` over a specific tunnel regardless of the active path
   /// (measurement probes, per-path tests).  Returns false when the tunnel
   /// is unknown.
-  bool send_on_path(const net::Packet& inner, PathId path);
+  bool send_on_path(net::Packet inner, PathId path);
 
   // --- Telemetry ----------------------------------------------------------------
 
@@ -115,7 +133,7 @@ class TangoSwitch {
   [[nodiscard]] std::uint64_t passthrough() const noexcept { return passthrough_; }
 
  private:
-  void on_wan_packet(const net::Packet& packet);
+  void on_wan_packet(net::Packet& packet);
 
   bgp::RouterId router_;
   sim::Wan& wan_;
@@ -125,7 +143,9 @@ class TangoSwitch {
   TunnelReceiver receiver_;
   net::PrefixTrie<PeerId> peer_prefixes_;
   std::optional<PathId> active_default_;
-  std::map<PeerId, PathId> active_by_peer_;
+  /// Small flat map (a pairing has a handful of peers at most); linear scan
+  /// beats a tree for these sizes and never allocates on lookup.
+  std::vector<std::pair<PeerId, PathId>> active_by_peer_;
   Selector selector_;
   HostHandler host_handler_;
   std::uint64_t no_tunnel_drops_ = 0;

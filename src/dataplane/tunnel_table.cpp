@@ -2,19 +2,26 @@
 
 namespace tango::dataplane {
 
-void TunnelTable::install(Tunnel tunnel) { tunnels_[tunnel.id] = std::move(tunnel); }
+void TunnelTable::install(Tunnel tunnel) {
+  const PathId id = tunnel.id;
+  if (id >= slots_.size()) slots_.resize(static_cast<std::size_t>(id) + 1);
+  if (!slots_[id]) ++count_;
+  slots_[id] = std::move(tunnel);
+}
 
-bool TunnelTable::remove(PathId id) { return tunnels_.erase(id) > 0; }
-
-const Tunnel* TunnelTable::find(PathId id) const {
-  auto it = tunnels_.find(id);
-  return it == tunnels_.end() ? nullptr : &it->second;
+bool TunnelTable::remove(PathId id) {
+  if (id >= slots_.size() || !slots_[id]) return false;
+  slots_[id].reset();
+  --count_;
+  return true;
 }
 
 std::vector<PathId> TunnelTable::ids() const {
   std::vector<PathId> out;
-  out.reserve(tunnels_.size());
-  for (const auto& [id, tunnel] : tunnels_) out.push_back(id);
+  out.reserve(count_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]) out.push_back(static_cast<PathId>(i));
+  }
   return out;
 }
 

@@ -1,9 +1,12 @@
 // The tunnel table: the "local configuration containing the available routes
 // to the other Tango switch" (paper §3).  One entry per exposed wide-area
 // path; statically configured because both endpoints cooperate.
+//
+// Storage is a dense PathId-indexed vector (path ids are small per-pairing
+// integers), so the per-packet find() on the send fast path is a bounds
+// check + array index instead of a tree walk.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,15 +44,19 @@ class TunnelTable {
   /// Removes a tunnel (path withdrawn).  Returns true when present.
   bool remove(PathId id);
 
-  [[nodiscard]] const Tunnel* find(PathId id) const;
-  [[nodiscard]] std::vector<PathId> ids() const;
-  [[nodiscard]] std::size_t size() const noexcept { return tunnels_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return tunnels_.empty(); }
+  [[nodiscard]] const Tunnel* find(PathId id) const {
+    if (id >= slots_.size() || !slots_[id]) return nullptr;
+    return &*slots_[id];
+  }
 
-  [[nodiscard]] const std::map<PathId, Tunnel>& all() const noexcept { return tunnels_; }
+  /// Installed path ids, ascending.
+  [[nodiscard]] std::vector<PathId> ids() const;
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
  private:
-  std::map<PathId, Tunnel> tunnels_;
+  std::vector<std::optional<Tunnel>> slots_;
+  std::size_t count_ = 0;
 };
 
 }  // namespace tango::dataplane

@@ -59,6 +59,69 @@ class ByteWriter {
   std::vector<std::uint8_t> buf_;
 };
 
+/// Writes big-endian encoded integers into a caller-provided fixed span —
+/// the zero-allocation sibling of ByteWriter, used by the in-place
+/// encapsulation fast path where the destination bytes already exist
+/// (packet headroom).  Overruns throw instead of writing out of bounds.
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<std::uint8_t> out) noexcept : out_{out} {}
+
+  void u8(std::uint8_t v) {
+    need(1);
+    out_[pos_++] = v;
+  }
+
+  void u16(std::uint16_t v) {
+    need(2);
+    out_[pos_] = static_cast<std::uint8_t>(v >> 8);
+    out_[pos_ + 1] = static_cast<std::uint8_t>(v);
+    pos_ += 2;
+  }
+
+  void u32(std::uint32_t v) {
+    need(4);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      out_[pos_++] = static_cast<std::uint8_t>(v >> shift);
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    need(8);
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      out_[pos_++] = static_cast<std::uint8_t>(v >> shift);
+    }
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    if (data.empty()) return;  // empty spans may carry a null pointer; memcpy forbids it
+    need(data.size());
+    std::memcpy(out_.data() + pos_, data.data(), data.size());
+    pos_ += data.size();
+  }
+
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > out_.size()) throw std::out_of_range{"SpanWriter::patch_u16"};
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t written() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return out_.size() - pos_; }
+  /// The bytes written so far (mirrors ByteWriter::view for shared code).
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept { return out_.first(pos_); }
+  /// ByteWriter-compatible alias of written().
+  [[nodiscard]] std::size_t size() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > out_.size()) throw std::out_of_range{"SpanWriter: buffer full"};
+  }
+
+  std::span<std::uint8_t> out_;
+  std::size_t pos_ = 0;
+};
+
 /// Reads big-endian encoded integers from a fixed byte span.  Over-reads
 /// throw std::out_of_range so malformed packets surface as exceptions, never
 /// as silent garbage.

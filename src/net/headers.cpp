@@ -2,18 +2,6 @@
 
 namespace tango::net {
 
-void Ipv6Header::serialize(ByteWriter& w) const {
-  const std::uint32_t vtcfl = (std::uint32_t{6} << 28) |
-                              (static_cast<std::uint32_t>(traffic_class) << 20) |
-                              (flow_label & 0xFFFFF);
-  w.u32(vtcfl);
-  w.u16(payload_length);
-  w.u8(next_header);
-  w.u8(hop_limit);
-  w.bytes(src.bytes());
-  w.bytes(dst.bytes());
-}
-
 Ipv6Header Ipv6Header::parse(ByteReader& r) {
   const std::uint32_t vtcfl = r.u32();
   if ((vtcfl >> 28) != 6) throw std::invalid_argument{"Ipv6Header: version != 6"};
@@ -33,13 +21,6 @@ Ipv6Header Ipv6Header::parse(ByteReader& r) {
   return h;
 }
 
-void UdpHeader::serialize(ByteWriter& w) const {
-  w.u16(src_port);
-  w.u16(dst_port);
-  w.u16(length);
-  w.u16(checksum);
-}
-
 UdpHeader UdpHeader::parse(ByteReader& r) {
   UdpHeader h;
   h.src_port = r.u16();
@@ -47,17 +28,6 @@ UdpHeader UdpHeader::parse(ByteReader& r) {
   h.length = r.u16();
   h.checksum = r.u16();
   return h;
-}
-
-void TangoHeader::serialize(ByteWriter& w) const {
-  w.u16(kMagic);
-  w.u8(version);
-  w.u8(flags);
-  w.u16(path_id);
-  w.u16(0);  // reserved
-  w.u64(tx_time_ns);
-  w.u64(sequence);
-  if (authenticated()) w.u64(auth_tag);
 }
 
 std::optional<TangoHeader> TangoHeader::parse(ByteReader& r) {

@@ -37,7 +37,20 @@ struct Ipv6Header {
   Ipv6Address src;
   Ipv6Address dst;
 
-  void serialize(ByteWriter& w) const;
+  /// Works with ByteWriter (growable) and SpanWriter (in-place headroom).
+  template <class Writer>
+  void serialize(Writer& w) const {
+    const std::uint32_t vtcfl = (std::uint32_t{6} << 28) |
+                                (static_cast<std::uint32_t>(traffic_class) << 20) |
+                                (flow_label & 0xFFFFF);
+    w.u32(vtcfl);
+    w.u16(payload_length);
+    w.u8(next_header);
+    w.u8(hop_limit);
+    w.bytes(src.bytes());
+    w.bytes(dst.bytes());
+  }
+
   static Ipv6Header parse(ByteReader& r);
 
   bool operator==(const Ipv6Header&) const = default;
@@ -52,7 +65,14 @@ struct UdpHeader {
   std::uint16_t length = 0;    // header + payload
   std::uint16_t checksum = 0;  // over IPv6 pseudo-header
 
-  void serialize(ByteWriter& w) const;
+  template <class Writer>
+  void serialize(Writer& w) const {
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(length);
+    w.u16(checksum);
+  }
+
   static UdpHeader parse(ByteReader& r);
 
   bool operator==(const UdpHeader&) const = default;
@@ -91,7 +111,17 @@ struct TangoHeader {
   std::uint64_t sequence = 0;
   std::uint64_t auth_tag = 0;
 
-  void serialize(ByteWriter& w) const;
+  template <class Writer>
+  void serialize(Writer& w) const {
+    w.u16(kMagic);
+    w.u8(version);
+    w.u8(flags);
+    w.u16(path_id);
+    w.u16(0);  // reserved
+    w.u64(tx_time_ns);
+    w.u64(sequence);
+    if (authenticated()) w.u64(auth_tag);
+  }
 
   /// Returns nullopt (rather than throwing) on bad magic or version so the
   /// switch can pass non-Tango traffic through unmodified.

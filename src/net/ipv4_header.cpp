@@ -4,22 +4,6 @@
 
 namespace tango::net {
 
-void Ipv4Header::serialize(ByteWriter& w) const {
-  const std::size_t start = w.size();
-  w.u8(0x45);  // version 4, IHL 5
-  w.u8(dscp_ecn);
-  w.u16(total_length);
-  w.u16(identification);
-  w.u16(flags_fragment);
-  w.u8(ttl);
-  w.u8(protocol);
-  w.u16(0);  // checksum placeholder
-  w.bytes(src.bytes());
-  w.bytes(dst.bytes());
-  const std::uint16_t csum = internet_checksum(w.view().subspan(start, kSize));
-  w.patch_u16(start + 10, csum);
-}
-
 Ipv4Header Ipv4Header::parse(ByteReader& r) {
   if (r.remaining() < kSize) throw std::invalid_argument{"Ipv4Header: truncated"};
   // Verify the checksum over the raw header bytes before decoding.

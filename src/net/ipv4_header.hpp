@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "net/byte_io.hpp"
+#include "net/checksum.hpp"
 #include "net/ip_address.hpp"
 
 namespace tango::net {
@@ -28,8 +29,24 @@ struct Ipv4Header {
   Ipv4Address src;
   Ipv4Address dst;
 
-  /// Serializes with a freshly computed header checksum.
-  void serialize(ByteWriter& w) const;
+  /// Serializes with a freshly computed header checksum.  Works with
+  /// ByteWriter (growable) and SpanWriter (in-place headroom).
+  template <class Writer>
+  void serialize(Writer& w) const {
+    const std::size_t start = w.size();
+    w.u8(0x45);  // version 4, IHL 5
+    w.u8(dscp_ecn);
+    w.u16(total_length);
+    w.u16(identification);
+    w.u16(flags_fragment);
+    w.u8(ttl);
+    w.u8(protocol);
+    w.u16(0);  // checksum placeholder
+    w.bytes(src.bytes());
+    w.bytes(dst.bytes());
+    const std::uint16_t csum = internet_checksum(w.view().subspan(start, kSize));
+    w.patch_u16(start + 10, csum);
+  }
 
   /// Parses and verifies version, IHL and the header checksum.
   /// Throws std::invalid_argument on violations.

@@ -1,121 +1,247 @@
 #include "net/packet.hpp"
 
 #include "net/checksum.hpp"
+#include "net/prefix_trie.hpp"
 
 namespace tango::net {
 
+std::span<std::uint8_t> Packet::prepend(std::size_t n) {
+  flow_state_ = FlowState::unknown;
+  if (offset_ >= n) {
+    offset_ -= n;
+  } else {
+    // Slow path: the headroom is exhausted; rebuild the buffer with fresh
+    // default headroom in front of the grown packet.
+    std::vector<std::uint8_t> grown(kDefaultHeadroom + n + size());
+    std::copy(buf_.begin() + static_cast<std::ptrdiff_t>(offset_), buf_.end(),
+              grown.begin() + static_cast<std::ptrdiff_t>(kDefaultHeadroom + n));
+    buf_ = std::move(grown);
+    offset_ = kDefaultHeadroom;
+  }
+  return std::span<std::uint8_t>{buf_}.subspan(offset_, n);
+}
+
+void Packet::trim_front(std::size_t n) {
+  if (n > size()) throw std::out_of_range{"Packet::trim_front: beyond packet end"};
+  offset_ += n;
+  flow_state_ = FlowState::unknown;
+}
+
 Ipv6Header Packet::ip() const {
-  ByteReader r{bytes_};
+  ByteReader r{bytes()};
   return Ipv6Header::parse(r);
 }
 
 Ipv4Header Packet::ip4() const {
-  ByteReader r{bytes_};
+  ByteReader r{bytes()};
   return Ipv4Header::parse(r);
 }
 
 std::span<const std::uint8_t> Packet::payload() const {
-  if (bytes_.size() < Ipv6Header::kSize) {
+  if (size() < Ipv6Header::kSize) {
     throw std::out_of_range{"Packet::payload: shorter than IPv6 header"};
   }
-  return std::span<const std::uint8_t>{bytes_}.subspan(Ipv6Header::kSize);
+  return bytes().subspan(Ipv6Header::kSize);
 }
 
 bool Packet::decrement_hop_limit() {
-  if (bytes_.size() < Ipv6Header::kSize) {
+  if (size() < Ipv6Header::kSize) {
     throw std::out_of_range{"Packet::decrement_hop_limit: shorter than IPv6 header"};
   }
-  std::uint8_t& hop = bytes_[7];  // hop limit is byte 7 of the fixed header
+  std::uint8_t& hop = buf_[offset_ + 7];  // hop limit is byte 7 of the fixed header
   if (hop == 0) return false;
   --hop;
   return true;
 }
 
 bool Packet::decrement_ttl_v4() {
-  if (bytes_.size() < Ipv4Header::kSize) {
+  if (size() < Ipv4Header::kSize) {
     throw std::out_of_range{"Packet::decrement_ttl_v4: shorter than IPv4 header"};
   }
-  std::uint8_t& ttl = bytes_[8];
+  const auto b = mutable_bytes();
+  std::uint8_t& ttl = b[8];
   if (ttl == 0) return false;
   --ttl;
   // RFC 1141 incremental update: the TTL sits in the high byte of word 4,
   // so subtracting 1 from it adds 0x0100 to the one's-complement sum.
-  std::uint32_t csum = (static_cast<std::uint32_t>(bytes_[10]) << 8) | bytes_[11];
+  std::uint32_t csum = (static_cast<std::uint32_t>(b[10]) << 8) | b[11];
   csum += 0x0100;
   csum = (csum & 0xFFFF) + (csum >> 16);
-  bytes_[10] = static_cast<std::uint8_t>(csum >> 8);
-  bytes_[11] = static_cast<std::uint8_t>(csum);
+  b[10] = static_cast<std::uint8_t>(csum >> 8);
+  b[11] = static_cast<std::uint8_t>(csum);
   return true;
 }
 
-Packet make_udp4_packet(const Ipv4Address& src, const Ipv4Address& dst,
-                        std::uint16_t src_port, std::uint16_t dst_port,
-                        std::span<const std::uint8_t> payload, std::uint8_t ttl) {
-  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
-  Ipv4Header ip{.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + udp_len),
-                .ttl = ttl,
-                .protocol = Ipv4Header::kProtocolUdp,
-                .src = src,
-                .dst = dst};
-  ByteWriter w{ip.total_length};
-  ip.serialize(w);
-  UdpHeader udp{.src_port = src_port, .dst_port = dst_port, .length = udp_len,
-                .checksum = 0};  // optional over IPv4
-  udp.serialize(w);
-  w.bytes(payload);
-  return Packet{std::move(w).take()};
+const Packet::FlowKey* Packet::flow_key() const {
+  if (flow_state_ == FlowState::valid) return &flow_key_;
+  if (flow_state_ == FlowState::malformed) return nullptr;
+
+  // FNV-1a over src addr, dst addr and (when UDP) the port pair: the fields
+  // real routers feed their ECMP hash.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  auto mix_ports = [&mix](std::span<const std::uint8_t> udp_segment) {
+    ByteReader r{udp_segment};
+    const UdpHeader udp = UdpHeader::parse(r);
+    mix(static_cast<std::uint8_t>(udp.src_port >> 8));
+    mix(static_cast<std::uint8_t>(udp.src_port));
+    mix(static_cast<std::uint8_t>(udp.dst_port >> 8));
+    mix(static_cast<std::uint8_t>(udp.dst_port));
+  };
+
+  try {
+    if (version() == 4) {
+      const Ipv4Header h4 = ip4();
+      for (std::uint8_t b : h4.src.bytes()) mix(b);
+      for (std::uint8_t b : h4.dst.bytes()) mix(b);
+      mix(h4.protocol);
+      if (h4.protocol == Ipv4Header::kProtocolUdp) {
+        try {
+          mix_ports(bytes().subspan(Ipv4Header::kSize));
+        } catch (const std::exception&) {
+          // Truncated transport header: hash on the network layer alone.
+        }
+      }
+      flow_key_ = FlowKey{v4_mapped(h4.dst), h};
+    } else {
+      const Ipv6Header h6 = ip();
+      for (std::uint8_t b : h6.src.bytes()) mix(b);
+      for (std::uint8_t b : h6.dst.bytes()) mix(b);
+      mix(h6.next_header);
+      if (h6.next_header == Ipv6Header::kNextHeaderUdp) {
+        try {
+          mix_ports(payload());
+        } catch (const std::exception&) {
+        }
+      }
+      flow_key_ = FlowKey{h6.dst, h};
+    }
+  } catch (const std::exception&) {
+    flow_state_ = FlowState::malformed;
+    return nullptr;
+  }
+  flow_state_ = FlowState::valid;
+  return &flow_key_;
 }
 
-Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst, std::uint16_t src_port,
-                       std::uint16_t dst_port, std::span<const std::uint8_t> payload,
-                       std::uint8_t hop_limit) {
-  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+namespace {
 
-  ByteWriter udp_w{udp_len};
-  UdpHeader udp{.src_port = src_port, .dst_port = dst_port, .length = udp_len, .checksum = 0};
-  udp.serialize(udp_w);
-  udp_w.bytes(payload);
-  udp_w.patch_u16(6, udp6_checksum(src, dst, udp_w.view()));
+/// Writes an IPv6+UDP packet into `buf` after kDefaultHeadroom bytes of
+/// headroom.  Shared by the allocating and pool-backed builders.
+Packet build_udp6(std::vector<std::uint8_t> buf, const Ipv6Address& src, const Ipv6Address& dst,
+                  std::uint16_t src_port, std::uint16_t dst_port,
+                  std::span<const std::uint8_t> payload, std::uint8_t hop_limit) {
+  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  const std::size_t total = Ipv6Header::kSize + udp_len;
+
+  buf.resize(Packet::kDefaultHeadroom + total);
+  SpanWriter w{std::span<std::uint8_t>{buf}.subspan(Packet::kDefaultHeadroom)};
 
   Ipv6Header ip{.payload_length = udp_len,
                 .next_header = Ipv6Header::kNextHeaderUdp,
                 .hop_limit = hop_limit,
                 .src = src,
                 .dst = dst};
-  ByteWriter w{Ipv6Header::kSize + udp_len};
   ip.serialize(w);
-  w.bytes(udp_w.view());
-  return Packet{std::move(w).take()};
+  UdpHeader udp{.src_port = src_port, .dst_port = dst_port, .length = udp_len, .checksum = 0};
+  udp.serialize(w);
+  w.bytes(payload);
+
+  const auto segment =
+      std::span<const std::uint8_t>{buf}.subspan(Packet::kDefaultHeadroom + Ipv6Header::kSize);
+  w.patch_u16(Ipv6Header::kSize + 6, udp6_checksum(src, dst, segment));
+  return Packet{std::move(buf), Packet::kDefaultHeadroom};
+}
+
+Packet build_udp4(std::vector<std::uint8_t> buf, const Ipv4Address& src, const Ipv4Address& dst,
+                  std::uint16_t src_port, std::uint16_t dst_port,
+                  std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  Ipv4Header ip{.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + udp_len),
+                .ttl = ttl,
+                .protocol = Ipv4Header::kProtocolUdp,
+                .src = src,
+                .dst = dst};
+
+  buf.resize(Packet::kDefaultHeadroom + ip.total_length);
+  SpanWriter w{std::span<std::uint8_t>{buf}.subspan(Packet::kDefaultHeadroom)};
+  ip.serialize(w);
+  UdpHeader udp{.src_port = src_port, .dst_port = dst_port, .length = udp_len,
+                .checksum = 0};  // optional over IPv4
+  udp.serialize(w);
+  w.bytes(payload);
+  return Packet{std::move(buf), Packet::kDefaultHeadroom};
+}
+
+}  // namespace
+
+Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst, std::uint16_t src_port,
+                       std::uint16_t dst_port, std::span<const std::uint8_t> payload,
+                       std::uint8_t hop_limit) {
+  return build_udp6({}, src, dst, src_port, dst_port, payload, hop_limit);
+}
+
+Packet make_udp_packet(BufferPool& pool, const Ipv6Address& src, const Ipv6Address& dst,
+                       std::uint16_t src_port, std::uint16_t dst_port,
+                       std::span<const std::uint8_t> payload, std::uint8_t hop_limit) {
+  return build_udp6(pool.acquire(), src, dst, src_port, dst_port, payload, hop_limit);
+}
+
+Packet make_udp4_packet(const Ipv4Address& src, const Ipv4Address& dst, std::uint16_t src_port,
+                        std::uint16_t dst_port, std::span<const std::uint8_t> payload,
+                        std::uint8_t ttl) {
+  return build_udp4({}, src, dst, src_port, dst_port, payload, ttl);
+}
+
+Packet make_udp4_packet(BufferPool& pool, const Ipv4Address& src, const Ipv4Address& dst,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  return build_udp4(pool.acquire(), src, dst, src_port, dst_port, payload, ttl);
+}
+
+void encapsulate_tango_inplace(Packet& packet, const Ipv6Address& tunnel_src,
+                               const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
+                               const TangoHeader& tango_header, std::uint8_t hop_limit) {
+  const std::size_t tango_size = tango_header.wire_size();
+  const auto udp_len =
+      static_cast<std::uint16_t>(UdpHeader::kSize + tango_size + packet.size());
+  const std::size_t outer = Ipv6Header::kSize + UdpHeader::kSize + tango_size;
+
+  SpanWriter w{packet.prepend(outer)};
+  Ipv6Header outer_ip{.payload_length = udp_len,
+                      .next_header = Ipv6Header::kNextHeaderUdp,
+                      .hop_limit = hop_limit,
+                      .src = tunnel_src,
+                      .dst = tunnel_dst};
+  outer_ip.serialize(w);
+  UdpHeader udp{.src_port = udp_src_port,
+                .dst_port = TangoHeader::kUdpPort,
+                .length = udp_len,
+                .checksum = 0};
+  udp.serialize(w);
+  tango_header.serialize(w);
+
+  // Checksum over the whole UDP segment (headers just written + inner bytes,
+  // contiguous in the buffer), patched into the zeroed field.
+  const std::uint16_t csum =
+      udp6_checksum(tunnel_src, tunnel_dst, packet.bytes().subspan(Ipv6Header::kSize));
+  const auto b = packet.mutable_bytes();
+  b[Ipv6Header::kSize + 6] = static_cast<std::uint8_t>(csum >> 8);
+  b[Ipv6Header::kSize + 7] = static_cast<std::uint8_t>(csum);
 }
 
 Packet encapsulate_tango(const Packet& inner, const Ipv6Address& tunnel_src,
                          const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
                          const TangoHeader& tango_header, std::uint8_t hop_limit) {
-  const auto udp_len = static_cast<std::uint16_t>(UdpHeader::kSize +
-                                                  tango_header.wire_size() + inner.size());
-
-  ByteWriter udp_w{udp_len};
-  UdpHeader udp{.src_port = udp_src_port,
-                .dst_port = TangoHeader::kUdpPort,
-                .length = udp_len,
-                .checksum = 0};
-  udp.serialize(udp_w);
-  tango_header.serialize(udp_w);
-  udp_w.bytes(inner.bytes());
-  udp_w.patch_u16(6, udp6_checksum(tunnel_src, tunnel_dst, udp_w.view()));
-
-  Ipv6Header outer{.payload_length = udp_len,
-                   .next_header = Ipv6Header::kNextHeaderUdp,
-                   .hop_limit = hop_limit,
-                   .src = tunnel_src,
-                   .dst = tunnel_dst};
-  ByteWriter w{Ipv6Header::kSize + udp_len};
-  outer.serialize(w);
-  w.bytes(udp_w.view());
-  return Packet{std::move(w).take()};
+  Packet out = inner;
+  encapsulate_tango_inplace(out, tunnel_src, tunnel_dst, udp_src_port, tango_header, hop_limit);
+  return out;
 }
 
-std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet) {
+std::optional<TangoView> decapsulate_tango_view(const Packet& wan_packet) {
   try {
     ByteReader r{wan_packet.bytes()};
     Ipv6Header outer = Ipv6Header::parse(r);
@@ -132,15 +258,24 @@ std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet) {
     auto tango = TangoHeader::parse(r);
     if (!tango) return std::nullopt;
 
-    auto inner_bytes = r.rest();
-    return TangoEncapsulated{
-        .outer_ip = outer,
-        .udp = udp,
-        .tango = *tango,
-        .inner = Packet{std::vector<std::uint8_t>{inner_bytes.begin(), inner_bytes.end()}}};
+    return TangoView{.outer_ip = outer,
+                     .udp = udp,
+                     .tango = *tango,
+                     .inner = r.rest(),
+                     .outer_size = r.position()};
   } catch (const std::exception&) {
     return std::nullopt;  // truncated or malformed: not a Tango packet
   }
+}
+
+std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet) {
+  auto view = decapsulate_tango_view(wan_packet);
+  if (!view) return std::nullopt;
+  return TangoEncapsulated{
+      .outer_ip = view->outer_ip,
+      .udp = view->udp,
+      .tango = view->tango,
+      .inner = Packet{std::vector<std::uint8_t>{view->inner.begin(), view->inner.end()}}};
 }
 
 std::string describe(const Packet& p) {

@@ -1,11 +1,20 @@
 // Packet buffers and builders for the Tango pipeline.
 //
-// A Packet is an owning byte buffer holding a serialized IPv6 packet.  Host
-// packets enter the switch as plain IPv6; on the WAN segment they are
-// wrapped as IPv6|UDP|TangoHeader|inner.  Builders and parsers here keep
-// the encapsulation byte-exact (lengths and UDP checksums included).
+// A Packet is an owning byte buffer holding a serialized IPv6 (or IPv4)
+// packet.  Host packets enter the switch as plain IP; on the WAN segment
+// they are wrapped as IPv6|UDP|TangoHeader|inner.  Builders and parsers
+// here keep the encapsulation byte-exact (lengths and UDP checksums
+// included).
+//
+// Fast-path layout: packets are carried inside a buffer with *headroom* —
+// spare bytes in front of the packet data — so Tango encapsulation is an
+// in-place header prepend and decapsulation an in-place front trim, with
+// zero buffer allocations in the steady state.  The legacy copying
+// builders (`encapsulate_tango`/`decapsulate_tango`) remain as the
+// byte-exact reference implementations.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -17,20 +26,44 @@
 
 namespace tango::net {
 
-/// An owning, serialized IPv6 packet.
+/// An owning, serialized IP packet with optional front headroom.
 class Packet {
  public:
-  Packet() = default;
-  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_{std::move(bytes)} {}
+  /// Headroom the builders reserve: one outer IPv6 + UDP + largest Tango
+  /// header, so a host packet can be encapsulated in place exactly once
+  /// without reallocating.
+  static constexpr std::size_t kDefaultHeadroom =
+      Ipv6Header::kSize + UdpHeader::kSize + TangoHeader::kSize + TangoHeader::kAuthTagSize;
 
-  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return bytes_; }
-  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+  Packet() = default;
+  /// Adopts `bytes` as the whole packet (no headroom).
+  explicit Packet(std::vector<std::uint8_t> bytes) : buf_{std::move(bytes)} {}
+  /// Adopts `buffer` whose first `offset` bytes are headroom.
+  Packet(std::vector<std::uint8_t> buffer, std::size_t offset)
+      : buf_{std::move(buffer)}, offset_{offset > buf_.size() ? buf_.size() : offset} {}
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return std::span<const std::uint8_t>{buf_}.subspan(offset_);
+  }
+  [[nodiscard]] std::span<std::uint8_t> mutable_bytes() noexcept {
+    return std::span<std::uint8_t>{buf_}.subspan(offset_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size() - offset_; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  /// Spare bytes in front of the packet data, available to prepend().
+  [[nodiscard]] std::size_t headroom() const noexcept { return offset_; }
+
+  /// Opens `n` bytes in front of the packet and returns them for writing.
+  /// Uses the headroom when sufficient (no allocation); otherwise reopens
+  /// kDefaultHeadroom ahead of the grown packet.  Invalidates the flow key.
+  std::span<std::uint8_t> prepend(std::size_t n);
+
+  /// Drops the first `n` bytes in place (decapsulation).  The bytes stay in
+  /// the buffer as new headroom.  Invalidates the flow key.
+  void trim_front(std::size_t n);
 
   /// IP version nibble (4 or 6; 0 for an empty buffer).
-  [[nodiscard]] std::uint8_t version() const noexcept {
-    return ip_version_of(bytes_);
-  }
+  [[nodiscard]] std::uint8_t version() const noexcept { return ip_version_of(bytes()); }
 
   /// Parses the leading IPv6 header.  Throws on truncation/garbage.
   [[nodiscard]] Ipv6Header ip() const;
@@ -43,22 +76,94 @@ class Packet {
 
   /// Decrements the IPv6 hop limit in place (router forwarding).
   /// Returns false when the limit was already zero (drop the packet).
+  /// Addresses and ports are untouched, so the cached flow key survives.
   bool decrement_hop_limit();
 
   /// Decrements the IPv4 TTL in place with an RFC 1141 incremental checksum
   /// update.  Returns false when the TTL was already zero.
   bool decrement_ttl_v4();
 
-  bool operator==(const Packet&) const = default;
+  /// The fields every forwarding hop needs: the (v4-mapped) destination for
+  /// the FIB lookup and the 5-tuple hash for ECMP lane selection.
+  struct FlowKey {
+    Ipv6Address dst;
+    std::uint64_t hash = 0;
+  };
+
+  /// Lazily parsed, cached across hops (headers are parsed once per packet,
+  /// not once per hop).  Returns nullptr for malformed packets.  Hop-limit /
+  /// TTL decrements keep the cache; prepend/trim invalidate it.
+  [[nodiscard]] const FlowKey* flow_key() const;
+
+  /// Surrenders the underlying buffer (headroom included) for recycling.
+  [[nodiscard]] std::vector<std::uint8_t> release_buffer() && noexcept {
+    offset_ = 0;
+    flow_state_ = FlowState::unknown;
+    return std::move(buf_);
+  }
+
+  /// Packets compare by their logical bytes; headroom is irrelevant.
+  bool operator==(const Packet& other) const noexcept {
+    const auto a = bytes();
+    const auto b = other.bytes();
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  enum class FlowState : std::uint8_t { unknown, valid, malformed };
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t offset_ = 0;
+  mutable FlowKey flow_key_{};
+  mutable FlowState flow_state_ = FlowState::unknown;
 };
 
-/// Builds a plain (host-side) IPv6+UDP packet carrying `payload`.
-/// Used by traffic generators and tests.
+/// A free list of packet buffers: delivered/dropped packets return their
+/// buffers here and traffic sources draw from it, so the steady-state data
+/// plane recycles instead of allocating.
+class BufferPool {
+ public:
+  /// An empty buffer, reusing a pooled one's capacity when available.
+  [[nodiscard]] std::vector<std::uint8_t> acquire() noexcept {
+    if (free_.empty()) {
+      ++misses_;
+      return {};
+    }
+    ++hits_;
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  void release(std::vector<std::uint8_t> buf) noexcept {
+    if (buf.capacity() == 0 || free_.size() >= kMaxPooled) return;
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t pooled() const noexcept { return free_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 4096;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Builds a plain (host-side) IPv6+UDP packet carrying `payload`, with
+/// kDefaultHeadroom reserved for later encapsulation.
 [[nodiscard]] Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst,
                                      std::uint16_t src_port, std::uint16_t dst_port,
+                                     std::span<const std::uint8_t> payload,
+                                     std::uint8_t hop_limit = 64);
+
+/// Pool-backed variant: draws the buffer from `pool` (zero-allocation once
+/// the pool is warm).
+[[nodiscard]] Packet make_udp_packet(BufferPool& pool, const Ipv6Address& src,
+                                     const Ipv6Address& dst, std::uint16_t src_port,
+                                     std::uint16_t dst_port,
                                      std::span<const std::uint8_t> payload,
                                      std::uint8_t hop_limit = 64);
 
@@ -69,7 +174,14 @@ class Packet {
                                       std::span<const std::uint8_t> payload,
                                       std::uint8_t ttl = 64);
 
-/// Fields of a decoded Tango WAN packet.
+/// Pool-backed variant of make_udp4_packet.
+[[nodiscard]] Packet make_udp4_packet(BufferPool& pool, const Ipv4Address& src,
+                                      const Ipv4Address& dst, std::uint16_t src_port,
+                                      std::uint16_t dst_port,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint8_t ttl = 64);
+
+/// Fields of a decoded Tango WAN packet (owning copy of the inner packet).
 struct TangoEncapsulated {
   Ipv6Header outer_ip;
   UdpHeader udp;
@@ -77,19 +189,45 @@ struct TangoEncapsulated {
   Packet inner;  // the original host packet, byte-identical
 };
 
+/// Zero-copy view of a decoded Tango WAN packet: `inner` aliases the WAN
+/// packet's buffer and is valid only while that packet is alive and
+/// unmodified.  `outer_size` is what trim_front() must drop to turn the WAN
+/// packet into the inner packet in place.
+struct TangoView {
+  Ipv6Header outer_ip;
+  UdpHeader udp;
+  TangoHeader tango;
+  std::span<const std::uint8_t> inner;
+  std::size_t outer_size = 0;
+};
+
 /// Wraps `inner` for the WAN: outer IPv6 (src/dst = tunnel endpoints), UDP
 /// (fixed ports pin ECMP), Tango telemetry header.  Computes the outer UDP
-/// checksum over the pseudo-header.
+/// checksum over the pseudo-header.  Copying reference implementation; the
+/// fast path is encapsulate_tango_inplace.
 [[nodiscard]] Packet encapsulate_tango(const Packet& inner, const Ipv6Address& tunnel_src,
                                        const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
                                        const TangoHeader& tango_header,
                                        std::uint8_t hop_limit = 64);
 
+/// In-place fast path: prepends the outer headers into `packet`'s headroom
+/// (allocating only when the headroom is insufficient).  On return `packet`
+/// is the WAN packet, byte-identical to what encapsulate_tango builds.
+void encapsulate_tango_inplace(Packet& packet, const Ipv6Address& tunnel_src,
+                               const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
+                               const TangoHeader& tango_header, std::uint8_t hop_limit = 64);
+
 /// Attempts to decode a WAN packet as Tango-encapsulated.  Returns nullopt
 /// for anything that is not a valid Tango packet (wrong next header, wrong
 /// port, bad magic, bad UDP checksum, truncation) so callers can fall back
-/// to normal forwarding.
+/// to normal forwarding.  Copies the inner packet; the fast path is
+/// decapsulate_tango_view + Packet::trim_front.
 [[nodiscard]] std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet);
+
+/// Zero-copy decode: parses the outer headers once and returns spans into
+/// `wan_packet` instead of copying the inner bytes.  Same validation rules
+/// as decapsulate_tango.
+[[nodiscard]] std::optional<TangoView> decapsulate_tango_view(const Packet& wan_packet);
 
 /// Renders the header stack of a packet for logs and examples.
 [[nodiscard]] std::string describe(const Packet& p);

@@ -8,27 +8,6 @@ constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
   return (x << b) | (x >> (64 - b));
 }
 
-struct State {
-  std::uint64_t v0, v1, v2, v3;
-
-  void round() noexcept {
-    v0 += v1;
-    v1 = rotl(v1, 13);
-    v1 ^= v0;
-    v0 = rotl(v0, 32);
-    v2 += v3;
-    v3 = rotl(v3, 16);
-    v3 ^= v2;
-    v0 += v3;
-    v3 = rotl(v3, 21);
-    v3 ^= v0;
-    v2 += v1;
-    v1 = rotl(v1, 17);
-    v1 ^= v2;
-    v2 = rotl(v2, 32);
-  }
-};
-
 /// Little-endian 64-bit load (SipHash is specified little-endian).
 std::uint64_t load_le(const std::uint8_t* p) noexcept {
   std::uint64_t v = 0;
@@ -38,36 +17,87 @@ std::uint64_t load_le(const std::uint8_t* p) noexcept {
 
 }  // namespace
 
+SipHash::SipHash(const SipHashKey& key) noexcept
+    : v0_{key.k0 ^ 0x736f6d6570736575ull},
+      v1_{key.k1 ^ 0x646f72616e646f6dull},
+      v2_{key.k0 ^ 0x6c7967656e657261ull},
+      v3_{key.k1 ^ 0x7465646279746573ull} {}
+
+#define TANGO_SIPROUND            \
+  do {                            \
+    v0_ += v1_;                   \
+    v1_ = rotl(v1_, 13);          \
+    v1_ ^= v0_;                   \
+    v0_ = rotl(v0_, 32);          \
+    v2_ += v3_;                   \
+    v3_ = rotl(v3_, 16);          \
+    v3_ ^= v2_;                   \
+    v0_ += v3_;                   \
+    v3_ = rotl(v3_, 21);          \
+    v3_ ^= v0_;                   \
+    v2_ += v1_;                   \
+    v1_ = rotl(v1_, 17);          \
+    v1_ ^= v2_;                   \
+    v2_ = rotl(v2_, 32);          \
+  } while (0)
+
+void SipHash::absorb(std::uint64_t m) noexcept {
+  v3_ ^= m;
+  TANGO_SIPROUND;
+  TANGO_SIPROUND;
+  v0_ ^= m;
+}
+
+void SipHash::update(std::span<const std::uint8_t> data) noexcept {
+  total_ += data.size();
+  std::size_t i = 0;
+
+  if (buffered_ != 0) {
+    while (buffered_ < 8 && i < data.size()) buf_[buffered_++] = data[i++];
+    if (buffered_ < 8) return;
+    absorb(load_le(buf_));
+    buffered_ = 0;
+  }
+
+  for (; i + 8 <= data.size(); i += 8) absorb(load_le(data.data() + i));
+
+  while (i < data.size()) buf_[buffered_++] = data[i++];
+}
+
+void SipHash::update_u16(std::uint16_t v) noexcept {
+  // Matches ByteWriter::u16 (big-endian on the wire).
+  const std::uint8_t be[2] = {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  update(be);
+}
+
+void SipHash::update_u64(std::uint64_t v) noexcept {
+  std::uint8_t be[8];
+  for (int i = 0; i < 8; ++i) be[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  update(be);
+}
+
+std::uint64_t SipHash::finish() noexcept {
+  // Final block: buffered tail bytes + total length in the top byte.
+  std::uint64_t last = (total_ & 0xFF) << 56;
+  for (std::size_t i = 0; i < buffered_; ++i) {
+    last |= static_cast<std::uint64_t>(buf_[i]) << (8 * i);
+  }
+  absorb(last);
+
+  v2_ ^= 0xFF;
+  TANGO_SIPROUND;
+  TANGO_SIPROUND;
+  TANGO_SIPROUND;
+  TANGO_SIPROUND;
+  return v0_ ^ v1_ ^ v2_ ^ v3_;
+}
+
+#undef TANGO_SIPROUND
+
 std::uint64_t siphash24(const SipHashKey& key, std::span<const std::uint8_t> data) noexcept {
-  State s{key.k0 ^ 0x736f6d6570736575ull, key.k1 ^ 0x646f72616e646f6dull,
-          key.k0 ^ 0x6c7967656e657261ull, key.k1 ^ 0x7465646279746573ull};
-
-  const std::size_t full_blocks = data.size() / 8;
-  for (std::size_t i = 0; i < full_blocks; ++i) {
-    const std::uint64_t m = load_le(data.data() + 8 * i);
-    s.v3 ^= m;
-    s.round();
-    s.round();
-    s.v0 ^= m;
-  }
-
-  // Final block: remaining bytes + length in the top byte.
-  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xFF) << 56;
-  const std::size_t tail = data.size() % 8;
-  for (std::size_t i = 0; i < tail; ++i) {
-    last |= static_cast<std::uint64_t>(data[8 * full_blocks + i]) << (8 * i);
-  }
-  s.v3 ^= last;
-  s.round();
-  s.round();
-  s.v0 ^= last;
-
-  s.v2 ^= 0xFF;
-  s.round();
-  s.round();
-  s.round();
-  s.round();
-  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+  SipHash h{key};
+  h.update(data);
+  return h.finish();
 }
 
 }  // namespace tango::net

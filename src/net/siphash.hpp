@@ -25,4 +25,28 @@ struct SipHashKey {
 [[nodiscard]] std::uint64_t siphash24(const SipHashKey& key,
                                       std::span<const std::uint8_t> data) noexcept;
 
+/// Incremental SipHash-2-4: feed discontiguous pieces (header fields, then
+/// the inner packet) without concatenating them into a scratch buffer.
+/// `finish()` over the updates equals siphash24 over the concatenation.
+/// This keeps per-packet authentication allocation-free on the fast path.
+class SipHash {
+ public:
+  explicit SipHash(const SipHashKey& key) noexcept;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update_u16(std::uint16_t v) noexcept;
+  void update_u64(std::uint64_t v) noexcept;
+
+  /// Finalizes and returns the 64-bit tag.  The object must not be reused.
+  [[nodiscard]] std::uint64_t finish() noexcept;
+
+ private:
+  void absorb(std::uint64_t m) noexcept;
+
+  std::uint64_t v0_, v1_, v2_, v3_;
+  std::uint8_t buf_[8] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_ = 0;
+};
+
 }  // namespace tango::net

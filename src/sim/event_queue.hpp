@@ -2,11 +2,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace tango::sim {
@@ -15,7 +15,11 @@ namespace tango::sim {
 /// scheduling order (FIFO), which keeps runs deterministic.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Small-buffer-optimized callable: sized so a WAN forwarding hop
+  /// ({Wan*, RouterId, Packet with cached flow key}) stays inline and
+  /// scheduling it never heap-allocates.  Larger captures transparently
+  /// fall back to the heap.
+  using Action = InlineFunction<120>;
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 

@@ -1,0 +1,115 @@
+// A move-only `void()` callable with small-buffer-optimized storage.
+//
+// Scheduling a WAN hop captures {Wan*, RouterId, Packet} — about 80 bytes.
+// std::function's inline buffer (16-32 bytes on mainstream ABIs) spills
+// that to the heap, which made every scheduled hop a heap allocation.
+// InlineFunction sizes its buffer for the event engine's real callables so
+// the steady-state data plane schedules without allocating; oversized or
+// throwing-move callables still work via a transparent heap fallback.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tango::sim {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &InlineOps<Fn>::kVTable;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &HeapOps<Fn>::kVTable;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// True when the wrapped callable lives in the inline buffer (no heap).
+  /// Exposed for tests and allocation accounting.
+  [[nodiscard]] bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void invoke(void* p) { (**static_cast<Fn**>(p))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn*(*static_cast<Fn**>(src));
+    }
+    static void destroy(void* p) noexcept { delete *static_cast<Fn**>(p); }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy, false};
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(other.storage_, storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace tango::sim

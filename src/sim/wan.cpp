@@ -1,5 +1,8 @@
 #include "sim/wan.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace tango::sim {
 
 std::string to_string(DropReason r) {
@@ -19,36 +22,59 @@ std::string to_string(DropReason r) {
 }
 
 Wan::Wan(topo::Topology& topo, Rng rng) : topo_{topo} {
-  for (const topo::LinkKey& key : topo.links()) {
+  // Fork per-link RNG streams in topology order (keeps the streams identical
+  // to what the tree-map implementation produced), then sort for lookup.
+  const std::vector<topo::LinkKey> keys = topo.links();
+  links_.reserve(keys.size());
+  for (const topo::LinkKey& key : keys) {
     const topo::LinkProfile* profile = topo.profile(key.from, key.to);
-    links_.emplace(key, Link{*profile, rng.fork()});
+    links_.emplace_back(key, Link{*profile, rng.fork()});
   }
-  for (bgp::RouterId id : topo.bgp().routers()) {
-    routers_[id];  // default-construct state
-  }
+  std::sort(links_.begin(), links_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<bgp::RouterId> ids = topo.bgp().routers();
+  std::sort(ids.begin(), ids.end());
+  routers_.resize(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) routers_[i].id = ids[i];
+
   sync_fibs();
 }
 
+Wan::RouterState* Wan::find_router(bgp::RouterId id) noexcept {
+  auto it = std::lower_bound(routers_.begin(), routers_.end(), id,
+                             [](const RouterState& s, bgp::RouterId v) { return s.id < v; });
+  if (it == routers_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+Link* Wan::find_link(const topo::LinkKey& key) noexcept {
+  auto it = std::lower_bound(
+      links_.begin(), links_.end(), key,
+      [](const std::pair<topo::LinkKey, Link>& e, const topo::LinkKey& k) { return e.first < k; });
+  if (it == links_.end() || !(it->first == key)) return nullptr;
+  return &it->second;
+}
+
 void Wan::sync_fibs() {
-  for (auto& [id, state] : routers_) {
+  for (RouterState& state : routers_) {
     state.fib.clear();
-    const bgp::BgpSpeaker& sp = topo_.bgp().router(id);
+    const bgp::BgpSpeaker& sp = topo_.bgp().router(state.id);
     for (const bgp::Route& route : sp.loc_rib().routes()) {
-      const bgp::RouterId next_hop =
-          route.locally_originated() ? id : route.learned_from;
+      const bgp::RouterId next_hop = route.locally_originated() ? state.id : route.learned_from;
       state.fib.insert(net::trie_key(route.prefix), next_hop);
     }
   }
 }
 
 void Wan::attach(bgp::RouterId id, DeliveryHandler handler) {
-  auto it = routers_.find(id);
-  if (it == routers_.end()) throw std::out_of_range{"Wan::attach: unknown router"};
-  it->second.handler = std::move(handler);
+  RouterState* state = find_router(id);
+  if (state == nullptr) throw std::out_of_range{"Wan::attach: unknown router"};
+  state->handler = std::move(handler);
 }
 
 void Wan::send_from(bgp::RouterId id, net::Packet packet) {
-  if (routers_.find(id) == routers_.end()) {
+  if (find_router(id) == nullptr) {
     throw std::out_of_range{"Wan::send_from: unknown router"};
   }
   // Enter the forwarding fabric on the next event so in-handler sends do not
@@ -57,108 +83,65 @@ void Wan::send_from(bgp::RouterId id, net::Packet packet) {
 }
 
 Link& Wan::link(bgp::RouterId from, bgp::RouterId to) {
-  auto it = links_.find(topo::LinkKey{from, to});
-  if (it == links_.end()) throw std::out_of_range{"Wan::link: no such link"};
-  return it->second;
+  Link* l = find_link(topo::LinkKey{from, to});
+  if (l == nullptr) throw std::out_of_range{"Wan::link: no such link"};
+  return *l;
 }
 
 std::uint64_t Wan::total_dropped() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& [reason, count] : drops_) n += count;
+  for (std::uint64_t count : drops_) n += count;
   return n;
-}
-
-std::uint64_t Wan::flow_hash(const net::Packet& packet) {
-  // FNV-1a over src addr, dst addr and (when UDP) the port pair: the fields
-  // real routers feed their ECMP hash.
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint8_t byte) {
-    h ^= byte;
-    h *= 1099511628211ull;
-  };
-  auto mix_ports = [&mix](std::span<const std::uint8_t> udp_segment) {
-    net::ByteReader r{udp_segment};
-    const net::UdpHeader udp = net::UdpHeader::parse(r);
-    mix(static_cast<std::uint8_t>(udp.src_port >> 8));
-    mix(static_cast<std::uint8_t>(udp.src_port));
-    mix(static_cast<std::uint8_t>(udp.dst_port >> 8));
-    mix(static_cast<std::uint8_t>(udp.dst_port));
-  };
-  try {
-    if (packet.version() == 4) {
-      const net::Ipv4Header ip = packet.ip4();
-      for (std::uint8_t b : ip.src.bytes()) mix(b);
-      for (std::uint8_t b : ip.dst.bytes()) mix(b);
-      mix(ip.protocol);
-      if (ip.protocol == net::Ipv4Header::kProtocolUdp) {
-        mix_ports(packet.bytes().subspan(net::Ipv4Header::kSize));
-      }
-      return h;
-    }
-    const net::Ipv6Header ip = packet.ip();
-    for (std::uint8_t b : ip.src.bytes()) mix(b);
-    for (std::uint8_t b : ip.dst.bytes()) mix(b);
-    mix(ip.next_header);
-    if (ip.next_header == net::Ipv6Header::kNextHeaderUdp) {
-      mix_ports(packet.payload());
-    }
-  } catch (const std::exception&) {
-    // Malformed packets hash on whatever was mixed; forward() will reject.
-  }
-  return h;
 }
 
 void Wan::forward(bgp::RouterId at, net::Packet packet) {
   // Both IP versions forward by longest-prefix match; IPv4 destinations are
   // looked up through the v4-mapped key space (host prefixes "can even be a
-  // different IP version", paper §3).
-  net::Ipv6Address key;
-  const bool is_v4 = packet.version() == 4;
-  try {
-    if (is_v4) {
-      key = net::v4_mapped(packet.ip4().dst);
-    } else {
-      key = packet.ip().dst;
-    }
-  } catch (const std::exception&) {
-    drop(DropReason::malformed);
+  // different IP version", paper §3).  The lookup key and the ECMP hash come
+  // from the packet's cached flow key: parsed at the first hop, reused at
+  // every subsequent one.
+  const net::Packet::FlowKey* flow = packet.flow_key();
+  if (flow == nullptr) {
+    drop(DropReason::malformed, std::move(packet));
     return;
   }
 
-  RouterState& state = routers_.at(at);
-  const bgp::RouterId* next = state.fib.lookup(key);
+  RouterState* state = find_router(at);
+  const bgp::RouterId* next = state->fib.lookup(flow->dst);
   if (next == nullptr) {
-    drop(DropReason::no_route);
+    drop(DropReason::no_route, std::move(packet));
     return;
   }
 
   if (*next == at) {
     // Local delivery: the router originates a covering prefix.
-    if (!state.handler) {
-      drop(DropReason::no_handler);
+    if (!state->handler) {
+      drop(DropReason::no_handler, std::move(packet));
       return;
     }
     ++delivered_;
-    state.handler(packet);
+    state->handler(packet);
+    recycle(std::move(packet));
     return;
   }
 
-  const bool alive = is_v4 ? packet.decrement_ttl_v4() : packet.decrement_hop_limit();
+  const bool alive =
+      packet.version() == 4 ? packet.decrement_ttl_v4() : packet.decrement_hop_limit();
   if (!alive) {
-    drop(DropReason::hop_limit);
+    drop(DropReason::hop_limit, std::move(packet));
     return;
   }
 
-  auto link_it = links_.find(topo::LinkKey{at, *next});
-  if (link_it == links_.end()) {
+  Link* link = find_link(topo::LinkKey{at, *next});
+  if (link == nullptr) {
     // FIB says next hop but no physical link (inconsistent topology).
-    drop(DropReason::no_route);
+    drop(DropReason::no_route, std::move(packet));
     return;
   }
 
-  const Transmission tx = link_it->second.transmit(events_.now(), flow_hash(packet));
+  const Transmission tx = link->transmit(events_.now(), flow->hash);
   if (tx.dropped) {
-    drop(DropReason::link_loss);
+    drop(DropReason::link_loss, std::move(packet));
     return;
   }
 

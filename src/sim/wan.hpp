@@ -6,11 +6,19 @@
 // hand a packet to your first-hop router and it follows each hop's BGP best
 // route for the packet's destination prefix, experiencing that path's delay,
 // jitter and loss.
+//
+// Forwarding is allocation-lean: per-hop router/link lookups are binary
+// searches over flat sorted tables, the packet's destination key and ECMP
+// hash are parsed once and cached on the packet, scheduled hops use the
+// event queue's inline-storage callables, and the buffers of delivered or
+// dropped packets are recycled through a free list that traffic sources can
+// draw from.
 #pragma once
 
+#include <array>
 #include <functional>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/prefix_trie.hpp"
@@ -35,7 +43,10 @@ class Wan {
  public:
   /// Handler invoked when a packet reaches a router that originates a
   /// covering prefix (i.e. the packet arrived at its edge destination).
-  using DeliveryHandler = std::function<void(const net::Packet&)>;
+  /// The reference is mutable so the edge switch can decapsulate in place;
+  /// it is valid only for the duration of the call (the buffer is recycled
+  /// afterwards) — copy the packet to keep it.
+  using DeliveryHandler = std::function<void(net::Packet&)>;
 
   /// Optional observer of every forwarding hop (tests, traces).
   using HopObserver =
@@ -66,36 +77,49 @@ class Wan {
 
   void set_hop_observer(HopObserver observer) { hop_observer_ = std::move(observer); }
 
+  /// The packet-buffer free list: buffers of delivered and dropped packets
+  /// land here, and traffic sources should build packets from it
+  /// (make_udp_packet(pool, ...)) so the steady-state pipeline recycles
+  /// instead of allocating.
+  [[nodiscard]] net::BufferPool& buffer_pool() noexcept { return pool_; }
+
   // --- Statistics -----------------------------------------------------------
 
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
-  [[nodiscard]] std::uint64_t dropped(DropReason r) const {
-    auto it = drops_.find(r);
-    return it == drops_.end() ? 0 : it->second;
+  [[nodiscard]] std::uint64_t dropped(DropReason r) const noexcept {
+    return drops_[static_cast<std::size_t>(r)];
   }
   [[nodiscard]] std::uint64_t total_dropped() const noexcept;
 
  private:
   /// One router's forwarding state.
   struct RouterState {
+    bgp::RouterId id = 0;
     /// Longest-prefix-match to the next-hop router; self id = local delivery.
     net::PrefixTrie<bgp::RouterId> fib;
     DeliveryHandler handler;
   };
 
   void forward(bgp::RouterId at, net::Packet packet);
-  void drop(DropReason r) { ++drops_[r]; }
+  void drop(DropReason r, net::Packet&& packet) {
+    ++drops_[static_cast<std::size_t>(r)];
+    recycle(std::move(packet));
+  }
+  void recycle(net::Packet&& packet) { pool_.release(std::move(packet).release_buffer()); }
 
-  /// FNV-1a over the packet's 5-tuple for ECMP lane selection.
-  [[nodiscard]] static std::uint64_t flow_hash(const net::Packet& packet);
+  [[nodiscard]] RouterState* find_router(bgp::RouterId id) noexcept;
+  [[nodiscard]] Link* find_link(const topo::LinkKey& key) noexcept;
 
   topo::Topology& topo_;
   EventQueue events_;
-  std::map<bgp::RouterId, RouterState> routers_;
-  std::map<topo::LinkKey, Link> links_;
+  /// Flat tables sorted by id/key: a handful of routers and links, looked up
+  /// on every hop — binary search over contiguous memory, no tree nodes.
+  std::vector<RouterState> routers_;
+  std::vector<std::pair<topo::LinkKey, Link>> links_;
   HopObserver hop_observer_;
+  net::BufferPool pool_;
   std::uint64_t delivered_ = 0;
-  std::map<DropReason, std::uint64_t> drops_;
+  std::array<std::uint64_t, 5> drops_{};
 };
 
 }  // namespace tango::sim

@@ -131,14 +131,14 @@ TEST_F(FailureTest, LossAwarePolicyAbandonsLossyPath) {
   la_.start_probing(10 * sim::kMillisecond);
 
   wan_.events().run_until(3 * sim::kSecond);
-  ASSERT_EQ(ny_.dp().active_path(), PathId{3}) << "settled on GTT while healthy";
+  ASSERT_EQ(ny_.dp().active_path(kServerLa), PathId{3}) << "settled on GTT while healthy";
 
   // GTT turns 20% bursty-lossy from t=3s.
   wan_.link(kGtt, kVultrLa)
       .set_loss(std::make_unique<sim::GilbertElliottLoss>(0.05, 0.2, 0.02, 0.8));
 
   wan_.events().run_until(20 * sim::kSecond);
-  EXPECT_NE(ny_.dp().active_path(), PathId{3})
+  EXPECT_NE(ny_.dp().active_path(kServerLa), PathId{3})
       << "loss-weighted policy must abandon the lossy path";
 
   pairing_.stop();
@@ -169,7 +169,7 @@ TEST_F(FailureTest, FeedbackLoopToleratesLossyControlChannel) {
   ny2.stop_probing();
   wan2.events().run_all();
 
-  EXPECT_EQ(ny2.dp().active_path(), PathId{3})
+  EXPECT_EQ(ny2.dp().active_path(kServerLa), PathId{3})
       << "policy still converges on GTT through 10% loss";
   const PathReport* r = ny2.registry().report(3);
   ASSERT_NE(r, nullptr);

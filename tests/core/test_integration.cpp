@@ -58,8 +58,8 @@ TEST_F(IntegrationTest, EstablishDiscoversFourPathsEachWay) {
   EXPECT_EQ(la_.dp().tunnels().size(), 4u);
   EXPECT_EQ(ny_.dp().tunnels().size(), 4u);
   // Default path active until measurements arrive.
-  EXPECT_EQ(la_.dp().active_path(), PathId{1});
-  EXPECT_EQ(ny_.dp().active_path(), PathId{1});
+  EXPECT_EQ(la_.dp().active_path(kServerNy), PathId{1});
+  EXPECT_EQ(ny_.dp().active_path(kServerLa), PathId{1});
   // Registry mirrors the tunnels.
   EXPECT_EQ(la_.registry().size(), 4u);
   ASSERT_NE(la_.registry().find(1), nullptr);
@@ -131,7 +131,7 @@ TEST_F(IntegrationTest, AdaptivePolicyLeavesDefaultForGtt) {
   wan_.events().run_until(5 * sim::kSecond);
 
   // NY's sender should have moved off the default (NTT, path 1) to GTT (3).
-  EXPECT_EQ(ny_.dp().active_path(), PathId{3});
+  EXPECT_EQ(ny_.dp().active_path(kServerLa), PathId{3});
   EXPECT_GE(ny_.path_switches(), 1u);
 
   pairing_.stop();
@@ -149,7 +149,7 @@ TEST_F(IntegrationTest, InstabilityEventTriggersSwitchAwayAndApplicationSurvives
 
   // Let it settle on GTT first.
   wan_.events().run_until(5 * sim::kSecond);
-  ASSERT_EQ(ny_.dp().active_path(), PathId{3});
+  ASSERT_EQ(ny_.dp().active_path(kServerLa), PathId{3});
 
   // Inject the §5 instability storm on GTT toward LA, strong enough that
   // GTT's EWMA exceeds Telia's 32.9 ms.
@@ -162,12 +162,12 @@ TEST_F(IntegrationTest, InstabilityEventTriggersSwitchAwayAndApplicationSurvives
                                           .spike_max_ms = 50.0});
 
   wan_.events().run_until(30 * sim::kSecond);
-  EXPECT_NE(ny_.dp().active_path(), PathId{3})
+  EXPECT_NE(ny_.dp().active_path(kServerLa), PathId{3})
       << "policy must abandon GTT during the storm";
 
   // After the storm ends GTT recovers and wins again.
   wan_.events().run_until(120 * sim::kSecond);
-  EXPECT_EQ(ny_.dp().active_path(), PathId{3});
+  EXPECT_EQ(ny_.dp().active_path(kServerLa), PathId{3});
 
   pairing_.stop();
   ny_.stop_probing();
@@ -206,9 +206,10 @@ TEST_F(IntegrationTest, ConfigRoundTripsFromLiveState) {
   pairing_.establish();
   TangoConfig config;
   config.peer_host_prefix = s_.plan.ny_hosts;
-  for (const auto& [id, tunnel] : la_.dp().tunnels().all()) {
+  for (PathId id : la_.dp().tunnels().ids()) {
     config.tunnels.push_back(TunnelConfigEntry{
-        .tunnel = tunnel, .communities = la_.registry().find(id)->communities});
+        .tunnel = *la_.dp().tunnels().find(id),
+        .communities = la_.registry().find(id)->communities});
   }
   auto parsed = parse_config(render_config(config));
   ASSERT_TRUE(parsed.has_value());

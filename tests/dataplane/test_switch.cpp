@@ -167,5 +167,28 @@ TEST_F(SwitchTest, ClockOffsetsDoNotBreakRelativeComparison) {
   EXPECT_NEAR(tracker->delay().lifetime().mean(), 37.1 - 70.0, 2.0);
 }
 
+TEST_F(SwitchTest, ActivePathQueriesAreScopedToTheirPeer) {
+  // Regression: a single per-peer entry for a *specific* peer must not leak
+  // into the no-arg (default-peer) query, and vice versa.
+  TangoSwitch sw{kServerLa, wan_, SwitchOptions{}};
+  const TangoSwitch::PeerId other_peer = kServerNy;
+
+  sw.set_active_path(other_peer, 7);
+  EXPECT_EQ(sw.active_path(other_peer), PathId{7});
+  EXPECT_EQ(sw.active_path(), std::nullopt)
+      << "an entry for another peer must not answer the default-peer query";
+  EXPECT_EQ(sw.active_path(TangoSwitch::kDefaultPeer), std::nullopt);
+
+  // An entry keyed by kDefaultPeer does satisfy the no-arg query.
+  sw.set_active_path(TangoSwitch::kDefaultPeer, 3);
+  EXPECT_EQ(sw.active_path(), PathId{3});
+  EXPECT_EQ(sw.active_path(other_peer), PathId{7});
+
+  // The one-arg setter forces every peer onto the path.
+  sw.set_active_path(9);
+  EXPECT_EQ(sw.active_path(), PathId{9});
+  EXPECT_EQ(sw.active_path(other_peer), PathId{9});
+}
+
 }  // namespace
 }  // namespace tango::dataplane

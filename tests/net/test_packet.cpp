@@ -5,6 +5,7 @@
 #include <random>
 
 #include "net/checksum.hpp"
+#include "net/prefix_trie.hpp"
 
 namespace tango::net {
 namespace {
@@ -144,7 +145,8 @@ TEST(Packet, DecapsulateRejectsCorruptedChecksum) {
   Packet wan = encapsulate_tango(inner, kTunA, kTunB, 49152, th);
 
   auto bytes = std::vector<std::uint8_t>{wan.bytes().begin(), wan.bytes().end()};
-  bytes.back() ^= 0xFF;  // corrupt the inner payload; outer UDP checksum breaks
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() - 1] ^= 0xFF;  // corrupt the inner payload; outer UDP checksum breaks
   EXPECT_FALSE(decapsulate_tango(Packet{bytes}).has_value());
 }
 
@@ -198,6 +200,119 @@ TEST_P(EncapRoundTrip, RandomizedRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EncapRoundTrip, ::testing::Values(11u, 22u, 33u, 44u));
+
+// --- Headroom fast path ------------------------------------------------------
+
+TEST(PacketHeadroom, BuildersReserveDefaultHeadroom) {
+  const Packet p = make_udp_packet(kHostA, kHostB, 1, 2, payload_bytes(10));
+  EXPECT_EQ(p.headroom(), Packet::kDefaultHeadroom);
+  const Packet p4 = make_udp4_packet(*Ipv4Address::parse("10.0.0.1"),
+                                     *Ipv4Address::parse("10.0.0.2"), 1, 2, payload_bytes(10));
+  EXPECT_EQ(p4.headroom(), Packet::kDefaultHeadroom);
+}
+
+TEST(PacketHeadroom, PrependWithinHeadroomDoesNotMoveData) {
+  Packet p = make_udp_packet(kHostA, kHostB, 1, 2, payload_bytes(32));
+  const std::uint8_t* before = p.bytes().data();
+  const auto snapshot = std::vector<std::uint8_t>{p.bytes().begin(), p.bytes().end()};
+  auto room = p.prepend(Packet::kDefaultHeadroom);
+  std::fill(room.begin(), room.end(), std::uint8_t{0xEE});
+  EXPECT_EQ(p.headroom(), 0u);
+  EXPECT_EQ(p.bytes().data() + Packet::kDefaultHeadroom, before)
+      << "prepend within headroom must not reallocate or shift the packet";
+  p.trim_front(Packet::kDefaultHeadroom);
+  EXPECT_EQ(std::vector<std::uint8_t>(p.bytes().begin(), p.bytes().end()), snapshot);
+  EXPECT_EQ(p.headroom(), Packet::kDefaultHeadroom);
+}
+
+TEST(PacketHeadroom, PrependBeyondHeadroomGrowsAndPreservesBytes) {
+  Packet p{payload_bytes(40)};  // adopted raw bytes: zero headroom
+  ASSERT_EQ(p.headroom(), 0u);
+  auto room = p.prepend(8);
+  std::fill(room.begin(), room.end(), std::uint8_t{0xAA});
+  EXPECT_EQ(p.size(), 48u);
+  EXPECT_EQ(p.headroom(), Packet::kDefaultHeadroom);
+  EXPECT_EQ(p.bytes()[0], 0xAA);
+  EXPECT_EQ(p.bytes()[8], payload_bytes(40)[0]);
+}
+
+TEST(PacketHeadroom, EqualityIgnoresHeadroom) {
+  const Packet with_headroom = make_udp_packet(kHostA, kHostB, 1, 2, payload_bytes(16));
+  const Packet bare{std::vector<std::uint8_t>{with_headroom.bytes().begin(),
+                                              with_headroom.bytes().end()}};
+  EXPECT_EQ(with_headroom, bare);
+  EXPECT_NE(with_headroom.headroom(), bare.headroom());
+}
+
+TEST(PacketFlowKey, CachedAcrossHopLimitDecrements) {
+  Packet p = make_udp_packet(kHostA, kHostB, 1111, 2222, payload_bytes(8));
+  const Packet::FlowKey* key = p.flow_key();
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->dst, kHostB);
+  const std::uint64_t hash = key->hash;
+  ASSERT_TRUE(p.decrement_hop_limit());
+  const Packet::FlowKey* again = p.flow_key();
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again, key) << "hop-limit decrement must not invalidate the cache";
+  EXPECT_EQ(again->hash, hash);
+}
+
+TEST(PacketFlowKey, V4DestinationIsV4Mapped) {
+  const auto src4 = *Ipv4Address::parse("192.0.2.1");
+  const auto dst4 = *Ipv4Address::parse("198.51.100.7");
+  Packet p = make_udp4_packet(src4, dst4, 1111, 2222, payload_bytes(8));
+  const Packet::FlowKey* key = p.flow_key();
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->dst, v4_mapped(dst4));
+  ASSERT_TRUE(p.decrement_ttl_v4());
+  EXPECT_EQ(p.flow_key(), key) << "TTL decrement must not invalidate the cache";
+}
+
+TEST(PacketFlowKey, InvalidatedByPrependAndTrim) {
+  Packet p = make_udp_packet(kHostA, kHostB, 1111, 2222, payload_bytes(8));
+  ASSERT_NE(p.flow_key(), nullptr);
+  TangoHeader th;
+  encapsulate_tango_inplace(p, kTunA, kTunB, 49152, th);
+  const Packet::FlowKey* outer_key = p.flow_key();
+  ASSERT_NE(outer_key, nullptr);
+  EXPECT_EQ(outer_key->dst, kTunB) << "after encapsulation the flow key is the outer tunnel's";
+  const auto view = decapsulate_tango_view(p);
+  ASSERT_TRUE(view.has_value());
+  p.trim_front(view->outer_size);
+  const Packet::FlowKey* inner_key = p.flow_key();
+  ASSERT_NE(inner_key, nullptr);
+  EXPECT_EQ(inner_key->dst, kHostB) << "after trim the flow key is the inner packet's again";
+}
+
+TEST(PacketFlowKey, MalformedReturnsNullptrOnce) {
+  Packet junk{std::vector<std::uint8_t>{0x60, 0x00, 0x01}};  // truncated IPv6
+  EXPECT_EQ(junk.flow_key(), nullptr);
+  EXPECT_EQ(junk.flow_key(), nullptr) << "malformed verdict is cached too";
+  EXPECT_EQ(Packet{}.flow_key(), nullptr);
+}
+
+TEST(BufferPool, RecyclesCapacityAndCountsHits) {
+  BufferPool pool;
+  EXPECT_EQ(pool.pooled(), 0u);
+  Packet p = make_udp_packet(pool, kHostA, kHostB, 1, 2, payload_bytes(100));
+  EXPECT_EQ(pool.misses(), 1u) << "cold pool: the first buffer is allocated";
+  const std::size_t total = Packet::kDefaultHeadroom + p.size();
+  pool.release(std::move(p).release_buffer());
+  ASSERT_EQ(pool.pooled(), 1u);
+
+  Packet q = make_udp_packet(pool, kHostA, kHostB, 1, 2, payload_bytes(100));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+  EXPECT_GE(q.headroom() + q.size(), total);
+  // The recycled build is byte-identical to a fresh one.
+  EXPECT_EQ(q, make_udp_packet(kHostA, kHostB, 1, 2, payload_bytes(100)));
+}
+
+TEST(BufferPool, IgnoresEmptyBuffers) {
+  BufferPool pool;
+  pool.release({});
+  EXPECT_EQ(pool.pooled(), 0u);
+}
 
 }  // namespace
 }  // namespace tango::net

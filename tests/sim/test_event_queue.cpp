@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
+#include "net/packet.hpp"
+
 namespace tango::sim {
 namespace {
 
@@ -76,6 +81,84 @@ TEST(EventQueue, ScheduleInIsRelative) {
   q.schedule_at(100, [&] { q.schedule_in(25, [&] { observed = q.now(); }); });
   q.run_all();
   EXPECT_EQ(observed, 125);
+}
+
+// --- InlineFunction (the queue's small-buffer-optimized Action) --------------
+
+TEST(InlineFunction, SmallCaptureStaysInline) {
+  int x = 0;
+  InlineFunction<120> f{[&x] { x = 42; }};
+  EXPECT_TRUE(f.is_inline());
+  f();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(InlineFunction, WanHopSizedCaptureStaysInline) {
+  // The capture the event engine actually schedules per hop: a pointer, an
+  // id, and a Packet.  This staying inline is the whole point of the type.
+  struct Hop {
+    void* wan;
+    std::uint32_t id;
+    net::Packet packet;
+  };
+  static_assert(sizeof(Hop) <= 120);
+  bool fired = false;
+  EventQueue::Action a{[h = Hop{}, &fired]() mutable {
+    h.id = 1;
+    fired = true;
+  }};
+  EXPECT_TRUE(a.is_inline());
+  a();
+  EXPECT_TRUE(fired);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint8_t, 256> big{};
+  big[0] = 9;
+  int out = 0;
+  InlineFunction<120> f{[big, &out] { out = big[0]; }};
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(out, 9);
+}
+
+TEST(InlineFunction, MoveTransfersTheCallable) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction<120> a{[counter] { ++*counter; }};
+  InlineFunction<120> b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): testing moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  b();
+  EXPECT_EQ(*counter, 2);
+
+  InlineFunction<120> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 3);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction<120> f{[t = std::move(token)] { (void)t; }};
+    EXPECT_FALSE(watch.expired());
+    InlineFunction<120> g{std::move(f)};
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired()) << "capture must be destroyed when the function dies";
+}
+
+TEST(InlineFunction, HeapFallbackDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    std::array<std::uint8_t, 256> pad{};
+    InlineFunction<120> f{[t = std::move(token), pad] { (void)t, (void)pad; }};
+    EXPECT_FALSE(f.is_inline());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace

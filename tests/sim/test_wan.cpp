@@ -131,8 +131,8 @@ TEST_F(WanTest, EcmpLanesSplitByFlowButPinnedWithinFlow) {
 }
 
 TEST_F(WanTest, LinkAccessorValidates) {
-  EXPECT_NO_THROW(wan_.link(kNtt, kVultrLa));
-  EXPECT_THROW(wan_.link(kNtt, kServerLa), std::out_of_range);
+  EXPECT_NO_THROW((void)wan_.link(kNtt, kVultrLa));
+  EXPECT_THROW((void)wan_.link(kNtt, kServerLa), std::out_of_range);
   EXPECT_THROW(wan_.send_from(999, host_packet(s_)), std::out_of_range);
   EXPECT_THROW(wan_.attach(999, [](const net::Packet&) {}), std::out_of_range);
 }
