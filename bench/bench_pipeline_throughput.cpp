@@ -10,16 +10,26 @@
 //     LA<->NY Vultr testbed (encap, WAN forwarding, ECMP, decap), measuring
 //     delivered packets per wall-clock second and steady-state heap
 //     allocations per packet.
+//  3. Scale scenario — 64 flows, >=1M packets injected in bursts at line
+//     rate (tens of thousands of events in flight), run once per scheduler
+//     backend.  The timing wheel must beat the binary-heap baseline by
+//     >=1.3x delivered pkts/sec; FIB flow-cache hit rate is reported.
+//  4. Scheduler microbench — self-perpetuating no-op events through a bare
+//     EventQueue per backend: pure schedule+dispatch ns/event.
 //
 // Heap allocations are counted by overriding global operator new/delete in
-// this binary.  Results go to stdout and BENCH_dataplane.json; the process
-// exits nonzero if the shape checks fail (fast path must allocate at most
-// half of what the legacy path does; the pipeline must deliver traffic).
+// this binary.  Results go to stdout and the BENCH_dataplane detail JSON,
+// and a one-line run record (git SHA, date, headline numbers) is appended
+// to BENCH_dataplane.json at the repo root.  The process exits nonzero if
+// the shape checks fail.  TANGO_BENCH_QUICK=1 shrinks every iteration count
+// for CI smoke runs (same checks, smaller samples).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -279,54 +289,239 @@ PipelineResult run_pipeline(std::uint64_t seed, std::size_t flows, std::size_t r
   return result;
 }
 
-void write_json(const MicroResult& micro, const PipelineResult& pipe) {
-  std::FILE* f = std::fopen("BENCH_dataplane.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot open BENCH_dataplane.json for writing\n");
-    std::exit(1);
+// --- Scale scenario: burst injection, wheel vs heap --------------------------
+
+struct ScaleResult {
+  std::size_t flows = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  double pkts_per_sec = 0;
+  double events_per_sec = 0;
+  double fib_cache_hit_rate = 0;
+};
+
+ScaleResult run_scale(std::uint64_t seed, std::size_t flows, std::size_t rounds,
+                      sim::EventQueue::Backend backend) {
+  Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
+             backend};
+  // Small payloads: the scale scenario measures scheduler + forwarding cost,
+  // not memcpy bandwidth.
+  const std::vector<std::uint8_t> payload(64, 0x42);
+
+  std::vector<net::Ipv6Address> srcs;
+  std::vector<net::Ipv6Address> dsts;
+  for (std::size_t f = 0; f < flows; ++f) {
+    srcs.push_back(tb.la.host_address(0x100 + f));
+    dsts.push_back(tb.scenario.plan.ny_hosts.host(0x200 + f));
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"microbench\": {\n");
-  std::fprintf(f,
-               "    \"legacy\": {\"ns_per_packet\": %.1f, \"allocs_per_packet\": %.2f, "
-               "\"alloc_bytes_per_packet\": %.1f},\n",
-               micro.legacy.ns_per_packet, micro.legacy.allocs_per_packet,
-               micro.legacy.bytes_per_packet);
-  std::fprintf(f,
-               "    \"fastpath\": {\"ns_per_packet\": %.1f, \"allocs_per_packet\": %.2f, "
-               "\"alloc_bytes_per_packet\": %.1f},\n",
-               micro.fast.ns_per_packet, micro.fast.allocs_per_packet,
-               micro.fast.bytes_per_packet);
-  std::fprintf(f, "    \"alloc_reduction\": %.1f,\n",
-               micro.fast.allocs_per_packet > 0
-                   ? micro.legacy.allocs_per_packet / micro.fast.allocs_per_packet
-                   : micro.legacy.allocs_per_packet);
-  std::fprintf(f, "    \"speedup\": %.2f\n",
-               micro.fast.ns_per_packet > 0
-                   ? micro.legacy.ns_per_packet / micro.fast.ns_per_packet
-                   : 0.0);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"pipeline\": {\n");
-  std::fprintf(f, "    \"flows\": %zu,\n", pipe.flows);
-  std::fprintf(f, "    \"packets_sent\": %llu,\n",
-               static_cast<unsigned long long>(pipe.sent));
-  std::fprintf(f, "    \"packets_delivered\": %llu,\n",
-               static_cast<unsigned long long>(pipe.delivered));
-  std::fprintf(f, "    \"pkts_per_sec\": %.0f,\n", pipe.pkts_per_sec);
-  std::fprintf(f, "    \"ns_per_packet\": %.1f,\n", pipe.ns_per_packet);
-  std::fprintf(f, "    \"allocs_per_packet\": %.3f,\n", pipe.allocs_per_packet);
-  std::fprintf(f, "    \"pool_hit_rate\": %.3f\n", pipe.pool_hit_rate);
-  std::fprintf(f, "  }\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+
+  ScaleResult result;
+  result.flows = flows;
+
+  // Line-rate injection: one burst per 25 us simulated round while earlier
+  // rounds are still crossing the ~37 ms WAN, so ~95k packets (and their
+  // per-hop timer events) stay in flight — the regime where scheduler cost
+  // shows.  The final run_all drains the tail.
+  constexpr sim::Time kRoundInterval = 25 * sim::kMicrosecond;
+  const sim::Time start = tb.wan.now();
+  const std::uint64_t delivered_before = tb.wan.delivered();
+  const std::uint64_t events_before = tb.wan.events().executed();
+  const std::uint64_t fib_hits_before = tb.wan.fib_cache_hits();
+  const std::uint64_t fib_lookups_before = tb.wan.fib_lookups();
+
+  std::vector<net::Packet> burst;
+  burst.reserve(flows);
+  const auto t0 = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    burst.clear();
+    for (std::size_t f = 0; f < flows; ++f) {
+      burst.push_back(net::make_udp_packet(tb.wan.buffer_pool(), srcs[f], dsts[f],
+                                           static_cast<std::uint16_t>(40000 + f), 9, payload));
+    }
+    result.sent += tb.la.dp().send_burst(burst);
+    tb.wan.events().run_until(start + static_cast<sim::Time>(r + 1) * kRoundInterval);
+  }
+  tb.wan.events().run_all();
+  const auto t1 = Clock::now();
+
+  result.delivered = tb.wan.delivered() - delivered_before;
+  result.events = tb.wan.events().executed() - events_before;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  if (result.wall_seconds > 0) {
+    result.pkts_per_sec = static_cast<double>(result.delivered) / result.wall_seconds;
+    result.events_per_sec = static_cast<double>(result.events) / result.wall_seconds;
+  }
+  const std::uint64_t lookups = tb.wan.fib_lookups() - fib_lookups_before;
+  result.fib_cache_hit_rate =
+      lookups > 0
+          ? static_cast<double>(tb.wan.fib_cache_hits() - fib_hits_before) /
+                static_cast<double>(lookups)
+          : 0;
+  return result;
 }
 
-int run(std::uint64_t seed, std::size_t micro_iters, std::size_t flows, std::size_t rounds) {
-  print_header("E11: data-plane throughput",
-               "encap/decap allocation budget + full-testbed pkts/sec", seed);
+// --- Scheduler microbench ----------------------------------------------------
 
-  const MicroResult micro = run_micro(micro_iters);
-  std::printf("encap/decap cycle (%zu iterations, 512 B payload):\n", micro_iters);
+struct SchedResult {
+  std::uint64_t events = 0;
+  double ns_per_event = 0;
+};
+
+SchedResult run_scheduler_micro(sim::EventQueue::Backend backend, std::uint64_t budget) {
+  sim::EventQueue q{backend};
+  // Self-perpetuating no-op events: each execution schedules one successor at
+  // a pseudo-random link-scale delay, holding a fixed population in flight.
+  // Measures pure schedule+dispatch cost with zero packet work.
+  struct Hop {
+    sim::EventQueue* q;
+    std::uint64_t* state;
+    std::uint64_t* budget;
+    void operator()() const {
+      if (*budget == 0) return;
+      --*budget;
+      *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+      const auto delay = static_cast<sim::Time>(1 + (*state >> 33) % (40 * sim::kMillisecond));
+      q->schedule_in(delay, Hop{*this});
+    }
+  };
+  std::uint64_t state = 0x243F6A8885A308D3ull;
+  constexpr std::size_t kInFlight = 4096;
+  for (std::size_t i = 0; i < kInFlight; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const auto delay = static_cast<sim::Time>(1 + (state >> 33) % (40 * sim::kMillisecond));
+    q.schedule_in(delay, Hop{&q, &state, &budget});
+  }
+  const auto t0 = Clock::now();
+  q.run_all();
+  const auto t1 = Clock::now();
+  SchedResult result;
+  result.events = q.executed();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  result.ns_per_event =
+      result.events > 0 ? wall * 1e9 / static_cast<double>(result.events) : 0;
+  return result;
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+void emit_counted(JsonWriter& w, const char* key, const Counted& c) {
+  w.begin_object(key)
+      .field("ns_per_packet", c.ns_per_packet, 1)
+      .field("allocs_per_packet", c.allocs_per_packet, 2)
+      .field("alloc_bytes_per_packet", c.bytes_per_packet, 1)
+      .end_object();
+}
+
+void emit_scale(JsonWriter& w, const char* key, const ScaleResult& s) {
+  w.begin_object(key)
+      .field("packets_sent", s.sent)
+      .field("packets_delivered", s.delivered)
+      .field("events_executed", s.events)
+      .field("wall_seconds", s.wall_seconds, 3)
+      .field("pkts_per_sec", s.pkts_per_sec, 0)
+      .field("events_per_sec", s.events_per_sec, 0)
+      .field("fib_cache_hit_rate", s.fib_cache_hit_rate, 4)
+      .end_object();
+}
+
+void write_detail_json(const MicroResult& micro, const PipelineResult& pipe,
+                       const ScaleResult& wheel, const ScaleResult& heap,
+                       const SchedResult& sched_wheel, const SchedResult& sched_heap) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.begin_object("microbench");
+  emit_counted(w, "legacy", micro.legacy);
+  emit_counted(w, "fastpath", micro.fast);
+  w.field("alloc_reduction",
+          micro.fast.allocs_per_packet > 0
+              ? micro.legacy.allocs_per_packet / micro.fast.allocs_per_packet
+              : micro.legacy.allocs_per_packet,
+          1);
+  w.field("speedup",
+          micro.fast.ns_per_packet > 0 ? micro.legacy.ns_per_packet / micro.fast.ns_per_packet
+                                       : 0.0,
+          2);
+  w.end_object();
+
+  w.begin_object("pipeline")
+      .field("flows", pipe.flows)
+      .field("packets_sent", pipe.sent)
+      .field("packets_delivered", pipe.delivered)
+      .field("pkts_per_sec", pipe.pkts_per_sec, 0)
+      .field("ns_per_packet", pipe.ns_per_packet, 1)
+      .field("allocs_per_packet", pipe.allocs_per_packet, 3)
+      .field("pool_hit_rate", pipe.pool_hit_rate, 3)
+      .end_object();
+
+  w.begin_object("scale");
+  w.field("flows", wheel.flows);
+  emit_scale(w, "timing_wheel", wheel);
+  emit_scale(w, "binary_heap", heap);
+  w.field("wheel_speedup",
+          heap.pkts_per_sec > 0 ? wheel.pkts_per_sec / heap.pkts_per_sec : 0.0, 2);
+  w.end_object();
+
+  w.begin_object("scheduler");
+  w.begin_object("timing_wheel")
+      .field("events", sched_wheel.events)
+      .field("ns_per_event", sched_wheel.ns_per_event, 1)
+      .end_object();
+  w.begin_object("binary_heap")
+      .field("events", sched_heap.events)
+      .field("ns_per_event", sched_heap.ns_per_event, 1)
+      .end_object();
+  w.end_object();
+
+  w.end_object();
+  const auto path = detail_report_path("BENCH_dataplane");
+  w.write_file(path);
+  std::printf("wrote %s\n", path.string().c_str());
+}
+
+void append_history(const ScaleResult& wheel, const ScaleResult& heap,
+                    const SchedResult& sched_wheel, const SchedResult& sched_heap,
+                    const PipelineResult& pipe) {
+  char record[640];
+  std::snprintf(
+      record, sizeof record,
+      "    {\"sha\": \"%s\", \"date\": \"%s\", \"scale_flows\": %zu, "
+      "\"scale_packets\": %llu, \"wheel_pkts_per_sec\": %.0f, \"heap_pkts_per_sec\": %.0f, "
+      "\"wheel_speedup\": %.2f, \"wheel_ns_per_event\": %.1f, \"heap_ns_per_event\": %.1f, "
+      "\"fib_cache_hit_rate\": %.4f, \"pipeline_pkts_per_sec\": %.0f, "
+      "\"pipeline_allocs_per_packet\": %.3f}",
+      git_head_sha().c_str(), utc_timestamp().c_str(), wheel.flows,
+      static_cast<unsigned long long>(wheel.sent), wheel.pkts_per_sec, heap.pkts_per_sec,
+      heap.pkts_per_sec > 0 ? wheel.pkts_per_sec / heap.pkts_per_sec : 0.0,
+      sched_wheel.ns_per_event, sched_heap.ns_per_event, wheel.fib_cache_hit_rate,
+      pipe.pkts_per_sec, pipe.allocs_per_packet);
+  if (append_run_history("BENCH_dataplane", record)) {
+    std::printf("appended run record to <repo-root>/BENCH_dataplane.json\n");
+  }
+}
+
+struct Config {
+  std::uint64_t seed = 7;
+  std::size_t micro_iters = 50000;
+  std::size_t flows = 32;
+  std::size_t rounds = 200;
+  std::size_t scale_flows = 64;
+  std::size_t scale_rounds = 16000;  // x64 flows ~= 1.02M packets
+  std::uint64_t sched_events = 1'000'000;
+};
+
+int run(const Config& cfg) {
+  print_header("E11: data-plane throughput",
+               "encap/decap allocation budget + full-testbed pkts/sec + "
+               "timing-wheel vs heap scheduler",
+               cfg.seed);
+
+  const MicroResult micro = run_micro(cfg.micro_iters);
+  std::printf("encap/decap cycle (%zu iterations, 512 B payload):\n", cfg.micro_iters);
   std::printf("  %-10s %10s %16s %18s\n", "variant", "ns/packet", "allocs/packet",
               "alloc bytes/packet");
   std::printf("  %-10s %10.1f %16.2f %18.1f\n", "legacy", micro.legacy.ns_per_packet,
@@ -335,7 +530,7 @@ int run(std::uint64_t seed, std::size_t micro_iters, std::size_t flows, std::siz
               micro.fast.allocs_per_packet, micro.fast.bytes_per_packet);
   std::printf("  wire output: byte-identical (checked)\n\n");
 
-  const PipelineResult pipe = run_pipeline(seed, flows, rounds, /*warmup_rounds=*/20);
+  const PipelineResult pipe = run_pipeline(cfg.seed, cfg.flows, cfg.rounds, /*warmup_rounds=*/20);
   std::printf("pipeline (%zu flows LA->NY through the Vultr testbed):\n", pipe.flows);
   std::printf("  sent=%llu delivered=%llu wall=%.3fs\n",
               static_cast<unsigned long long>(pipe.sent),
@@ -345,8 +540,35 @@ int run(std::uint64_t seed, std::size_t micro_iters, std::size_t flows, std::siz
   std::printf("  %.3f heap allocs/packet steady-state, pool hit rate %.1f%%\n\n",
               pipe.allocs_per_packet, 100.0 * pipe.pool_hit_rate);
 
-  write_json(micro, pipe);
-  std::printf("wrote BENCH_dataplane.json\n");
+  const SchedResult sched_heap =
+      run_scheduler_micro(sim::EventQueue::Backend::binary_heap, cfg.sched_events);
+  const SchedResult sched_wheel =
+      run_scheduler_micro(sim::EventQueue::Backend::timing_wheel, cfg.sched_events);
+  std::printf("scheduler microbench (%llu self-perpetuating events, 4096 in flight):\n",
+              static_cast<unsigned long long>(sched_wheel.events));
+  std::printf("  binary_heap  %8.1f ns/event\n", sched_heap.ns_per_event);
+  std::printf("  timing_wheel %8.1f ns/event\n\n", sched_wheel.ns_per_event);
+
+  const ScaleResult heap =
+      run_scale(cfg.seed, cfg.scale_flows, cfg.scale_rounds, sim::EventQueue::Backend::binary_heap);
+  const ScaleResult wheel = run_scale(cfg.seed, cfg.scale_flows, cfg.scale_rounds,
+                                      sim::EventQueue::Backend::timing_wheel);
+  const double speedup = heap.pkts_per_sec > 0 ? wheel.pkts_per_sec / heap.pkts_per_sec : 0.0;
+  std::printf("scale scenario (%zu flows x %zu burst rounds, line-rate injection):\n",
+              cfg.scale_flows, cfg.scale_rounds);
+  std::printf("  %-12s %12s %12s %14s %10s\n", "backend", "delivered", "pkts/sec",
+              "events/sec", "wall");
+  std::printf("  %-12s %12llu %12.0f %14.0f %9.3fs\n", "binary_heap",
+              static_cast<unsigned long long>(heap.delivered), heap.pkts_per_sec,
+              heap.events_per_sec, heap.wall_seconds);
+  std::printf("  %-12s %12llu %12.0f %14.0f %9.3fs\n", "timing_wheel",
+              static_cast<unsigned long long>(wheel.delivered), wheel.pkts_per_sec,
+              wheel.events_per_sec, wheel.wall_seconds);
+  std::printf("  wheel speedup %.2fx, FIB flow-cache hit rate %.1f%%\n\n", speedup,
+              100.0 * wheel.fib_cache_hit_rate);
+
+  write_detail_json(micro, pipe, wheel, heap, sched_wheel, sched_heap);
+  append_history(wheel, heap, sched_wheel, sched_heap, pipe);
 
   // Shape checks (the acceptance criteria for this bench).
   bool ok = true;
@@ -361,8 +583,25 @@ int run(std::uint64_t seed, std::size_t micro_iters, std::size_t flows, std::siz
                  micro.fast.allocs_per_packet, micro.legacy.allocs_per_packet);
     ok = false;
   }
+  if (wheel.delivered != heap.delivered) {
+    std::fprintf(stderr,
+                 "FAIL: backends disagree on delivered packets (wheel %llu, heap %llu) — "
+                 "determinism broken\n",
+                 static_cast<unsigned long long>(wheel.delivered),
+                 static_cast<unsigned long long>(heap.delivered));
+    ok = false;
+  }
+  if (speedup < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: timing wheel %.0f pkts/sec vs heap %.0f (%.2fx) — "
+                 "regression gate requires >=1.3x\n",
+                 wheel.pkts_per_sec, heap.pkts_per_sec, speedup);
+    ok = false;
+  }
   if (!ok) return 1;
-  std::printf("shape checks passed (fast path <= legacy/2 allocs, traffic delivered)\n");
+  std::printf(
+      "shape checks passed (fast path <= legacy/2 allocs, traffic delivered, "
+      "wheel >= 1.3x heap)\n");
   return 0;
 }
 
@@ -370,9 +609,22 @@ int run(std::uint64_t seed, std::size_t micro_iters, std::size_t flows, std::siz
 }  // namespace tango::bench
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
-  const std::size_t micro_iters = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
-  const std::size_t flows = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32;
-  const std::size_t rounds = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 200;
-  return tango::bench::run(seed, micro_iters, flows, rounds);
+  tango::bench::Config cfg;
+  const char* quick = std::getenv("TANGO_BENCH_QUICK");
+  if (quick != nullptr && std::strcmp(quick, "0") != 0) {
+    // CI smoke mode: same scenarios and checks, fractions of the samples.
+    // scale_rounds still covers > 37 ms of injection so the scale scenario
+    // reaches its steady-state in-flight population (where the wheel-vs-heap
+    // gap lives) before the drain.
+    cfg.micro_iters = 2000;
+    cfg.rounds = 40;
+    cfg.scale_rounds = 4800;
+    cfg.sched_events = 100'000;
+  }
+  if (argc > 1) cfg.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) cfg.micro_iters = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) cfg.flows = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) cfg.rounds = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) cfg.scale_rounds = std::strtoull(argv[5], nullptr, 10);
+  return tango::bench::run(cfg);
 }

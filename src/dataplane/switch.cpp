@@ -8,7 +8,12 @@ TangoSwitch::TangoSwitch(bgp::RouterId router, sim::Wan& wan, SwitchOptions opti
       clock_{options.clock},
       sender_{tunnels_, clock_, options.auth_key},
       receiver_{clock_, options.keep_series, options.auth_key} {
-  wan_.attach(router_, [this](net::Packet& p) { on_wan_packet(p); });
+  // Raw (devirtualized) delivery: the WAN calls straight through a function
+  // pointer into on_wan_packet, skipping std::function dispatch per packet.
+  wan_.attach_raw(
+      router_,
+      [](void* ctx, net::Packet& p) { static_cast<TangoSwitch*>(ctx)->on_wan_packet(p); },
+      this);
 }
 
 void TangoSwitch::add_peer_prefix(const net::Ipv6Prefix& prefix, PeerId peer) {
@@ -26,20 +31,19 @@ std::optional<PathId> TangoSwitch::active_path(TangoSwitch::PeerId peer) const {
   return active_default_;
 }
 
-void TangoSwitch::send_from_host(net::Packet inner) {
+bool TangoSwitch::prepare_outbound(net::Packet& inner) {
   // Host traffic may be IPv4 or IPv6 (paper §3: host addressing "can even
   // be a different IP version"); the tunnels themselves are IPv6.  The flow
   // key gives the (v4-mapped) destination without a second header parse,
   // and stays cached for the WAN hops when the packet passes through.
   const net::Packet::FlowKey* flow = inner.flow_key();
-  if (flow == nullptr) return;  // malformed host packet: nothing sensible to do
+  if (flow == nullptr) return false;  // malformed host packet: nothing sensible to do
 
   const PeerId* peer = peer_prefixes_.lookup(flow->dst);
   if (peer == nullptr) {
-    // Not for a cooperating peer: traditional forwarding.
+    // Not for a cooperating peer: traditional forwarding, unencapsulated.
     ++passthrough_;
-    wan_.send_from(router_, std::move(inner));
-    return;
+    return true;
   }
 
   std::optional<PathId> path;
@@ -47,14 +51,30 @@ void TangoSwitch::send_from_host(net::Packet inner) {
   if (!path) path = active_path(*peer);
   if (!path) {
     ++no_tunnel_drops_;
-    return;
+    return false;
   }
 
   if (!sender_.wrap_inplace(inner, *path, wan_.now())) {
     ++no_tunnel_drops_;
-    return;
+    return false;
   }
+  return true;
+}
+
+void TangoSwitch::send_from_host(net::Packet inner) {
+  if (!prepare_outbound(inner)) return;
   wan_.send_from(router_, std::move(inner));
+}
+
+std::size_t TangoSwitch::send_burst(std::span<net::Packet> inners) {
+  std::vector<net::Packet> burst = wan_.acquire_burst();
+  burst.reserve(inners.size());
+  for (net::Packet& inner : inners) {
+    if (prepare_outbound(inner)) burst.push_back(std::move(inner));
+  }
+  const std::size_t accepted = burst.size();
+  wan_.send_burst_from(router_, std::move(burst));
+  return accepted;
 }
 
 bool TangoSwitch::send_on_path(net::Packet inner, PathId path) {

@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -114,6 +115,14 @@ class TangoSwitch {
   /// headers); an lvalue is copied once.
   void send_from_host(net::Packet inner);
 
+  /// Burst mode: classifies and encapsulates every packet of `inners` and
+  /// injects the survivors into the WAN as one same-timestamp batch (a
+  /// single scheduled event, see Wan::send_burst_from).  Per-packet fates —
+  /// peer match, path selection, tunnel state, drop counters — are identical
+  /// to calling send_from_host for each packet in order.  The packets are
+  /// consumed.  Returns the number of packets handed to the WAN.
+  std::size_t send_burst(std::span<net::Packet> inners);
+
   /// Sends `inner` over a specific tunnel regardless of the active path
   /// (measurement probes, per-path tests).  Returns false when the tunnel
   /// is unknown.
@@ -134,6 +143,9 @@ class TangoSwitch {
 
  private:
   void on_wan_packet(net::Packet& packet);
+  /// Classifies + (for peer traffic) encapsulates one outbound packet in
+  /// place.  Returns false when the packet was consumed by a drop counter.
+  bool prepare_outbound(net::Packet& inner);
 
   bgp::RouterId router_;
   sim::Wan& wan_;

@@ -1,17 +1,22 @@
 #include "sim/event_queue.hpp"
 
+#include <limits>
+
 namespace tango::sim {
 
 void EventQueue::schedule_at(Time at, Action action) {
   if (at < now_) throw std::invalid_argument{"EventQueue: scheduling into the past"};
-  queue_.push(Entry{at, next_seq_++, std::move(action)});
+  if (backend_ == Backend::timing_wheel) {
+    wheel_.schedule(at, next_seq_++, std::move(action));
+  } else {
+    heap_.push(Entry{at, next_seq_++, std::move(action)});
+  }
 }
 
-void EventQueue::run_until(Time until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // Copy out before pop so the action may schedule more events.
-    Entry e{queue_.top().at, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).action)};
-    queue_.pop();
+void EventQueue::run_wheel(Time until) {
+  while (true) {
+    TimingWheel::Popped e = wheel_.pop(until);
+    if (!e.valid) break;
     now_ = e.at;
     ++executed_;
     e.action();
@@ -19,18 +24,55 @@ void EventQueue::run_until(Time until) {
   if (now_ < until) now_ = until;
 }
 
-void EventQueue::run_all() {
-  while (!queue_.empty()) {
-    Entry e{queue_.top().at, queue_.top().seq, std::move(const_cast<Entry&>(queue_.top()).action)};
-    queue_.pop();
+void EventQueue::run_heap(Time until) {
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop so the action may schedule more events.
+    Entry e{heap_.top().at, heap_.top().seq, std::move(const_cast<Entry&>(heap_.top()).action)};
+    heap_.pop();
     now_ = e.at;
     ++executed_;
     e.action();
   }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_until(Time until) {
+  if (backend_ == Backend::timing_wheel) {
+    run_wheel(until);
+  } else {
+    run_heap(until);
+  }
+}
+
+void EventQueue::run_all() {
+  // Like run_until(+inf), except the clock rests at the last executed event
+  // instead of being parked at the bound.
+  constexpr Time kForever = std::numeric_limits<Time>::max();
+  if (backend_ == Backend::timing_wheel) {
+    while (true) {
+      TimingWheel::Popped e = wheel_.pop(kForever);
+      if (!e.valid) break;
+      now_ = e.at;
+      ++executed_;
+      e.action();
+    }
+  } else {
+    while (!heap_.empty()) {
+      Entry e{heap_.top().at, heap_.top().seq, std::move(const_cast<Entry&>(heap_.top()).action)};
+      heap_.pop();
+      now_ = e.at;
+      ++executed_;
+      e.action();
+    }
+  }
 }
 
 void EventQueue::clear() {
-  while (!queue_.empty()) queue_.pop();
+  if (backend_ == Backend::timing_wheel) {
+    wheel_.clear();
+  } else {
+    while (!heap_.empty()) heap_.pop();
+  }
 }
 
 }  // namespace tango::sim

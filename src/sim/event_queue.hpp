@@ -8,11 +8,19 @@
 
 #include "sim/inline_function.hpp"
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace tango::sim {
 
 /// Single-threaded discrete-event scheduler.  Events at equal times fire in
 /// scheduling order (FIFO), which keeps runs deterministic.
+///
+/// Two interchangeable backends with identical semantics:
+///   * `timing_wheel` (default): hierarchical timing wheel, O(1) per event on
+///     the short-horizon link-delay events that dominate packet forwarding.
+///   * `binary_heap`: the original `std::priority_queue` implementation,
+///     kept as the reference for determinism tests and as the baseline the
+///     throughput bench gates the wheel against.
 class EventQueue {
  public:
   /// Small-buffer-optimized callable: sized so a WAN forwarding hop
@@ -20,6 +28,12 @@ class EventQueue {
   /// scheduling it never heap-allocates.  Larger captures transparently
   /// fall back to the heap.
   using Action = InlineFunction<120>;
+
+  enum class Backend : std::uint8_t { timing_wheel, binary_heap };
+
+  explicit EventQueue(Backend backend = Backend::timing_wheel) : backend_{backend} {}
+
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -39,9 +53,13 @@ class EventQueue {
   /// Drops every pending event (end of scenario).
   void clear();
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return backend_ == Backend::timing_wheel ? wheel_.size() : heap_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  /// Total schedule_at/schedule_in calls (scheduler-throughput accounting).
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
 
  private:
   struct Entry {
@@ -55,7 +73,12 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  void run_heap(Time until);
+  void run_wheel(Time until);
+
+  Backend backend_;
+  TimingWheel wheel_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

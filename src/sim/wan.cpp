@@ -21,7 +21,8 @@ std::string to_string(DropReason r) {
   return "?";
 }
 
-Wan::Wan(topo::Topology& topo, Rng rng) : topo_{topo} {
+Wan::Wan(topo::Topology& topo, Rng rng, EventQueue::Backend backend)
+    : topo_{topo}, events_{backend} {
   // Fork per-link RNG streams in topology order (keeps the streams identical
   // to what the tree-map implementation produced), then sort for lookup.
   const std::vector<topo::LinkKey> keys = topo.links();
@@ -65,12 +66,22 @@ void Wan::sync_fibs() {
       state.fib.insert(net::trie_key(route.prefix), next_hop);
     }
   }
+  // Bumping the generation invalidates every router's flow cache without
+  // touching the (cold) cache arrays.
+  ++cache_generation_;
 }
 
 void Wan::attach(bgp::RouterId id, DeliveryHandler handler) {
   RouterState* state = find_router(id);
   if (state == nullptr) throw std::out_of_range{"Wan::attach: unknown router"};
   state->handler = std::move(handler);
+}
+
+void Wan::attach_raw(bgp::RouterId id, RawDeliveryFn fn, void* ctx) {
+  RouterState* state = find_router(id);
+  if (state == nullptr) throw std::out_of_range{"Wan::attach_raw: unknown router"};
+  state->raw_handler = fn;
+  state->raw_ctx = ctx;
 }
 
 void Wan::send_from(bgp::RouterId id, net::Packet packet) {
@@ -80,6 +91,38 @@ void Wan::send_from(bgp::RouterId id, net::Packet packet) {
   // Enter the forwarding fabric on the next event so in-handler sends do not
   // recurse unboundedly.
   events_.schedule_in(0, [this, id, p = std::move(packet)]() mutable { forward(id, std::move(p)); });
+}
+
+std::vector<net::Packet> Wan::acquire_burst() {
+  if (burst_pool_.empty()) return {};
+  std::vector<net::Packet> burst = std::move(burst_pool_.back());
+  burst_pool_.pop_back();
+  burst.clear();
+  return burst;
+}
+
+void Wan::recycle_burst(std::vector<net::Packet>&& burst) {
+  burst.clear();
+  if (burst.capacity() > 0 && burst_pool_.size() < 16) {
+    burst_pool_.push_back(std::move(burst));
+  }
+}
+
+void Wan::send_burst_from(bgp::RouterId id, std::vector<net::Packet>&& burst) {
+  if (find_router(id) == nullptr) {
+    throw std::out_of_range{"Wan::send_burst_from: unknown router"};
+  }
+  if (burst.empty()) {
+    recycle_burst(std::move(burst));
+    return;
+  }
+  // One event enters the whole burst into the fabric; the per-packet fates
+  // (route, loss, jitter) stay independent and identical to per-packet
+  // send_from calls in the same order.
+  events_.schedule_in(0, [this, id, b = std::move(burst)]() mutable {
+    for (net::Packet& p : b) forward(id, std::move(p));
+    recycle_burst(std::move(b));
+  });
 }
 
 Link& Wan::link(bgp::RouterId from, bgp::RouterId to) {
@@ -94,12 +137,37 @@ std::uint64_t Wan::total_dropped() const noexcept {
   return n;
 }
 
+bool Wan::lookup_next_hop(RouterState& state, const net::Packet::FlowKey& flow,
+                          bgp::RouterId& next_hop) {
+  ++fib_lookups_;
+  FlowCacheSet& set = state.flow_cache[flow.hash & (kFlowCacheSets - 1)];
+  if (set.way[0].generation == cache_generation_ && set.way[0].dst == flow.dst) {
+    ++fib_cache_hits_;
+    next_hop = set.way[0].next_hop;
+    return true;
+  }
+  if (set.way[1].generation == cache_generation_ && set.way[1].dst == flow.dst) {
+    ++fib_cache_hits_;
+    std::swap(set.way[0], set.way[1]);  // move-to-front LRU
+    next_hop = set.way[0].next_hop;
+    return true;
+  }
+  const bgp::RouterId* next = state.fib.lookup(flow.dst);
+  if (next == nullptr) return false;
+  // Positive results only: unroutable packets are rare and drop anyway.
+  set.way[1] = set.way[0];
+  set.way[0] = FlowCacheWay{flow.dst, *next, cache_generation_};
+  next_hop = *next;
+  return true;
+}
+
 void Wan::forward(bgp::RouterId at, net::Packet packet) {
   // Both IP versions forward by longest-prefix match; IPv4 destinations are
   // looked up through the v4-mapped key space (host prefixes "can even be a
   // different IP version", paper §3).  The lookup key and the ECMP hash come
   // from the packet's cached flow key: parsed at the first hop, reused at
-  // every subsequent one.
+  // every subsequent one.  The per-router flow cache short-circuits the
+  // trie walk for packets of recently seen flows.
   const net::Packet::FlowKey* flow = packet.flow_key();
   if (flow == nullptr) {
     drop(DropReason::malformed, std::move(packet));
@@ -107,14 +175,21 @@ void Wan::forward(bgp::RouterId at, net::Packet packet) {
   }
 
   RouterState* state = find_router(at);
-  const bgp::RouterId* next = state->fib.lookup(flow->dst);
-  if (next == nullptr) {
+  bgp::RouterId next;
+  if (!lookup_next_hop(*state, *flow, next)) {
     drop(DropReason::no_route, std::move(packet));
     return;
   }
 
-  if (*next == at) {
-    // Local delivery: the router originates a covering prefix.
+  if (next == at) {
+    // Local delivery: the router originates a covering prefix.  The raw
+    // (devirtualized) handler wins over the std::function one.
+    if (state->raw_handler != nullptr) {
+      ++delivered_;
+      state->raw_handler(state->raw_ctx, packet);
+      recycle(std::move(packet));
+      return;
+    }
     if (!state->handler) {
       drop(DropReason::no_handler, std::move(packet));
       return;
@@ -132,7 +207,7 @@ void Wan::forward(bgp::RouterId at, net::Packet packet) {
     return;
   }
 
-  Link* link = find_link(topo::LinkKey{at, *next});
+  Link* link = find_link(topo::LinkKey{at, next});
   if (link == nullptr) {
     // FIB says next hop but no physical link (inconsistent topology).
     drop(DropReason::no_route, std::move(packet));
@@ -145,11 +220,10 @@ void Wan::forward(bgp::RouterId at, net::Packet packet) {
     return;
   }
 
-  if (hop_observer_) hop_observer_(at, *next, packet);
+  if (hop_observer_) hop_observer_(at, next, packet);
 
-  const bgp::RouterId to = *next;
   events_.schedule_in(tx.delay,
-                      [this, to, p = std::move(packet)]() mutable { forward(to, std::move(p)); });
+                      [this, next, p = std::move(packet)]() mutable { forward(next, std::move(p)); });
 }
 
 }  // namespace tango::sim

@@ -7,12 +7,20 @@
 // route for the packet's destination prefix, experiencing that path's delay,
 // jitter and loss.
 //
-// Forwarding is allocation-lean: per-hop router/link lookups are binary
-// searches over flat sorted tables, the packet's destination key and ECMP
-// hash are parsed once and cached on the packet, scheduled hops use the
-// event queue's inline-storage callables, and the buffers of delivered or
-// dropped packets are recycled through a free list that traffic sources can
-// draw from.
+// Forwarding is allocation-lean and dispatch-lean: per-hop router/link
+// lookups are binary searches over flat sorted tables, the packet's
+// destination key and ECMP hash are parsed once and cached on the packet,
+// scheduled hops use the event queue's inline-storage callables, and the
+// buffers of delivered or dropped packets are recycled through a free list
+// that traffic sources can draw from.  On top of that:
+//   * each router carries a small set-associative *flow cache* in front of
+//     its PrefixTrie FIB, so consecutive packets of a flow skip the
+//     longest-prefix-match walk (invalidated wholesale by sync_fibs());
+//   * edge delivery can be attached as a raw function pointer + context
+//     (attach_raw), replacing the std::function indirection on the hot
+//     path with a devirtualized callsite;
+//   * send_burst_from() injects a whole batch of same-timestamp packets
+//     through one scheduled event, amortizing dispatch (burst mode).
 #pragma once
 
 #include <array>
@@ -48,25 +56,49 @@ class Wan {
   /// afterwards) — copy the packet to keep it.
   using DeliveryHandler = std::function<void(net::Packet&)>;
 
+  /// Devirtualized delivery: a plain function pointer plus context, called
+  /// directly on the hot path (no std::function dispatch).  Same lifetime
+  /// contract as DeliveryHandler.
+  using RawDeliveryFn = void (*)(void* ctx, net::Packet& packet);
+
   /// Optional observer of every forwarding hop (tests, traces).
   using HopObserver =
       std::function<void(bgp::RouterId from, bgp::RouterId to, const net::Packet&)>;
 
   /// Builds links from the topology's profiles.  The topology must outlive
-  /// the Wan.  FIBs are synced immediately.
-  Wan(topo::Topology& topo, Rng rng);
+  /// the Wan.  FIBs are synced immediately.  `backend` selects the event
+  /// scheduler (the heap fallback exists for determinism tests and perf
+  /// baselines).
+  Wan(topo::Topology& topo, Rng rng,
+      EventQueue::Backend backend = EventQueue::Backend::timing_wheel);
 
-  /// Rebuilds every router's FIB from the BGP Loc-RIBs.  Call after any
-  /// control-plane change (new origination, community change, session flap).
+  /// Rebuilds every router's FIB from the BGP Loc-RIBs and invalidates all
+  /// flow caches.  Call after any control-plane change (new origination,
+  /// community change, session flap).
   void sync_fibs();
 
   /// Attaches the edge delivery handler for router `id`.
   void attach(bgp::RouterId id, DeliveryHandler handler);
 
+  /// Attaches a devirtualized edge delivery handler for router `id`.  Takes
+  /// precedence over the std::function handler when both are set.
+  void attach_raw(bgp::RouterId id, RawDeliveryFn fn, void* ctx);
+
   /// Injects `packet` at router `id` (as if a directly connected host sent
   /// it).  Forwarding happens via scheduled events; run the clock to see it
   /// arrive.
   void send_from(bgp::RouterId id, net::Packet packet);
+
+  /// Burst mode: injects every packet of `burst` at router `id` at the same
+  /// timestamp through a single scheduled event.  Equivalent to calling
+  /// send_from for each packet in order (identical forwarding order, RNG
+  /// draws and delivery times), but pays the event-queue dispatch once per
+  /// burst instead of once per packet.  The burst vector is recycled; build
+  /// it with acquire_burst() to keep the steady state allocation-free.
+  void send_burst_from(bgp::RouterId id, std::vector<net::Packet>&& burst);
+
+  /// An empty burst vector, drawn from the recycle pool when available.
+  [[nodiscard]] std::vector<net::Packet> acquire_burst();
 
   [[nodiscard]] EventQueue& events() noexcept { return events_; }
   [[nodiscard]] Time now() const noexcept { return events_.now(); }
@@ -91,21 +123,51 @@ class Wan {
   }
   [[nodiscard]] std::uint64_t total_dropped() const noexcept;
 
+  /// Flow-cache effectiveness: FIB lookups served by the per-router flow
+  /// cache vs. total FIB lookups (every forwarding hop does one).
+  [[nodiscard]] std::uint64_t fib_cache_hits() const noexcept { return fib_cache_hits_; }
+  [[nodiscard]] std::uint64_t fib_lookups() const noexcept { return fib_lookups_; }
+  [[nodiscard]] double fib_cache_hit_rate() const noexcept {
+    return fib_lookups_ > 0
+               ? static_cast<double>(fib_cache_hits_) / static_cast<double>(fib_lookups_)
+               : 0.0;
+  }
+
  private:
+  /// Per-router flow cache: 2-way set-associative, indexed by the packet's
+  /// cached 5-tuple hash, tagged by destination address (the FIB key) and a
+  /// generation stamp so sync_fibs() invalidates every cache in O(1).
+  struct FlowCacheWay {
+    net::Ipv6Address dst;
+    bgp::RouterId next_hop = 0;
+    std::uint32_t generation = 0;  // 0 = never valid (generations start at 1)
+  };
+  struct FlowCacheSet {
+    FlowCacheWay way[2];  // way[0] is most recently used
+  };
+  static constexpr std::size_t kFlowCacheSets = 64;
+
   /// One router's forwarding state.
   struct RouterState {
     bgp::RouterId id = 0;
     /// Longest-prefix-match to the next-hop router; self id = local delivery.
     net::PrefixTrie<bgp::RouterId> fib;
     DeliveryHandler handler;
+    RawDeliveryFn raw_handler = nullptr;
+    void* raw_ctx = nullptr;
+    std::array<FlowCacheSet, kFlowCacheSets> flow_cache{};
   };
 
   void forward(bgp::RouterId at, net::Packet packet);
+  /// FIB lookup through the flow cache; nullptr-equivalent is `false`.
+  [[nodiscard]] bool lookup_next_hop(RouterState& state, const net::Packet::FlowKey& flow,
+                                     bgp::RouterId& next_hop);
   void drop(DropReason r, net::Packet&& packet) {
     ++drops_[static_cast<std::size_t>(r)];
     recycle(std::move(packet));
   }
   void recycle(net::Packet&& packet) { pool_.release(std::move(packet).release_buffer()); }
+  void recycle_burst(std::vector<net::Packet>&& burst);
 
   [[nodiscard]] RouterState* find_router(bgp::RouterId id) noexcept;
   [[nodiscard]] Link* find_link(const topo::LinkKey& key) noexcept;
@@ -118,6 +180,11 @@ class Wan {
   std::vector<std::pair<topo::LinkKey, Link>> links_;
   HopObserver hop_observer_;
   net::BufferPool pool_;
+  /// Recycled burst vectors for send_burst_from.
+  std::vector<std::vector<net::Packet>> burst_pool_;
+  std::uint32_t cache_generation_ = 1;
+  std::uint64_t fib_cache_hits_ = 0;
+  std::uint64_t fib_lookups_ = 0;
   std::uint64_t delivered_ = 0;
   std::array<std::uint64_t, 5> drops_{};
 };

@@ -37,28 +37,32 @@ void StreamingStats::reset() {
 
 void RollingWindow::update(sim::Time at, double value) {
   samples_.push_back(TimedValue{at, value});
+  sum_ += value;
+  sum_sq_ += value * value;
   evict(at);
 }
 
 void RollingWindow::evict(sim::Time now) {
   while (!samples_.empty() && samples_.front().at <= now - window_) {
+    const double v = samples_.front().value;
+    sum_ -= v;
+    sum_sq_ -= v * v;
     samples_.pop_front();
   }
 }
 
 std::optional<double> RollingWindow::mean() const {
   if (samples_.empty()) return std::nullopt;
-  double sum = 0.0;
-  for (const TimedValue& s : samples_) sum += s.value;
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(samples_.size());
 }
 
 std::optional<double> RollingWindow::stddev() const {
   if (samples_.size() < 2) return std::nullopt;
-  const double m = *mean();
-  double sq = 0.0;
-  for (const TimedValue& s : samples_) sq += (s.value - m) * (s.value - m);
-  return std::sqrt(sq / static_cast<double>(samples_.size() - 1));
+  const auto n = static_cast<double>(samples_.size());
+  // Running-sum variance; eviction arithmetic can leave a tiny negative
+  // residue, so clamp before the sqrt.
+  const double var = std::max(0.0, (sum_sq_ - sum_ * sum_ / n) / (n - 1.0));
+  return std::sqrt(var);
 }
 
 std::optional<double> RollingWindow::min() const {

@@ -58,6 +58,11 @@ class StreamingStats {
 /// Samples within a sliding time window (default 1 s): mean, stddev
 /// (= the paper's rolling-window jitter), min, max.  Old samples are
 /// evicted as new ones arrive.
+///
+/// mean() and stddev() are O(1): running sums are maintained on insert and
+/// eviction (the receive pipeline reads the window's stddev per delivered
+/// packet, so a scan here turns the whole data path quadratic).  min()/max()
+/// stay full scans — they only appear in end-of-run reports.
 class RollingWindow {
  public:
   explicit RollingWindow(sim::Time window = sim::kSecond) : window_{window} {}
@@ -71,7 +76,11 @@ class RollingWindow {
   [[nodiscard]] std::optional<double> max() const;
   [[nodiscard]] sim::Time window() const noexcept { return window_; }
 
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+  }
 
  private:
   void evict(sim::Time now);
@@ -83,6 +92,8 @@ class RollingWindow {
 
   sim::Time window_;
   std::deque<TimedValue> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
 };
 
 }  // namespace tango::telemetry

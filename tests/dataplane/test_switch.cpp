@@ -69,6 +69,64 @@ TEST_F(SwitchTest, PeerTrafficIsEncapsulatedMeasuredAndDelivered) {
   EXPECT_EQ(tracker->delay().lifetime().count(), 1u);
 }
 
+TEST_F(SwitchTest, BurstMatchesPerPacketSendsAndCountsMixedFates) {
+  // One burst carrying every fate: peer traffic (encapsulated), passthrough,
+  // a no-tunnel drop and a malformed packet.  Per-packet outcomes must be
+  // identical to sequential send_from_host calls; only the event dispatch is
+  // batched.
+  std::vector<std::pair<net::Packet, std::optional<ReceiveInfo>>> delivered;
+  ny_.set_host_handler([&](const net::Packet& p, const std::optional<ReceiveInfo>& info) {
+    delivered.emplace_back(p, info);
+  });
+
+  const std::vector<std::uint8_t> payload{5};
+  std::vector<net::Packet> burst;
+  burst.push_back(to_peer(4000));
+  burst.push_back(to_peer(4001));
+  burst.push_back(net::make_udp_packet(s_.plan.la_hosts.host(1),
+                                       s_.plan.ny_tunnel[0].host(99), 1, 2, payload));
+  burst.push_back(net::Packet{std::vector<std::uint8_t>{0xde, 0xad}});  // malformed
+
+  const std::size_t accepted = la_.send_burst(burst);
+  wan_.events().run_all();
+
+  EXPECT_EQ(accepted, 3u) << "peer x2 + passthrough enter the WAN; malformed does not";
+  ASSERT_EQ(delivered.size(), 3u);
+  // Per-link jitter may reorder arrivals, so classify by Tango info rather
+  // than arrival index.
+  std::vector<ReceiveInfo> tango;
+  std::size_t plain = 0;
+  for (const auto& [p, info] : delivered) {
+    if (info) {
+      tango.push_back(*info);
+    } else {
+      ++plain;
+    }
+  }
+  ASSERT_EQ(tango.size(), 2u) << "both peer packets carry Tango info";
+  EXPECT_EQ(plain, 1u) << "passthrough arrives without Tango info";
+  std::ranges::sort(tango, {}, &ReceiveInfo::sequence);
+  EXPECT_EQ(tango[0].sequence, 0u);
+  EXPECT_EQ(tango[1].sequence, 1u) << "burst preserves encapsulation order";
+  EXPECT_EQ(la_.passthrough(), 1u);
+  EXPECT_EQ(la_.sender().packets_sent(), 2u);
+
+  // Same-timestamp batch: both peer packets left at t=0 and share the path,
+  // so their one-way delays match to within link jitter.
+  EXPECT_NEAR(tango[0].owd_ms, tango[1].owd_ms, 1.5);
+}
+
+TEST_F(SwitchTest, BurstWithNoUsableTunnelCountsDrops) {
+  la_.set_active_path(77);  // unknown tunnel: peer traffic has nowhere to go
+  std::vector<net::Packet> burst;
+  burst.push_back(to_peer());
+  burst.push_back(to_peer());
+  EXPECT_EQ(la_.send_burst(burst), 0u);
+  wan_.events().run_all();
+  EXPECT_EQ(la_.no_tunnel_drops(), 2u);
+  EXPECT_EQ(wan_.delivered(), 0u);
+}
+
 TEST_F(SwitchTest, NonPeerTrafficPassesThrough) {
   // Traffic to a non-Tango destination (the NY tunnel prefix itself is not a
   // peer host prefix) rides plain BGP and is delivered without Tango info.

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "topo/vultr_scenario.hpp"
 
 namespace tango::sim {
@@ -128,6 +132,193 @@ TEST_F(WanTest, EcmpLanesSplitByFlowButPinnedWithinFlow) {
   const std::uint64_t pinned = 0xABCDEF;
   const std::uint32_t lane0 = backbone.transmit(0, pinned).lane;
   for (int i = 0; i < 32; ++i) EXPECT_EQ(backbone.transmit(0, pinned).lane, lane0);
+}
+
+TEST_F(WanTest, DropReasonToStringIsExhaustiveAndDistinct) {
+  const std::array<DropReason, 5> reasons{DropReason::no_route, DropReason::link_loss,
+                                          DropReason::hop_limit, DropReason::no_handler,
+                                          DropReason::malformed};
+  std::set<std::string> names;
+  for (DropReason r : reasons) {
+    const std::string name = to_string(r);
+    EXPECT_NE(name, "?") << "unhandled DropReason " << static_cast<int>(r);
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), reasons.size()) << "drop reason names must be distinct";
+}
+
+// Every drop path must return the packet's buffer to the WAN pool so the
+// steady-state pipeline keeps recycling even under faults.
+
+TEST_F(WanTest, NoRouteDropRecyclesBuffer) {
+  const std::vector<std::uint8_t> payload{1};
+  net::Packet p = net::make_udp_packet(s_.plan.la_hosts.host(1),
+                                       *net::Ipv6Address::parse("9999::1"), 1, 2, payload);
+  ASSERT_EQ(wan_.buffer_pool().pooled(), 0u);
+  wan_.send_from(kServerLa, std::move(p));
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.dropped(DropReason::no_route), 1u);
+  EXPECT_EQ(wan_.buffer_pool().pooled(), 1u);
+}
+
+TEST_F(WanTest, HopLimitDropRecyclesBuffer) {
+  wan_.send_from(kServerLa, host_packet(s_, 1000, 2000, /*hop_limit=*/2));
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.dropped(DropReason::hop_limit), 1u);
+  EXPECT_EQ(wan_.buffer_pool().pooled(), 1u);
+}
+
+TEST_F(WanTest, NoHandlerDropRecyclesBuffer) {
+  wan_.send_from(kServerLa, host_packet(s_));  // kServerNy: no handler attached
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.dropped(DropReason::no_handler), 1u);
+  EXPECT_EQ(wan_.buffer_pool().pooled(), 1u);
+}
+
+TEST_F(WanTest, MalformedDropRecyclesBuffer) {
+  wan_.send_from(kServerLa, net::Packet{std::vector<std::uint8_t>{1, 2, 3}});
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.dropped(DropReason::malformed), 1u);
+  EXPECT_EQ(wan_.buffer_pool().pooled(), 1u);
+}
+
+TEST_F(WanTest, LinkLossDropRecyclesBuffer) {
+  s_.topo.set_profile(kServerLa, kVultrLa, topo::LinkProfile{.base_delay_ms = 0.2,
+                                                             .loss_rate = 1.0});
+  Wan lossy{s_.topo, Rng{7}};
+  lossy.send_from(kServerLa, host_packet(s_));
+  lossy.events().run_all();
+  EXPECT_EQ(lossy.dropped(DropReason::link_loss), 1u);
+  EXPECT_EQ(lossy.buffer_pool().pooled(), 1u);
+}
+
+TEST_F(WanTest, FlowCacheHitsOnRepeatedFlow) {
+  wan_.attach(kServerNy, [](net::Packet&) {});
+  ASSERT_EQ(wan_.fib_lookups(), 0u);
+  wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+  const std::uint64_t cold_lookups = wan_.fib_lookups();
+  EXPECT_EQ(wan_.fib_cache_hits(), 0u) << "first packet of a flow walks the trie";
+  // One lookup per router the packet visits, delivery router included.
+  ASSERT_EQ(cold_lookups, 5u);
+
+  for (int i = 0; i < 3; ++i) wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.fib_lookups(), 4 * cold_lookups);
+  EXPECT_EQ(wan_.fib_cache_hits(), 3 * cold_lookups)
+      << "every hop of a repeated flow must be served by the flow cache";
+  EXPECT_NEAR(wan_.fib_cache_hit_rate(), 0.75, 1e-9);
+}
+
+TEST_F(WanTest, FlowCacheInvalidatedBySyncFibs) {
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](net::Packet&) { ++delivered; });
+
+  // Warm every router's flow cache along the NTT default path.
+  wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+  ASSERT_EQ(delivered, 1u);
+
+  // Control-plane change: NY suppresses NTT, traffic must shift to Telia.
+  // A stale flow-cache entry at Vultr-LA would keep steering to NTT.
+  s_.topo.bgp().originate(kServerNy, net::Prefix{s_.plan.ny_hosts},
+                          bgp::CommunitySet{bgp::action::do_not_announce_to(kAsnNtt)});
+  wan_.sync_fibs();
+
+  std::vector<bgp::RouterId> visited;
+  wan_.set_hop_observer([&visited](bgp::RouterId from, bgp::RouterId, const net::Packet&) {
+    visited.push_back(from);
+  });
+  wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_NE(std::find(visited.begin(), visited.end(), kTelia), visited.end())
+      << "sync_fibs must invalidate cached next hops";
+  EXPECT_EQ(std::find(visited.begin(), visited.end(), kNtt), visited.end())
+      << "no packet may follow the stale cached NTT route";
+}
+
+TEST_F(WanTest, RawHandlerDeliversAndTakesPrecedence) {
+  std::uint64_t raw_calls = 0;
+  std::uint64_t fn_calls = 0;
+  wan_.attach(kServerNy, [&fn_calls](net::Packet&) { ++fn_calls; });
+  wan_.attach_raw(
+      kServerNy, [](void* ctx, net::Packet&) { ++*static_cast<std::uint64_t*>(ctx); },
+      &raw_calls);
+  wan_.send_from(kServerLa, host_packet(s_));
+  wan_.events().run_all();
+  EXPECT_EQ(raw_calls, 1u);
+  EXPECT_EQ(fn_calls, 0u);
+  EXPECT_EQ(wan_.delivered(), 1u);
+}
+
+TEST_F(WanTest, BurstMatchesSequentialSends) {
+  // A burst must produce the identical delivery schedule (same order, same
+  // per-packet delays, same RNG consumption) as per-packet sends.
+  auto run = [this](bool burst) {
+    Wan wan{s_.topo, Rng{1234}};
+    std::vector<std::pair<Time, std::uint16_t>> arrivals;
+    wan.attach(kServerNy, [&arrivals, &wan](net::Packet& p) {
+      arrivals.emplace_back(wan.now(), p.flow_key()->hash & 0xFFFF);
+    });
+    if (burst) {
+      std::vector<net::Packet> b;
+      for (std::uint16_t i = 0; i < 16; ++i) b.push_back(host_packet(s_, 3000 + i));
+      wan.send_burst_from(kServerLa, std::move(b));
+    } else {
+      for (std::uint16_t i = 0; i < 16; ++i) {
+        wan.send_from(kServerLa, host_packet(s_, 3000 + i));
+      }
+    }
+    wan.events().run_all();
+    return arrivals;
+  };
+  const auto sequential = run(false);
+  const auto bursted = run(true);
+  ASSERT_EQ(sequential.size(), 16u);
+  EXPECT_EQ(sequential, bursted);
+}
+
+TEST_F(WanTest, EmptyBurstIsANoOp) {
+  wan_.send_burst_from(kServerLa, {});
+  wan_.events().run_all();
+  EXPECT_EQ(wan_.delivered(), 0u);
+  EXPECT_EQ(wan_.total_dropped(), 0u);
+  EXPECT_THROW(wan_.send_burst_from(999, {}), std::out_of_range);
+}
+
+TEST_F(WanTest, SchedulerBackendsProduceIdenticalRuns) {
+  // The acceptance check for the timing wheel: a fixed-seed run with jitter,
+  // ECMP lanes and loss produces identical delivered/dropped counts and an
+  // identical one-way-delay series under both scheduler backends.
+  auto run = [this](EventQueue::Backend backend) {
+    Wan wan{s_.topo, Rng{77}, backend};
+    wan.link(kNtt, kVultrNy).set_ecmp(/*lanes=*/4, /*spread_ms=*/1.0);
+    std::vector<Time> delays;
+    wan.attach(kServerNy, [&delays, &wan](net::Packet&) { delays.push_back(wan.now()); });
+    for (int round = 0; round < 50; ++round) {
+      for (std::uint16_t f = 0; f < 8; ++f) {
+        wan.send_from(kServerLa, host_packet(s_, 5000 + f));
+      }
+      wan.events().run_until(wan.now() + 100 * kMillisecond);
+    }
+    struct Result {
+      std::vector<Time> delays;
+      std::uint64_t delivered;
+      std::array<std::uint64_t, 5> drops;
+      bool operator==(const Result&) const = default;
+    };
+    return Result{std::move(delays), wan.delivered(),
+                  {wan.dropped(DropReason::no_route), wan.dropped(DropReason::link_loss),
+                   wan.dropped(DropReason::hop_limit), wan.dropped(DropReason::no_handler),
+                   wan.dropped(DropReason::malformed)}};
+  };
+  const auto wheel = run(EventQueue::Backend::timing_wheel);
+  const auto heap = run(EventQueue::Backend::binary_heap);
+  EXPECT_GT(wheel.delivered, 0u);
+  EXPECT_TRUE(wheel == heap)
+      << "wheel delivered " << wheel.delivered << " vs heap " << heap.delivered;
 }
 
 TEST_F(WanTest, LinkAccessorValidates) {
