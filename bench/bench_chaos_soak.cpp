@@ -1,0 +1,414 @@
+// Chaos soak: a seeded randomized fault schedule over the Vultr scenario.
+//
+// The harness generates a sequence of faults (hard link-down with BGP
+// withdraw, silent blackhole, BGP session reset, Gilbert-Elliott burst
+// loss) against the backbone links, runs the full two-node pairing with
+// steady bidirectional host traffic through all of them, and asserts the
+// fault-tolerance invariants this subsystem promises:
+//
+//   I1  the run completes (no crash, no wedged event loop);
+//   I2  a sender is never pinned to a dead tunnel: whenever the active
+//       path's health is quarantined, the policy moves off it within a
+//       bounded number of policy periods (checked by a 100 ms sampler);
+//   I3  delivery resumes after every fault: outside each fault's failover
+//       window, every 500 ms bucket carries traffic in both directions;
+//   I4  the whole soak is deterministic across event-queue backends —
+//       identical delivery digests, drops, path switches, quarantines.
+//
+// TANGO_BENCH_QUICK=1 shrinks the soak for CI (same invariants, fewer
+// faults).  Results go to stdout and the BENCH_chaos detail JSON, plus a
+// one-line run record appended to BENCH_chaos.json at the repo root.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace tango::bench {
+namespace {
+
+// --- Fault schedule ----------------------------------------------------------
+
+struct Fault {
+  enum class Kind { link_down, blackhole, session_reset, burst_loss };
+  Kind kind = Kind::blackhole;
+  topo::LinkKey link;
+  sim::Time start = 0;
+  sim::Time end = 0;
+
+  [[nodiscard]] const char* name() const {
+    switch (kind) {
+      case Kind::link_down:
+        return "link_down";
+      case Kind::blackhole:
+        return "blackhole";
+      case Kind::session_reset:
+        return "session_reset";
+      case Kind::burst_loss:
+        return "burst_loss";
+    }
+    return "?";
+  }
+};
+
+/// Sequential faults with recovery gaps: one fault at a time, so every
+/// invariant window is attributable.  Deterministic in `seed`.
+std::vector<Fault> make_schedule(std::uint64_t seed, sim::Time total) {
+  std::mt19937_64 rng{seed};
+  // Backbone edges on both coasts; a blackhole/link-down here kills the
+  // tunnels riding that transit while the other paths stay up.
+  const std::array<topo::LinkKey, 6> targets{{{kNtt, kVultrLa},
+                                              {kTelia, kVultrLa},
+                                              {kGtt, kVultrLa},
+                                              {kNtt, kVultrNy},
+                                              {kTelia, kVultrNy},
+                                              {kGtt, kVultrNy}}};
+  std::vector<Fault> out;
+  sim::Time t = 5 * sim::kSecond;  // let the pairing settle first
+  for (;;) {
+    Fault f;
+    // The schedule always opens with the hard case — a silent blackhole is
+    // the one fault only the health monitor can catch (withdrawn link-downs
+    // and session resets mostly reroute at the BGP layer).  The rest of the
+    // schedule draws uniformly.
+    f.kind = out.empty() ? Fault::Kind::blackhole : static_cast<Fault::Kind>(rng() % 4);
+    f.link = targets[rng() % targets.size()];
+    const sim::Time duration = (2 + rng() % 5) * sim::kSecond;  // 2..6 s
+    const sim::Time gap = (6 + rng() % 4) * sim::kSecond;       // recovery room
+    if (t + duration + gap > total) break;
+    f.start = t;
+    f.end = t + duration;
+    out.push_back(f);
+    t = f.end + gap;
+  }
+  return out;
+}
+
+void inject_fault(sim::Wan& wan, const Fault& f) {
+  const sim::Time duration = f.end - f.start;
+  switch (f.kind) {
+    case Fault::Kind::link_down:
+      sim::inject(wan, sim::LinkDownEvent{.link = f.link, .at = f.start, .duration = duration});
+      break;
+    case Fault::Kind::blackhole:
+      sim::inject(wan, sim::BlackholeEvent{.link = f.link, .at = f.start, .duration = duration});
+      break;
+    case Fault::Kind::session_reset:
+      sim::inject(wan, sim::SessionResetEvent{.a = f.link.from, .b = f.link.to, .at = f.start,
+                                              .down_for = duration});
+      break;
+    case Fault::Kind::burst_loss:
+      sim::inject(wan, sim::BurstLossEvent{.link = f.link, .at = f.start, .duration = duration});
+      break;
+  }
+}
+
+// --- One soak run ------------------------------------------------------------
+
+constexpr sim::Time kBucket = 500 * sim::kMillisecond;
+constexpr sim::Time kSamplePeriod = 100 * sim::kMillisecond;
+constexpr sim::Time kTrafficPeriod = 5 * sim::kMillisecond;
+/// I2 bound: quarantine happens inside the same policy tick that notices the
+/// staleness, so the active path may read as dead for at most a couple of
+/// sampler periods around that instant.
+constexpr int kMaxUnusableSamples = 5;
+/// I3 grace after a fault starts: quarantine_after (1 s) + feedback round
+/// trip + policy period, rounded up generously.
+constexpr sim::Time kFailoverGrace = 3 * sim::kSecond;
+
+struct SoakResult {
+  std::uint64_t traffic_la = 0;  ///< NY->LA traffic packets delivered
+  std::uint64_t traffic_ny = 0;  ///< LA->NY traffic packets delivered
+  std::uint64_t wan_delivered = 0;
+  std::uint64_t wan_dropped = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t recoveries = 0;
+  int max_unusable_streak = 0;
+  std::uint64_t digest = 0;
+  std::vector<std::uint64_t> buckets_la;
+  std::vector<std::uint64_t> buckets_ny;
+};
+
+void mix(std::uint64_t& digest, std::uint64_t value) {
+  digest ^= value;
+  digest *= 0x100000001B3ull;  // FNV-1a step
+}
+
+SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault>& schedule,
+                    sim::EventQueue::Backend backend) {
+  Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
+             backend};
+  tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  tb.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+
+  SoakResult r;
+  const std::size_t buckets = static_cast<std::size_t>(total / kBucket) + 2;
+  r.buckets_la.assign(buckets, 0);
+  r.buckets_ny.assign(buckets, 0);
+  r.digest = 0xcbf29ce484222325ull;
+
+  // Traffic packets are told apart from 5-byte measurement probes by size.
+  const std::vector<std::uint8_t> payload(128, 0x7A);
+  tb.la.dp().set_host_handler(
+      [&r, &tb](const net::Packet& p, const std::optional<dataplane::ReceiveInfo>&) {
+        if (p.size() < 100) return;
+        ++r.traffic_la;
+        ++r.buckets_la[static_cast<std::size_t>(tb.wan.now() / kBucket)];
+        mix(r.digest, static_cast<std::uint64_t>(tb.wan.now()));
+      });
+  tb.ny.dp().set_host_handler(
+      [&r, &tb](const net::Packet& p, const std::optional<dataplane::ReceiveInfo>&) {
+        if (p.size() < 100) return;
+        ++r.traffic_ny;
+        ++r.buckets_ny[static_cast<std::size_t>(tb.wan.now() / kBucket)];
+        mix(r.digest, static_cast<std::uint64_t>(tb.wan.now()) * 0x9E3779B97F4A7C15ull);
+      });
+
+  for (const Fault& f : schedule) inject_fault(tb.wan, f);
+
+  tb.pairing.start();
+  tb.la.start_probing(10 * sim::kMillisecond);
+  tb.ny.start_probing(10 * sim::kMillisecond);
+
+  // Steady bidirectional host traffic, one packet per direction per period.
+  bool running = true;
+  struct TrafficLoop {
+    Testbed& tb;
+    const std::vector<std::uint8_t>& payload;
+    bool& running;
+    void operator()() const {
+      if (!running) return;
+      tb.la.dp().send_from_host(net::make_udp_packet(tb.wan.buffer_pool(),
+                                                     tb.la.host_address(0x10),
+                                                     tb.scenario.plan.ny_hosts.host(0x20), 7777,
+                                                     7777, payload));
+      tb.ny.dp().send_from_host(net::make_udp_packet(tb.wan.buffer_pool(),
+                                                     tb.ny.host_address(0x20),
+                                                     tb.scenario.plan.la_hosts.host(0x10), 7777,
+                                                     7777, payload));
+      tb.wan.events().schedule_in(kTrafficPeriod, TrafficLoop{*this});
+    }
+  };
+  tb.wan.events().schedule_in(kTrafficPeriod, TrafficLoop{tb, payload, running});
+
+  // I2 sampler: how long does a sender stay on a path its own health
+  // monitor has declared dead?
+  struct PinSampler {
+    Testbed& tb;
+    SoakResult& r;
+    bool& running;
+    int streak_la;
+    int streak_ny;
+    void operator()() {
+      if (!running) return;
+      auto check = [](core::TangoNode& node, bgp::RouterId peer, int& streak) {
+        const auto active = node.dp().active_path(peer);
+        if (active && !node.health().usable(*active)) {
+          ++streak;
+        } else {
+          streak = 0;
+        }
+        return streak;
+      };
+      r.max_unusable_streak =
+          std::max({r.max_unusable_streak, check(tb.la, kServerNy, streak_la),
+                    check(tb.ny, kServerLa, streak_ny)});
+      tb.wan.events().schedule_in(kSamplePeriod, PinSampler{*this});
+    }
+  };
+  tb.wan.events().schedule_in(kSamplePeriod, PinSampler{tb, r, running, 0, 0});
+
+  tb.wan.events().schedule_at(total, [&]() {
+    running = false;
+    tb.pairing.stop();
+    tb.la.stop_probing();
+    tb.ny.stop_probing();
+  });
+  tb.wan.events().run_all();  // I1: completes without crashing or wedging
+
+  r.wan_delivered = tb.wan.delivered();
+  r.wan_dropped = tb.wan.total_dropped();
+  r.switches = tb.la.path_switches() + tb.ny.path_switches();
+  r.quarantines = tb.la.health().quarantines() + tb.ny.health().quarantines();
+  r.recoveries = tb.la.health().recoveries() + tb.ny.health().recoveries();
+  mix(r.digest, r.wan_delivered);
+  mix(r.digest, r.wan_dropped);
+  mix(r.digest, r.switches);
+  mix(r.digest, r.quarantines);
+  mix(r.digest, r.recoveries);
+  return r;
+}
+
+// --- Invariant checks --------------------------------------------------------
+
+bool in_failover_window(const std::vector<Fault>& schedule, sim::Time bucket_start) {
+  for (const Fault& f : schedule) {
+    if (bucket_start + kBucket > f.start && bucket_start < f.start + kFailoverGrace) return true;
+    // A clearing fault can also briefly disturb delivery (reconvergence,
+    // switch-back); give the tail of each window the same grace.
+    if (bucket_start + kBucket > f.end && bucket_start < f.end + kFailoverGrace) return true;
+  }
+  return false;
+}
+
+int check_invariants(const SoakResult& r, const std::vector<Fault>& schedule, sim::Time total) {
+  int violations = 0;
+
+  if (r.max_unusable_streak > kMaxUnusableSamples) {
+    std::fprintf(stderr,
+                 "FAIL I2: active path stayed on a quarantined tunnel for %d samples "
+                 "(bound %d)\n",
+                 r.max_unusable_streak, kMaxUnusableSamples);
+    ++violations;
+  }
+
+  const auto last_full = static_cast<std::size_t>(total / kBucket);
+  for (std::size_t b = 1; b < last_full; ++b) {
+    const sim::Time start = static_cast<sim::Time>(b) * kBucket;
+    if (in_failover_window(schedule, start)) continue;
+    if (r.buckets_la[b] == 0 || r.buckets_ny[b] == 0) {
+      std::fprintf(stderr,
+                   "FAIL I3: no traffic delivered in bucket [%.1fs, %.1fs) "
+                   "(NY->LA %llu, LA->NY %llu) outside any failover window\n",
+                   sim::to_ms(start) / 1000.0, sim::to_ms(start + kBucket) / 1000.0,
+                   static_cast<unsigned long long>(r.buckets_la[b]),
+                   static_cast<unsigned long long>(r.buckets_ny[b]));
+      ++violations;
+    }
+  }
+
+  if (r.quarantines == 0) {
+    std::fprintf(stderr, "FAIL: the schedule never quarantined a path — soak has no teeth\n");
+    ++violations;
+  }
+  if (r.recoveries == 0) {
+    std::fprintf(stderr, "FAIL: no path ever recovered after its fault cleared\n");
+    ++violations;
+  }
+  return violations;
+}
+
+// --- Reporting ---------------------------------------------------------------
+
+void emit_result(JsonWriter& w, const char* key, const SoakResult& r) {
+  w.begin_object(key)
+      .field("traffic_delivered_ny_to_la", r.traffic_la)
+      .field("traffic_delivered_la_to_ny", r.traffic_ny)
+      .field("wan_delivered", r.wan_delivered)
+      .field("wan_dropped", r.wan_dropped)
+      .field("path_switches", r.switches)
+      .field("quarantines", r.quarantines)
+      .field("recoveries", r.recoveries)
+      .field("max_unusable_streak", static_cast<std::uint64_t>(r.max_unusable_streak))
+      .field("digest", r.digest)
+      .end_object();
+}
+
+int run(std::uint64_t seed, sim::Time total) {
+  print_header("Chaos soak",
+               "seeded fault schedule (link-down / blackhole / session-reset / burst-loss) "
+               "over the Vultr pairing",
+               seed);
+
+  const std::vector<Fault> schedule = make_schedule(seed, total);
+  std::printf("schedule (%zu faults over %.0f s):\n", schedule.size(),
+              sim::to_ms(total) / 1000.0);
+  for (const Fault& f : schedule) {
+    std::printf("  %-14s link %llu->%llu   [%6.1fs, %6.1fs)\n", f.name(),
+                static_cast<unsigned long long>(f.link.from),
+                static_cast<unsigned long long>(f.link.to), sim::to_ms(f.start) / 1000.0,
+                sim::to_ms(f.end) / 1000.0);
+  }
+  std::printf("\n");
+  if (schedule.size() < 2) {
+    std::fprintf(stderr, "FAIL: degenerate schedule (%zu faults) — soak too short\n",
+                 schedule.size());
+    return 1;
+  }
+
+  const SoakResult wheel =
+      run_soak(seed, total, schedule, sim::EventQueue::Backend::timing_wheel);
+  const SoakResult heap = run_soak(seed, total, schedule, sim::EventQueue::Backend::binary_heap);
+
+  auto print_result = [](const char* name, const SoakResult& r) {
+    std::printf("%s:\n", name);
+    std::printf("  traffic delivered  NY->LA %llu, LA->NY %llu\n",
+                static_cast<unsigned long long>(r.traffic_la),
+                static_cast<unsigned long long>(r.traffic_ny));
+    std::printf("  wan delivered %llu, dropped %llu\n",
+                static_cast<unsigned long long>(r.wan_delivered),
+                static_cast<unsigned long long>(r.wan_dropped));
+    std::printf("  path switches %llu, quarantines %llu, recoveries %llu\n",
+                static_cast<unsigned long long>(r.switches),
+                static_cast<unsigned long long>(r.quarantines),
+                static_cast<unsigned long long>(r.recoveries));
+    std::printf("  max dead-pin streak %d samples (bound %d), digest %016llx\n\n",
+                r.max_unusable_streak, kMaxUnusableSamples,
+                static_cast<unsigned long long>(r.digest));
+  };
+  print_result("timing_wheel", wheel);
+  print_result("binary_heap", heap);
+
+  int violations = check_invariants(wheel, schedule, total);
+  if (wheel.digest != heap.digest || wheel.max_unusable_streak != heap.max_unusable_streak) {
+    std::fprintf(stderr,
+                 "FAIL I4: backends disagree (wheel digest %016llx, heap %016llx) — "
+                 "determinism broken\n",
+                 static_cast<unsigned long long>(wheel.digest),
+                 static_cast<unsigned long long>(heap.digest));
+    ++violations;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("seed", seed);
+  w.field("sim_seconds", sim::to_ms(total) / 1000.0, 1);
+  w.field("faults", static_cast<std::uint64_t>(schedule.size()));
+  emit_result(w, "timing_wheel", wheel);
+  emit_result(w, "binary_heap", heap);
+  w.field("invariant_violations", static_cast<std::uint64_t>(violations));
+  w.end_object();
+  const auto path = detail_report_path("BENCH_chaos");
+  w.write_file(path);
+  std::printf("wrote %s\n", path.string().c_str());
+
+  char record[512];
+  std::snprintf(record, sizeof record,
+                "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"faults\": %zu, "
+                "\"traffic_delivered\": %llu, \"quarantines\": %llu, \"recoveries\": %llu, "
+                "\"max_unusable_streak\": %d, \"deterministic\": %s, \"violations\": %d}",
+                git_head_sha().c_str(), utc_timestamp().c_str(),
+                static_cast<unsigned long long>(seed), schedule.size(),
+                static_cast<unsigned long long>(wheel.traffic_la + wheel.traffic_ny),
+                static_cast<unsigned long long>(wheel.quarantines),
+                static_cast<unsigned long long>(wheel.recoveries), wheel.max_unusable_streak,
+                wheel.digest == heap.digest ? "true" : "false", violations);
+  if (append_run_history("BENCH_chaos", record)) {
+    std::printf("appended run record to <repo-root>/BENCH_chaos.json\n");
+  }
+
+  if (violations > 0) return 1;
+  std::printf("all invariants held (%zu faults, both backends, digest %016llx)\n",
+              schedule.size(), static_cast<unsigned long long>(wheel.digest));
+  return 0;
+}
+
+}  // namespace
+}  // namespace tango::bench
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  tango::sim::Time total = 150 * tango::sim::kSecond;
+  const char* quick = std::getenv("TANGO_BENCH_QUICK");
+  if (quick != nullptr && std::strcmp(quick, "0") != 0) {
+    total = 45 * tango::sim::kSecond;  // ~3 faults: same invariants, CI-sized
+  }
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) total = std::strtoull(argv[2], nullptr, 10) * tango::sim::kSecond;
+  return tango::bench::run(seed, total);
+}

@@ -11,7 +11,8 @@ TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
       switch_{config_.router, wan,
               dataplane::SwitchOptions{.keep_series = config_.keep_series,
                                        .clock = config_.clock,
-                                       .auth_key = config_.auth_key}} {}
+                                       .auth_key = config_.auth_key}},
+      health_{config_.health} {}
 
 DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
                                              SteeringMechanism mechanism,
@@ -51,6 +52,10 @@ DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
   peer_host_prefixes_.push_back(peer.config_.host_prefix);
   wan_.sync_fibs();
 
+  // Track every discovered path's health from now (grace period starts at
+  // registration, so an idle-but-new path is not quarantined prematurely).
+  for (PathId id : ids) health_.track(id, wan_.now());
+
   // Until measurements arrive, ride the first exposed path — by
   // construction the BGP default (discovered with no suppression).
   if (!ids.empty()) switch_.set_active_path(peer_id, ids.front());
@@ -82,15 +87,32 @@ std::vector<PathId> TangoNode::paths_to(bgp::RouterId peer) const {
 std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
   if (!policy_) return switch_.active_path();
 
+  health_.tick(now);
+
   std::optional<PathId> last_choice;
   for (const auto& [peer, ids] : peer_paths_) {
-    // Restrict the policy's view to this peer's paths.
+    // Restrict the policy's view to this peer's paths, minus paths the
+    // health monitor has quarantined (their reports are frozen telemetry a
+    // policy would otherwise keep trusting).
     PathViews views;
     for (PathId id : ids) {
+      if (!health_.usable(id)) continue;
       if (const PathReport* r = registry_.report(id)) views.emplace(id, *r);
     }
+    if (views.empty()) {
+      // Every path is quarantined: surface all reports and let the policy's
+      // least-stale fallback pick the least-bad option rather than sending
+      // into a void with no information at all.
+      for (PathId id : ids) {
+        if (const PathReport* r = registry_.report(id)) views.emplace(id, *r);
+      }
+    }
     const auto current = switch_.active_path(peer);
-    auto chosen = policy_->choose(views, now, current);
+    // A quarantined incumbent must not benefit from hysteresis: the policy
+    // sees no incumbent and picks the best of the survivors.
+    const std::optional<PathId> effective_current =
+        current && health_.usable(*current) ? current : std::optional<PathId>{};
+    auto chosen = policy_->choose(views, now, effective_current);
     if (chosen && chosen != current) {
       switch_.set_active_path(peer, *chosen);
       ++path_switches_;
@@ -102,19 +124,24 @@ std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
 
 void TangoNode::update_report(PathId id, const PathReport& report) {
   registry_.update_report(id, report);
+  health_.on_report(id, report, wan_.now());
 }
 
 void TangoNode::send_probe_round() {
   if (peer_paths_.empty()) return;
   // A minimal inner UDP packet per peer; the receiving switch measures it
   // off the Tango header and delivers it like any other host packet.
+  // Quarantined paths are probed at the health monitor's (much lower)
+  // recovery rate instead of every round.
   static constexpr std::uint16_t kProbePort = 9;  // discard
   const std::vector<std::uint8_t> payload{'t', 'a', 'n', 'g', 'o'};
+  const sim::Time now = wan_.now();
   for (std::size_t i = 0; i < peer_paths_.size(); ++i) {
     const net::Packet probe =
         net::make_udp_packet(host_address(0xFFFF), peer_host_prefixes_[i].host(0xFFFF),
                              kProbePort, kProbePort, payload);
     for (PathId id : peer_paths_[i].second) {
+      if (!health_.should_probe(id, now)) continue;
       if (switch_.send_on_path(probe, id)) ++probes_sent_;
     }
   }
@@ -129,18 +156,20 @@ void TangoNode::start_probing(sim::Time period) {
   });
 }
 
-std::optional<PathReport> TangoNode::build_report_for(PathId id, sim::Time now) const {
-  const dataplane::PathTracker* tracker = switch_.receiver().tracker(id);
+std::optional<PathReport> TangoNode::build_report_for(PathId id, sim::Time now) {
+  dataplane::PathTracker* tracker = switch_.receiver().tracker(id);
   if (tracker == nullptr || tracker->delay().lifetime().count() == 0) return std::nullopt;
 
   PathReport report;
   report.owd_ewma_ms = tracker->delay().ewma().value();
-  // Prefer the live 1-second window's stddev; fall back to the lifetime mean
-  // of window stddevs when the window is still sparse.
+  // Prefer the live 1-second window's stddev, evicted relative to `now` so a
+  // quiet path cannot advertise frozen sub-second jitter; fall back to the
+  // lifetime mean of window stddevs when the window is sparse or drained.
   report.jitter_ms =
-      tracker->delay().rolling().stddev().value_or(tracker->delay().mean_rolling_stddev());
+      tracker->delay().rolling_stddev(now).value_or(tracker->delay().mean_rolling_stddev());
   report.loss_rate = tracker->loss().loss_rate();
   report.samples = tracker->delay().lifetime().count();
+  report.lost = tracker->loss().lost();
   report.updated_at = now;
   return report;
 }

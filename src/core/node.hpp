@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/discovery.hpp"
+#include "core/path_health.hpp"
 #include "core/registry.hpp"
 #include "core/routing_policy.hpp"
 #include "dataplane/switch.hpp"
@@ -31,6 +32,8 @@ struct NodeConfig {
   /// Shared pairing key for authenticated telemetry (§6); both endpoints
   /// must configure the same key.
   std::optional<net::SipHashKey> auth_key;
+  /// Path-health thresholds (staleness/loss quarantine, re-probe cadence).
+  PathHealthOptions health;
 };
 
 class TangoNode {
@@ -77,12 +80,20 @@ class TangoNode {
   std::optional<PathId> apply_policy(sim::Time now);
 
   /// Installs a fresh performance report for an outbound path (feedback
-  /// from the cooperating peer).
+  /// from the cooperating peer) and feeds the path-health monitor.
   void update_report(PathId id, const PathReport& report);
+
+  /// The sender-side health state machine over this node's outbound paths.
+  /// apply_policy() excludes quarantined/probing paths from the policy's
+  /// view and send_probe_round() consults it for the low-rate re-probing of
+  /// quarantined paths.
+  [[nodiscard]] PathHealthMonitor& health() noexcept { return health_; }
+  [[nodiscard]] const PathHealthMonitor& health() const noexcept { return health_; }
 
   /// Builds the report this node's *receiver* would feed back to the peer
   /// about the peer's outbound path `id`; nullopt before any packet arrived.
-  [[nodiscard]] std::optional<PathReport> build_report_for(PathId id, sim::Time now) const;
+  /// Non-const: the time-aware jitter read evicts expired window samples.
+  [[nodiscard]] std::optional<PathReport> build_report_for(PathId id, sim::Time now);
 
   /// Count of active-path switches the policy has made.
   [[nodiscard]] std::uint64_t path_switches() const noexcept { return path_switches_; }
@@ -118,6 +129,7 @@ class TangoNode {
   NodeConfig config_;
   dataplane::TangoSwitch switch_;
   PathRegistry registry_;
+  PathHealthMonitor health_;
   std::unique_ptr<RoutingPolicy> policy_;
   std::uint64_t path_switches_ = 0;
   /// Outbound paths per peer (router id); insertion order preserved for

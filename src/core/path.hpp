@@ -42,7 +42,15 @@ struct PathReport {
   /// Mean 1-second rolling-window stddev (the §5 jitter metric).
   double jitter_ms = 0.0;
   double loss_rate = 0.0;
+  /// Cumulative packets the receiver has measured on this path.  A
+  /// report whose `samples` did not advance since the previous one means no
+  /// data flowed in between — the staleness signal the path-health monitor
+  /// keys on (the receiver keeps *publishing* reports even when a path goes
+  /// dark, so `updated_at` alone cannot detect a dead path).
   std::uint64_t samples = 0;
+  /// Cumulative sequences the receiver declared lost (beyond the reordering
+  /// horizon).  Deltas between consecutive reports give interval loss.
+  std::uint64_t lost = 0;
   sim::Time updated_at = 0;
 
   [[nodiscard]] bool fresh(sim::Time now, sim::Time max_age) const noexcept {

@@ -1,0 +1,122 @@
+// Sender-side per-path health: the layer that notices a path has gone dark.
+//
+// The cooperating receiver keeps *publishing* reports even when a path stops
+// carrying packets (its EWMA and loss counters simply freeze), so report
+// arrival alone cannot distinguish a healthy path from a blackholed one.
+// The monitor instead watches the evidence inside consecutive reports — did
+// the receiver's cumulative sample count advance? what share of the interval
+// was lost? — and runs each path through a small state machine:
+//
+//     healthy ──stale──▶ suspect ──staler──▶ quarantined ◀──confirmed loss──
+//        ▲                                     │  ▲
+//        │                            low-rate probe sent
+//     good report                              ▼  │ probe unanswered
+//        │                                  probing
+//        └── recovered ◀── good_streak reports ──┘
+//
+// Quarantined and probing paths are excluded from routing-policy views (the
+// switch fails over within a bounded number of feedback periods) but keep
+// being probed at a low rate so recovery is detected when the fault clears.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path.hpp"
+
+namespace tango::core {
+
+enum class PathHealth : std::uint8_t {
+  healthy,      ///< evidence of recent delivery, acceptable loss
+  suspect,      ///< no new samples for suspect_after; still usable
+  quarantined,  ///< declared dead: excluded from policy, probed at low rate
+  probing,      ///< a recovery probe is in flight, awaiting evidence
+  recovered,    ///< came back; usable, promoted to healthy on the next good report
+};
+
+[[nodiscard]] const char* to_string(PathHealth h) noexcept;
+
+struct PathHealthOptions {
+  /// No new receiver samples for this long: healthy -> suspect.
+  sim::Time suspect_after = 300 * sim::kMillisecond;
+  /// No new receiver samples for this long: -> quarantined.  Bounds the
+  /// failover time: the switch abandons a dead path within
+  /// quarantine_after + one policy period + one feedback round trip.
+  sim::Time quarantine_after = sim::kSecond;
+  /// Interval loss share (between consecutive reports) that quarantines a
+  /// path even while some packets still arrive.
+  double loss_quarantine = 0.5;
+  /// Minimum packets in an interval before its loss share is trusted.
+  std::uint64_t min_interval_packets = 8;
+  /// How often a quarantined path is re-probed for recovery.  Low rate by
+  /// design: dead paths should not consume the 10 ms probe cadence.
+  sim::Time probe_interval = 500 * sim::kMillisecond;
+  /// Consecutive good reports needed to leave quarantine.
+  int good_reports_to_recover = 2;
+};
+
+/// Tracks the health state of every path of one sender.  Deterministic: all
+/// transitions are driven by caller-supplied times and report contents.
+class PathHealthMonitor {
+ public:
+  explicit PathHealthMonitor(PathHealthOptions options = {}) : options_{options} {}
+
+  /// Registers a path (idempotent).  A freshly tracked path gets a full
+  /// staleness grace period starting at `now`.
+  void track(PathId id, sim::Time now);
+
+  /// Feeds one report from the cooperating receiver.  `now` is the sender's
+  /// clock at delivery.
+  void on_report(PathId id, const PathReport& report, sim::Time now);
+
+  /// Advances staleness transitions to `now` (call from the policy tick).
+  void tick(sim::Time now);
+
+  [[nodiscard]] PathHealth state(PathId id) const;
+
+  /// Usable = may be offered to the routing policy.
+  [[nodiscard]] bool usable(PathId id) const {
+    const PathHealth h = state(id);
+    return h != PathHealth::quarantined && h != PathHealth::probing;
+  }
+
+  /// Gate for the probe loop: healthy-side paths probe every round;
+  /// quarantined paths only when their low-rate probe is due.  Returns true
+  /// when the caller should send a probe now and records the send (a
+  /// quarantined path moves to probing).
+  [[nodiscard]] bool should_probe(PathId id, sim::Time now);
+
+  [[nodiscard]] const PathHealthOptions& options() const noexcept { return options_; }
+
+  // --- Statistics -----------------------------------------------------------
+
+  /// Transitions into quarantine / out of it (soak-harness invariants).
+  [[nodiscard]] std::uint64_t quarantines() const noexcept { return quarantines_; }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+ private:
+  struct Entry {
+    PathId id = 0;
+    PathHealth state = PathHealth::healthy;
+    /// Last time a report proved packets were flowing (sample count grew).
+    sim::Time last_evidence = 0;
+    sim::Time last_probe = 0;
+    /// Receiver cumulative counters at the previous report (delta base).
+    std::uint64_t prev_samples = 0;
+    std::uint64_t prev_lost = 0;
+    int good_streak = 0;
+  };
+
+  [[nodiscard]] Entry* find(PathId id);
+  [[nodiscard]] const Entry* find(PathId id) const;
+  void quarantine(Entry& e);
+
+  PathHealthOptions options_;
+  /// Flat and ordered by insertion (= discovery order): a pairing has a
+  /// handful of paths, and deterministic iteration keeps runs reproducible.
+  std::vector<Entry> entries_;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace tango::core

@@ -5,7 +5,10 @@ namespace tango::core {
 namespace {
 
 /// Shared scan: lowest `metric(report)` among fresh views; falls back to
-/// `current` (then to the lowest path id) when nothing is fresh yet.
+/// `current` (then to the *least-stale* report) when nothing is fresh yet.
+/// The lowest path id would be an arbitrary choice that can land on a
+/// withdrawn or dead path; the most recently updated report is the best
+/// available evidence of a path that still carries traffic.
 template <typename Metric>
 std::optional<PathId> lowest_by(const PathViews& views, sim::Time now, sim::Time max_age,
                                 std::optional<PathId> current, Metric metric) {
@@ -21,6 +24,16 @@ std::optional<PathId> lowest_by(const PathViews& views, sim::Time now, sim::Time
   }
   if (best) return best;
   if (current) return current;
+  std::optional<PathId> least_stale;
+  sim::Time newest = 0;
+  for (const auto& [id, report] : views) {
+    if (report.samples == 0) continue;  // never measured: no evidence it works
+    if (!least_stale || report.updated_at > newest) {
+      least_stale = id;
+      newest = report.updated_at;
+    }
+  }
+  if (least_stale) return least_stale;
   if (!views.empty()) return views.begin()->first;
   return std::nullopt;
 }

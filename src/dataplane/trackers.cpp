@@ -5,6 +5,7 @@ namespace tango::dataplane {
 void OneWayDelayTracker::record(sim::Time at, double owd_ms) {
   lifetime_.update(owd_ms);
   ewma_.update(owd_ms);
+  last_at_ = at;
   rolling_.update(at, owd_ms);
   if (auto sd = rolling_.stddev()) {
     jitter_accum_ += *sd;
@@ -12,8 +13,9 @@ void OneWayDelayTracker::record(sim::Time at, double owd_ms) {
   }
 }
 
-void LossTracker::record(std::uint64_t sequence) {
+Arrival LossTracker::record(std::uint64_t sequence) {
   ++received_;
+  Arrival arrival = Arrival::in_order;
   if (!any_) {
     any_ = true;
     highest_ = sequence;
@@ -24,27 +26,34 @@ void LossTracker::record(std::uint64_t sequence) {
     if (sequence > 0 && sequence <= horizon_) {
       for (std::uint64_t s = 0; s < sequence; ++s) missing_.insert(s);
     }
-    return;
+    return arrival;
   }
   if (sequence > highest_) {
     // Everything between the previous highest and this one is now missing.
     for (std::uint64_t s = highest_ + 1; s < sequence; ++s) missing_.insert(s);
     highest_ = sequence;
+  } else if (missing_.erase(sequence) != 0) {
+    // A late first arrival: reordering, not loss.
+    arrival = Arrival::reordered;
   } else {
-    // Late (or duplicate) arrival.
-    if (missing_.erase(sequence) == 0) ++duplicates_;
+    // Already counted (or below the mid-stream attach baseline): duplicate.
+    ++duplicates_;
+    arrival = Arrival::duplicate;
   }
   // Sweep: anything missing beyond the reordering horizon is confirmed lost.
   while (!missing_.empty() && *missing_.begin() + horizon_ < highest_) {
     missing_.erase(missing_.begin());
     ++confirmed_lost_;
   }
+  return arrival;
 }
 
 std::uint64_t LossTracker::lost() const noexcept { return confirmed_lost_; }
 
 double LossTracker::loss_rate() const noexcept {
-  const std::uint64_t denom = received_ + confirmed_lost_;
+  // Duplicates are re-receptions of a sequence already counted: the share of
+  // the stream that was lost is lost / (distinct receptions + lost).
+  const std::uint64_t denom = unique_received() + confirmed_lost_;
   return denom == 0 ? 0.0 : static_cast<double>(confirmed_lost_) / static_cast<double>(denom);
 }
 
@@ -64,8 +73,9 @@ void ReorderTracker::record(std::uint64_t sequence) {
 
 void PathTracker::record(sim::Time at, double owd_ms, std::uint64_t sequence) {
   delay_.record(at, owd_ms);
-  loss_.record(sequence);
-  reorder_.record(sequence);
+  // A duplicate is not a late first arrival: counting it in the reorder
+  // tracker would report reordering on a path that merely duplicated.
+  if (loss_.record(sequence) != Arrival::duplicate) reorder_.record(sequence);
   if (keep_series_) series_.record(at, owd_ms);
 }
 

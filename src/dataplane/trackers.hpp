@@ -32,6 +32,19 @@ class OneWayDelayTracker {
   [[nodiscard]] const telemetry::StreamingStats& lifetime() const noexcept { return lifetime_; }
   [[nodiscard]] const telemetry::Ewma& ewma() const noexcept { return ewma_; }
   [[nodiscard]] const telemetry::RollingWindow& rolling() const noexcept { return rolling_; }
+  /// Mutable window access for time-aware reads (evicting relative to a
+  /// caller-supplied `now`); the live report path uses this so a quiet path
+  /// stops advertising stale sub-second statistics.
+  [[nodiscard]] telemetry::RollingWindow& rolling() noexcept { return rolling_; }
+
+  /// The window's stddev as of `now` (evicts expired samples first):
+  /// nullopt once the path has been quiet for longer than the window.
+  [[nodiscard]] std::optional<double> rolling_stddev(sim::Time now) {
+    return rolling_.stddev(now);
+  }
+
+  /// Timestamp of the most recent sample (0 before the first).
+  [[nodiscard]] sim::Time last_sample_at() const noexcept { return last_at_; }
 
   /// Mean rolling-window stddev accumulated so far (the §5 jitter metric):
   /// each `record` call adds the window's current stddev when defined.
@@ -43,8 +56,16 @@ class OneWayDelayTracker {
   telemetry::StreamingStats lifetime_;
   telemetry::Ewma ewma_;
   telemetry::RollingWindow rolling_;
+  sim::Time last_at_ = 0;
   double jitter_accum_ = 0.0;
   std::uint64_t jitter_windows_ = 0;
+};
+
+/// How the loss tracker classified one arrival.
+enum class Arrival : std::uint8_t {
+  in_order,   ///< a new sequence at or past the previous highest
+  reordered,  ///< a late first arrival that filled a missing slot
+  duplicate,  ///< a sequence already counted (retransmit or network dup)
 };
 
 /// Sequence-number based loss accounting for one path.
@@ -58,9 +79,16 @@ class LossTracker {
   explicit LossTracker(std::uint64_t reorder_horizon = 64)
       : horizon_{reorder_horizon} {}
 
-  void record(std::uint64_t sequence);
+  /// Records one arrival and reports how it was classified, so co-located
+  /// trackers (reordering) can skip duplicates instead of double-counting.
+  Arrival record(std::uint64_t sequence);
 
+  /// Raw arrivals, duplicates included.
   [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+  /// Distinct sequences received (duplicates de-duplicated).
+  [[nodiscard]] std::uint64_t unique_received() const noexcept {
+    return received_ - duplicates_;
+  }
   [[nodiscard]] std::uint64_t duplicates() const noexcept { return duplicates_; }
   /// Sequences declared lost (beyond the reordering horizon).
   [[nodiscard]] std::uint64_t lost() const noexcept;
@@ -82,6 +110,11 @@ class LossTracker {
 /// one already seen (late arrivals).  TCP's in-order delivery turns every
 /// such event into head-of-line blocking, the §5 argument for switching away
 /// from an unstable path.
+///
+/// The tracker itself keeps no per-sequence state, so it cannot tell a
+/// duplicate from a late first arrival — feed it de-duplicated arrivals
+/// (PathTracker consults its LossTracker's classification and skips
+/// duplicates; see Arrival).
 class ReorderTracker {
  public:
   void record(std::uint64_t sequence);
@@ -108,6 +141,9 @@ class PathTracker {
   void record(sim::Time at, double owd_ms, std::uint64_t sequence);
 
   [[nodiscard]] const OneWayDelayTracker& delay() const noexcept { return delay_; }
+  /// Mutable delay access: time-aware rolling-window reads evict expired
+  /// samples relative to the caller's `now` (the live report path).
+  [[nodiscard]] OneWayDelayTracker& delay() noexcept { return delay_; }
   [[nodiscard]] const LossTracker& loss() const noexcept { return loss_; }
   [[nodiscard]] const ReorderTracker& reorder() const noexcept { return reorder_; }
   [[nodiscard]] const telemetry::TimeSeries& series() const noexcept { return series_; }

@@ -1,6 +1,67 @@
 #include "sim/events.hpp"
 
+#include <memory>
+#include <utility>
+
 namespace tango::sim {
+
+namespace {
+
+/// One direction of a BGP session as stored at a speaker, captured before a
+/// teardown so the revert can re-establish it exactly.
+struct SavedSession {
+  bgp::RouterId from = 0;
+  bgp::RouterId to = 0;
+  bgp::Asn to_asn = 0;
+  bgp::SessionConfig config;
+};
+
+/// Captures both directions of the a<->b session (empty when no session).
+std::vector<SavedSession> save_session(bgp::BgpNetwork& net, bgp::RouterId a, bgp::RouterId b) {
+  std::vector<SavedSession> saved;
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (!net.has_router(from) || !net.has_router(to)) continue;
+    const bgp::BgpSpeaker& speaker = net.router(from);
+    const auto config = speaker.session(to);
+    const auto asn = speaker.neighbor_asn(to);
+    if (config && asn) saved.push_back(SavedSession{from, to, *asn, *config});
+  }
+  return saved;
+}
+
+/// Tears down the a<->b session, reconverges and resyncs FIBs.  Returns the
+/// captured directions for restore_session.
+std::vector<SavedSession> tear_down_session(Wan& wan, bgp::RouterId a, bgp::RouterId b) {
+  bgp::BgpNetwork& net = wan.topology().bgp();
+  std::vector<SavedSession> saved = save_session(net, a, b);
+  if (!saved.empty()) {
+    net.remove_session(a, b);  // flushes both directions + reconverges
+    wan.sync_fibs();
+  }
+  return saved;
+}
+
+/// Re-establishes previously captured session directions, reconverges and
+/// resyncs FIBs.
+void restore_session(Wan& wan, const std::vector<SavedSession>& saved) {
+  if (saved.empty()) return;
+  bgp::BgpNetwork& net = wan.topology().bgp();
+  for (const SavedSession& s : saved) {
+    net.router(s.from).add_session(s.to, s.to_asn, s.config);
+  }
+  net.run_to_convergence();
+  wan.sync_fibs();
+}
+
+/// Sets the down flag on a directed link, and on its reverse when `both`.
+void set_link_down(Wan& wan, const topo::LinkKey& key, bool down, bool both) {
+  wan.link(key.from, key.to).set_down(down);
+  if (both && wan.topology().profile(key.to, key.from) != nullptr) {
+    wan.link(key.to, key.from).set_down(down);
+  }
+}
+
+}  // namespace
 
 void inject(Wan& wan, const RouteChangeEvent& event) {
   Link& link = wan.link(event.link.from, event.link.to);
@@ -22,6 +83,54 @@ void inject(Wan& wan, const InstabilityEvent& event) {
       .spike_prob = event.spike_prob,
       .spike_min_ms = event.spike_min_ms,
       .spike_max_ms = event.spike_max_ms,
+  });
+}
+
+void inject(Wan& wan, const LinkDownEvent& event) {
+  // Validate the target link at injection time, not at t=event.at.
+  (void)wan.link(event.link.from, event.link.to);
+  wan.events().schedule_at(event.at, [&wan, event]() {
+    set_link_down(wan, event.link, true, /*both=*/false);
+    std::vector<SavedSession> saved;
+    if (event.withdraw) saved = tear_down_session(wan, event.link.from, event.link.to);
+    wan.events().schedule_in(event.duration, [&wan, event, saved = std::move(saved)]() {
+      set_link_down(wan, event.link, false, /*both=*/false);
+      restore_session(wan, saved);
+    });
+  });
+}
+
+void inject(Wan& wan, const BlackholeEvent& event) {
+  (void)wan.link(event.link.from, event.link.to);
+  wan.events().schedule_at(event.at, [&wan, event]() {
+    // Both directions die; the control plane is told nothing.
+    set_link_down(wan, event.link, true, /*both=*/true);
+    wan.events().schedule_in(event.duration, [&wan, event]() {
+      set_link_down(wan, event.link, false, /*both=*/true);
+    });
+  });
+}
+
+void inject(Wan& wan, const SessionResetEvent& event) {
+  wan.events().schedule_at(event.at, [&wan, event]() {
+    std::vector<SavedSession> saved = tear_down_session(wan, event.a, event.b);
+    wan.events().schedule_in(event.down_for, [&wan, saved = std::move(saved)]() {
+      restore_session(wan, saved);
+    });
+  });
+}
+
+void inject(Wan& wan, const BurstLossEvent& event) {
+  (void)wan.link(event.link.from, event.link.to);
+  wan.events().schedule_at(event.at, [&wan, event]() {
+    Link& link = wan.link(event.link.from, event.link.to);
+    auto original = link.swap_loss(std::make_unique<GilbertElliottLoss>(
+        event.p_good_to_bad, event.p_bad_to_good, event.loss_good, event.loss_bad));
+    wan.events().schedule_in(event.duration,
+                             [&wan, event, original = std::move(original)]() mutable {
+                               wan.link(event.link.from, event.link.to)
+                                   .set_loss(std::move(original));
+                             });
   });
 }
 

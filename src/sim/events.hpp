@@ -1,5 +1,17 @@
-// Scenario events: the two §5 incident classes injected into link delay
-// models, plus session flaps for failure-injection tests.
+// Scenario events.
+//
+// Two families:
+//  * the §5 incident classes injected into link delay models (route change,
+//    instability storm) — perturbations of a path that stays alive;
+//  * the fault-injection subsystem — events that *kill* connectivity in
+//    various ways (link down, silent blackhole, BGP session reset, bursty
+//    loss) and later revert, so the sender-side path-health machinery can be
+//    exercised against dead and dying paths.
+//
+// Every inject() schedules its apply and revert on the WAN's event queue;
+// nothing happens until the clock reaches the event's window.  Apply/revert
+// are scheduled in inject() call order, so runs are deterministic across
+// event-queue backends (equal-time events fire FIFO on both).
 #pragma once
 
 #include "sim/wan.hpp"
@@ -31,8 +43,67 @@ struct InstabilityEvent {
   double spike_max_ms = 50.0;   // ...up to 28 + 50 = 78 ms peak
 };
 
+// --- Fault-injection events --------------------------------------------------
+
+/// A link goes hard down for `duration`: every packet offered to it drops.
+/// With `withdraw` set, the BGP session riding the link is torn down at the
+/// same instant (both directions), the control plane reconverges and FIBs
+/// resync — traffic re-routes where an alternative exists.  At the end of
+/// the window the session is re-established with its original per-direction
+/// configuration, the network reconverges again and FIBs resync.
+struct LinkDownEvent {
+  topo::LinkKey link;
+  Time at = 0;
+  Time duration = kMinute;
+  /// Also signal the failure to the control plane (BGP withdraw +
+  /// reconvergence).  Without it this degenerates into a blackhole of one
+  /// direction — prefer BlackholeEvent for that, which kills both.
+  bool withdraw = true;
+};
+
+/// The hard case: the data plane silently drops everything on both
+/// directions of a link while the control plane keeps advertising it as
+/// fine.  No withdraw, no reconvergence, no signal — the only way a sender
+/// can notice is that its telemetry goes quiet.  (Paper §5's motivation:
+/// "selecting an alternate path based on live data".)
+struct BlackholeEvent {
+  topo::LinkKey link;
+  Time at = 0;
+  Time duration = kMinute;
+};
+
+/// Tear down and re-establish the BGP session between two routers: the
+/// session drops at `at` (routes flushed, network reconverges, FIBs resync)
+/// and comes back `down_for` later with its original per-direction
+/// configuration.  The physical link keeps forwarding whatever the FIBs
+/// still route over it — this is a pure control-plane fault.
+struct SessionResetEvent {
+  bgp::RouterId a = 0;
+  bgp::RouterId b = 0;
+  Time at = 0;
+  Time down_for = 30 * kSecond;
+};
+
+/// Gilbert-Elliott bursty loss on a link for `duration`, after which the
+/// link's original loss model (and its accumulated RNG state) is restored.
+struct BurstLossEvent {
+  topo::LinkKey link;
+  Time at = 0;
+  Time duration = kMinute;
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.2;
+  double loss_good = 0.01;
+  double loss_bad = 0.7;
+};
+
 /// Installs the event's delay modifier on the target link.
 void inject(Wan& wan, const RouteChangeEvent& event);
 void inject(Wan& wan, const InstabilityEvent& event);
+
+/// Schedules the fault's apply/revert pair on the WAN's event queue.
+void inject(Wan& wan, const LinkDownEvent& event);
+void inject(Wan& wan, const BlackholeEvent& event);
+void inject(Wan& wan, const SessionResetEvent& event);
+void inject(Wan& wan, const BurstLossEvent& event);
 
 }  // namespace tango::sim

@@ -11,6 +11,10 @@ Link::Link(const topo::LinkProfile& profile, Rng rng)
 
 Transmission Link::transmit(Time now, std::uint64_t flow_hash) {
   ++packets_;
+  if (down_) {
+    ++drops_;
+    return Transmission{.dropped = true};
+  }
   if (loss_->drop(rng_)) {
     ++drops_;
     return Transmission{.dropped = true};

@@ -42,12 +42,27 @@ class Link {
   /// lossy mid-scenario).
   void set_loss(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
 
+  /// Like set_loss, but hands back the previous model so a time-bounded
+  /// fault (BurstLossEvent) can restore the link's original loss behaviour
+  /// — including any RNG-driven state it accumulated — when it ends.
+  [[nodiscard]] std::unique_ptr<LossModel> swap_loss(std::unique_ptr<LossModel> model) {
+    std::swap(loss_, model);
+    return model;
+  }
+
+  /// Hard down: every offered packet is dropped, before loss/delay sampling
+  /// (no RNG draws), so the surrounding run's random streams are unchanged.
+  /// Used by LinkDownEvent and BlackholeEvent; counted in drops().
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
  private:
   CompositeDelayModel delay_;
   std::unique_ptr<LossModel> loss_;
   std::uint32_t lanes_;
   double lane_spread_ms_;
   Rng rng_;
+  bool down_ = false;
   std::uint64_t packets_ = 0;
   std::uint64_t drops_ = 0;
 };

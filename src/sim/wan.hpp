@@ -107,6 +107,11 @@ class Wan {
   /// Throws when the link does not exist.
   [[nodiscard]] Link& link(bgp::RouterId from, bgp::RouterId to);
 
+  /// The control-plane topology this WAN forwards for.  Fault events that
+  /// carry a BGP signal (LinkDownEvent with withdraw, SessionResetEvent)
+  /// manipulate sessions here, reconverge, and then call sync_fibs().
+  [[nodiscard]] topo::Topology& topology() noexcept { return topo_; }
+
   void set_hop_observer(HopObserver observer) { hop_observer_ = std::move(observer); }
 
   /// The packet-buffer free list: buffers of delivered and dropped packets

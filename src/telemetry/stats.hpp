@@ -57,7 +57,11 @@ class StreamingStats {
 
 /// Samples within a sliding time window (default 1 s): mean, stddev
 /// (= the paper's rolling-window jitter), min, max.  Old samples are
-/// evicted as new ones arrive.
+/// evicted as new ones arrive *and* on time-aware reads: a stream that goes
+/// quiet must not keep advertising statistics over samples far older than
+/// the window (a blackholed path would otherwise report frozen "good"
+/// jitter forever).  The no-argument reads describe the window as of the
+/// last update and exist for callers that inspect a finished run.
 ///
 /// mean() and stddev() are O(1): running sums are maintained on insert and
 /// eviction (the receive pipeline reads the window's stddev per delivered
@@ -69,11 +73,24 @@ class RollingWindow {
 
   void update(sim::Time at, double value);
 
+  /// Drops samples that have aged out of the window as of `now`.  Reads
+  /// taken with a `now` argument do this implicitly.
+  void evict(sim::Time now);
+
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  /// Samples still inside the window as of `now`.
+  [[nodiscard]] std::size_t count(sim::Time now) { evict(now); return samples_.size(); }
   [[nodiscard]] std::optional<double> mean() const;
   [[nodiscard]] std::optional<double> stddev() const;
   [[nodiscard]] std::optional<double> min() const;
   [[nodiscard]] std::optional<double> max() const;
+  /// Time-aware reads: evict relative to `now`, then answer.  These are what
+  /// the live report path must use — a quiet stream converges to nullopt
+  /// instead of replaying its last second of history.
+  [[nodiscard]] std::optional<double> mean(sim::Time now) { evict(now); return mean(); }
+  [[nodiscard]] std::optional<double> stddev(sim::Time now) { evict(now); return stddev(); }
+  [[nodiscard]] std::optional<double> min(sim::Time now) { evict(now); return min(); }
+  [[nodiscard]] std::optional<double> max(sim::Time now) { evict(now); return max(); }
   [[nodiscard]] sim::Time window() const noexcept { return window_; }
 
   void clear() {
@@ -83,8 +100,6 @@ class RollingWindow {
   }
 
  private:
-  void evict(sim::Time now);
-
   struct TimedValue {
     sim::Time at;
     double value;

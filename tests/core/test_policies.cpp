@@ -58,6 +58,33 @@ TEST(LowestDelayPolicy, FallsBackToCurrentThenFirst) {
   EXPECT_FALSE(p.choose({}, kNow, std::nullopt).has_value());
 }
 
+TEST(LowestDelayPolicy, FallsBackToLeastStaleReport) {
+  // Regression: with no fresh report and no incumbent, the policy used to
+  // fall back to the arbitrary lowest path id — which can be a withdrawn or
+  // dead path.  It must prefer the least-stale measured report instead.
+  LowestDelayPolicy p{/*max_report_age=*/sim::kSecond};
+  const sim::Time now = 10 * sim::kSecond;
+  PathViews views{{1, report(28.0, 0, 0, /*updated=*/sim::kSecond)},      // stalest
+                  {2, report(40.0, 0, 0, /*updated=*/3 * sim::kSecond)},  // least stale
+                  {3, report(30.0, 0, 0, /*updated=*/2 * sim::kSecond)}};
+  EXPECT_EQ(p.choose(views, now, std::nullopt), PathId{2})
+      << "the most recently updated report is the best evidence of life";
+}
+
+TEST(LowestDelayPolicy, LeastStaleFallbackIgnoresUnmeasuredPaths) {
+  LowestDelayPolicy p{sim::kSecond};
+  const sim::Time now = 10 * sim::kSecond;
+  // Path 1 was never measured (samples=0) but its updated_at is newest —
+  // no evidence it works, so the measured path 2 must win.
+  PathViews views{{1, report(28.0, 0, 0, /*updated=*/9 * sim::kSecond, /*samples=*/0)},
+                  {2, report(40.0, 0, 0, /*updated=*/2 * sim::kSecond)}};
+  EXPECT_EQ(p.choose(views, now, std::nullopt), PathId{2});
+  // All views unmeasured: lowest id remains the last resort.
+  PathViews unmeasured{{4, report(28.0, 0, 0, 9 * sim::kSecond, 0)},
+                       {7, report(40.0, 0, 0, 2 * sim::kSecond, 0)}};
+  EXPECT_EQ(p.choose(unmeasured, now, std::nullopt), PathId{4});
+}
+
 TEST(LowestJitterPolicy, PicksCalmestPath) {
   // §5: GTT sigma 0.01 ms vs Telia 0.33 ms — a jitter-sensitive app prefers
   // GTT even if delay ordering said otherwise.

@@ -75,6 +75,70 @@ TEST(LossTracker, BurstLossCountsEveryHole) {
   EXPECT_EQ(t.lost(), 99u);
 }
 
+TEST(LossTracker, RecordClassifiesArrivals) {
+  LossTracker t{/*reorder_horizon=*/16};
+  EXPECT_EQ(t.record(0), Arrival::in_order);
+  EXPECT_EQ(t.record(2), Arrival::in_order);   // advances the highest, 1 now missing
+  EXPECT_EQ(t.record(1), Arrival::reordered);  // fills the hole
+  EXPECT_EQ(t.record(1), Arrival::duplicate);  // second copy of a filled hole
+  EXPECT_EQ(t.record(2), Arrival::duplicate);  // duplicate of the highest
+}
+
+TEST(LossTracker, DuplicateOfFilledHoleCountsOnceAsDuplicate) {
+  // Regression: a second copy of an already-filled hole below highest_ used
+  // to land in the "reordered" bucket again instead of "duplicate".
+  LossTracker t{/*reorder_horizon=*/16};
+  t.record(0);
+  t.record(2);
+  t.record(1);
+  t.record(1);
+  t.record(1);
+  EXPECT_EQ(t.duplicates(), 2u);
+  EXPECT_EQ(t.received(), 5u);
+  EXPECT_EQ(t.unique_received(), 3u);
+  EXPECT_EQ(t.lost(), 0u);
+}
+
+TEST(LossTracker, LossRateIgnoresDuplicateDeliveries) {
+  // Regression: duplicates inflated the loss-rate denominator, so a path
+  // that duplicated packets looked less lossy than it was.
+  LossTracker t{/*reorder_horizon=*/8};
+  t.record(0);
+  t.record(100);  // 99 holes, declared lost once they pass the horizon
+  for (std::uint64_t s = 101; s < 120; ++s) t.record(s);
+  ASSERT_EQ(t.lost(), 99u);
+  const double rate = t.loss_rate();
+  for (int i = 0; i < 50; ++i) t.record(110);
+  EXPECT_EQ(t.duplicates(), 50u);
+  EXPECT_DOUBLE_EQ(t.loss_rate(), rate) << "duplicates must not dilute the loss rate";
+}
+
+TEST(PathTracker, DuplicatesDoNotFeedReordering) {
+  // Regression: the switch fed every arrival to the reorder tracker, so one
+  // duplicated late packet counted as two reordering events.
+  PathTracker t{false};
+  t.record(0, 28.0, 0);
+  t.record(0, 28.0, 2);
+  t.record(0, 28.0, 1);  // genuine reordering
+  t.record(0, 28.0, 1);  // duplicate: counted by loss, invisible to reorder
+  EXPECT_EQ(t.loss().duplicates(), 1u);
+  EXPECT_EQ(t.reorder().total(), 3u);
+  EXPECT_EQ(t.reorder().reordered(), 1u);
+}
+
+TEST(OneWayDelayTracker, RollingJitterDrainsWithTime) {
+  OneWayDelayTracker t;
+  t.record(0, 30.0);
+  t.record(10 * sim::kMillisecond, 34.0);
+  EXPECT_EQ(t.last_sample_at(), 10 * sim::kMillisecond);
+  ASSERT_TRUE(t.rolling_stddev(20 * sim::kMillisecond).has_value());
+  EXPECT_GT(*t.rolling_stddev(20 * sim::kMillisecond), 1.0);
+  // Two seconds of silence: the 1s window must read empty, not frozen.
+  EXPECT_FALSE(t.rolling_stddev(3 * sim::kSecond).has_value());
+  // Lifetime statistics are unaffected by window eviction.
+  EXPECT_EQ(t.lifetime().count(), 2u);
+}
+
 TEST(ReorderTracker, CountsLateArrivals) {
   ReorderTracker t;
   for (std::uint64_t s : {0ull, 1ull, 2ull, 5ull, 3ull, 4ull, 6ull}) t.record(s);

@@ -111,6 +111,42 @@ TEST(CompositeDelayModel, ModifiersStackAndPrune) {
   EXPECT_EQ(model.modifier_count(), 0u);
 }
 
+TEST(CompositeDelayModel, ModifierBoundariesAreHalfOpen) {
+  Rng rng{10};
+  CompositeDelayModel model{std::make_unique<ConstantDelay>(10.0)};
+  model.add_modifier(DelayModifier{.start = 100, .end = 200, .shift_ms = 5.0});
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 99), 10.0);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 100), 15.0) << "start is inclusive";
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 199), 15.0);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 200), 10.0) << "end is exclusive";
+}
+
+TEST(CompositeDelayModel, BackToBackWindowsNeverDoubleCountTheSeam) {
+  // A modifier ending exactly where the next starts: every instant sees
+  // exactly one of them — no gap, no overlap at the seam.
+  Rng rng{11};
+  CompositeDelayModel model{std::make_unique<ConstantDelay>(10.0)};
+  model.add_modifier(DelayModifier{.start = 0, .end = 100, .shift_ms = 1.0});
+  model.add_modifier(DelayModifier{.start = 100, .end = 200, .shift_ms = 2.0});
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 99), 11.0);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 100), 12.0);
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 150), 12.0);
+}
+
+TEST(CompositeDelayModel, PruneKeepsActiveAndFutureModifiers) {
+  Rng rng{12};
+  CompositeDelayModel model{std::make_unique<ConstantDelay>(10.0)};
+  model.add_modifier(DelayModifier{.start = 0, .end = 100, .shift_ms = 1.0});    // past
+  model.add_modifier(DelayModifier{.start = 0, .end = 300, .shift_ms = 2.0});    // active
+  model.add_modifier(DelayModifier{.start = 500, .end = 600, .shift_ms = 4.0});  // future
+  model.prune(200);
+  EXPECT_EQ(model.modifier_count(), 2u) << "only the expired window goes";
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 250), 12.0) << "the active window keeps applying";
+  EXPECT_DOUBLE_EQ(model.sample_ms(rng, 550), 14.0) << "the future window still arms";
+  model.prune(600);
+  EXPECT_EQ(model.modifier_count(), 0u) << "an exactly-expired window is pruned";
+}
+
 TEST(MakeDelayModel, BuildsFromProfiles) {
   Rng rng{9};
   topo::LinkProfile constant{.base_delay_ms = 3.0};

@@ -1,0 +1,241 @@
+// Fault-injection events: scheduled apply/revert of link-down, blackhole,
+// session-reset and burst-loss faults on the Vultr scenario WAN.
+#include "sim/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::sim {
+namespace {
+
+using namespace topo::vultr;
+
+net::Packet la_to_ny(const topo::VultrScenario& s, std::uint16_t sport = 1000) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  return net::make_udp_packet(s.plan.la_hosts.host(1), s.plan.ny_hosts.host(1), sport, 2000,
+                              payload);
+}
+
+net::Packet ny_to_la(const topo::VultrScenario& s, std::uint16_t sport = 1000) {
+  const std::vector<std::uint8_t> payload{4, 3, 2, 1};
+  return net::make_udp_packet(s.plan.ny_hosts.host(1), s.plan.la_hosts.host(1), sport, 2000,
+                              payload);
+}
+
+class FaultEventTest : public ::testing::Test {
+ protected:
+  FaultEventTest() : s_{topo::make_vultr_scenario()}, wan_{s_.topo, Rng{99}} {}
+
+  /// Schedules one LA->NY host packet at absolute time `t`.
+  void send_at(Time t, std::uint16_t sport) {
+    wan_.events().schedule_at(t, [this, sport]() {
+      wan_.send_from(kServerLa, la_to_ny(s_, sport));
+    });
+  }
+
+  topo::VultrScenario s_;
+  Wan wan_;
+};
+
+TEST_F(FaultEventTest, LinkDownWithoutWithdrawDropsDuringWindowOnly) {
+  // Pure data-plane outage: the FIB keeps pointing at the dead link.
+  inject(wan_, LinkDownEvent{.link = {kVultrLa, kNtt},
+                             .at = kSecond,
+                             .duration = kSecond,
+                             .withdraw = false});
+
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+  send_at(kSecond / 2, 1000);       // before the fault
+  send_at(kSecond + kSecond / 2, 1001);  // inside the window
+  send_at(2 * kSecond + kSecond / 2, 1002);  // after the revert
+
+  wan_.events().run_all();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(wan_.dropped(DropReason::link_loss), 1u);
+  EXPECT_FALSE(wan_.link(kVultrLa, kNtt).down()) << "revert must clear the flag";
+}
+
+TEST_F(FaultEventTest, LinkDownWithWithdrawReroutesAndHeals) {
+  inject(wan_, LinkDownEvent{.link = {kVultrLa, kNtt}, .at = kSecond, .duration = kSecond});
+
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+  std::vector<std::pair<Time, bgp::RouterId>> hops;
+  wan_.set_hop_observer([&hops, this](bgp::RouterId from, bgp::RouterId, const net::Packet&) {
+    hops.emplace_back(wan_.now(), from);
+  });
+  send_at(kSecond / 2, 1000);
+  send_at(kSecond + kSecond / 2, 1001);
+  send_at(2 * kSecond + kSecond / 2, 1002);
+  wan_.events().run_all();
+
+  EXPECT_EQ(delivered, 3u) << "withdraw lets BGP route around the outage";
+  EXPECT_EQ(wan_.total_dropped(), 0u);
+
+  auto visited_between = [&hops](Time lo, Time hi, bgp::RouterId router) {
+    return std::any_of(hops.begin(), hops.end(), [&](const auto& h) {
+      return h.first >= lo && h.first < hi && h.second == router;
+    });
+  };
+  EXPECT_TRUE(visited_between(0, kSecond, kNtt)) << "NTT default before the fault";
+  EXPECT_TRUE(visited_between(kSecond, 2 * kSecond, kTelia)) << "rerouted during it";
+  EXPECT_FALSE(visited_between(kSecond, 2 * kSecond, kNtt));
+  EXPECT_TRUE(visited_between(2 * kSecond, 4 * kSecond, kNtt))
+      << "restored session converges back to the NTT default";
+}
+
+TEST_F(FaultEventTest, BlackholeKillsBothDirectionsSilently) {
+  inject(wan_, BlackholeEvent{.link = {kVultrLa, kNtt}, .at = kSecond, .duration = kSecond});
+
+  std::uint64_t to_ny = 0;
+  std::uint64_t to_la = 0;
+  wan_.attach(kServerNy, [&to_ny](const net::Packet&) { ++to_ny; });
+  wan_.attach(kServerLa, [&to_la](const net::Packet&) { ++to_la; });
+  std::vector<bgp::RouterId> visited;
+  wan_.set_hop_observer([&visited](bgp::RouterId, bgp::RouterId to, const net::Packet&) {
+    visited.push_back(to);
+  });
+
+  const Time inside = kSecond + kSecond / 2;
+  const Time after = 2 * kSecond + kSecond / 2;
+  for (Time t : {inside, after}) {
+    wan_.events().schedule_at(t, [this]() { wan_.send_from(kServerLa, la_to_ny(s_)); });
+    wan_.events().schedule_at(t, [this]() { wan_.send_from(kServerNy, ny_to_la(s_)); });
+  }
+  wan_.events().run_all();
+
+  // During the window both directions die; the control plane learns nothing,
+  // so the FIB keeps steering into the hole instead of detouring via Telia.
+  EXPECT_EQ(to_ny, 1u);
+  EXPECT_EQ(to_la, 1u);
+  EXPECT_EQ(wan_.dropped(DropReason::link_loss), 2u);
+  EXPECT_EQ(std::count(visited.begin(), visited.end(), kTelia), 0)
+      << "a silent blackhole must not trigger any reroute";
+}
+
+TEST_F(FaultEventTest, SessionResetIsAPureControlPlaneFault) {
+  // The NTT<->Vultr-LA session flaps; the physical link keeps forwarding, so
+  // nothing is ever dropped — traffic detours and then comes home.
+  inject(wan_, SessionResetEvent{.a = kNtt, .b = kVultrLa, .at = kSecond,
+                                 .down_for = kSecond});
+
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+  std::vector<std::pair<Time, bgp::RouterId>> hops;
+  wan_.set_hop_observer([&hops, this](bgp::RouterId from, bgp::RouterId, const net::Packet&) {
+    hops.emplace_back(wan_.now(), from);
+  });
+  send_at(kSecond / 2, 1000);
+  send_at(kSecond + kSecond / 2, 1001);
+  send_at(2 * kSecond + kSecond / 2, 1002);
+  wan_.events().run_all();
+
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(wan_.total_dropped(), 0u);
+  auto visited_between = [&hops](Time lo, Time hi, bgp::RouterId router) {
+    return std::any_of(hops.begin(), hops.end(), [&](const auto& h) {
+      return h.first >= lo && h.first < hi && h.second == router;
+    });
+  };
+  EXPECT_TRUE(visited_between(kSecond, 2 * kSecond, kTelia));
+  EXPECT_FALSE(visited_between(kSecond, 2 * kSecond, kNtt));
+  EXPECT_TRUE(visited_between(2 * kSecond, 4 * kSecond, kNtt));
+}
+
+TEST_F(FaultEventTest, SessionResetWithNoSessionIsANoOp) {
+  inject(wan_, SessionResetEvent{.a = 998, .b = 999, .at = kSecond});
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+  send_at(kSecond + kSecond / 2, 1000);
+  wan_.events().run_all();
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST_F(FaultEventTest, BurstLossAppliesAndRestoresTheOriginalModel) {
+  // Total loss during the window (both GE states drop everything), the
+  // profile's original lossless model afterwards.
+  inject(wan_, BurstLossEvent{.link = {kNtt, kVultrNy},
+                              .at = kSecond,
+                              .duration = kSecond,
+                              .p_good_to_bad = 1.0,
+                              .p_bad_to_good = 0.0,
+                              .loss_good = 1.0,
+                              .loss_bad = 1.0});
+
+  std::uint64_t delivered = 0;
+  wan_.attach(kServerNy, [&delivered](const net::Packet&) { ++delivered; });
+  send_at(kSecond / 2, 1000);
+  for (int i = 0; i < 3; ++i) send_at(kSecond + (i + 1) * (kSecond / 5), 1001 + i);
+  send_at(2 * kSecond + kSecond / 2, 2000);
+  wan_.events().run_all();
+
+  EXPECT_EQ(delivered, 2u) << "before and after the window";
+  EXPECT_EQ(wan_.dropped(DropReason::link_loss), 3u) << "everything inside it";
+}
+
+TEST_F(FaultEventTest, DelayEventInjectionIsPerDirection) {
+  // Each direction of a backbone edge is its own link with its own delay
+  // model; injecting on one must leave the reverse untouched, and the two
+  // can carry independent events.
+  inject(wan_, RouteChangeEvent{.link = {kNtt, kVultrNy}, .at = 0});
+  EXPECT_EQ(wan_.link(kNtt, kVultrNy).delay().modifier_count(), 1u);
+  EXPECT_EQ(wan_.link(kVultrNy, kNtt).delay().modifier_count(), 0u);
+
+  inject(wan_, InstabilityEvent{.link = {kVultrNy, kNtt}, .at = 0});
+  EXPECT_EQ(wan_.link(kNtt, kVultrNy).delay().modifier_count(), 1u);
+  EXPECT_EQ(wan_.link(kVultrNy, kNtt).delay().modifier_count(), 1u);
+}
+
+TEST_F(FaultEventTest, InjectValidatesTheTargetLinkUpFront) {
+  EXPECT_THROW(inject(wan_, LinkDownEvent{.link = {kNtt, kServerLa}}), std::out_of_range);
+  EXPECT_THROW(inject(wan_, BlackholeEvent{.link = {kNtt, kServerLa}}), std::out_of_range);
+  EXPECT_THROW(inject(wan_, BurstLossEvent{.link = {kNtt, kServerLa}}), std::out_of_range);
+}
+
+TEST_F(FaultEventTest, FaultScheduleIsDeterministicAcrossBackends) {
+  // A run with overlapping faults must be bit-identical under both event
+  // queue backends: same deliveries at the same instants, same drop counts.
+  auto run = [this](EventQueue::Backend backend) {
+    Wan wan{s_.topo, Rng{31}, backend};
+    inject(wan, LinkDownEvent{.link = {kVultrLa, kNtt}, .at = kSecond, .duration = kSecond});
+    inject(wan, BlackholeEvent{.link = {kVultrLa, kTelia},
+                               .at = kSecond + 200 * kMillisecond,
+                               .duration = kSecond});
+    inject(wan, BurstLossEvent{.link = {kGtt, kVultrNy},
+                               .at = 2 * kSecond,
+                               .duration = kSecond});
+    inject(wan, SessionResetEvent{.a = kNtt, .b = kVultrNy, .at = 3 * kSecond,
+                                  .down_for = kSecond});
+    std::vector<Time> arrivals;
+    wan.attach(kServerNy, [&arrivals, &wan](const net::Packet&) {
+      arrivals.push_back(wan.now());
+    });
+    for (int i = 0; i < 100; ++i) {
+      wan.events().schedule_at(i * 50 * kMillisecond, [&wan, this, i]() {
+        wan.send_from(kServerLa, la_to_ny(s_, static_cast<std::uint16_t>(1000 + (i % 8))));
+      });
+    }
+    wan.events().run_all();
+    struct Result {
+      std::vector<Time> arrivals;
+      std::uint64_t delivered;
+      std::uint64_t dropped;
+      bool operator==(const Result&) const = default;
+    };
+    return Result{std::move(arrivals), wan.delivered(), wan.total_dropped()};
+  };
+  const auto wheel = run(EventQueue::Backend::timing_wheel);
+  const auto heap = run(EventQueue::Backend::binary_heap);
+  EXPECT_GT(wheel.delivered, 0u);
+  EXPECT_GT(wheel.dropped, 0u) << "the schedule must actually bite";
+  EXPECT_TRUE(wheel == heap) << "wheel delivered " << wheel.delivered << "/" << wheel.dropped
+                             << " vs heap " << heap.delivered << "/" << heap.dropped;
+}
+
+}  // namespace
+}  // namespace tango::sim

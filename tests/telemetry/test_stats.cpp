@@ -106,6 +106,37 @@ TEST(RollingWindow, StatsWithinWindow) {
   EXPECT_DOUBLE_EQ(*w.max(), 14.0);
 }
 
+TEST(RollingWindow, ReadsAreTimeAware) {
+  // Regression: reads never evicted, so a window that stopped receiving
+  // samples kept reporting its last (frozen) statistics forever.
+  RollingWindow w{sim::kSecond};
+  w.update(0, 10.0);
+  w.update(sim::kSecond / 2, 20.0);
+  ASSERT_EQ(w.count(), 2u);
+
+  // A read at t=1.2s must evict the t=0 sample even though nothing new
+  // arrived in between.
+  const sim::Time later = sim::kSecond + sim::kSecond / 5;
+  EXPECT_EQ(w.count(later), 1u);
+  EXPECT_DOUBLE_EQ(*w.mean(later), 20.0);
+  EXPECT_DOUBLE_EQ(*w.min(later), 20.0);
+  EXPECT_DOUBLE_EQ(*w.max(later), 20.0);
+  EXPECT_FALSE(w.stddev(later).has_value()) << "one survivor: no stddev";
+
+  // A read far past everything drains the window entirely.
+  EXPECT_EQ(w.count(5 * sim::kSecond), 0u);
+  EXPECT_FALSE(w.mean(5 * sim::kSecond).has_value());
+  EXPECT_FALSE(w.min(5 * sim::kSecond).has_value());
+  EXPECT_FALSE(w.max(5 * sim::kSecond).has_value());
+}
+
+TEST(RollingWindow, TimeAwareReadKeepsInWindowSamples) {
+  RollingWindow w{sim::kSecond};
+  for (int i = 0; i < 10; ++i) w.update(i * 100 * sim::kMillisecond, 1.0 * i);
+  // Read at the last update instant: everything within the window survives.
+  EXPECT_EQ(w.count(900 * sim::kMillisecond), 10u);
+}
+
 TEST(RollingWindow, ClearEmpties) {
   RollingWindow w;
   w.update(0, 1.0);
