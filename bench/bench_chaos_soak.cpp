@@ -19,6 +19,7 @@
 // faults).  Results go to stdout and the BENCH_chaos detail JSON, plus a
 // one-line run record appended to BENCH_chaos.json at the repo root.
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "telemetry/export.hpp"
 
 namespace tango::bench {
 namespace {
@@ -130,6 +132,7 @@ struct SoakResult {
   std::uint64_t recoveries = 0;
   int max_unusable_streak = 0;
   std::uint64_t digest = 0;
+  double pkts_per_sec = 0;  ///< WAN deliveries per wall-clock second (not in the digest)
   std::vector<std::uint64_t> buckets_la;
   std::vector<std::uint64_t> buckets_ny;
 };
@@ -140,9 +143,10 @@ void mix(std::uint64_t& digest, std::uint64_t value) {
 }
 
 SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault>& schedule,
-                    sim::EventQueue::Backend backend) {
+                    sim::EventQueue::Backend backend,
+                    const telemetry::Observability& obs = {}) {
   Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
-             backend};
+             backend, obs};
   tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
   tb.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
 
@@ -229,9 +233,12 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
     tb.la.stop_probing();
     tb.ny.stop_probing();
   });
+  const auto wall_start = std::chrono::steady_clock::now();
   tb.wan.events().run_all();  // I1: completes without crashing or wedging
+  const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
 
   r.wan_delivered = tb.wan.delivered();
+  if (wall.count() > 0) r.pkts_per_sec = static_cast<double>(tb.wan.delivered()) / wall.count();
   r.wan_dropped = tb.wan.total_dropped();
   r.switches = tb.la.path_switches() + tb.ny.path_switches();
   r.quarantines = tb.la.health().quarantines() + tb.ny.health().quarantines();
@@ -305,6 +312,7 @@ void emit_result(JsonWriter& w, const char* key, const SoakResult& r) {
       .field("quarantines", r.quarantines)
       .field("recoveries", r.recoveries)
       .field("max_unusable_streak", static_cast<std::uint64_t>(r.max_unusable_streak))
+      .field("pkts_per_sec", r.pkts_per_sec, 0)
       .field("digest", r.digest)
       .end_object();
 }
@@ -331,8 +339,14 @@ int run(std::uint64_t seed, sim::Time total) {
     return 1;
   }
 
-  const SoakResult wheel =
-      run_soak(seed, total, schedule, sim::EventQueue::Backend::timing_wheel);
+  // The wheel run carries full observability (metrics + a 1/32-sampled
+  // packet trace); the heap twin runs bare.  I4 then also proves telemetry
+  // is pure observation: instrumented and unwired runs must share a digest.
+  telemetry::MetricsRegistry registry;
+  telemetry::PacketTracer tracer;
+  tracer.enable_sampled(32);
+  const SoakResult wheel = run_soak(seed, total, schedule, sim::EventQueue::Backend::timing_wheel,
+                                    {.metrics = &registry, .tracer = &tracer});
   const SoakResult heap = run_soak(seed, total, schedule, sim::EventQueue::Backend::binary_heap);
 
   auto print_result = [](const char* name, const SoakResult& r) {
@@ -381,18 +395,30 @@ int run(std::uint64_t seed, sim::Time total) {
   std::snprintf(record, sizeof record,
                 "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"faults\": %zu, "
                 "\"traffic_delivered\": %llu, \"quarantines\": %llu, \"recoveries\": %llu, "
-                "\"max_unusable_streak\": %d, \"deterministic\": %s, \"violations\": %d}",
+                "\"max_unusable_streak\": %d, \"pkts_per_sec\": %.0f, \"deterministic\": %s, "
+                "\"violations\": %d}",
                 git_head_sha().c_str(), utc_timestamp().c_str(),
                 static_cast<unsigned long long>(seed), schedule.size(),
                 static_cast<unsigned long long>(wheel.traffic_la + wheel.traffic_ny),
                 static_cast<unsigned long long>(wheel.quarantines),
                 static_cast<unsigned long long>(wheel.recoveries), wheel.max_unusable_streak,
-                wheel.digest == heap.digest ? "true" : "false", violations);
+                wheel.pkts_per_sec, wheel.digest == heap.digest ? "true" : "false", violations);
   if (append_run_history("BENCH_chaos", record)) {
     std::printf("appended run record to <repo-root>/BENCH_chaos.json\n");
   }
 
-  if (violations > 0) return 1;
+  // The snapshot rides along as a CI artifact either way; on a violation the
+  // packet trace is the post-mortem — dump its retained tail to stderr.
+  if (telemetry::write_snapshot(registry, "tango_soak_snapshot")) {
+    std::printf("wrote tango_soak_snapshot.prom / tango_soak_snapshot.json (%zu instruments)\n",
+                registry.size());
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "\npacket trace at failure (%zu retained of %llu recorded):\n",
+                 tracer.stored(), static_cast<unsigned long long>(tracer.recorded()));
+    tracer.dump_to(stderr);
+    return 1;
+  }
   std::printf("all invariants held (%zu faults, both backends, digest %016llx)\n",
               schedule.size(), static_cast<unsigned long long>(wheel.digest));
   return 0;
@@ -404,8 +430,7 @@ int run(std::uint64_t seed, sim::Time total) {
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   tango::sim::Time total = 150 * tango::sim::kSecond;
-  const char* quick = std::getenv("TANGO_BENCH_QUICK");
-  if (quick != nullptr && std::strcmp(quick, "0") != 0) {
+  if (tango::bench::quick_mode()) {
     total = 45 * tango::sim::kSecond;  // ~3 faults: same invariants, CI-sized
   }
   if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);

@@ -63,7 +63,9 @@ int main() {
     table.add_row({bed.ny_to_la_label(id) + (id == 1 ? " (BGP default)" : ""),
                    tango::telemetry::fmt(s.mean), tango::telemetry::fmt(s.min),
                    tango::telemetry::fmt(s.p95), tango::telemetry::fmt(s.max),
-                   "+" + tango::telemetry::fmt(100.0 * (s.mean / best_mean - 1.0), 1) + "%"});
+                   std::string{"+"}
+                       .append(tango::telemetry::fmt(100.0 * (s.mean / best_mean - 1.0), 1))
+                       .append("%")});
   }
   std::printf("%s\n", table.render().c_str());
 
@@ -88,7 +90,8 @@ int main() {
 
   // Plot-ready artifacts (one CSV per path).
   for (PathId id = 1; id <= 4; ++id) {
-    const std::string file = "fig4_left_path" + std::to_string(id) + ".csv";
+    const std::string file =
+        std::string{"fig4_left_path"}.append(std::to_string(id)).append(".csv");
     bed.ny_to_la_series(id).write_csv(file);
   }
   std::printf("wrote fig4_left_path{1..4}.csv\n\n");

@@ -610,8 +610,7 @@ int run(const Config& cfg) {
 
 int main(int argc, char** argv) {
   tango::bench::Config cfg;
-  const char* quick = std::getenv("TANGO_BENCH_QUICK");
-  if (quick != nullptr && std::strcmp(quick, "0") != 0) {
+  if (tango::bench::quick_mode()) {
     // CI smoke mode: same scenarios and checks, fractions of the samples.
     // scale_rounds still covers > 37 ms of injection so the scale scenario
     // reaches its steady-state in-flight population (where the wheel-vs-heap

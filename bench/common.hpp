@@ -5,6 +5,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
@@ -13,12 +14,23 @@
 
 #include "core/pairing.hpp"
 #include "sim/events.hpp"
+#include "telemetry/observability.hpp"
 #include "telemetry/table.hpp"
 #include "topo/vultr_scenario.hpp"
 
 namespace tango::bench {
 
 using namespace topo::vultr;
+
+/// Truthiness of an environment flag, the one way every bench interprets it:
+/// set and not literally "0" means on ("", "1", "true", "yes" all count).
+[[nodiscard]] inline bool env_flag_set(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::strcmp(value, "0") != 0;
+}
+
+/// CI's reduced-duration mode, shared by every bench (TANGO_BENCH_QUICK).
+[[nodiscard]] inline bool quick_mode() { return env_flag_set("TANGO_BENCH_QUICK"); }
 
 /// The full measurement-study stack, established and ready to probe.
 struct Testbed {
@@ -34,10 +46,14 @@ struct Testbed {
   /// servers): visible in absolute numbers, harmless in comparisons.
   /// `backend` selects the WAN event scheduler (the heap fallback exists so
   /// the throughput bench can gate the timing wheel against its baseline).
+  /// `obs` (optional) wires one metrics registry + packet tracer through the
+  /// WAN and both nodes, labeled "la"/"ny" — the instrumented configuration
+  /// the telemetry-overhead bench measures against an unwired twin.
   explicit Testbed(std::uint64_t seed, bool keep_series = true,
                    sim::Time la_clock_offset = 500 * sim::kMicrosecond,
                    sim::Time ny_clock_offset = -300 * sim::kMicrosecond,
-                   sim::EventQueue::Backend backend = sim::EventQueue::Backend::timing_wheel)
+                   sim::EventQueue::Backend backend = sim::EventQueue::Backend::timing_wheel,
+                   telemetry::Observability obs = {})
       : scenario{topo::make_vultr_scenario()},
         wan{scenario.topo, sim::Rng{seed}, backend},
         la{scenario.topo, wan,
@@ -48,7 +64,9 @@ struct Testbed {
                                       scenario.plan.la_tunnel.end()},
                .edge_asns = {kAsnVultr, kAsnServerLa},
                .clock = sim::NodeClock{la_clock_offset},
-               .keep_series = keep_series}},
+               .keep_series = keep_series,
+               .name = "la",
+               .obs = obs}},
         ny{scenario.topo, wan,
            core::NodeConfig{
                .router = kServerNy,
@@ -57,8 +75,11 @@ struct Testbed {
                                       scenario.plan.ny_tunnel.end()},
                .edge_asns = {kAsnVultr, kAsnServerNy},
                .clock = sim::NodeClock{ny_clock_offset},
-               .keep_series = keep_series}},
+               .keep_series = keep_series,
+               .name = "ny",
+               .obs = obs}},
         pairing{wan, la, ny} {
+    wan.wire_observability(obs);
     auto [la_out, ny_out] = pairing.establish();
     la_outbound = std::move(la_out);
     ny_outbound = std::move(ny_out);

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Bench regression gate: quick-mode run vs the last committed history entry.
+
+CI runs the benches in quick mode, which writes a per-run detail report
+(``BENCH_<name>.latest.json`` when run from the repo root, ``BENCH_<name>.json``
+elsewhere) next to the binary's working directory.  The repo root carries the
+committed run history (``{"runs": [...]}``) appended by full-mode runs before
+each commit.  This script diffs the throughput fields of the quick run against
+the most recent *committed* history entry and fails on a regression beyond the
+threshold (default 15%).
+
+Quick mode trims iteration counts, not per-packet work, so pkts/sec is
+comparable between the two — the generous threshold absorbs the residual
+warmup and shared-runner noise.  Known limitation: the baseline is absolute
+throughput recorded on whatever machine ran the full bench last, so the gate
+is only meaningful when CI hardware is comparable run-to-run; on a noisy or
+slower runner, re-record the baselines from that runner (run the full benches
+once from the repo root and commit the appended records).
+
+The baseline is read from ``git show HEAD:<file>`` so a record appended by the
+CI run itself (the bench binaries append unconditionally when they can find
+the repo root) can never be its own baseline.  Falls back to the working-tree
+file outside a git checkout.
+
+Only the Python standard library is used.
+
+Exit codes: 0 pass, 1 regression, 2 missing/malformed data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# history-record field -> dotted path into the detail report.
+MANIFEST: dict[str, dict[str, str]] = {
+    "BENCH_dataplane": {
+        "wheel_pkts_per_sec": "scale.timing_wheel.pkts_per_sec",
+        "heap_pkts_per_sec": "scale.binary_heap.pkts_per_sec",
+        "pipeline_pkts_per_sec": "pipeline.pkts_per_sec",
+    },
+    "BENCH_chaos": {
+        "pkts_per_sec": "timing_wheel.pkts_per_sec",
+    },
+}
+
+
+def load_json(path: pathlib.Path) -> dict | None:
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def committed_history(repo_root: pathlib.Path, name: str) -> dict | None:
+    """The history file as of HEAD; working-tree fallback outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo_root), "show", f"HEAD:{name}.json"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(out)
+    except (OSError, subprocess.CalledProcessError, json.JSONDecodeError):
+        return load_json(repo_root / f"{name}.json")
+
+
+def find_detail_report(current_dir: pathlib.Path, name: str) -> dict | None:
+    """The quick run's detail report: .latest.json variant wins; a history
+    file (top-level "runs") is never mistaken for a detail report."""
+    for candidate in (f"{name}.latest.json", f"{name}.json"):
+        data = load_json(current_dir / candidate)
+        if data is not None and "runs" not in data:
+            return data
+    return None
+
+
+def dig(data: dict, dotted: str) -> float | None:
+    node = data
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check_bench(name: str, repo_root: pathlib.Path, current_dir: pathlib.Path,
+                threshold: float) -> tuple[int, int]:
+    """Returns (fields compared, regressions found)."""
+    history = committed_history(repo_root, name)
+    if not history or not history.get("runs"):
+        print(f"{name}: no committed history — nothing to compare against (skipping)")
+        return (0, 0)
+    baseline = history["runs"][-1]
+
+    current = find_detail_report(current_dir, name)
+    if current is None:
+        print(f"{name}: ERROR: no detail report found in {current_dir} — "
+              f"did the quick-mode bench run?")
+        return (-1, 0)
+
+    compared = regressions = 0
+    for base_field, detail_path in MANIFEST[name].items():
+        base = baseline.get(base_field)
+        if not isinstance(base, (int, float)) or base <= 0:
+            print(f"{name}: {base_field} absent in the committed baseline (skipping field)")
+            continue
+        cur = dig(current, detail_path)
+        if cur is None:
+            print(f"{name}: ERROR: {detail_path} missing from the detail report")
+            return (-1, 0)
+        compared += 1
+        delta_pct = 100.0 * (cur - base) / base
+        verdict = "OK"
+        if delta_pct < -threshold:
+            verdict = f"REGRESSION (worse than -{threshold:.0f}%)"
+            regressions += 1
+        print(f"{name}: {base_field}: baseline {base:.0f}, current {cur:.0f} "
+              f"({delta_pct:+.1f}%) {verdict}")
+    return (compared, regressions)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", action="append", choices=sorted(MANIFEST),
+                        help="bench stem to check (default: all known)")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="max tolerated pkts/sec drop, percent (default 15)")
+    parser.add_argument("--repo-root", type=pathlib.Path, default=pathlib.Path("."),
+                        help="checkout containing the committed BENCH_*.json history")
+    parser.add_argument("--current-dir", type=pathlib.Path, default=pathlib.Path("."),
+                        help="directory the quick-mode benches wrote their reports to")
+    args = parser.parse_args()
+
+    benches = args.bench or sorted(MANIFEST)
+    total_compared = total_regressions = 0
+    errors = False
+    for name in benches:
+        compared, regressions = check_bench(name, args.repo_root, args.current_dir,
+                                            args.threshold)
+        if compared < 0:
+            errors = True
+            continue
+        total_compared += compared
+        total_regressions += regressions
+
+    if errors:
+        return 2
+    if total_regressions:
+        print(f"FAIL: {total_regressions} throughput field(s) regressed "
+              f"beyond {args.threshold:.0f}%")
+        return 1
+    if total_compared == 0:
+        print("WARNING: nothing compared (no baselines yet) — passing vacuously")
+        return 0
+    print(f"PASS: {total_compared} throughput field(s) within {args.threshold:.0f}% "
+          f"of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

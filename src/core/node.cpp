@@ -12,7 +12,20 @@ TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
               dataplane::SwitchOptions{.keep_series = config_.keep_series,
                                        .clock = config_.clock,
                                        .auth_key = config_.auth_key}},
-      health_{config_.health} {}
+      health_{config_.health} {
+  std::string label = config_.name;
+  if (label.empty()) label = std::string{"r"}.append(std::to_string(config_.router));
+  switch_.wire_observability(config_.obs, label);
+  tracer_ = config_.obs.tracer;
+  if (config_.obs.metrics != nullptr) {
+    health_.wire_metrics(*config_.obs.metrics, label);
+    path_switches_metric_ =
+        &config_.obs.metrics->counter("tango_node_path_switches_total", {{"node", label}},
+                                      "Active-path switches made by the routing policy");
+    probes_metric_ = &config_.obs.metrics->counter("tango_node_probes_sent_total",
+                                                   {{"node", label}}, "Measurement probes sent");
+  }
+}
 
 DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
                                              SteeringMechanism mechanism,
@@ -116,6 +129,7 @@ std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
     if (chosen && chosen != current) {
       switch_.set_active_path(peer, *chosen);
       ++path_switches_;
+      telemetry::inc(path_switches_metric_);
     }
     last_choice = chosen ? chosen : current;
   }
@@ -125,6 +139,16 @@ std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
 void TangoNode::update_report(PathId id, const PathReport& report) {
   registry_.update_report(id, report);
   health_.on_report(id, report, wan_.now());
+  if (tracer_ != nullptr && tracer_->armed()) {
+    // The report closes the loop: the receiver's cumulative sample count ties
+    // it back to the measured lifecycles it summarizes.
+    tracer_->record({.at = wan_.now(),
+                     .key = report.samples,
+                     .node = config_.router,
+                     .path = id,
+                     .stage = telemetry::TraceStage::report,
+                     .cause = telemetry::TraceCause::none});
+  }
 }
 
 void TangoNode::send_probe_round() {
@@ -142,7 +166,10 @@ void TangoNode::send_probe_round() {
                              kProbePort, kProbePort, payload);
     for (PathId id : peer_paths_[i].second) {
       if (!health_.should_probe(id, now)) continue;
-      if (switch_.send_on_path(probe, id)) ++probes_sent_;
+      if (switch_.send_on_path(probe, id)) {
+        ++probes_sent_;
+        telemetry::inc(probes_metric_);
+      }
     }
   }
 }

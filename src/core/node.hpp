@@ -10,6 +10,7 @@
 #include "core/registry.hpp"
 #include "core/routing_policy.hpp"
 #include "dataplane/switch.hpp"
+#include "telemetry/observability.hpp"
 
 namespace tango::core {
 
@@ -34,6 +35,13 @@ struct NodeConfig {
   std::optional<net::SipHashKey> auth_key;
   /// Path-health thresholds (staleness/loss quarantine, re-probe cadence).
   PathHealthOptions health;
+  /// Human-readable site label on this node's metrics ("la", "ny");
+  /// defaults to "r<router-id>".
+  std::string name;
+  /// Observability wiring (metrics registry + packet tracer, both optional).
+  /// Share one Observability across the deployment — both nodes and the WAN
+  /// — for a coherent snapshot.
+  telemetry::Observability obs;
 };
 
 class TangoNode {
@@ -138,6 +146,10 @@ class TangoNode {
   std::vector<net::Ipv6Prefix> peer_host_prefixes_;
   bool probing_ = false;
   std::uint64_t probes_sent_ = 0;
+  // Pre-resolved instruments (nullptr without config.obs.metrics).
+  telemetry::Counter* path_switches_metric_ = nullptr;
+  telemetry::Counter* probes_metric_ = nullptr;
+  telemetry::PacketTracer* tracer_ = nullptr;
 };
 
 }  // namespace tango::core

@@ -42,9 +42,19 @@ void PathHealthMonitor::track(PathId id, sim::Time now) {
   entries_.push_back(Entry{.id = id, .last_evidence = now});
 }
 
+void PathHealthMonitor::wire_metrics(telemetry::MetricsRegistry& registry,
+                                     const std::string& node_label) {
+  for (std::size_t i = 0; i < transition_metrics_.size(); ++i) {
+    transition_metrics_[i] = &registry.counter(
+        "tango_health_transitions_total",
+        {{"node", node_label}, {"to", to_string(static_cast<PathHealth>(i))}},
+        "Path-health state-machine transitions by target state");
+  }
+}
+
 void PathHealthMonitor::quarantine(Entry& e) {
   if (e.state == PathHealth::quarantined || e.state == PathHealth::probing) return;
-  e.state = PathHealth::quarantined;
+  enter(e, PathHealth::quarantined);
   e.good_streak = 0;
   ++quarantines_;
 }
@@ -76,7 +86,7 @@ void PathHealthMonitor::on_report(PathId id, const PathReport& report, sim::Time
   if (confirmed_loss) {
     // Packets are dying in bulk even though some get through: treat like a
     // dead path.  (Already-quarantined paths just stay put.)
-    if (e->state == PathHealth::probing) e->state = PathHealth::quarantined;
+    if (e->state == PathHealth::probing) enter(*e, PathHealth::quarantined);
     quarantine(*e);
     return;
   }
@@ -87,14 +97,14 @@ void PathHealthMonitor::on_report(PathId id, const PathReport& report, sim::Time
     case PathHealth::quarantined:
     case PathHealth::probing:
       if (++e->good_streak >= options_.good_reports_to_recover) {
-        e->state = PathHealth::recovered;
+        enter(*e, PathHealth::recovered);
         e->good_streak = 0;
         ++recoveries_;
       }
       break;
     case PathHealth::recovered:
     case PathHealth::suspect:
-      e->state = PathHealth::healthy;
+      enter(*e, PathHealth::healthy);
       break;
     case PathHealth::healthy:
       break;
@@ -111,14 +121,14 @@ void PathHealthMonitor::tick(sim::Time now) {
         if (age >= options_.quarantine_after) {
           quarantine(e);
         } else if (age >= options_.suspect_after && e.state == PathHealth::healthy) {
-          e.state = PathHealth::suspect;
+          enter(e, PathHealth::suspect);
         }
         break;
       case PathHealth::probing:
         // The recovery probe went unanswered for a full probe interval:
         // back to quarantined so should_probe can schedule the next one.
         if (now - e.last_probe >= options_.probe_interval) {
-          e.state = PathHealth::quarantined;
+          enter(e, PathHealth::quarantined);
         }
         break;
       case PathHealth::quarantined:
@@ -143,7 +153,7 @@ bool PathHealthMonitor::should_probe(PathId id, sim::Time now) {
     case PathHealth::quarantined:
       if (now - e->last_probe >= options_.probe_interval) {
         e->last_probe = now;
-        e->state = PathHealth::probing;
+        enter(*e, PathHealth::probing);
         return true;
       }
       return false;

@@ -19,10 +19,13 @@
 // being probed at a low rate so recovery is detected when the fault clears.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/path.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tango::core {
 
@@ -94,6 +97,12 @@ class PathHealthMonitor {
   [[nodiscard]] std::uint64_t quarantines() const noexcept { return quarantines_; }
   [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
 
+  /// Registers one transition counter per target state
+  /// (`tango_health_transitions_total{node=..., to=<state>}`) and resolves
+  /// their raw pointers; every state-machine edge then pays one relaxed
+  /// increment.
+  void wire_metrics(telemetry::MetricsRegistry& registry, const std::string& node_label);
+
  private:
   struct Entry {
     PathId id = 0;
@@ -110,6 +119,12 @@ class PathHealthMonitor {
   [[nodiscard]] Entry* find(PathId id);
   [[nodiscard]] const Entry* find(PathId id) const;
   void quarantine(Entry& e);
+  /// The single place a path changes state: updates the entry and bumps the
+  /// per-target-state transition counter.
+  void enter(Entry& e, PathHealth to) noexcept {
+    e.state = to;
+    telemetry::inc(transition_metrics_[static_cast<std::size_t>(to)]);
+  }
 
   PathHealthOptions options_;
   /// Flat and ordered by insertion (= discovery order): a pairing has a
@@ -117,6 +132,8 @@ class PathHealthMonitor {
   std::vector<Entry> entries_;
   std::uint64_t quarantines_ = 0;
   std::uint64_t recoveries_ = 0;
+  /// Indexed by the target PathHealth of a transition.
+  std::array<telemetry::Counter*, 5> transition_metrics_{};
 };
 
 }  // namespace tango::core

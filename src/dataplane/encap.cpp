@@ -31,6 +31,15 @@ bool TunnelSender::wrap_inplace(net::Packet& packet, PathId path, sim::Time now)
   }
 
   ++sent_;
+  telemetry::inc(sent_metric_);
+  if (tracer_ != nullptr && tracer_->armed()) {
+    tracer_->record({.at = now,
+                     .key = header.sequence,
+                     .node = trace_node_,
+                     .path = path,
+                     .stage = telemetry::TraceStage::encap,
+                     .cause = telemetry::TraceCause::none});
+  }
   net::encapsulate_tango_inplace(packet, tunnel->local_endpoint, tunnel->remote_endpoint,
                                  tunnel->udp_src_port, header);
   return true;
@@ -59,6 +68,15 @@ std::optional<ReceiveInfo> TunnelReceiver::unwrap_inplace(net::Packet& packet, s
                            telemetry_auth_tag(*auth_key_, view->tango, view->inner);
     if (!valid) {
       ++auth_failures_;
+      telemetry::inc(telemetry_.auth_failures);
+      if (telemetry_.tracer != nullptr && telemetry_.tracer->armed()) {
+        telemetry_.tracer->record({.at = now,
+                                   .key = view->tango.sequence,
+                                   .node = telemetry_.node,
+                                   .path = view->tango.path_id,
+                                   .stage = telemetry::TraceStage::drop,
+                                   .cause = telemetry::TraceCause::auth_fail});
+      }
       return std::nullopt;
     }
   }
@@ -77,6 +95,28 @@ std::optional<ReceiveInfo> TunnelReceiver::unwrap_inplace(net::Packet& packet, s
   if (!slot) slot = std::make_unique<PathTracker>(keep_series_);
   slot->record(now, info.owd_ms, info.sequence);
   ++received_;
+  telemetry::inc(telemetry_.received);
+  if (telemetry_.registry != nullptr) {
+    // Lazy per-path histogram registration rides the same first-packet path
+    // as the tracker; after that, one pre-resolved pointer per packet.
+    if (owd_hist_.size() <= info.path) owd_hist_.resize(static_cast<std::size_t>(info.path) + 1);
+    if (owd_hist_[info.path] == nullptr) {
+      owd_hist_[info.path] = &telemetry_.registry->histogram(
+          "tango_path_owd_us",
+          {{"node", telemetry_.node_label}, {"path", std::to_string(info.path)}},
+          "One-way delay per path, microseconds (clock offset included)");
+    }
+    const double us = info.owd_ms * 1000.0;
+    owd_hist_[info.path]->record(us > 0.0 ? static_cast<std::uint64_t>(us) : 0);
+  }
+  if (telemetry_.tracer != nullptr && telemetry_.tracer->armed()) {
+    telemetry_.tracer->record({.at = now,
+                               .key = info.sequence,
+                               .node = telemetry_.node,
+                               .path = info.path,
+                               .stage = telemetry::TraceStage::decap,
+                               .cause = telemetry::TraceCause::none});
+  }
 
   packet.trim_front(view->outer_size);
   return info;

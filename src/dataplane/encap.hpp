@@ -13,10 +13,13 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "dataplane/tunnel_table.hpp"
 #include "net/packet.hpp"
 #include "net/siphash.hpp"
 #include "sim/clock.hpp"
+#include "telemetry/observability.hpp"
 
 namespace tango::dataplane {
 
@@ -57,6 +60,15 @@ class TunnelSender {
   [[nodiscard]] std::uint64_t next_sequence(PathId path) const;
   [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
 
+  /// Resolves the sender's instruments (encap counter, lifecycle tracer).
+  /// `node` labels trace events with the router where encapsulation happens.
+  void wire_telemetry(telemetry::Counter* sent, telemetry::PacketTracer* tracer,
+                      std::uint32_t node) noexcept {
+    sent_metric_ = sent;
+    tracer_ = tracer;
+    trace_node_ = node;
+  }
+
  private:
   const TunnelTable* table_;
   const sim::NodeClock* clock_;
@@ -65,6 +77,9 @@ class TunnelSender {
   /// per-pairing integers; the vector grows to the highest id used).
   std::vector<std::uint64_t> seq_;
   std::uint64_t sent_ = 0;
+  telemetry::Counter* sent_metric_ = nullptr;
+  telemetry::PacketTracer* tracer_ = nullptr;
+  std::uint32_t trace_node_ = 0;
 };
 
 /// What the receiver learned from one WAN packet.
@@ -106,6 +121,19 @@ class TunnelReceiver {
   /// Packets rejected for missing/invalid authentication tags.
   [[nodiscard]] std::uint64_t auth_failures() const noexcept { return auth_failures_; }
 
+  /// Receiver-side wire-up.  The registry pointer is kept (not just the
+  /// resolved counters) because per-path OWD histograms register lazily,
+  /// alongside the tracker a path's first packet creates.
+  struct Telemetry {
+    telemetry::MetricsRegistry* registry = nullptr;
+    std::string node_label;  ///< `node` label on per-path histograms
+    telemetry::Counter* received = nullptr;
+    telemetry::Counter* auth_failures = nullptr;
+    telemetry::PacketTracer* tracer = nullptr;
+    std::uint32_t node = 0;  ///< router id on trace events
+  };
+  void wire_telemetry(Telemetry telemetry) { telemetry_ = std::move(telemetry); }
+
  private:
   const sim::NodeClock* clock_;
   bool keep_series_;
@@ -115,6 +143,10 @@ class TunnelReceiver {
   std::vector<std::unique_ptr<PathTracker>> trackers_;
   std::uint64_t received_ = 0;
   std::uint64_t auth_failures_ = 0;
+  Telemetry telemetry_;
+  /// Dense per-path one-way-delay histograms (microseconds), resolved when
+  /// the path's tracker is created; nullptr while uninstrumented.
+  std::vector<telemetry::Histogram*> owd_hist_;
 };
 
 }  // namespace tango::dataplane

@@ -24,6 +24,41 @@ void TangoSwitch::add_peer_prefix(const net::Prefix& prefix, PeerId peer) {
   peer_prefixes_.insert(net::trie_key(prefix), peer);
 }
 
+void TangoSwitch::wire_observability(const telemetry::Observability& obs,
+                                     std::string node_label) {
+  tracer_ = obs.tracer;
+  if (node_label.empty()) {
+    // Move-assigned from a fresh temporary to sidestep a GCC 12 -Wrestrict
+    // false positive on in-place literal concatenation.
+    node_label = std::string{"r"}.append(std::to_string(router_));
+  }
+  telemetry::Counter* encap = nullptr;
+  telemetry::Counter* decap = nullptr;
+  telemetry::Counter* auth_fail = nullptr;
+  if (obs.metrics != nullptr) {
+    const telemetry::Labels labels{{"node", node_label}};
+    passthrough_metric_ = &obs.metrics->counter(
+        "tango_switch_passthrough_total", labels,
+        "Packets forwarded without encapsulation (non-peer destinations)");
+    no_tunnel_metric_ =
+        &obs.metrics->counter("tango_switch_no_tunnel_drops_total", labels,
+                              "Peer packets dropped for want of a usable tunnel");
+    encap = &obs.metrics->counter("tango_switch_encap_total", labels,
+                                  "Packets stamped, sequenced and encapsulated");
+    decap = &obs.metrics->counter("tango_switch_decap_total", labels,
+                                  "Tango packets measured and decapsulated");
+    auth_fail = &obs.metrics->counter("tango_switch_auth_failures_total", labels,
+                                      "Packets rejected for invalid authentication tags");
+  }
+  sender_.wire_telemetry(encap, obs.tracer, router_);
+  receiver_.wire_telemetry({.registry = obs.metrics,
+                            .node_label = std::move(node_label),
+                            .received = decap,
+                            .auth_failures = auth_fail,
+                            .tracer = obs.tracer,
+                            .node = router_});
+}
+
 std::optional<PathId> TangoSwitch::active_path(TangoSwitch::PeerId peer) const {
   for (const auto& [p, path] : active_by_peer_) {
     if (p == peer) return path;
@@ -43,20 +78,63 @@ bool TangoSwitch::prepare_outbound(net::Packet& inner) {
   if (peer == nullptr) {
     // Not for a cooperating peer: traditional forwarding, unencapsulated.
     ++passthrough_;
+    telemetry::inc(passthrough_metric_);
     return true;
   }
 
   std::optional<PathId> path;
-  if (selector_) path = selector_(inner);
+  bool by_selector = false;
+  if (selector_) {
+    path = selector_(inner);
+    by_selector = path.has_value();
+  }
   if (!path) path = active_path(*peer);
   if (!path) {
     ++no_tunnel_drops_;
+    telemetry::inc(no_tunnel_metric_);
+    if (tracer_ != nullptr && tracer_->armed()) {
+      tracer_->record({.at = wan_.now(),
+                       .key = flow->hash,
+                       .node = router_,
+                       .path = 0,
+                       .stage = telemetry::TraceStage::drop,
+                       .cause = telemetry::TraceCause::no_tunnel});
+    }
     return false;
+  }
+
+  if (tracer_ != nullptr && tracer_->armed()) {
+    // The key is the sequence wrap_inplace is about to stamp, so the whole
+    // lifecycle (route-select, encap, wan-enqueue, decap) samples together.
+    tracer_->record({.at = wan_.now(),
+                     .key = sender_.next_sequence(*path),
+                     .node = router_,
+                     .path = *path,
+                     .stage = telemetry::TraceStage::route_select,
+                     .cause = by_selector ? telemetry::TraceCause::selector
+                                          : telemetry::TraceCause::active_path});
   }
 
   if (!sender_.wrap_inplace(inner, *path, wan_.now())) {
     ++no_tunnel_drops_;
+    telemetry::inc(no_tunnel_metric_);
+    if (tracer_ != nullptr && tracer_->armed()) {
+      tracer_->record({.at = wan_.now(),
+                       .key = flow->hash,
+                       .node = router_,
+                       .path = *path,
+                       .stage = telemetry::TraceStage::drop,
+                       .cause = telemetry::TraceCause::no_tunnel});
+    }
     return false;
+  }
+  if (tracer_ != nullptr && tracer_->armed()) {
+    tracer_->record({.at = wan_.now(),
+                     .key = sender_.next_sequence(*path) - 1,
+                     .node = router_,
+                     .path = *path,
+                     .stage = telemetry::TraceStage::wan_enqueue,
+                     .cause = telemetry::TraceCause::none});
   }
   return true;
 }
@@ -80,7 +158,16 @@ std::size_t TangoSwitch::send_burst(std::span<net::Packet> inners) {
 bool TangoSwitch::send_on_path(net::Packet inner, PathId path) {
   if (!sender_.wrap_inplace(inner, path, wan_.now())) {
     ++no_tunnel_drops_;
+    telemetry::inc(no_tunnel_metric_);
     return false;
+  }
+  if (tracer_ != nullptr && tracer_->armed()) {
+    tracer_->record({.at = wan_.now(),
+                     .key = sender_.next_sequence(path) - 1,
+                     .node = router_,
+                     .path = path,
+                     .stage = telemetry::TraceStage::wan_enqueue,
+                     .cause = telemetry::TraceCause::none});
   }
   wan_.send_from(router_, std::move(inner));
   return true;

@@ -130,6 +130,12 @@ class TangoSwitch {
 
   // --- Telemetry ----------------------------------------------------------------
 
+  /// Wires the switch and its sender/receiver stages to `obs`: registers the
+  /// switch's counters under `node_label` (defaults to "r<router-id>"),
+  /// resolves raw instrument pointers, and arms the lifecycle trace points
+  /// (route-select, wan-enqueue, encap, decap, drops).
+  void wire_observability(const telemetry::Observability& obs, std::string node_label = "");
+
   [[nodiscard]] const TunnelSender& sender() const noexcept { return sender_; }
   [[nodiscard]] const TunnelReceiver& receiver() const noexcept { return receiver_; }
   [[nodiscard]] TunnelReceiver& receiver() noexcept { return receiver_; }
@@ -162,6 +168,10 @@ class TangoSwitch {
   HostHandler host_handler_;
   std::uint64_t no_tunnel_drops_ = 0;
   std::uint64_t passthrough_ = 0;
+  // Pre-resolved instruments (nullptr until wire_observability).
+  telemetry::Counter* passthrough_metric_ = nullptr;
+  telemetry::Counter* no_tunnel_metric_ = nullptr;
+  telemetry::PacketTracer* tracer_ = nullptr;
 };
 
 }  // namespace tango::dataplane

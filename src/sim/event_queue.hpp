@@ -61,6 +61,12 @@ class EventQueue {
   /// Total schedule_at/schedule_in calls (scheduler-throughput accounting).
   [[nodiscard]] std::uint64_t scheduled() const noexcept { return next_seq_; }
 
+  /// Registers the scheduler's instruments (executed counter, pending gauge,
+  /// wheel slot occupancy and overflow-heap spills) and resolves their raw
+  /// pointers.  The pending gauge is refreshed when a run loop returns — not
+  /// per event — so instrumentation stays off the dispatch hot path.
+  void wire_metrics(telemetry::MetricsRegistry& registry);
+
  private:
   struct Entry {
     Time at;
@@ -82,6 +88,8 @@ class EventQueue {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  telemetry::Counter* executed_metric_ = nullptr;
+  telemetry::Gauge* pending_gauge_ = nullptr;
 };
 
 }  // namespace tango::sim

@@ -11,12 +11,15 @@ Link::Link(const topo::LinkProfile& profile, Rng rng)
 
 Transmission Link::transmit(Time now, std::uint64_t flow_hash) {
   ++packets_;
+  telemetry::inc(packets_metric_);
   if (down_) {
     ++drops_;
+    telemetry::inc(drops_metric_);
     return Transmission{.dropped = true};
   }
   if (loss_->drop(rng_)) {
     ++drops_;
+    telemetry::inc(drops_metric_);
     return Transmission{.dropped = true};
   }
   const auto lane = static_cast<std::uint32_t>(flow_hash % lanes_);

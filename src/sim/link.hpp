@@ -6,6 +6,7 @@
 
 #include "sim/delay_model.hpp"
 #include "sim/loss_model.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tango::sim {
 
@@ -56,6 +57,12 @@ class Link {
   void set_down(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool down() const noexcept { return down_; }
 
+  /// Resolves this link's registry instruments (nullptr = uninstrumented).
+  void wire_metrics(telemetry::Counter* packets, telemetry::Counter* drops) noexcept {
+    packets_metric_ = packets;
+    drops_metric_ = drops;
+  }
+
  private:
   CompositeDelayModel delay_;
   std::unique_ptr<LossModel> loss_;
@@ -65,6 +72,8 @@ class Link {
   bool down_ = false;
   std::uint64_t packets_ = 0;
   std::uint64_t drops_ = 0;
+  telemetry::Counter* packets_metric_ = nullptr;
+  telemetry::Counter* drops_metric_ = nullptr;
 };
 
 }  // namespace tango::sim

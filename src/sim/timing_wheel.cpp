@@ -48,6 +48,7 @@ void TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
   const std::uint64_t delta = static_cast<std::uint64_t>(at) - cursor_;
   if (delta >= kSpan) {
     far_.push(item);
+    telemetry::inc(far_spills_metric_);
   } else {
     place(item);
   }
@@ -75,6 +76,7 @@ bool TimingWheel::level_empty(int level) const noexcept {
 }
 
 void TimingWheel::cascade(int level, std::size_t slot) {
+  telemetry::inc(cascades_metric_);
   std::vector<Item>& b = bucket(level, slot);
   unmark(level, slot);
   // Items re-place by their delta to the (just advanced) cursor: items of
@@ -95,6 +97,7 @@ void TimingWheel::stage(std::size_t slot) {
   staging_next_ = 0;
   std::sort(staging_.begin(), staging_.end(),
             [](const Item& a, const Item& b2) { return a.seq < b2.seq; });
+  telemetry::observe(batch_metric_, staging_.size());
 }
 
 std::int64_t TimingWheel::find_next(Time limit) {

@@ -43,6 +43,7 @@
 
 #include "sim/inline_function.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tango::sim {
 
@@ -73,6 +74,16 @@ class TimingWheel {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Resolves the wheel's registry instruments: far-heap spills (events past
+  /// the wheel span), bucket cascades, and the size of each staged
+  /// same-timestamp batch (slot occupancy).  Nullptr = uninstrumented.
+  void wire_metrics(telemetry::Counter* far_spills, telemetry::Counter* cascades,
+                    telemetry::Histogram* batch_events) noexcept {
+    far_spills_metric_ = far_spills;
+    cascades_metric_ = cascades;
+    batch_metric_ = batch_events;
+  }
 
  private:
   static constexpr int kLevelBits = 8;
@@ -143,6 +154,9 @@ class TimingWheel {
   std::vector<Action> actions_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t size_ = 0;
+  telemetry::Counter* far_spills_metric_ = nullptr;
+  telemetry::Counter* cascades_metric_ = nullptr;
+  telemetry::Histogram* batch_metric_ = nullptr;
 };
 
 }  // namespace tango::sim

@@ -21,6 +21,27 @@ std::string to_string(DropReason r) {
   return "?";
 }
 
+namespace {
+
+/// DropReason -> trace cause code (same taxonomy, tracer-side enum).
+[[nodiscard]] telemetry::TraceCause trace_cause(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::no_route:
+      return telemetry::TraceCause::no_route;
+    case DropReason::link_loss:
+      return telemetry::TraceCause::link_loss;
+    case DropReason::hop_limit:
+      return telemetry::TraceCause::hop_limit;
+    case DropReason::no_handler:
+      return telemetry::TraceCause::no_handler;
+    case DropReason::malformed:
+      return telemetry::TraceCause::malformed;
+  }
+  return telemetry::TraceCause::none;
+}
+
+}  // namespace
+
 Wan::Wan(topo::Topology& topo, Rng rng, EventQueue::Backend backend)
     : topo_{topo}, events_{backend} {
   // Fork per-link RNG streams in topology order (keeps the streams identical
@@ -125,6 +146,48 @@ void Wan::send_burst_from(bgp::RouterId id, std::vector<net::Packet>&& burst) {
   });
 }
 
+void Wan::wire_observability(const telemetry::Observability& obs) {
+  tracer_ = obs.tracer;
+  telemetry::MetricsRegistry* reg = obs.metrics;
+  if (reg == nullptr) return;
+  delivered_metric_ =
+      &reg->counter("tango_wan_delivered_total", {}, "Packets delivered to an edge switch");
+  hops_metric_ = &reg->counter("tango_wan_hops_total", {}, "Router-to-router forwarding hops");
+  fib_hits_metric_ = &reg->counter("tango_wan_fib_cache_hits_total", {},
+                                   "FIB lookups served by a router flow cache");
+  fib_lookups_metric_ =
+      &reg->counter("tango_wan_fib_lookups_total", {}, "FIB lookups (one per forwarding hop)");
+  for (std::size_t i = 0; i < drop_metrics_.size(); ++i) {
+    drop_metrics_[i] =
+        &reg->counter("tango_wan_drops_total", {{"cause", to_string(static_cast<DropReason>(i))}},
+                      "Packets dropped in the WAN by cause");
+  }
+  for (auto& [key, link] : links_) {
+    const telemetry::Labels labels{{"from", std::to_string(key.from)},
+                                   {"to", std::to_string(key.to)}};
+    link.wire_metrics(
+        &reg->counter("tango_link_packets_total", labels, "Packets offered to a link"),
+        &reg->counter("tango_link_drops_total", labels,
+                      "Packets a link dropped (loss model or down state)"));
+  }
+  events_.wire_metrics(*reg);
+}
+
+void Wan::drop(DropReason r, bgp::RouterId at, net::Packet&& packet) {
+  ++drops_[static_cast<std::size_t>(r)];
+  telemetry::inc(drop_metrics_[static_cast<std::size_t>(r)]);
+  if (tracer_ != nullptr && tracer_->armed()) {
+    const net::Packet::FlowKey* flow = packet.flow_key();
+    tracer_->record({.at = events_.now(),
+                     .key = flow != nullptr ? flow->hash : 0,
+                     .node = at,
+                     .path = 0,
+                     .stage = telemetry::TraceStage::drop,
+                     .cause = trace_cause(r)});
+  }
+  recycle(std::move(packet));
+}
+
 Link& Wan::link(bgp::RouterId from, bgp::RouterId to) {
   Link* l = find_link(topo::LinkKey{from, to});
   if (l == nullptr) throw std::out_of_range{"Wan::link: no such link"};
@@ -140,14 +203,17 @@ std::uint64_t Wan::total_dropped() const noexcept {
 bool Wan::lookup_next_hop(RouterState& state, const net::Packet::FlowKey& flow,
                           bgp::RouterId& next_hop) {
   ++fib_lookups_;
+  telemetry::inc(fib_lookups_metric_);
   FlowCacheSet& set = state.flow_cache[flow.hash & (kFlowCacheSets - 1)];
   if (set.way[0].generation == cache_generation_ && set.way[0].dst == flow.dst) {
     ++fib_cache_hits_;
+    telemetry::inc(fib_hits_metric_);
     next_hop = set.way[0].next_hop;
     return true;
   }
   if (set.way[1].generation == cache_generation_ && set.way[1].dst == flow.dst) {
     ++fib_cache_hits_;
+    telemetry::inc(fib_hits_metric_);
     std::swap(set.way[0], set.way[1]);  // move-to-front LRU
     next_hop = set.way[0].next_hop;
     return true;
@@ -170,32 +236,39 @@ void Wan::forward(bgp::RouterId at, net::Packet packet) {
   // trie walk for packets of recently seen flows.
   const net::Packet::FlowKey* flow = packet.flow_key();
   if (flow == nullptr) {
-    drop(DropReason::malformed, std::move(packet));
+    drop(DropReason::malformed, at, std::move(packet));
     return;
   }
 
   RouterState* state = find_router(at);
   bgp::RouterId next;
   if (!lookup_next_hop(*state, *flow, next)) {
-    drop(DropReason::no_route, std::move(packet));
+    drop(DropReason::no_route, at, std::move(packet));
     return;
   }
 
   if (next == at) {
     // Local delivery: the router originates a covering prefix.  The raw
     // (devirtualized) handler wins over the std::function one.
-    if (state->raw_handler != nullptr) {
-      ++delivered_;
-      state->raw_handler(state->raw_ctx, packet);
-      recycle(std::move(packet));
-      return;
-    }
-    if (!state->handler) {
-      drop(DropReason::no_handler, std::move(packet));
+    if (state->raw_handler == nullptr && !state->handler) {
+      drop(DropReason::no_handler, at, std::move(packet));
       return;
     }
     ++delivered_;
-    state->handler(packet);
+    telemetry::inc(delivered_metric_);
+    if (tracer_ != nullptr && tracer_->armed()) {
+      tracer_->record({.at = events_.now(),
+                       .key = flow->hash,
+                       .node = at,
+                       .path = 0,
+                       .stage = telemetry::TraceStage::deliver,
+                       .cause = telemetry::TraceCause::none});
+    }
+    if (state->raw_handler != nullptr) {
+      state->raw_handler(state->raw_ctx, packet);
+    } else {
+      state->handler(packet);
+    }
     recycle(std::move(packet));
     return;
   }
@@ -203,23 +276,24 @@ void Wan::forward(bgp::RouterId at, net::Packet packet) {
   const bool alive =
       packet.version() == 4 ? packet.decrement_ttl_v4() : packet.decrement_hop_limit();
   if (!alive) {
-    drop(DropReason::hop_limit, std::move(packet));
+    drop(DropReason::hop_limit, at, std::move(packet));
     return;
   }
 
   Link* link = find_link(topo::LinkKey{at, next});
   if (link == nullptr) {
     // FIB says next hop but no physical link (inconsistent topology).
-    drop(DropReason::no_route, std::move(packet));
+    drop(DropReason::no_route, at, std::move(packet));
     return;
   }
 
   const Transmission tx = link->transmit(events_.now(), flow->hash);
   if (tx.dropped) {
-    drop(DropReason::link_loss, std::move(packet));
+    drop(DropReason::link_loss, at, std::move(packet));
     return;
   }
 
+  telemetry::inc(hops_metric_);
   if (hop_observer_) hop_observer_(at, next, packet);
 
   events_.schedule_in(tx.delay,

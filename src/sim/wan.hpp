@@ -32,6 +32,7 @@
 #include "net/prefix_trie.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/link.hpp"
+#include "telemetry/observability.hpp"
 #include "topo/topology.hpp"
 
 namespace tango::sim {
@@ -114,6 +115,12 @@ class Wan {
 
   void set_hop_observer(HopObserver observer) { hop_observer_ = std::move(observer); }
 
+  /// Wires the WAN (delivery/drop counters by cause, per-link packet/drop
+  /// counters, FIB-cache effectiveness), the scheduler and the packet tracer
+  /// to `obs`.  Registration happens here, once; the forwarding path then
+  /// touches only pre-resolved instrument pointers.
+  void wire_observability(const telemetry::Observability& obs);
+
   /// The packet-buffer free list: buffers of delivered and dropped packets
   /// land here, and traffic sources should build packets from it
   /// (make_udp_packet(pool, ...)) so the steady-state pipeline recycles
@@ -167,10 +174,7 @@ class Wan {
   /// FIB lookup through the flow cache; nullptr-equivalent is `false`.
   [[nodiscard]] bool lookup_next_hop(RouterState& state, const net::Packet::FlowKey& flow,
                                      bgp::RouterId& next_hop);
-  void drop(DropReason r, net::Packet&& packet) {
-    ++drops_[static_cast<std::size_t>(r)];
-    recycle(std::move(packet));
-  }
+  void drop(DropReason r, bgp::RouterId at, net::Packet&& packet);
   void recycle(net::Packet&& packet) { pool_.release(std::move(packet).release_buffer()); }
   void recycle_burst(std::vector<net::Packet>&& burst);
 
@@ -192,6 +196,13 @@ class Wan {
   std::uint64_t fib_lookups_ = 0;
   std::uint64_t delivered_ = 0;
   std::array<std::uint64_t, 5> drops_{};
+  // Pre-resolved instruments (nullptr until wire_observability).
+  telemetry::Counter* delivered_metric_ = nullptr;
+  telemetry::Counter* hops_metric_ = nullptr;
+  telemetry::Counter* fib_hits_metric_ = nullptr;
+  telemetry::Counter* fib_lookups_metric_ = nullptr;
+  std::array<telemetry::Counter*, 5> drop_metrics_{};
+  telemetry::PacketTracer* tracer_ = nullptr;
 };
 
 }  // namespace tango::sim

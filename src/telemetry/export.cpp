@@ -1,0 +1,160 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tango::telemetry {
+namespace {
+
+/// Prometheus label block: `{a="x",b="y"}`, empty string for no labels.
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Label block with one extra label appended (histogram `le`).
+std::string prom_labels_with(const Labels& labels, const char* key, const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return prom_labels(extended);
+}
+
+void prom_family_header(std::ostringstream& out, const MetricEntry& entry) {
+  if (!entry.help.empty()) out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+  out << "# TYPE " << entry.name << ' ' << to_string(entry.kind) << '\n';
+}
+
+void prom_histogram(std::ostringstream& out, const MetricEntry& entry) {
+  const Histogram& h = *entry.histogram;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t n = h.bucket_count(i);
+    if (n == 0) continue;
+    cumulative += n;
+    const std::uint64_t upper =
+        i + 1 < Histogram::kBuckets ? Histogram::bucket_lower_bound(i + 1) - 1 : h.max();
+    out << entry.name << "_bucket"
+        << prom_labels_with(entry.labels, "le", std::to_string(upper)) << ' ' << cumulative
+        << '\n';
+  }
+  out << entry.name << "_bucket" << prom_labels_with(entry.labels, "le", "+Inf") << ' '
+      << h.count() << '\n';
+  out << entry.name << "_sum" << prom_labels(entry.labels) << ' ' << h.sum() << '\n';
+  out << entry.name << "_count" << prom_labels(entry.labels) << ' ' << h.count() << '\n';
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  const std::vector<MetricEntry> entries = registry.entries();
+  std::ostringstream out;
+  // Families in first-seen order; the header is emitted once per family.
+  std::vector<const std::string*> seen;
+  for (const MetricEntry& entry : entries) {
+    bool first = true;
+    for (const std::string* name : seen) {
+      if (*name == entry.name) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    seen.push_back(&entry.name);
+    prom_family_header(out, entry);
+    for (const MetricEntry& sample : entries) {
+      if (sample.name != entry.name) continue;
+      switch (sample.kind) {
+        case MetricKind::counter:
+          out << sample.name << prom_labels(sample.labels) << ' ' << sample.counter->value()
+              << '\n';
+          break;
+        case MetricKind::gauge:
+          out << sample.name << prom_labels(sample.labels) << ' ' << sample.gauge->value()
+              << '\n';
+          break;
+        case MetricKind::histogram:
+          prom_histogram(out, sample);
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  const std::vector<MetricEntry> entries = registry.entries();
+  std::ostringstream out;
+  out << "{\n  \"metrics\": [";
+  bool first_entry = true;
+  for (const MetricEntry& e : entries) {
+    if (!first_entry) out << ',';
+    first_entry = false;
+    out << "\n    {\"name\": \"" << e.name << "\", \"kind\": \"" << to_string(e.kind)
+        << "\", \"labels\": {";
+    for (std::size_t i = 0; i < e.labels.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << '"' << e.labels[i].first << "\": \"" << e.labels[i].second << '"';
+    }
+    out << '}';
+    switch (e.kind) {
+      case MetricKind::counter:
+        out << ", \"value\": " << e.counter->value();
+        break;
+      case MetricKind::gauge:
+        out << ", \"value\": " << e.gauge->value();
+        break;
+      case MetricKind::histogram: {
+        const Histogram& h = *e.histogram;
+        out << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+            << ", \"max\": " << h.max();
+        char mean[32];
+        std::snprintf(mean, sizeof mean, "%.3f", h.mean());
+        out << ", \"mean\": " << mean;
+        out << ", \"p50\": " << h.value_at_quantile(0.50)
+            << ", \"p90\": " << h.value_at_quantile(0.90)
+            << ", \"p99\": " << h.value_at_quantile(0.99);
+        out << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          const std::uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;
+          if (!first_bucket) out << ", ";
+          first_bucket = false;
+          out << "{\"ge\": " << Histogram::bucket_lower_bound(i) << ", \"count\": " << n << '}';
+        }
+        out << ']';
+        break;
+      }
+    }
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+bool write_snapshot(const MetricsRegistry& registry, const std::filesystem::path& stem) {
+  auto write = [](const std::filesystem::path& path, const std::string& text) {
+    std::ofstream out{path};
+    out << text;
+    return static_cast<bool>(out);
+  };
+  std::filesystem::path prom = stem;
+  prom += ".prom";
+  std::filesystem::path json = stem;
+  json += ".json";
+  const bool prom_ok = write(prom, to_prometheus(registry));
+  const bool json_ok = write(json, to_json(registry));
+  return prom_ok && json_ok;
+}
+
+}  // namespace tango::telemetry

@@ -1,0 +1,29 @@
+// Snapshot exporters for the metrics registry: Prometheus-style text and
+// JSON.  Both walk the registry once (registration order, families grouped
+// first-seen-first) and format deterministically, so exported snapshots are
+// diffable across runs and the tests can hold golden copies.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace tango::telemetry {
+
+/// Prometheus text exposition format (text/plain; version 0.0.4): one
+/// `# HELP` / `# TYPE` header per family, one sample line per instrument.
+/// Histograms export cumulative non-empty buckets plus `+Inf`, `_sum` and
+/// `_count`, with `le` bounds from the log-linear bucket edges.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON snapshot: `{"metrics": [...]}` with one object per instrument.
+/// Histograms carry count/sum/max/mean plus p50/p90/p99 estimates and the
+/// non-empty buckets.
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Writes both formats next to each other: `<stem>.prom` and `<stem>.json`.
+/// Returns false when either file cannot be written.
+bool write_snapshot(const MetricsRegistry& registry, const std::filesystem::path& stem);
+
+}  // namespace tango::telemetry

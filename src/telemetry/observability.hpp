@@ -1,0 +1,18 @@
+// The one handle a deployment threads through its components: a metrics
+// registry plus a packet-lifecycle tracer, both optional.  Components keep
+// the raw instrument pointers they resolve at wire-up; passing the same
+// Observability to every layer (switches, nodes, the WAN) is what makes one
+// run's snapshot coherent.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace tango::telemetry {
+
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  PacketTracer* tracer = nullptr;
+};
+
+}  // namespace tango::telemetry

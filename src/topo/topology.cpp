@@ -46,12 +46,13 @@ std::vector<LinkKey> Topology::links() const {
 
 std::string Topology::router_name(bgp::RouterId id) const {
   auto it = router_names_.find(id);
-  return it == router_names_.end() ? "r" + std::to_string(id) : it->second;
+  // Appends instead of literal+to_string concats: GCC 12 -Wrestrict misfires.
+  return it == router_names_.end() ? std::string{"r"}.append(std::to_string(id)) : it->second;
 }
 
 std::string Topology::asn_name(bgp::Asn asn) const {
   auto it = asn_names_.find(asn);
-  return it == asn_names_.end() ? "AS" + std::to_string(asn) : it->second;
+  return it == asn_names_.end() ? std::string{"AS"}.append(std::to_string(asn)) : it->second;
 }
 
 std::string Topology::label_path(const std::vector<bgp::Asn>& as_path,

@@ -1,0 +1,46 @@
+// The bench harness's shared environment-flag truthiness: every bench must
+// agree on what TANGO_BENCH_QUICK=<x> means.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common.hpp"
+
+namespace tango::bench {
+namespace {
+
+class EnvFlagTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "TANGO_TEST_FLAG";
+  void TearDown() override { ::unsetenv(kVar); }
+};
+
+TEST_F(EnvFlagTest, UnsetIsOff) {
+  ::unsetenv(kVar);
+  EXPECT_FALSE(env_flag_set(kVar));
+}
+
+TEST_F(EnvFlagTest, LiteralZeroIsOff) {
+  ::setenv(kVar, "0", 1);
+  EXPECT_FALSE(env_flag_set(kVar));
+}
+
+TEST_F(EnvFlagTest, AnyOtherValueIsOn) {
+  for (const char* value : {"1", "true", "yes", "on", "", "00", "2"}) {
+    ::setenv(kVar, value, 1);
+    EXPECT_TRUE(env_flag_set(kVar)) << "value: \"" << value << "\"";
+  }
+}
+
+TEST_F(EnvFlagTest, QuickModeReadsTangoBenchQuick) {
+  ::unsetenv("TANGO_BENCH_QUICK");
+  EXPECT_FALSE(quick_mode());
+  ::setenv("TANGO_BENCH_QUICK", "1", 1);
+  EXPECT_TRUE(quick_mode());
+  ::setenv("TANGO_BENCH_QUICK", "0", 1);
+  EXPECT_FALSE(quick_mode());
+  ::unsetenv("TANGO_BENCH_QUICK");
+}
+
+}  // namespace
+}  // namespace tango::bench

@@ -14,7 +14,7 @@ TEST(BgpNetwork, RejectsDuplicateAndReservedIds) {
   net.add_router(1, 100);
   EXPECT_THROW(net.add_router(1, 200), std::invalid_argument);
   EXPECT_THROW(net.add_router(kLocalRouter, 300), std::invalid_argument);
-  EXPECT_THROW(net.router(99), std::out_of_range);
+  EXPECT_THROW((void)net.router(99), std::out_of_range);
 }
 
 TEST(BgpNetwork, TransitChainPropagates) {

@@ -33,7 +33,8 @@ RandomWorld make_world(std::uint64_t seed) {
   const topo::LinkProfile link{};  // delays irrelevant for control-plane tests
   for (std::size_t i = 0; i < n_transits; ++i) {
     const auto id = static_cast<bgp::RouterId>(1 + i);
-    w.topo.add_router(id, 100 + static_cast<bgp::Asn>(i), "T" + std::to_string(i));
+    w.topo.add_router(id, 100 + static_cast<bgp::Asn>(i),
+                      std::string{"T"}.append(std::to_string(i)));
   }
   // Random tier-1 interconnects; always include a spanning chain so the
   // graph is connected.
@@ -74,7 +75,8 @@ RandomWorld make_world(std::uint64_t seed) {
   home(w.source);
 
   for (int i = 0; i < 8; ++i) {
-    w.pool.push_back(*net::Ipv6Prefix::parse("2001:db8:" + std::to_string(i + 1) + "::/48"));
+    w.pool.push_back(*net::Ipv6Prefix::parse(
+        std::string{"2001:db8:"}.append(std::to_string(i + 1)).append("::/48")));
   }
   return w;
 }

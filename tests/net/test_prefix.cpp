@@ -61,8 +61,10 @@ TEST(Ipv6Prefix, SubnetCarving) {
   EXPECT_EQ(p44.subnet(48, 0).to_string(), "2620:110:9000::/48");
   EXPECT_EQ(p44.subnet(48, 1).to_string(), "2620:110:9001::/48");
   EXPECT_EQ(p44.subnet(48, 15).to_string(), "2620:110:900f::/48");
-  EXPECT_THROW(p44.subnet(48, 16), std::out_of_range);
-  EXPECT_THROW(p44.subnet(40, 0), std::invalid_argument);
+  // void-casts: subnet() is [[nodiscard]] and -Wunused-result fires inside
+  // EXPECT_THROW's statement expansion.
+  EXPECT_THROW((void)p44.subnet(48, 16), std::out_of_range);
+  EXPECT_THROW((void)p44.subnet(40, 0), std::invalid_argument);
   // Every subnet is contained in the parent and distinct.
   EXPECT_TRUE(p44.contains(p44.subnet(48, 7)));
   EXPECT_NE(p44.subnet(48, 7), p44.subnet(48, 8));

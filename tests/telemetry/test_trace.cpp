@@ -1,0 +1,141 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tango::telemetry {
+namespace {
+
+TraceEvent event(std::uint64_t key, TraceStage stage = TraceStage::encap,
+                 std::uint16_t path = 1, TraceCause cause = TraceCause::none) {
+  return TraceEvent{.at = static_cast<sim::Time>(key) * sim::kMillisecond,
+                    .key = key,
+                    .node = 7,
+                    .path = path,
+                    .stage = stage,
+                    .cause = cause};
+}
+
+TEST(PacketTracer, StartsDisarmedAndRecordsNothing) {
+  PacketTracer t{8};
+  EXPECT_FALSE(t.armed());
+  t.record(event(0));
+  EXPECT_EQ(t.stored(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(PacketTracer, EnableAllKeepsEverything) {
+  PacketTracer t{8};
+  t.enable_all();
+  EXPECT_TRUE(t.armed());
+  for (std::uint64_t k = 0; k < 5; ++k) t.record(event(k));
+  EXPECT_EQ(t.stored(), 5u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front().key, 0u);
+  EXPECT_EQ(events.back().key, 4u);
+}
+
+TEST(PacketTracer, RingWrapsAroundKeepingNewest) {
+  PacketTracer t{4};
+  t.enable_all();
+  for (std::uint64_t k = 0; k < 10; ++k) t.record(event(k));
+  EXPECT_EQ(t.stored(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first order with the oldest six overwritten.
+  EXPECT_EQ(events[0].key, 6u);
+  EXPECT_EQ(events[1].key, 7u);
+  EXPECT_EQ(events[2].key, 8u);
+  EXPECT_EQ(events[3].key, 9u);
+}
+
+TEST(PacketTracer, WrapBoundaryIsExact) {
+  PacketTracer t{4};
+  t.enable_all();
+  for (std::uint64_t k = 0; k < 4; ++k) t.record(event(k));
+  // Exactly full, not yet wrapped: order must start at the true oldest.
+  auto events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].key, 0u);
+  t.record(event(4));  // first overwrite
+  events = t.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].key, 1u);
+  EXPECT_EQ(events[3].key, 4u);
+}
+
+TEST(PacketTracer, SamplingKeepsWholeLifecyclesTogether) {
+  PacketTracer t{64};
+  t.enable_sampled(4);
+  // Two lifecycles: key 8 (sampled), key 9 (not).
+  for (const std::uint64_t key : {8ull, 9ull}) {
+    t.record(event(key, TraceStage::encap));
+    t.record(event(key, TraceStage::wan_enqueue));
+    t.record(event(key, TraceStage::decap));
+  }
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (const TraceEvent& e : events) EXPECT_EQ(e.key, 8u);
+  EXPECT_EQ(events[0].stage, TraceStage::encap);
+  EXPECT_EQ(events[1].stage, TraceStage::wan_enqueue);
+  EXPECT_EQ(events[2].stage, TraceStage::decap);
+}
+
+TEST(PacketTracer, WatchedPathBypassesSampling) {
+  PacketTracer t{64};
+  t.enable_sampled(1000);
+  t.watch_path(3);
+  t.record(event(17, TraceStage::encap, /*path=*/3));
+  t.record(event(17, TraceStage::encap, /*path=*/2));
+  ASSERT_EQ(t.stored(), 1u);
+  EXPECT_EQ(t.events()[0].path, 3u);
+  t.clear_watches();
+  t.record(event(17, TraceStage::encap, /*path=*/3));
+  EXPECT_EQ(t.stored(), 1u);
+}
+
+TEST(PacketTracer, WatchAloneArmsTheTracer) {
+  PacketTracer t{8};
+  t.watch_path(2);
+  EXPECT_TRUE(t.armed());
+  t.record(event(5, TraceStage::drop, /*path=*/2, TraceCause::link_loss));
+  EXPECT_EQ(t.stored(), 1u);
+  t.disable();
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(PacketTracer, DumpIsHumanReadable) {
+  PacketTracer t{8};
+  t.enable_all();
+  t.record(event(42, TraceStage::drop, /*path=*/2, TraceCause::link_loss));
+  const std::string text = t.dump();
+  EXPECT_NE(text.find("drop"), std::string::npos);
+  EXPECT_NE(text.find("link-loss"), std::string::npos);
+  EXPECT_NE(text.find("path=2"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(PacketTracer, ClearResetsRingButKeepsArming) {
+  PacketTracer t{8};
+  t.enable_all();
+  t.record(event(1));
+  t.clear();
+  EXPECT_EQ(t.stored(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_TRUE(t.armed());
+  t.record(event(2));
+  EXPECT_EQ(t.stored(), 1u);
+}
+
+TEST(PacketTracer, StageAndCauseNamesRoundTrip) {
+  EXPECT_STREQ(to_string(TraceStage::route_select), "route-select");
+  EXPECT_STREQ(to_string(TraceStage::report), "report");
+  EXPECT_STREQ(to_string(TraceCause::no_tunnel), "no-tunnel");
+  EXPECT_STREQ(to_string(TraceCause::auth_fail), "auth-fail");
+}
+
+}  // namespace
+}  // namespace tango::telemetry

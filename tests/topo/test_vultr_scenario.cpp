@@ -22,8 +22,12 @@ TEST_F(VultrScenarioTest, HostPrefixesAreGloballyReachable) {
   const net::Prefix ny{s_.plan.ny_hosts};
   for (bgp::RouterId id : {kNtt, kTelia, kGtt, kCogent, kLevel3, kVultrLa, kVultrNy,
                            kServerLa, kServerNy}) {
-    if (id != kServerLa) EXPECT_NE(s_.topo.bgp().best_route(id, la), nullptr) << id;
-    if (id != kServerNy) EXPECT_NE(s_.topo.bgp().best_route(id, ny), nullptr) << id;
+    if (id != kServerLa) {
+      EXPECT_NE(s_.topo.bgp().best_route(id, la), nullptr) << id;
+    }
+    if (id != kServerNy) {
+      EXPECT_NE(s_.topo.bgp().best_route(id, ny), nullptr) << id;
+    }
   }
 }
 
@@ -104,8 +108,8 @@ TEST_F(VultrScenarioTest, TunnelPrefixOriginationAllRideDefault) {
 TEST_F(VultrScenarioTest, BackboneEdgeLookupValidates) {
   EXPECT_EQ(VultrScenario::backbone_to_la(kAsnGtt), (LinkKey{kGtt, kVultrLa}));
   EXPECT_EQ(VultrScenario::backbone_to_ny(kAsnCogent), (LinkKey{kCogent, kVultrNy}));
-  EXPECT_THROW(VultrScenario::backbone_to_la(kAsnCogent), std::invalid_argument);
-  EXPECT_THROW(VultrScenario::backbone_to_ny(kAsnLevel3), std::invalid_argument);
+  EXPECT_THROW((void)VultrScenario::backbone_to_la(kAsnCogent), std::invalid_argument);
+  EXPECT_THROW((void)VultrScenario::backbone_to_ny(kAsnLevel3), std::invalid_argument);
 }
 
 TEST_F(VultrScenarioTest, AddressPlanIsDisjoint) {
