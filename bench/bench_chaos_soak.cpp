@@ -13,7 +13,10 @@
 //   I3  delivery resumes after every fault: outside each fault's failover
 //       window, every 500 ms bucket carries traffic in both directions;
 //   I4  the whole soak is deterministic across event-queue backends —
-//       identical delivery digests, drops, path switches, quarantines.
+//       identical delivery digests, drops, path switches, quarantines —
+//       and stays byte-identical when a stream of malformed WAN frames is
+//       injected into both receive paths throughout the run (garbage is
+//       dropped and counted, never perturbing measurement or routing).
 //
 // TANGO_BENCH_QUICK=1 shrinks the soak for CI (same invariants, fewer
 // faults).  Results go to stdout and the BENCH_chaos detail JSON, plus a
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "net/packet.hpp"
 #include "telemetry/export.hpp"
 
 namespace tango::bench {
@@ -130,6 +134,8 @@ struct SoakResult {
   std::uint64_t switches = 0;
   std::uint64_t quarantines = 0;
   std::uint64_t recoveries = 0;
+  std::uint64_t malformed_ingress = 0;  ///< garbage frames injected (not in the digest)
+  std::uint64_t malformed_drops = 0;    ///< garbage frames counted as dropped
   int max_unusable_streak = 0;
   std::uint64_t digest = 0;
   double pkts_per_sec = 0;  ///< WAN deliveries per wall-clock second (not in the digest)
@@ -142,9 +148,39 @@ void mix(std::uint64_t& digest, std::uint64_t value) {
   digest *= 0x100000001B3ull;  // FNV-1a step
 }
 
+/// The malformed frames the poisoned twin feeds both receive paths: one
+/// truncated outer header, one length-inconsistent envelope and one bad-magic
+/// Tango header (lengths patched so the decode reaches the Tango layer).
+std::vector<std::vector<std::uint8_t>> make_malformed_frames() {
+  std::vector<std::vector<std::uint8_t>> out;
+
+  std::vector<std::uint8_t> truncated(net::Ipv6Header::kSize - 4, 0);
+  truncated[0] = 0x60;
+  out.push_back(std::move(truncated));
+
+  const auto src = *net::Ipv6Address::parse("2001:db8::1");
+  const auto dst = *net::Ipv6Address::parse("2001:db8::2");
+  const net::Packet inner =
+      net::make_udp_packet(src, dst, 1111, 2222, std::vector<std::uint8_t>{1, 2, 3});
+  const net::Packet wan =
+      net::encapsulate_tango(inner, src, dst, 49200, net::TangoHeader{.path_id = 1});
+
+  std::vector<std::uint8_t> bad_len{wan.bytes().begin(), wan.bytes().end()};
+  bad_len[4] ^= 0x01;  // outer payload_length disagrees with the buffer
+  out.push_back(std::move(bad_len));
+
+  std::vector<std::uint8_t> bad_magic{wan.bytes().begin(), wan.bytes().end()};
+  bad_magic[net::Ipv6Header::kSize + net::UdpHeader::kSize] = 0x00;
+  bad_magic[net::Ipv6Header::kSize + 6] = 0;  // checksum 0 = not computed, so the
+  bad_magic[net::Ipv6Header::kSize + 7] = 0;  // decode reaches the Tango header
+  out.push_back(std::move(bad_magic));
+
+  return out;
+}
+
 SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault>& schedule,
                     sim::EventQueue::Backend backend,
-                    const telemetry::Observability& obs = {}) {
+                    const telemetry::Observability& obs = {}, bool inject_malformed = false) {
   Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
              backend, obs};
   tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
@@ -200,6 +236,31 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
   };
   tb.wan.events().schedule_in(kTrafficPeriod, TrafficLoop{tb, payload, running});
 
+  // Malformed-ingress loop: garbage frames straight into both switches'
+  // receive paths, bypassing the WAN fabric (a fabric would never produce
+  // them; an attacker or a corrupting middlebox would).  The drops are
+  // synchronous and touch no RNG, so the soak digest must not move.
+  const std::vector<std::vector<std::uint8_t>> junk =
+      inject_malformed ? make_malformed_frames() : std::vector<std::vector<std::uint8_t>>{};
+  struct MalformedLoop {
+    Testbed& tb;
+    const std::vector<std::vector<std::uint8_t>>& junk;
+    SoakResult& r;
+    bool& running;
+    void operator()() const {
+      if (!running) return;
+      for (const auto& frame : junk) {
+        tb.la.dp().inject_wan(net::Packet{frame});
+        tb.ny.dp().inject_wan(net::Packet{frame});
+        r.malformed_ingress += 2;
+      }
+      tb.wan.events().schedule_in(7 * sim::kMillisecond, MalformedLoop{*this});
+    }
+  };
+  if (inject_malformed) {
+    tb.wan.events().schedule_in(7 * sim::kMillisecond, MalformedLoop{tb, junk, r, running});
+  }
+
   // I2 sampler: how long does a sender stay on a path its own health
   // monitor has declared dead?
   struct PinSampler {
@@ -243,6 +304,7 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
   r.switches = tb.la.path_switches() + tb.ny.path_switches();
   r.quarantines = tb.la.health().quarantines() + tb.ny.health().quarantines();
   r.recoveries = tb.la.health().recoveries() + tb.ny.health().recoveries();
+  r.malformed_drops = tb.la.dp().malformed_drops() + tb.ny.dp().malformed_drops();
   mix(r.digest, r.wan_delivered);
   mix(r.digest, r.wan_dropped);
   mix(r.digest, r.switches);
@@ -312,6 +374,8 @@ void emit_result(JsonWriter& w, const char* key, const SoakResult& r) {
       .field("quarantines", r.quarantines)
       .field("recoveries", r.recoveries)
       .field("max_unusable_streak", static_cast<std::uint64_t>(r.max_unusable_streak))
+      .field("malformed_ingress", r.malformed_ingress)
+      .field("malformed_drops", r.malformed_drops)
       .field("pkts_per_sec", r.pkts_per_sec, 0)
       .field("digest", r.digest)
       .end_object();
@@ -348,6 +412,12 @@ int run(std::uint64_t seed, sim::Time total) {
   const SoakResult wheel = run_soak(seed, total, schedule, sim::EventQueue::Backend::timing_wheel,
                                     {.metrics = &registry, .tracer = &tracer});
   const SoakResult heap = run_soak(seed, total, schedule, sim::EventQueue::Backend::binary_heap);
+  // The poisoned twin: same seed and schedule, plus a steady stream of
+  // malformed WAN frames into both receive paths.  Fail-closed decoding
+  // means every frame is dropped and counted and the digest does not move.
+  const SoakResult poisoned = run_soak(seed, total, schedule,
+                                       sim::EventQueue::Backend::timing_wheel, {},
+                                       /*inject_malformed=*/true);
 
   auto print_result = [](const char* name, const SoakResult& r) {
     std::printf("%s:\n", name);
@@ -361,12 +431,18 @@ int run(std::uint64_t seed, sim::Time total) {
                 static_cast<unsigned long long>(r.switches),
                 static_cast<unsigned long long>(r.quarantines),
                 static_cast<unsigned long long>(r.recoveries));
+    if (r.malformed_ingress > 0) {
+      std::printf("  malformed ingress %llu, counted dropped %llu\n",
+                  static_cast<unsigned long long>(r.malformed_ingress),
+                  static_cast<unsigned long long>(r.malformed_drops));
+    }
     std::printf("  max dead-pin streak %d samples (bound %d), digest %016llx\n\n",
                 r.max_unusable_streak, kMaxUnusableSamples,
                 static_cast<unsigned long long>(r.digest));
   };
   print_result("timing_wheel", wheel);
   print_result("binary_heap", heap);
+  print_result("timing_wheel+malformed", poisoned);
 
   int violations = check_invariants(wheel, schedule, total);
   if (wheel.digest != heap.digest || wheel.max_unusable_streak != heap.max_unusable_streak) {
@@ -377,6 +453,22 @@ int run(std::uint64_t seed, sim::Time total) {
                  static_cast<unsigned long long>(heap.digest));
     ++violations;
   }
+  if (poisoned.digest != wheel.digest) {
+    std::fprintf(stderr,
+                 "FAIL I4: malformed ingress moved the digest (%016llx vs %016llx) — "
+                 "garbage frames leaked into delivery or measurement\n",
+                 static_cast<unsigned long long>(poisoned.digest),
+                 static_cast<unsigned long long>(wheel.digest));
+    ++violations;
+  }
+  if (poisoned.malformed_ingress == 0 ||
+      poisoned.malformed_drops != poisoned.malformed_ingress) {
+    std::fprintf(stderr,
+                 "FAIL I4: malformed accounting off (%llu injected, %llu counted dropped)\n",
+                 static_cast<unsigned long long>(poisoned.malformed_ingress),
+                 static_cast<unsigned long long>(poisoned.malformed_drops));
+    ++violations;
+  }
 
   JsonWriter w;
   w.begin_object();
@@ -385,6 +477,7 @@ int run(std::uint64_t seed, sim::Time total) {
   w.field("faults", static_cast<std::uint64_t>(schedule.size()));
   emit_result(w, "timing_wheel", wheel);
   emit_result(w, "binary_heap", heap);
+  emit_result(w, "timing_wheel_malformed", poisoned);
   w.field("invariant_violations", static_cast<std::uint64_t>(violations));
   w.end_object();
   const auto path = detail_report_path("BENCH_chaos");

@@ -83,7 +83,8 @@ MissionResult fly_with_tango(std::uint64_t seed) {
     // Measurement probes share the tunnels; the mission stats count only
     // the drone flow (dport 50124).
     net::ByteReader r{inner.payload()};
-    if (net::UdpHeader::parse(r).dst_port != 50124) return;
+    const auto udp = net::UdpHeader::parse(r);
+    if (!udp || udp->dst_port != 50124) return;
     ++result.delivered;
     delays.record(wan.now(), info->owd_ms);
     if (info->owd_ms > kDeadlineMs) ++result.deadline_misses;

@@ -62,7 +62,8 @@ int main() {
     // Measurement probes share the tunnels with application traffic; count
     // only the application flow (dport 443).
     net::ByteReader r{inner.payload()};
-    if (net::UdpHeader::parse(r).dst_port == 443) ++delivered;
+    const auto udp = net::UdpHeader::parse(r);
+    if (udp && udp->dst_port == 443) ++delivered;
   });
   const std::vector<std::uint8_t> payload(256, 0x42);
   for (int i = 0; i < 2000; ++i) {

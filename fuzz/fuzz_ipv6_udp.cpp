@@ -1,0 +1,51 @@
+// Fuzz harness: the plain (host-side) header chain — Ipv6Header::parse
+// followed by UdpHeader::parse on whatever remains.
+//
+// Both headers represent all of their wire bits, so the differential check
+// is full byte-exactness: encode(parse(x)) == x over the consumed bytes.
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "fuzz_util.hpp"
+#include "net/byte_io.hpp"
+#include "net/headers.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  using tango::net::ByteReader;
+  using tango::net::ByteWriter;
+  using tango::net::Ipv6Header;
+  using tango::net::UdpHeader;
+
+  const std::span<const std::uint8_t> input{data, size};
+  ByteReader r{input};
+  const auto ip = Ipv6Header::parse(r);
+  if (!ip) {
+    FUZZ_CHECK(r.remaining() == size, "failed IPv6 parse must not consume bytes");
+    return 0;
+  }
+  FUZZ_CHECK(r.remaining() == size - Ipv6Header::kSize,
+             "IPv6 parse must consume exactly 40 bytes");
+
+  ByteWriter w;
+  ip->serialize(w);
+  FUZZ_CHECK(w.size() == Ipv6Header::kSize, "IPv6 re-encode size");
+  FUZZ_CHECK(std::equal(w.view().begin(), w.view().end(), input.begin()),
+             "IPv6 re-encode must be byte-exact");
+
+  const std::size_t udp_offset = Ipv6Header::kSize;
+  const auto udp = UdpHeader::parse(r);
+  if (!udp) {
+    FUZZ_CHECK(r.remaining() == size - udp_offset,
+               "failed UDP parse must not consume bytes");
+    return 0;
+  }
+  FUZZ_CHECK(udp->length >= UdpHeader::kSize, "accepted UDP length must cover the header");
+
+  ByteWriter uw;
+  udp->serialize(uw);
+  FUZZ_CHECK(uw.size() == UdpHeader::kSize, "UDP re-encode size");
+  FUZZ_CHECK(std::equal(uw.view().begin(), uw.view().end(), input.begin() + udp_offset),
+             "UDP re-encode must be byte-exact");
+  return 0;
+}

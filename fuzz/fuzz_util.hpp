@@ -1,0 +1,22 @@
+// Shared helpers for the wire-decode fuzz harnesses.
+//
+// Every harness exposes the libFuzzer entry point LLVMFuzzerTestOneInput.
+// With -fsanitize=fuzzer (clang) the binary is a real fuzzer; without it,
+// replay_main.cpp supplies a main() that replays corpus files, so the same
+// harness doubles as a deterministic regression runner on any toolchain.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Differential-check assertion that survives NDEBUG: a violated invariant
+/// must abort so the fuzzer (or replay run) registers a crash, not a silent
+/// pass.
+#define FUZZ_CHECK(cond, what)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ_CHECK failed: %s (%s:%d)\n", what,        \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

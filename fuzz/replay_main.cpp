@@ -1,0 +1,40 @@
+// Fallback driver for toolchains without libFuzzer (-fsanitize=fuzzer):
+// replays every file (or every regular file inside a directory) passed on
+// the command line through LLVMFuzzerTestOneInput.  A crash or FUZZ_CHECK
+// failure aborts the process, which is exactly what CTest reports.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::size_t replay_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::vector<char> bytes{std::istreambuf_iterator<char>{in},
+                          std::istreambuf_iterator<char>{}};
+  (void)LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                               bytes.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg{argv[i]};
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator{arg}) {
+        if (entry.is_regular_file()) replayed += replay_file(entry.path());
+      }
+    } else {
+      replayed += replay_file(arg);
+    }
+  }
+  std::printf("replayed %zu corpus inputs, no crashes\n", replayed);
+  return 0;
+}

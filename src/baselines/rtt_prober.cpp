@@ -38,33 +38,29 @@ EchoResponder::EchoResponder(core::TangoNode& node, sim::Wan& wan, EdgeNoise noi
 void EchoResponder::handle(const net::Packet& inner,
                            const std::optional<dataplane::ReceiveInfo>& info) {
   bool is_probe = false;
-  try {
-    const net::Ipv6Header ip = inner.ip();
-    if (ip.next_header == net::Ipv6Header::kNextHeaderUdp) {
-      net::ByteReader r{inner.payload()};
-      const net::UdpHeader udp = net::UdpHeader::parse(r);
-      if (udp.dst_port == RttProber::kProbePort) {
-        auto probe = ProbePayload::parse(r.rest());
-        if (probe && probe->magic == ProbePayload::kQueryMagic) {
-          is_probe = true;
-          ProbePayload reply = *probe;
-          reply.magic = ProbePayload::kReplyMagic;
-          const auto payload = reply.serialize();
-          net::Packet echo = net::make_udp_packet(ip.dst, ip.src, udp.dst_port, udp.src_port,
-                                                  payload);
-          // Host processing noise before the echo leaves (hypervisor
-          // scheduling etc., paper §2.2) — invisible to border switches,
-          // fully visible to end-host RTT measurement.
-          const sim::Time host_delay = sim::from_ms(noise_.sample_ms(rng_));
-          wan_.events().schedule_in(host_delay, [this, echo = std::move(echo)]() {
-            ++echoes_;
-            node_.dp().send_from_host(echo);
-          });
-        }
+  const auto ip = inner.ip();
+  if (ip && ip->next_header == net::Ipv6Header::kNextHeaderUdp) {
+    net::ByteReader r{inner.payload()};
+    const auto udp = net::UdpHeader::parse(r);
+    if (udp && udp->dst_port == RttProber::kProbePort) {
+      auto probe = ProbePayload::parse(r.rest());
+      if (probe && probe->magic == ProbePayload::kQueryMagic) {
+        is_probe = true;
+        ProbePayload reply = *probe;
+        reply.magic = ProbePayload::kReplyMagic;
+        const auto payload = reply.serialize();
+        net::Packet echo = net::make_udp_packet(ip->dst, ip->src, udp->dst_port, udp->src_port,
+                                                payload);
+        // Host processing noise before the echo leaves (hypervisor
+        // scheduling etc., paper §2.2) — invisible to border switches,
+        // fully visible to end-host RTT measurement.
+        const sim::Time host_delay = sim::from_ms(noise_.sample_ms(rng_));
+        wan_.events().schedule_in(host_delay, [this, echo = std::move(echo)]() {
+          ++echoes_;
+          node_.dp().send_from_host(echo);
+        });
       }
     }
-  } catch (const std::exception&) {
-    // fall through to passthrough
   }
   if (!is_probe && passthrough_) passthrough_(inner, info);
 }
@@ -105,34 +101,30 @@ void RttProber::start(const net::Ipv6Address& peer_host, sim::Time period) {
 }
 
 bool RttProber::consume(const net::Packet& inner) {
-  try {
-    const net::Ipv6Header ip = inner.ip();
-    if (ip.next_header != net::Ipv6Header::kNextHeaderUdp) return false;
-    net::ByteReader r{inner.payload()};
-    const net::UdpHeader udp = net::UdpHeader::parse(r);
-    if (udp.dst_port != kProbePort) return false;
-    auto probe = ProbePayload::parse(r.rest());
-    if (!probe || probe->magic != ProbePayload::kReplyMagic) return false;
+  const auto ip = inner.ip();
+  if (!ip || ip->next_header != net::Ipv6Header::kNextHeaderUdp) return false;
+  net::ByteReader r{inner.payload()};
+  const auto udp = net::UdpHeader::parse(r);
+  if (!udp || udp->dst_port != kProbePort) return false;
+  auto probe = ProbePayload::parse(r.rest());
+  if (!probe || probe->magic != ProbePayload::kReplyMagic) return false;
 
-    auto it = in_flight_.find(probe->probe_id);
-    if (it == in_flight_.end()) return true;  // duplicate/expired answer
-    const auto [path, sent_ns] = it->second;
-    in_flight_.erase(it);
+  auto it = in_flight_.find(probe->probe_id);
+  if (it == in_flight_.end()) return true;  // duplicate/expired answer
+  const auto [path, sent_ns] = it->second;
+  in_flight_.erase(it);
 
-    const std::uint64_t now_ns = node_.dp().clock().now(wan_.now());
-    const double rtt_ms =
-        static_cast<double>(now_ns - sent_ns) / static_cast<double>(sim::kMillisecond);
+  const std::uint64_t now_ns = node_.dp().clock().now(wan_.now());
+  const double rtt_ms =
+      static_cast<double>(now_ns - sent_ns) / static_cast<double>(sim::kMillisecond);
 
-    RttEstimate& est = estimates_[path];
-    est.rtt_ewma_ms = est.samples == 0
-                          ? rtt_ms
-                          : ewma_alpha_ * rtt_ms + (1.0 - ewma_alpha_) * est.rtt_ewma_ms;
-    ++est.samples;
-    ++answers_;
-    return true;
-  } catch (const std::exception&) {
-    return false;
-  }
+  RttEstimate& est = estimates_[path];
+  est.rtt_ewma_ms = est.samples == 0
+                        ? rtt_ms
+                        : ewma_alpha_ * rtt_ms + (1.0 - ewma_alpha_) * est.rtt_ewma_ms;
+  ++est.samples;
+  ++answers_;
+  return true;
 }
 
 }  // namespace tango::baselines

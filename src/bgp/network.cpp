@@ -120,10 +120,17 @@ std::uint64_t BgpNetwork::run_to_convergence() {
                   : net::IpAddress{net::Ipv4Address{0x0A000000u | update.from}};
           const auto bytes = wire::encode_update(update, next_hop);
           wire_bytes_ += bytes.size();
-          wire::ParsedMessage parsed = wire::parse_message(bytes);
-          Update rebuilt = std::move(*parsed.update);
-          rebuilt.from = update.from;
-          it->second->receive(rebuilt);
+          try {
+            wire::ParsedMessage parsed = wire::parse_message(bytes);
+            if (!parsed.update) throw wire::WireError{"decoded a non-update"};
+            Update rebuilt = std::move(*parsed.update);
+            rebuilt.from = update.from;
+            it->second->receive(rebuilt);
+          } catch (const wire::WireError&) {
+            // Fail closed: a session would reset here; the simulation drops
+            // the one update and keeps converging on what did decode.
+            ++wire_parse_failures_;
+          }
         } else {
           it->second->receive(update);
         }

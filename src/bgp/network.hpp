@@ -86,6 +86,11 @@ class BgpNetwork {
   [[nodiscard]] bool wire_transport() const noexcept { return wire_transport_; }
   /// Total wire bytes moved while wire transport was enabled.
   [[nodiscard]] std::uint64_t wire_bytes() const noexcept { return wire_bytes_; }
+  /// UPDATEs whose wire bytes failed to decode at the receiver; each is
+  /// counted and skipped (fail closed) instead of crashing convergence.
+  [[nodiscard]] std::uint64_t wire_parse_failures() const noexcept {
+    return wire_parse_failures_;
+  }
 
  private:
   std::map<RouterId, std::unique_ptr<BgpSpeaker>> routers_;
@@ -93,6 +98,7 @@ class BgpNetwork {
   std::uint64_t message_limit_ = 10'000'000;
   bool wire_transport_ = false;
   std::uint64_t wire_bytes_ = 0;
+  std::uint64_t wire_parse_failures_ = 0;
 };
 
 }  // namespace tango::bgp

@@ -1,6 +1,7 @@
 #include "bgp/wire.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace tango::bgp::wire {
 
@@ -94,6 +95,10 @@ AsPath parse_as_path(std::span<const std::uint8_t> value) {
     const std::uint8_t segment_type = r.u8();
     if (segment_type != kAsSequence) throw WireError{"unsupported AS_PATH segment type"};
     const std::uint8_t count = r.u8();
+    // A zero-count segment encodes nothing and only pads the attribute;
+    // RFC 4271 makes it invalid, and accepting it would let trailing
+    // garbage ride inside an otherwise-valid AS_PATH.
+    if (count == 0) throw WireError{"zero-count AS_PATH segment"};
     for (std::uint8_t i = 0; i < count; ++i) asns.push_back(r.u32());
   }
   return AsPath{std::move(asns)};
@@ -226,7 +231,9 @@ std::vector<std::uint8_t> encode_update(const Update& update,
   return finish(std::move(w));
 }
 
-ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
+namespace {
+
+ParsedMessage parse_message_impl(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kHeaderSize) throw WireError{"short message"};
   net::ByteReader r{bytes};
   for (int i = 0; i < 16; ++i) {
@@ -320,6 +327,7 @@ ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
 
     switch (type) {
       case AttrType::origin: {
+        if (len != 1) throw WireError{"bad ORIGIN length"};
         const std::uint8_t v = value.u8();
         if (v > 2) throw WireError{"bad ORIGIN"};
         route.origin = static_cast<Origin>(v);
@@ -335,13 +343,17 @@ ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
         break;
       }
       case AttrType::med:
+        if (len != 4) throw WireError{"bad MED length"};
         route.med = value.u32();
         break;
       case AttrType::local_pref:
+        if (len != 4) throw WireError{"bad LOCAL_PREF length"};
         route.local_pref = value.u32();
         break;
       case AttrType::communities: {
-        if (len % 4 != 0) throw WireError{"bad COMMUNITIES length"};
+        // The encoder omits the attribute entirely for an empty set, so a
+        // zero-length body is as malformed as a misaligned one.
+        if (len == 0 || len % 4 != 0) throw WireError{"bad COMMUNITIES length"};
         for (std::size_t i = 0; i < len / 4; ++i) {
           const std::uint32_t raw = value.u32();
           route.communities.add(Community{static_cast<std::uint16_t>(raw >> 16),
@@ -361,7 +373,13 @@ ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
         std::copy(nh_span.begin(), nh_span.end(), nh.begin());
         out.next_hop = net::IpAddress{net::Ipv6Address{nh}};
         (void)value.u8();  // reserved
-        update.prefix = net::Prefix{read_prefix_v6(value)};
+        // The attribute may carry several NLRI; this implementation's routes
+        // are single-prefix, so the last one wins — but every prefix must
+        // still decode, or the attribute is malformed.
+        if (value.remaining() == 0) throw WireError{"MP_REACH_NLRI carries no NLRI"};
+        while (value.remaining() > 0) {
+          update.prefix = net::Prefix{read_prefix_v6(value)};
+        }
         saw_mp_reach = true;
         break;
       }
@@ -370,7 +388,10 @@ ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
             static_cast<std::uint16_t>((value.u8() << 8) | value.u8());
         const std::uint8_t safi = value.u8();
         if (afi != 2 || safi != kSafiUnicast) throw WireError{"unsupported AFI/SAFI"};
-        update.prefix = net::Prefix{read_prefix_v6(value)};
+        if (value.remaining() == 0) throw WireError{"MP_UNREACH_NLRI carries no NLRI"};
+        while (value.remaining() > 0) {
+          update.prefix = net::Prefix{read_prefix_v6(value)};
+        }
         saw_withdraw = true;
         break;
       }
@@ -387,6 +408,10 @@ ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
     update.prefix = net::Prefix{read_prefix_v4(r)};
     saw_announce_v4 = true;
   }
+  // The simulator's updates carry exactly one prefix; a message mixing
+  // classic v4 NLRI with MP_REACH would silently drop one of the two (and
+  // pair a v4 prefix with a v6 next hop), so fail closed instead.
+  if (saw_announce_v4 && saw_mp_reach) throw WireError{"mixed v4 and MP NLRI"};
 
   if (saw_withdraw && !saw_announce_v4 && !saw_mp_reach) {
     update.kind = Update::Kind::withdraw;
@@ -400,6 +425,21 @@ ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
   update.route = std::move(route);
   out.update = std::move(update);
   return out;
+}
+
+}  // namespace
+
+ParsedMessage parse_message(std::span<const std::uint8_t> bytes) {
+  // ByteReader throws std::out_of_range as its overread backstop.  Decode
+  // errors must surface uniformly as WireError so callers can fail closed on
+  // one exception type; letting the reader's own type escape here turned
+  // truncated NOTIFICATION/OPEN bodies and short attribute values into an
+  // unexpected-exception crash instead of a counted parse failure.
+  try {
+    return parse_message_impl(bytes);
+  } catch (const std::out_of_range&) {
+    throw WireError{"truncated message"};
+  }
 }
 
 Update roundtrip_update(const Update& update, const net::IpAddress& next_hop) {

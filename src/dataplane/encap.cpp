@@ -57,8 +57,22 @@ std::uint64_t TunnelSender::next_sequence(PathId path) const {
 }
 
 std::optional<ReceiveInfo> TunnelReceiver::unwrap_inplace(net::Packet& packet, sim::Time now) {
-  auto view = net::decapsulate_tango_view(packet);
-  if (!view) return std::nullopt;
+  return unwrap_classified(packet, now).info;
+}
+
+UnwrapResult TunnelReceiver::unwrap_classified(net::Packet& packet, sim::Time now) {
+  const net::TangoDecodeResult decoded = net::decode_tango_view(packet);
+  switch (decoded.status) {
+    case net::TangoDecodeStatus::not_tango:
+      return {UnwrapStatus::not_tango, std::nullopt};
+    case net::TangoDecodeStatus::malformed_outer:
+      return {UnwrapStatus::malformed_outer, std::nullopt};
+    case net::TangoDecodeStatus::malformed_tango:
+      return {UnwrapStatus::malformed_tango, std::nullopt};
+    case net::TangoDecodeStatus::ok:
+      break;
+  }
+  const auto& view = decoded.view;
 
   if (auth_key_) {
     // §6 trustworthy telemetry: drop anything unauthenticated or forged
@@ -77,7 +91,7 @@ std::optional<ReceiveInfo> TunnelReceiver::unwrap_inplace(net::Packet& packet, s
                                    .stage = telemetry::TraceStage::drop,
                                    .cause = telemetry::TraceCause::auth_fail});
       }
-      return std::nullopt;
+      return {UnwrapStatus::auth_failed, std::nullopt};
     }
   }
 
@@ -119,7 +133,7 @@ std::optional<ReceiveInfo> TunnelReceiver::unwrap_inplace(net::Packet& packet, s
   }
 
   packet.trim_front(view->outer_size);
-  return info;
+  return {UnwrapStatus::ok, info};
 }
 
 std::optional<std::pair<net::Packet, ReceiveInfo>> TunnelReceiver::unwrap(

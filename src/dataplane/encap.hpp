@@ -92,6 +92,24 @@ struct ReceiveInfo {
   double owd_ms = 0.0;
 };
 
+/// How the receiver disposed of one WAN packet.  `not_tango` traffic is
+/// delivered unmodified; the `malformed_*` and `auth_failed` verdicts mean
+/// the packet must be dropped and counted — delivering it would hand hosts
+/// an envelope the switch could not vouch for.
+enum class UnwrapStatus : std::uint8_t {
+  ok,               ///< measured and decapsulated; info is set
+  not_tango,        ///< well-formed foreign traffic (deliver as plain)
+  malformed_outer,  ///< truncated or length-inconsistent IPv6/UDP envelope
+  malformed_tango,  ///< Tango port but bad magic/version/truncated header
+  auth_failed,      ///< telemetry authentication tag missing or invalid (§6)
+};
+
+/// Classified receive verdict; `info` is set exactly when `status == ok`.
+struct UnwrapResult {
+  UnwrapStatus status = UnwrapStatus::not_tango;
+  std::optional<ReceiveInfo> info;
+};
+
 /// Receiver side: decapsulation + one-way-delay computation + per-path
 /// tracker updates.
 class TunnelReceiver {
@@ -107,6 +125,12 @@ class TunnelReceiver {
   /// headers in place so the same buffer becomes the inner packet.  Returns
   /// nullopt (packet untouched) for non-Tango traffic or auth failures.
   [[nodiscard]] std::optional<ReceiveInfo> unwrap_inplace(net::Packet& packet, sim::Time now);
+
+  /// Classified fast path: like unwrap_inplace but reports *why* a packet
+  /// was not decapsulated, so the switch can drop-and-count malformed and
+  /// forged input instead of delivering it as plain traffic.  The packet is
+  /// modified only on `ok`.  Never throws.
+  [[nodiscard]] UnwrapResult unwrap_classified(net::Packet& packet, sim::Time now);
 
   /// Copying wrapper: on success returns the inner packet plus measurement
   /// info; nullopt for non-Tango traffic (caller forwards it unmodified).

@@ -49,6 +49,16 @@ void TangoSwitch::wire_observability(const telemetry::Observability& obs,
                                   "Tango packets measured and decapsulated");
     auth_fail = &obs.metrics->counter("tango_switch_auth_failures_total", labels,
                                       "Packets rejected for invalid authentication tags");
+    telemetry::Labels outer_labels = labels;
+    outer_labels.emplace_back("cause", "outer");
+    malformed_outer_metric_ = &obs.metrics->counter(
+        "tango_switch_malformed_drops_total", std::move(outer_labels),
+        "WAN arrivals dropped for malformed input, by cause");
+    telemetry::Labels tango_labels = labels;
+    tango_labels.emplace_back("cause", "tango");
+    malformed_tango_metric_ = &obs.metrics->counter(
+        "tango_switch_malformed_drops_total", std::move(tango_labels),
+        "WAN arrivals dropped for malformed input, by cause");
   }
   sender_.wire_telemetry(encap, obs.tracer, router_);
   receiver_.wire_telemetry({.registry = obs.metrics,
@@ -174,14 +184,51 @@ bool TangoSwitch::send_on_path(net::Packet inner, PathId path) {
 }
 
 void TangoSwitch::on_wan_packet(net::Packet& packet) {
-  auto info = receiver_.unwrap_inplace(packet, wan_.now());
-  if (info) {
-    // The buffer now holds the inner packet (outer headers trimmed away).
-    if (host_handler_) host_handler_(packet, info);
-    return;
+  const UnwrapResult result = receiver_.unwrap_classified(packet, wan_.now());
+  switch (result.status) {
+    case UnwrapStatus::ok:
+      // The buffer now holds the inner packet (outer headers trimmed away).
+      if (host_handler_) host_handler_(packet, result.info);
+      return;
+    case UnwrapStatus::not_tango:
+      // Well-formed foreign traffic destined to our prefixes: plain delivery.
+      if (host_handler_) host_handler_(packet, std::nullopt);
+      return;
+    case UnwrapStatus::malformed_outer:
+      ++malformed_outer_drops_;
+      telemetry::inc(malformed_outer_metric_);
+      trace_malformed_drop(packet, telemetry::TraceCause::malformed_outer);
+      return;
+    case UnwrapStatus::malformed_tango:
+      ++malformed_tango_drops_;
+      telemetry::inc(malformed_tango_metric_);
+      trace_malformed_drop(packet, telemetry::TraceCause::malformed_tango);
+      return;
+    case UnwrapStatus::auth_failed:
+      // The receiver already counted and traced the failure; the switch
+      // records that the packet was consumed here rather than delivered
+      // (forged envelopes must not reach hosts as plain traffic).
+      ++auth_drops_;
+      return;
   }
-  // Non-Tango traffic destined to our prefixes: plain delivery.
-  if (host_handler_) host_handler_(packet, std::nullopt);
+}
+
+void TangoSwitch::trace_malformed_drop(const net::Packet& packet,
+                                       telemetry::TraceCause cause) {
+  if (tracer_ == nullptr || !tracer_->armed()) return;
+  // Malformed packets have no trustworthy sequence number; a checksum of
+  // the leading bytes gives a stable, greppable key for the event.
+  std::uint64_t key = 0;
+  const auto bytes = packet.bytes();
+  for (std::size_t i = 0; i < bytes.size() && i < 16; ++i) {
+    key = key * 131 + bytes[i];
+  }
+  tracer_->record({.at = wan_.now(),
+                   .key = key,
+                   .node = router_,
+                   .path = 0,
+                   .stage = telemetry::TraceStage::drop,
+                   .cause = cause});
 }
 
 }  // namespace tango::dataplane

@@ -128,6 +128,12 @@ class TangoSwitch {
   /// is unknown.
   bool send_on_path(net::Packet inner, PathId path);
 
+  /// Feeds `packet` straight into the WAN-to-host receive path, exactly as
+  /// if the WAN fabric had delivered it to this router.  Test/fuzz hook for
+  /// exercising the receive pipeline (malformed frames included) without a
+  /// routable topology.
+  void inject_wan(net::Packet packet) { on_wan_packet(packet); }
+
   // --- Telemetry ----------------------------------------------------------------
 
   /// Wires the switch and its sender/receiver stages to `obs`: registers the
@@ -146,9 +152,27 @@ class TangoSwitch {
   [[nodiscard]] std::uint64_t no_tunnel_drops() const noexcept { return no_tunnel_drops_; }
   /// Packets forwarded without encapsulation (non-peer destinations).
   [[nodiscard]] std::uint64_t passthrough() const noexcept { return passthrough_; }
+  /// WAN arrivals dropped for a truncated/length-inconsistent IPv6|UDP
+  /// envelope (never delivered, never decapsulated).
+  [[nodiscard]] std::uint64_t malformed_outer_drops() const noexcept {
+    return malformed_outer_drops_;
+  }
+  /// WAN arrivals on the Tango port dropped for a bad magic/version or a
+  /// truncated Tango header.
+  [[nodiscard]] std::uint64_t malformed_tango_drops() const noexcept {
+    return malformed_tango_drops_;
+  }
+  /// All malformed-input drops on the receive path.
+  [[nodiscard]] std::uint64_t malformed_drops() const noexcept {
+    return malformed_outer_drops_ + malformed_tango_drops_;
+  }
+  /// WAN arrivals dropped for missing/invalid telemetry auth tags (§6).
+  /// Counted here at the switch; the receiver's auth_failures() matches.
+  [[nodiscard]] std::uint64_t auth_drops() const noexcept { return auth_drops_; }
 
  private:
   void on_wan_packet(net::Packet& packet);
+  void trace_malformed_drop(const net::Packet& packet, telemetry::TraceCause cause);
   /// Classifies + (for peer traffic) encapsulates one outbound packet in
   /// place.  Returns false when the packet was consumed by a drop counter.
   bool prepare_outbound(net::Packet& inner);
@@ -168,9 +192,14 @@ class TangoSwitch {
   HostHandler host_handler_;
   std::uint64_t no_tunnel_drops_ = 0;
   std::uint64_t passthrough_ = 0;
+  std::uint64_t malformed_outer_drops_ = 0;
+  std::uint64_t malformed_tango_drops_ = 0;
+  std::uint64_t auth_drops_ = 0;
   // Pre-resolved instruments (nullptr until wire_observability).
   telemetry::Counter* passthrough_metric_ = nullptr;
   telemetry::Counter* no_tunnel_metric_ = nullptr;
+  telemetry::Counter* malformed_outer_metric_ = nullptr;
+  telemetry::Counter* malformed_tango_metric_ = nullptr;
   telemetry::PacketTracer* tracer_ = nullptr;
 };
 

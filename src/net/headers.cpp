@@ -2,9 +2,15 @@
 
 namespace tango::net {
 
-Ipv6Header Ipv6Header::parse(ByteReader& r) {
+// All three parsers share one contract, relied on by the fuzz harnesses and
+// by callers that probe a buffer speculatively: on failure the reader is
+// left exactly where it was — every validity check runs against rest()
+// before a single byte is consumed.
+
+std::optional<Ipv6Header> Ipv6Header::parse(ByteReader& r) {
+  if (r.remaining() < kSize) return std::nullopt;
+  if ((r.rest()[0] >> 4) != 6) return std::nullopt;
   const std::uint32_t vtcfl = r.u32();
-  if ((vtcfl >> 28) != 6) throw std::invalid_argument{"Ipv6Header: version != 6"};
   Ipv6Header h;
   h.traffic_class = static_cast<std::uint8_t>(vtcfl >> 20);
   h.flow_label = vtcfl & 0xFFFFF;
@@ -21,7 +27,12 @@ Ipv6Header Ipv6Header::parse(ByteReader& r) {
   return h;
 }
 
-UdpHeader UdpHeader::parse(ByteReader& r) {
+std::optional<UdpHeader> UdpHeader::parse(ByteReader& r) {
+  if (r.remaining() < kSize) return std::nullopt;
+  const auto raw = r.rest();
+  // The declared length covers the header itself (RFC 768: minimum 8).
+  const std::uint16_t length = static_cast<std::uint16_t>((raw[4] << 8) | raw[5]);
+  if (length < kSize) return std::nullopt;
   UdpHeader h;
   h.src_port = r.u16();
   h.dst_port = r.u16();
@@ -32,19 +43,22 @@ UdpHeader UdpHeader::parse(ByteReader& r) {
 
 std::optional<TangoHeader> TangoHeader::parse(ByteReader& r) {
   if (r.remaining() < kSize) return std::nullopt;
-  if (r.u16() != kMagic) return std::nullopt;
+  const auto raw = r.rest();
+  if (static_cast<std::uint16_t>((raw[0] << 8) | raw[1]) != kMagic) return std::nullopt;
+  if (raw[2] != kVersion) return std::nullopt;
+  // An authenticated header is longer; check before consuming anything.
+  if ((raw[3] & kFlagAuthenticated) != 0 && r.remaining() < kSize + kAuthTagSize) {
+    return std::nullopt;
+  }
+  (void)r.u16();  // magic
   TangoHeader h;
   h.version = r.u8();
-  if (h.version != kVersion) return std::nullopt;
   h.flags = r.u8();
   h.path_id = r.u16();
   (void)r.u16();  // reserved
   h.tx_time_ns = r.u64();
   h.sequence = r.u64();
-  if (h.authenticated()) {
-    if (r.remaining() < kAuthTagSize) return std::nullopt;
-    h.auth_tag = r.u64();
-  }
+  if (h.authenticated()) h.auth_tag = r.u64();
   return h;
 }
 

@@ -51,7 +51,9 @@ struct Ipv6Header {
     w.bytes(dst.bytes());
   }
 
-  static Ipv6Header parse(ByteReader& r);
+  /// Fail-closed decode: nullopt on truncation or a version nibble != 6.
+  /// Never throws and never reads past the buffer.
+  static std::optional<Ipv6Header> parse(ByteReader& r);
 
   bool operator==(const Ipv6Header&) const = default;
 };
@@ -73,7 +75,9 @@ struct UdpHeader {
     w.u16(checksum);
   }
 
-  static UdpHeader parse(ByteReader& r);
+  /// Fail-closed decode: nullopt on truncation or a declared length smaller
+  /// than the UDP header itself (RFC 768 requires length >= 8).
+  static std::optional<UdpHeader> parse(ByteReader& r);
 
   bool operator==(const UdpHeader&) const = default;
 };
@@ -123,8 +127,9 @@ struct TangoHeader {
     if (authenticated()) w.u64(auth_tag);
   }
 
-  /// Returns nullopt (rather than throwing) on bad magic or version so the
-  /// switch can pass non-Tango traffic through unmodified.
+  /// Returns nullopt (rather than throwing) on bad magic, bad version or
+  /// truncation; the receive path counts such packets as malformed drops
+  /// (decode_tango_view classifies them) instead of mis-decapsulating.
   static std::optional<TangoHeader> parse(ByteReader& r);
 
   [[nodiscard]] bool has_timestamp() const noexcept { return flags & kFlagHasTimestamp; }

@@ -4,16 +4,27 @@
 
 namespace tango::net {
 
-Ipv4Header Ipv4Header::parse(ByteReader& r) {
-  if (r.remaining() < kSize) throw std::invalid_argument{"Ipv4Header: truncated"};
-  // Verify the checksum over the raw header bytes before decoding.
-  const auto raw = r.rest().subspan(0, kSize);
-  if (internet_checksum(raw) != 0) throw std::invalid_argument{"Ipv4Header: bad checksum"};
+std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& r) {
+  if (r.remaining() < kSize) return std::nullopt;
 
-  const std::uint8_t version_ihl = r.u8();
-  if ((version_ihl >> 4) != 4) throw std::invalid_argument{"Ipv4Header: version != 4"};
-  if ((version_ihl & 0x0F) != 5) throw std::invalid_argument{"Ipv4Header: options unsupported"};
+  const std::uint8_t version_ihl = r.rest()[0];
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t header_len = static_cast<std::size_t>(version_ihl & 0x0F) * 4;
+  if (header_len < kSize) return std::nullopt;       // IHL < 5 is never valid
+  if (r.remaining() < header_len) return std::nullopt;  // truncated options
 
+  // Verify the checksum over the full header (options included) before
+  // decoding any field.
+  const auto raw = r.rest().subspan(0, header_len);
+  if (internet_checksum(raw) != 0) return std::nullopt;
+
+  // A total length that cannot even cover the header is inconsistent; the
+  // payload it implies would have negative size.  Checked from the raw view
+  // so a failed parse leaves the reader untouched.
+  const std::uint16_t total_length = static_cast<std::uint16_t>((raw[2] << 8) | raw[3]);
+  if (total_length < header_len) return std::nullopt;
+
+  (void)r.u8();  // version/IHL, validated above
   Ipv4Header h;
   h.dscp_ecn = r.u8();
   h.total_length = r.u16();
@@ -24,6 +35,10 @@ Ipv4Header Ipv4Header::parse(ByteReader& r) {
   h.header_checksum = r.u16();
   h.src = Ipv4Address{r.u32()};
   h.dst = Ipv4Address{r.u32()};
+  if (header_len > kSize) {
+    const auto opts = r.bytes(header_len - kSize);
+    h.options.assign(opts.begin(), opts.end());
+  }
   return h;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "net/byte_io.hpp"
 #include "net/checksum.hpp"
@@ -13,10 +14,14 @@
 
 namespace tango::net {
 
-/// Fixed 20-byte IPv4 header (options unsupported: IHL must be 5, as is
-/// near-universal for transit traffic).
+/// IPv4 header: the fixed 20 bytes plus up to 40 bytes of options (IHL 5-15).
+/// Our own encoders emit option-less headers; the parser accepts options so
+/// transit traffic with them is carried rather than mis-decoded, and rejects
+/// every length inconsistency (IHL < 5, truncated options, total length
+/// smaller than the header) instead of over-reading.
 struct Ipv4Header {
   static constexpr std::size_t kSize = 20;
+  static constexpr std::size_t kMaxOptionsSize = 40;  // IHL caps at 15 words
   static constexpr std::uint8_t kProtocolUdp = 17;
 
   std::uint8_t dscp_ecn = 0;
@@ -28,13 +33,25 @@ struct Ipv4Header {
   std::uint16_t header_checksum = 0;  ///< filled by serialize()
   Ipv4Address src;
   Ipv4Address dst;
+  /// Raw option bytes as they appeared on the wire (already padded to a
+  /// 4-byte multiple per RFC 791).  Empty for the common IHL=5 case.
+  std::vector<std::uint8_t> options;
+
+  /// Header length in bytes (IHL * 4): 20 without options.
+  [[nodiscard]] std::size_t header_length() const noexcept { return kSize + options.size(); }
 
   /// Serializes with a freshly computed header checksum.  Works with
-  /// ByteWriter (growable) and SpanWriter (in-place headroom).
+  /// ByteWriter (growable) and SpanWriter (in-place headroom).  Throws
+  /// std::invalid_argument when `options` is not a 4-byte multiple or
+  /// exceeds 40 bytes (an encoder-side programming error, not wire input).
   template <class Writer>
   void serialize(Writer& w) const {
+    if (options.size() % 4 != 0 || options.size() > kMaxOptionsSize) {
+      throw std::invalid_argument{"Ipv4Header: bad options size"};
+    }
+    const std::size_t header_len = header_length();
     const std::size_t start = w.size();
-    w.u8(0x45);  // version 4, IHL 5
+    w.u8(static_cast<std::uint8_t>(0x40 | (header_len / 4)));  // version 4, IHL
     w.u8(dscp_ecn);
     w.u16(total_length);
     w.u16(identification);
@@ -44,13 +61,15 @@ struct Ipv4Header {
     w.u16(0);  // checksum placeholder
     w.bytes(src.bytes());
     w.bytes(dst.bytes());
-    const std::uint16_t csum = internet_checksum(w.view().subspan(start, kSize));
+    w.bytes(options);
+    const std::uint16_t csum = internet_checksum(w.view().subspan(start, header_len));
     w.patch_u16(start + 10, csum);
   }
 
-  /// Parses and verifies version, IHL and the header checksum.
-  /// Throws std::invalid_argument on violations.
-  static Ipv4Header parse(ByteReader& r);
+  /// Fail-closed decode: verifies version, IHL bounds, option presence, the
+  /// header checksum and total-length consistency.  Returns nullopt on any
+  /// violation; never throws and never reads past the buffer.
+  static std::optional<Ipv4Header> parse(ByteReader& r);
 
   bool operator==(const Ipv4Header&) const = default;
 };

@@ -27,12 +27,12 @@ void Packet::trim_front(std::size_t n) {
   flow_state_ = FlowState::unknown;
 }
 
-Ipv6Header Packet::ip() const {
+std::optional<Ipv6Header> Packet::ip() const {
   ByteReader r{bytes()};
   return Ipv6Header::parse(r);
 }
 
-Ipv4Header Packet::ip4() const {
+std::optional<Ipv4Header> Packet::ip4() const {
   ByteReader r{bytes()};
   return Ipv4Header::parse(r);
 }
@@ -85,43 +85,41 @@ const Packet::FlowKey* Packet::flow_key() const {
   };
   auto mix_ports = [&mix](std::span<const std::uint8_t> udp_segment) {
     ByteReader r{udp_segment};
-    const UdpHeader udp = UdpHeader::parse(r);
-    mix(static_cast<std::uint8_t>(udp.src_port >> 8));
-    mix(static_cast<std::uint8_t>(udp.src_port));
-    mix(static_cast<std::uint8_t>(udp.dst_port >> 8));
-    mix(static_cast<std::uint8_t>(udp.dst_port));
+    // Truncated transport header: hash on the network layer alone.
+    const auto udp = UdpHeader::parse(r);
+    if (!udp) return;
+    mix(static_cast<std::uint8_t>(udp->src_port >> 8));
+    mix(static_cast<std::uint8_t>(udp->src_port));
+    mix(static_cast<std::uint8_t>(udp->dst_port >> 8));
+    mix(static_cast<std::uint8_t>(udp->dst_port));
   };
 
-  try {
-    if (version() == 4) {
-      const Ipv4Header h4 = ip4();
-      for (std::uint8_t b : h4.src.bytes()) mix(b);
-      for (std::uint8_t b : h4.dst.bytes()) mix(b);
-      mix(h4.protocol);
-      if (h4.protocol == Ipv4Header::kProtocolUdp) {
-        try {
-          mix_ports(bytes().subspan(Ipv4Header::kSize));
-        } catch (const std::exception&) {
-          // Truncated transport header: hash on the network layer alone.
-        }
-      }
-      flow_key_ = FlowKey{v4_mapped(h4.dst), h};
-    } else {
-      const Ipv6Header h6 = ip();
-      for (std::uint8_t b : h6.src.bytes()) mix(b);
-      for (std::uint8_t b : h6.dst.bytes()) mix(b);
-      mix(h6.next_header);
-      if (h6.next_header == Ipv6Header::kNextHeaderUdp) {
-        try {
-          mix_ports(payload());
-        } catch (const std::exception&) {
-        }
-      }
-      flow_key_ = FlowKey{h6.dst, h};
+  if (version() == 4) {
+    const auto h4 = ip4();
+    if (!h4) {
+      flow_state_ = FlowState::malformed;
+      return nullptr;
     }
-  } catch (const std::exception&) {
-    flow_state_ = FlowState::malformed;
-    return nullptr;
+    for (std::uint8_t b : h4->src.bytes()) mix(b);
+    for (std::uint8_t b : h4->dst.bytes()) mix(b);
+    mix(h4->protocol);
+    if (h4->protocol == Ipv4Header::kProtocolUdp) {
+      mix_ports(bytes().subspan(h4->header_length()));
+    }
+    flow_key_ = FlowKey{v4_mapped(h4->dst), h};
+  } else {
+    const auto h6 = ip();
+    if (!h6) {
+      flow_state_ = FlowState::malformed;
+      return nullptr;
+    }
+    for (std::uint8_t b : h6->src.bytes()) mix(b);
+    for (std::uint8_t b : h6->dst.bytes()) mix(b);
+    mix(h6->next_header);
+    if (h6->next_header == Ipv6Header::kNextHeaderUdp) {
+      mix_ports(bytes().subspan(Ipv6Header::kSize));
+    }
+    flow_key_ = FlowKey{h6->dst, h};
   }
   flow_state_ = FlowState::valid;
   return &flow_key_;
@@ -241,31 +239,53 @@ Packet encapsulate_tango(const Packet& inner, const Ipv6Address& tunnel_src,
   return out;
 }
 
-std::optional<TangoView> decapsulate_tango_view(const Packet& wan_packet) {
-  try {
-    ByteReader r{wan_packet.bytes()};
-    Ipv6Header outer = Ipv6Header::parse(r);
-    if (outer.next_header != Ipv6Header::kNextHeaderUdp) return std::nullopt;
-
-    const auto udp_segment = r.rest();
-    UdpHeader udp = UdpHeader::parse(r);
-    if (udp.dst_port != TangoHeader::kUdpPort) return std::nullopt;
-    if (udp.length != udp_segment.size()) return std::nullopt;
-    if (udp.checksum != 0 && !udp6_checksum_ok(outer.src, outer.dst, udp_segment)) {
-      return std::nullopt;
-    }
-
-    auto tango = TangoHeader::parse(r);
-    if (!tango) return std::nullopt;
-
-    return TangoView{.outer_ip = outer,
-                     .udp = udp,
-                     .tango = *tango,
-                     .inner = r.rest(),
-                     .outer_size = r.position()};
-  } catch (const std::exception&) {
-    return std::nullopt;  // truncated or malformed: not a Tango packet
+TangoDecodeResult decode_tango_view(const Packet& wan_packet) {
+  // Non-IPv6 traffic (IPv4 hosts, garbage version nibbles) is foreign: the
+  // WAN segment only ever carries Tango encapsulation over IPv6, so there is
+  // nothing of ours to mis-decode.
+  if (ip_version_of(wan_packet.bytes()) != 6) {
+    return {TangoDecodeStatus::not_tango, std::nullopt};
   }
+
+  ByteReader r{wan_packet.bytes()};
+  const auto outer = Ipv6Header::parse(r);
+  if (!outer) return {TangoDecodeStatus::malformed_outer, std::nullopt};
+  if (outer->next_header != Ipv6Header::kNextHeaderUdp) {
+    return {TangoDecodeStatus::not_tango, std::nullopt};
+  }
+
+  // The outer payload length must describe exactly the bytes that follow;
+  // an inconsistent envelope is dropped before any deeper decode trusts it.
+  const auto udp_segment = r.rest();
+  if (outer->payload_length != udp_segment.size()) {
+    return {TangoDecodeStatus::malformed_outer, std::nullopt};
+  }
+
+  const auto udp = UdpHeader::parse(r);
+  if (!udp) return {TangoDecodeStatus::malformed_outer, std::nullopt};
+  if (udp->dst_port != TangoHeader::kUdpPort) {
+    return {TangoDecodeStatus::not_tango, std::nullopt};
+  }
+  if (udp->length != udp_segment.size()) {
+    return {TangoDecodeStatus::malformed_outer, std::nullopt};
+  }
+  if (udp->checksum != 0 && !udp6_checksum_ok(outer->src, outer->dst, udp_segment)) {
+    return {TangoDecodeStatus::malformed_outer, std::nullopt};
+  }
+
+  const auto tango = TangoHeader::parse(r);
+  if (!tango) return {TangoDecodeStatus::malformed_tango, std::nullopt};
+
+  return {TangoDecodeStatus::ok,
+          TangoView{.outer_ip = *outer,
+                    .udp = *udp,
+                    .tango = *tango,
+                    .inner = r.rest(),
+                    .outer_size = r.position()}};
+}
+
+std::optional<TangoView> decapsulate_tango_view(const Packet& wan_packet) {
+  return decode_tango_view(wan_packet).view;
 }
 
 std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet) {
@@ -279,15 +299,15 @@ std::optional<TangoEncapsulated> decapsulate_tango(const Packet& wan_packet) {
 }
 
 std::string describe(const Packet& p) {
-  try {
-    Ipv6Header ip = p.ip();
-    std::string out = "IPv6 " + ip.src.to_string() + " -> " + ip.dst.to_string() +
-                      " plen=" + std::to_string(ip.payload_length);
-    if (ip.next_header == Ipv6Header::kNextHeaderUdp) {
-      ByteReader r{p.payload()};
-      UdpHeader udp = UdpHeader::parse(r);
-      out += " | UDP " + std::to_string(udp.src_port) + "->" + std::to_string(udp.dst_port);
-      if (udp.dst_port == TangoHeader::kUdpPort) {
+  const auto ip = p.ip();
+  if (!ip) return "<malformed packet, " + std::to_string(p.size()) + " bytes>";
+  std::string out = "IPv6 " + ip->src.to_string() + " -> " + ip->dst.to_string() +
+                    " plen=" + std::to_string(ip->payload_length);
+  if (ip->next_header == Ipv6Header::kNextHeaderUdp) {
+    ByteReader r{p.bytes().subspan(Ipv6Header::kSize)};
+    if (const auto udp = UdpHeader::parse(r)) {
+      out += " | UDP " + std::to_string(udp->src_port) + "->" + std::to_string(udp->dst_port);
+      if (udp->dst_port == TangoHeader::kUdpPort) {
         if (auto th = TangoHeader::parse(r)) {
           out += " | Tango path=" + std::to_string(th->path_id) +
                  " seq=" + std::to_string(th->sequence) +
@@ -295,10 +315,8 @@ std::string describe(const Packet& p) {
         }
       }
     }
-    return out;
-  } catch (const std::exception&) {
-    return "<malformed packet, " + std::to_string(p.size()) + " bytes>";
   }
+  return out;
 }
 
 }  // namespace tango::net

@@ -65,11 +65,11 @@ class Packet {
   /// IP version nibble (4 or 6; 0 for an empty buffer).
   [[nodiscard]] std::uint8_t version() const noexcept { return ip_version_of(bytes()); }
 
-  /// Parses the leading IPv6 header.  Throws on truncation/garbage.
-  [[nodiscard]] Ipv6Header ip() const;
+  /// Parses the leading IPv6 header.  nullopt on truncation/garbage.
+  [[nodiscard]] std::optional<Ipv6Header> ip() const;
 
-  /// Parses the leading IPv4 header.  Throws on truncation/garbage.
-  [[nodiscard]] Ipv4Header ip4() const;
+  /// Parses the leading IPv4 header.  nullopt on truncation/garbage.
+  [[nodiscard]] std::optional<Ipv4Header> ip4() const;
 
   /// Bytes after the fixed IPv6 header.
   [[nodiscard]] std::span<const std::uint8_t> payload() const;
@@ -217,6 +217,25 @@ void encapsulate_tango_inplace(Packet& packet, const Ipv6Address& tunnel_src,
                                const Ipv6Address& tunnel_dst, std::uint16_t udp_src_port,
                                const TangoHeader& tango_header, std::uint8_t hop_limit = 64);
 
+/// Why a WAN packet failed to decode as Tango-encapsulated.  The receive
+/// path treats the two families differently: `not_tango` traffic belongs to
+/// someone else and passes through unmodified; the `malformed_*` verdicts
+/// mean the packet claimed to be ours (or is too broken to carry at all) and
+/// must be dropped and counted, never delivered or mis-decapsulated.
+enum class TangoDecodeStatus : std::uint8_t {
+  ok,               ///< valid Tango encapsulation, view populated
+  not_tango,        ///< well-formed foreign traffic (other version/proto/port)
+  malformed_outer,  ///< truncated or length-inconsistent IPv6/UDP envelope
+  malformed_tango,  ///< Tango port, but bad magic/version or truncated header
+};
+
+/// Classified zero-copy decode result; `view` is set exactly when
+/// `status == ok`.
+struct TangoDecodeResult {
+  TangoDecodeStatus status = TangoDecodeStatus::not_tango;
+  std::optional<TangoView> view;
+};
+
 /// Attempts to decode a WAN packet as Tango-encapsulated.  Returns nullopt
 /// for anything that is not a valid Tango packet (wrong next header, wrong
 /// port, bad magic, bad UDP checksum, truncation) so callers can fall back
@@ -228,6 +247,11 @@ void encapsulate_tango_inplace(Packet& packet, const Ipv6Address& tunnel_src,
 /// `wan_packet` instead of copying the inner bytes.  Same validation rules
 /// as decapsulate_tango.
 [[nodiscard]] std::optional<TangoView> decapsulate_tango_view(const Packet& wan_packet);
+
+/// Classified variant of decapsulate_tango_view: distinguishes foreign
+/// traffic (pass through) from malformed input (drop and count).  Never
+/// throws; every reject path is bounds-checked.
+[[nodiscard]] TangoDecodeResult decode_tango_view(const Packet& wan_packet);
 
 /// Renders the header stack of a packet for logs and examples.
 [[nodiscard]] std::string describe(const Packet& p);

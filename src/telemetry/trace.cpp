@@ -49,6 +49,12 @@ const char* to_string(TraceCause cause) noexcept {
       return "no-handler";
     case TraceCause::malformed:
       return "malformed";
+    case TraceCause::malformed_outer:
+      return "malformed-outer";
+    case TraceCause::malformed_tango:
+      return "malformed-tango";
+    case TraceCause::malformed_bgp:
+      return "malformed-bgp";
   }
   return "?";
 }

@@ -47,8 +47,11 @@ enum class TraceCause : std::uint8_t {
   no_route,       ///< drop: FIB miss
   link_loss,      ///< drop: loss model or downed link
   hop_limit,      ///< drop: TTL/hop-limit exhausted
-  no_handler,     ///< drop: reached edge with no delivery handler
-  malformed,      ///< drop: unparseable packet
+  no_handler,      ///< drop: reached edge with no delivery handler
+  malformed,       ///< drop: unparseable packet
+  malformed_outer,  ///< drop: truncated/length-inconsistent IPv6|UDP envelope
+  malformed_tango,  ///< drop: Tango port but bad magic/version/truncation
+  malformed_bgp,    ///< drop: BGP message failed wire decode
 };
 
 [[nodiscard]] const char* to_string(TraceStage stage) noexcept;

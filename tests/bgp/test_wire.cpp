@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "net/prefix_trie.hpp"
 #include "topo/vultr_scenario.hpp"
 
 namespace tango::bgp::wire {
@@ -123,7 +124,7 @@ TEST(WireParse, RejectsMalformed) {
   // Truncated everywhere: every cut must throw, never crash or mis-parse.
   for (std::size_t keep = 0; keep < good.size(); ++keep) {
     std::span<const std::uint8_t> cut{good.data(), keep};
-    EXPECT_THROW((void)parse_message(cut), std::exception) << "cut at " << keep;
+    EXPECT_THROW((void)parse_message(cut), WireError) << "cut at " << keep;
   }
 
   // Bad marker.
@@ -146,6 +147,175 @@ TEST(WireParse, RejectsMalformed) {
   ka.push_back(0);
   ka[17] = static_cast<std::uint8_t>(ka.size());
   EXPECT_THROW((void)parse_message(ka), WireError);
+}
+
+/// Hand-crafts an UPDATE from raw withdrawn/attribute/NLRI bytes, with a
+/// correct marker and length, for malformed-input tests the encoder cannot
+/// produce.
+std::vector<std::uint8_t> craft_update(std::vector<std::uint8_t> attrs,
+                                       std::vector<std::uint8_t> nlri = {},
+                                       std::vector<std::uint8_t> withdrawn = {}) {
+  std::vector<std::uint8_t> m(16, 0xFF);
+  m.push_back(0);
+  m.push_back(0);  // length, patched below
+  m.push_back(2);  // UPDATE
+  m.push_back(static_cast<std::uint8_t>(withdrawn.size() >> 8));
+  m.push_back(static_cast<std::uint8_t>(withdrawn.size()));
+  m.insert(m.end(), withdrawn.begin(), withdrawn.end());
+  m.push_back(static_cast<std::uint8_t>(attrs.size() >> 8));
+  m.push_back(static_cast<std::uint8_t>(attrs.size()));
+  m.insert(m.end(), attrs.begin(), attrs.end());
+  m.insert(m.end(), nlri.begin(), nlri.end());
+  m[16] = static_cast<std::uint8_t>(m.size() >> 8);
+  m[17] = static_cast<std::uint8_t>(m.size());
+  return m;
+}
+
+/// One path attribute in non-extended form.
+std::vector<std::uint8_t> attr(std::uint8_t flags, AttrType type,
+                               std::vector<std::uint8_t> value) {
+  std::vector<std::uint8_t> out{flags, static_cast<std::uint8_t>(type),
+                                static_cast<std::uint8_t>(value.size())};
+  out.insert(out.end(), value.begin(), value.end());
+  return out;
+}
+
+const std::vector<std::uint8_t> kNlri24{24, 203, 0, 113};  // 203.0.113.0/24
+
+// Regression: every decode failure must surface as WireError.  A
+// NOTIFICATION whose body cannot even hold the code/subcode pair used to
+// escape as the ByteReader's own std::out_of_range.
+TEST(WireParse, TruncatedNotificationBodyIsWireError) {
+  std::vector<std::uint8_t> m(16, 0xFF);
+  m.push_back(0);
+  m.push_back(0);
+  m.push_back(3);  // NOTIFICATION, zero-length body
+  m[17] = static_cast<std::uint8_t>(m.size());
+  EXPECT_THROW((void)parse_message(m), WireError);
+
+  m.push_back(6);  // code only, still no subcode
+  m[17] = static_cast<std::uint8_t>(m.size());
+  EXPECT_THROW((void)parse_message(m), WireError);
+}
+
+// Regression: a truncated OPEN (optional-parameters length pointing past
+// the end) likewise used to throw std::out_of_range.
+TEST(WireParse, TruncatedOpenIsWireError) {
+  const auto good = encode_open(OpenMessage{.asn = 64512, .mp_ipv6 = true});
+  for (std::size_t keep = kHeaderSize; keep < good.size(); ++keep) {
+    std::vector<std::uint8_t> cut{good.begin(), good.begin() + static_cast<long>(keep)};
+    cut[16] = static_cast<std::uint8_t>(cut.size() >> 8);
+    cut[17] = static_cast<std::uint8_t>(cut.size());
+    EXPECT_THROW((void)parse_message(cut), WireError) << "cut at " << keep;
+  }
+}
+
+// Regression: attribute values shorter than their declared length (or
+// declared lengths pointing past the attribute block) must be WireError,
+// not an out-of-range escape.
+TEST(WireParse, AttributeLengthPastBufferIsWireError) {
+  // AS_PATH claiming 200 bytes inside a tiny attribute block.
+  EXPECT_THROW((void)parse_message(craft_update(attr(0x40, AttrType::as_path, {2, 1}), kNlri24)),
+               WireError);
+  auto oversized = attr(0x40, AttrType::as_path, {});
+  oversized[2] = 200;  // length byte promises more than the block holds
+  EXPECT_THROW((void)parse_message(craft_update(oversized, kNlri24)), WireError);
+}
+
+TEST(WireParse, ZeroCountAsPathSegmentRejected) {
+  EXPECT_THROW(
+      (void)parse_message(craft_update(attr(0x40, AttrType::as_path, {2, 0}), kNlri24)),
+      WireError);
+}
+
+TEST(WireParse, ZeroLengthCommunitiesRejected) {
+  EXPECT_THROW(
+      (void)parse_message(craft_update(attr(0xC0, AttrType::communities, {}), kNlri24)),
+      WireError);
+}
+
+TEST(WireParse, FixedLengthAttributesRejectWrongSizes) {
+  EXPECT_THROW(
+      (void)parse_message(craft_update(attr(0x40, AttrType::origin, {0, 0}), kNlri24)),
+      WireError)
+      << "ORIGIN must be exactly 1 byte";
+  EXPECT_THROW(
+      (void)parse_message(craft_update(attr(0x80, AttrType::med, {0, 0, 1}), kNlri24)),
+      WireError)
+      << "MED must be exactly 4 bytes";
+  EXPECT_THROW(
+      (void)parse_message(
+          craft_update(attr(0x40, AttrType::local_pref, {0, 0, 0, 0, 1}), kNlri24)),
+      WireError)
+      << "LOCAL_PREF must be exactly 4 bytes";
+}
+
+TEST(WireParse, MpReachWithoutNlriRejected) {
+  // AFI/SAFI, 16-byte next hop, reserved — and then nothing announced.
+  std::vector<std::uint8_t> mp{0, 2, 1, 16};
+  mp.insert(mp.end(), 16, 0x20);
+  mp.push_back(0);  // reserved
+  EXPECT_THROW((void)parse_message(craft_update(attr(0x80, AttrType::mp_reach_nlri, mp))),
+               WireError);
+}
+
+TEST(WireParse, MpReachConsumesEveryNlri) {
+  // Two prefixes in one MP_REACH_NLRI: both must decode (the last one wins
+  // in this single-prefix implementation); a trailing half-prefix must
+  // reject the whole attribute.
+  std::vector<std::uint8_t> mp{0, 2, 1, 16};
+  mp.insert(mp.end(), 16, 0x20);
+  mp.push_back(0);                               // reserved
+  mp.insert(mp.end(), {32, 0x20, 0x01, 0x0d, 0xb8});  // 2001:db8::/32
+  mp.insert(mp.end(), {48, 0x26, 0x20, 0x01, 0x10, 0x90, 0x11});  // 2620:110:9011::/48
+  const ParsedMessage parsed = parse_message(craft_update(attr(0x80, AttrType::mp_reach_nlri, mp)));
+  ASSERT_TRUE(parsed.update.has_value());
+  EXPECT_EQ(parsed.update->prefix, *net::Prefix::parse("2620:110:9011::/48"));
+
+  auto truncated = mp;
+  truncated.push_back(48);  // a third prefix with no address bytes at all
+  truncated.push_back(0x26);
+  EXPECT_THROW(
+      (void)parse_message(craft_update(attr(0x80, AttrType::mp_reach_nlri, truncated))),
+      WireError);
+}
+
+// Boundary prefixes: /0 (default route) and the full-length host prefix
+// must survive the wire and behave in the trie.
+TEST(WireBoundary, DefaultAndHostPrefixesRoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "203.0.113.7/32"}) {
+    Route route{.prefix = *net::Prefix::parse(text), .as_path = AsPath{64512}};
+    const Update rebuilt = roundtrip_update(Update::announce(route), kV4NextHop);
+    EXPECT_EQ(rebuilt.prefix, route.prefix) << text;
+    const Update withdrawn = roundtrip_update(Update::withdraw(route.prefix), kV4NextHop);
+    EXPECT_EQ(withdrawn.prefix, route.prefix) << text;
+  }
+  for (const char* text : {"::/0", "2620:110:9011::1/128"}) {
+    Route route{.prefix = *net::Prefix::parse(text), .as_path = AsPath{64512}};
+    const Update rebuilt = roundtrip_update(Update::announce(route), kV6NextHop);
+    EXPECT_EQ(rebuilt.prefix, route.prefix) << text;
+  }
+}
+
+TEST(WireBoundary, BoundaryPrefixesResolveThroughTrie) {
+  net::PrefixTrie<int> trie;
+  const auto def = *net::Prefix::parse("0.0.0.0/0");
+  const auto host = *net::Prefix::parse("203.0.113.7/32");
+  // Install exactly what came off the wire.
+  trie.insert(net::trie_key(roundtrip_update(
+                  Update::announce(Route{.prefix = def, .as_path = AsPath{1}}), kV4NextHop)
+                  .prefix),
+              0);
+  trie.insert(net::trie_key(roundtrip_update(
+                  Update::announce(Route{.prefix = host, .as_path = AsPath{2}}), kV4NextHop)
+                  .prefix),
+              1);
+  const int* exact = trie.lookup(net::trie_key(net::IpAddress{*net::Ipv4Address::parse("203.0.113.7")}));
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(*exact, 1) << "/32 wins longest-prefix match";
+  const int* fallback = trie.lookup(net::trie_key(net::IpAddress{*net::Ipv4Address::parse("198.51.100.1")}));
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(*fallback, 0) << "/0 catches everything else";
 }
 
 /// Property: round-trip over randomized updates.

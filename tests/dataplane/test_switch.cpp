@@ -176,8 +176,8 @@ TEST_F(SwitchTest, SelectorOverridesActivePath) {
 
   la_.set_selector([](const net::Packet& inner) -> std::optional<PathId> {
     net::ByteReader r{inner.payload()};
-    const net::UdpHeader udp = net::UdpHeader::parse(r);
-    if (udp.dst_port == 5555) return PathId{2};  // latency-critical app
+    const auto udp = net::UdpHeader::parse(r);
+    if (udp && udp->dst_port == 5555) return PathId{2};  // latency-critical app
     return std::nullopt;                         // default path otherwise
   });
 

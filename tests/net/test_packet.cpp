@@ -40,7 +40,32 @@ TEST(Headers, Ipv6ParseRejectsWrongVersion) {
   std::vector<std::uint8_t> bytes(40, 0);
   bytes[0] = 0x40;  // version 4
   ByteReader r{bytes};
-  EXPECT_THROW(Ipv6Header::parse(r), std::invalid_argument);
+  EXPECT_FALSE(Ipv6Header::parse(r).has_value());
+}
+
+TEST(Headers, Ipv6ParseRejectsTruncation) {
+  std::vector<std::uint8_t> bytes(40, 0);
+  bytes[0] = 0x60;
+  for (std::size_t keep : {std::size_t{0}, std::size_t{1}, std::size_t{39}}) {
+    ByteReader r{std::span<const std::uint8_t>{bytes.data(), keep}};
+    EXPECT_FALSE(Ipv6Header::parse(r).has_value()) << keep;
+    EXPECT_EQ(r.remaining(), keep) << "failed parse must not consume";
+  }
+}
+
+TEST(Headers, UdpParseRejectsTruncationAndTinyLength) {
+  UdpHeader h{.src_port = 1, .dst_port = 2, .length = 100, .checksum = 0};
+  ByteWriter w;
+  h.serialize(w);
+  ByteReader r1{w.view().first(7)};
+  EXPECT_FALSE(UdpHeader::parse(r1).has_value());
+
+  // A declared length below 8 cannot even cover the UDP header (RFC 768).
+  UdpHeader tiny{.src_port = 1, .dst_port = 2, .length = 7, .checksum = 0};
+  ByteWriter w2;
+  tiny.serialize(w2);
+  ByteReader r2{w2.view()};
+  EXPECT_FALSE(UdpHeader::parse(r2).has_value());
 }
 
 TEST(Headers, UdpRoundTrip) {
@@ -89,20 +114,22 @@ TEST(Headers, TangoParseRejectsBadMagicAndVersion) {
 TEST(Packet, MakeUdpPacketIsWellFormed) {
   auto payload = payload_bytes(32);
   Packet p = make_udp_packet(kHostA, kHostB, 1111, 2222, payload);
-  Ipv6Header ip = p.ip();
-  EXPECT_EQ(ip.src, kHostA);
-  EXPECT_EQ(ip.dst, kHostB);
-  EXPECT_EQ(ip.next_header, Ipv6Header::kNextHeaderUdp);
-  EXPECT_EQ(ip.payload_length, UdpHeader::kSize + payload.size());
+  const auto ip = p.ip();
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->src, kHostA);
+  EXPECT_EQ(ip->dst, kHostB);
+  EXPECT_EQ(ip->next_header, Ipv6Header::kNextHeaderUdp);
+  EXPECT_EQ(ip->payload_length, UdpHeader::kSize + payload.size());
   EXPECT_EQ(p.size(), Ipv6Header::kSize + UdpHeader::kSize + payload.size());
   // Valid UDP checksum over the pseudo-header.
-  EXPECT_TRUE(udp6_checksum_ok(ip.src, ip.dst, p.payload()));
+  EXPECT_TRUE(udp6_checksum_ok(ip->src, ip->dst, p.payload()));
 }
 
 TEST(Packet, DecrementHopLimit) {
   Packet p = make_udp_packet(kHostA, kHostB, 1, 2, payload_bytes(4), /*hop_limit=*/2);
   EXPECT_TRUE(p.decrement_hop_limit());
-  EXPECT_EQ(p.ip().hop_limit, 1);
+  ASSERT_TRUE(p.ip().has_value());
+  EXPECT_EQ(p.ip()->hop_limit, 1);
   EXPECT_TRUE(p.decrement_hop_limit());
   EXPECT_FALSE(p.decrement_hop_limit());  // at zero: drop
 }
@@ -115,10 +142,11 @@ TEST(Packet, EncapDecapRoundTripPreservesInnerExactly) {
   th.sequence = 7;
 
   Packet wan = encapsulate_tango(inner, kTunA, kTunB, 49154, th);
-  Ipv6Header outer = wan.ip();
-  EXPECT_EQ(outer.src, kTunA);
-  EXPECT_EQ(outer.dst, kTunB);
-  EXPECT_EQ(outer.next_header, Ipv6Header::kNextHeaderUdp);
+  const auto outer = wan.ip();
+  ASSERT_TRUE(outer.has_value());
+  EXPECT_EQ(outer->src, kTunA);
+  EXPECT_EQ(outer->dst, kTunB);
+  EXPECT_EQ(outer->next_header, Ipv6Header::kNextHeaderUdp);
 
   auto decoded = decapsulate_tango(wan);
   ASSERT_TRUE(decoded.has_value());

@@ -51,7 +51,8 @@ TEST_F(WanTest, DeliversAlongBgpDefaultWithExpectedDelay) {
   // One-way delay ~ 0.2 + 0.5 + 36.2 + 0.2 = 37.1 ms via NTT toward NY.
   EXPECT_NEAR(to_ms(wan_.now()), 37.1, 1.5);
   // Hop limit decremented once per forwarding hop (not at delivery).
-  EXPECT_EQ(delivered.front().ip().hop_limit, 64 - 4);
+  ASSERT_TRUE(delivered.front().ip().has_value());
+  EXPECT_EQ(delivered.front().ip()->hop_limit, 64 - 4);
 }
 
 TEST_F(WanTest, UnroutableDestinationCountsAsNoRoute) {
