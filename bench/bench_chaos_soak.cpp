@@ -136,6 +136,7 @@ struct SoakResult {
   std::uint64_t recoveries = 0;
   std::uint64_t malformed_ingress = 0;  ///< garbage frames injected (not in the digest)
   std::uint64_t malformed_drops = 0;    ///< garbage frames counted as dropped
+  std::uint64_t mail_posted = 0;        ///< cross-shard mailbox traffic (sharded runs)
   int max_unusable_streak = 0;
   std::uint64_t digest = 0;
   double pkts_per_sec = 0;  ///< WAN deliveries per wall-clock second (not in the digest)
@@ -180,9 +181,10 @@ std::vector<std::vector<std::uint8_t>> make_malformed_frames() {
 
 SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault>& schedule,
                     sim::EventQueue::Backend backend,
-                    const telemetry::Observability& obs = {}, bool inject_malformed = false) {
+                    const telemetry::Observability& obs = {}, bool inject_malformed = false,
+                    std::uint32_t shards = 0, bool threaded = false) {
   Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
-             backend, obs};
+             backend, obs, shards, threaded};
   tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
   tb.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
 
@@ -295,9 +297,12 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
     tb.ny.stop_probing();
   });
   const auto wall_start = std::chrono::steady_clock::now();
-  tb.wan.events().run_all();  // I1: completes without crashing or wedging
+  tb.wan.run_all();  // I1: completes without crashing or wedging
   const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - wall_start;
 
+  for (std::uint32_t s = 0; s < tb.wan.shard_count(); ++s) {
+    r.mail_posted += tb.wan.shard_stats(s).mail_posted;
+  }
   r.wan_delivered = tb.wan.delivered();
   if (wall.count() > 0) r.pkts_per_sec = static_cast<double>(tb.wan.delivered()) / wall.count();
   r.wan_dropped = tb.wan.total_dropped();
@@ -359,6 +364,60 @@ int check_invariants(const SoakResult& r, const std::vector<Fault>& schedule, si
     std::fprintf(stderr, "FAIL: no path ever recovered after its fault cleared\n");
     ++violations;
   }
+  return violations;
+}
+
+// --- Sharded determinism (I4-sharded) ---------------------------------------
+
+/// Runs the identical soak under the sharded engine at 1, 2, 4 and 8 shards
+/// and requires bitwise-equal digests: the gate that conservative
+/// synchronization — never the shard layout or the thread schedule — decides
+/// event order.  N-shard runs are cooperative by default so the check is
+/// exact on any box; TANGO_SOAK_THREADED=1 puts them on real OS threads.
+int check_sharded_determinism(std::uint64_t seed, sim::Time total,
+                              const std::vector<Fault>& schedule) {
+  const bool threaded = env_flag_set("TANGO_SOAK_THREADED");
+  std::printf("sharded determinism (I4-sharded, %s N-shard runs):\n",
+              threaded ? "threaded" : "cooperative");
+  const SoakResult base = run_soak(seed, total, schedule,
+                                   sim::EventQueue::Backend::timing_wheel, {},
+                                   /*inject_malformed=*/false, /*shards=*/1);
+  std::printf("  1 shard : digest %016llx, traffic %llu, quarantines %llu\n",
+              static_cast<unsigned long long>(base.digest),
+              static_cast<unsigned long long>(base.traffic_la + base.traffic_ny),
+              static_cast<unsigned long long>(base.quarantines));
+  int violations = 0;
+  if (base.mail_posted != 0) {
+    std::fprintf(stderr, "FAIL I4-sharded: a 1-shard run posted cross-shard mail (%llu)\n",
+                 static_cast<unsigned long long>(base.mail_posted));
+    ++violations;
+  }
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const SoakResult r = run_soak(seed, total, schedule,
+                                  sim::EventQueue::Backend::timing_wheel, {},
+                                  /*inject_malformed=*/false, shards, threaded);
+    std::printf("  %u shards: digest %016llx, traffic %llu, cross-shard mail %llu\n", shards,
+                static_cast<unsigned long long>(r.digest),
+                static_cast<unsigned long long>(r.traffic_la + r.traffic_ny),
+                static_cast<unsigned long long>(r.mail_posted));
+    if (r.digest != base.digest || r.max_unusable_streak != base.max_unusable_streak) {
+      std::fprintf(stderr,
+                   "FAIL I4-sharded: %u-shard run diverged from 1-shard "
+                   "(digest %016llx vs %016llx, streak %d vs %d)\n",
+                   shards, static_cast<unsigned long long>(r.digest),
+                   static_cast<unsigned long long>(base.digest), r.max_unusable_streak,
+                   base.max_unusable_streak);
+      ++violations;
+    }
+    if (r.mail_posted == 0) {
+      std::fprintf(stderr,
+                   "FAIL I4-sharded: %u-shard run posted no cross-shard mail — "
+                   "the plan never split the topology, so the check has no teeth\n",
+                   shards);
+      ++violations;
+    }
+  }
+  std::printf("\n");
   return violations;
 }
 
@@ -469,6 +528,8 @@ int run(std::uint64_t seed, sim::Time total) {
                  static_cast<unsigned long long>(poisoned.malformed_drops));
     ++violations;
   }
+  const int shard_violations = check_sharded_determinism(seed, total, schedule);
+  violations += shard_violations;
 
   JsonWriter w;
   w.begin_object();
@@ -489,13 +550,14 @@ int run(std::uint64_t seed, sim::Time total) {
                 "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"faults\": %zu, "
                 "\"traffic_delivered\": %llu, \"quarantines\": %llu, \"recoveries\": %llu, "
                 "\"max_unusable_streak\": %d, \"pkts_per_sec\": %.0f, \"deterministic\": %s, "
-                "\"violations\": %d}",
+                "\"sharded_deterministic\": %s, \"violations\": %d}",
                 git_head_sha().c_str(), utc_timestamp().c_str(),
                 static_cast<unsigned long long>(seed), schedule.size(),
                 static_cast<unsigned long long>(wheel.traffic_la + wheel.traffic_ny),
                 static_cast<unsigned long long>(wheel.quarantines),
                 static_cast<unsigned long long>(wheel.recoveries), wheel.max_unusable_streak,
-                wheel.pkts_per_sec, wheel.digest == heap.digest ? "true" : "false", violations);
+                wheel.pkts_per_sec, wheel.digest == heap.digest ? "true" : "false",
+                shard_violations == 0 ? "true" : "false", violations);
   if (append_run_history("BENCH_chaos", record)) {
     std::printf("appended run record to <repo-root>/BENCH_chaos.json\n");
   }
@@ -517,6 +579,23 @@ int run(std::uint64_t seed, sim::Time total) {
   return 0;
 }
 
+/// `--shards-only`: just the I4-sharded digest gate, no reports and no run
+/// history — the shape ctest (and the TSan job) runs in CI.
+int run_shards_only(std::uint64_t seed, sim::Time total) {
+  print_header("Chaos soak (sharded digest gate)",
+               "same fault schedule at 1/2/4/8 shards; bitwise-equal digests required", seed);
+  const std::vector<Fault> schedule = make_schedule(seed, total);
+  if (schedule.size() < 2) {
+    std::fprintf(stderr, "FAIL: degenerate schedule (%zu faults) — soak too short\n",
+                 schedule.size());
+    return 1;
+  }
+  const int violations = check_sharded_determinism(seed, total, schedule);
+  if (violations > 0) return 1;
+  std::printf("I4-sharded held (%zu faults, shard counts 1/2/4/8)\n", schedule.size());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tango::bench
 
@@ -526,7 +605,17 @@ int main(int argc, char** argv) {
   if (tango::bench::quick_mode()) {
     total = 45 * tango::sim::kSecond;  // ~3 faults: same invariants, CI-sized
   }
-  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) total = std::strtoull(argv[2], nullptr, 10) * tango::sim::kSecond;
+  bool shards_only = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards-only") == 0) {
+      shards_only = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) seed = std::strtoull(positional[0], nullptr, 10);
+  if (positional.size() > 1) total = std::strtoull(positional[1], nullptr, 10) * tango::sim::kSecond;
+  if (shards_only) return tango::bench::run_shards_only(seed, total);
   return tango::bench::run(seed, total);
 }

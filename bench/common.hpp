@@ -2,6 +2,7 @@
 // a WAN, two Tango nodes, and helpers for probing and reporting.
 #pragma once
 
+#include <array>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,16 @@ using namespace topo::vultr;
 /// CI's reduced-duration mode, shared by every bench (TANGO_BENCH_QUICK).
 [[nodiscard]] inline bool quick_mode() { return env_flag_set("TANGO_BENCH_QUICK"); }
 
+/// Router→shard affinity for the Vultr scenario: the transit backbone
+/// round-robins over shards 1..N-1 while the edges and servers stay on the
+/// control shard (they hold delivery handlers and receive the scenario's
+/// control events — see ShardPlan's conventions).
+[[nodiscard]] inline sim::ShardPlan vultr_shard_plan(std::uint32_t shards) {
+  static constexpr std::array<bgp::RouterId, 7> kInterior{kNtt,    kTelia,   kGtt,    kCogent,
+                                                          kLevel3, kVultrLa, kVultrNy};
+  return sim::ShardPlan::round_robin(shards, kInterior);
+}
+
 /// The full measurement-study stack, established and ready to probe.
 struct Testbed {
   topo::VultrScenario scenario;
@@ -49,13 +60,22 @@ struct Testbed {
   /// `obs` (optional) wires one metrics registry + packet tracer through the
   /// WAN and both nodes, labeled "la"/"ny" — the instrumented configuration
   /// the telemetry-overhead bench measures against an unwired twin.
+  /// `shards` > 0 selects the sharded engine with the Vultr round-robin plan
+  /// (`threaded` picks OS threads over cooperative round-robin); drive it
+  /// through wan.run_all()/run_until() rather than wan.events().run_*.
   explicit Testbed(std::uint64_t seed, bool keep_series = true,
                    sim::Time la_clock_offset = 500 * sim::kMicrosecond,
                    sim::Time ny_clock_offset = -300 * sim::kMicrosecond,
                    sim::EventQueue::Backend backend = sim::EventQueue::Backend::timing_wheel,
-                   telemetry::Observability obs = {})
+                   telemetry::Observability obs = {}, std::uint32_t shards = 0,
+                   bool threaded = false)
       : scenario{topo::make_vultr_scenario()},
-        wan{scenario.topo, sim::Rng{seed}, backend},
+        wan{scenario.topo, sim::Rng{seed},
+            sim::WanOptions{.backend = backend,
+                            .sharded = shards > 0,
+                            .plan = shards > 0 ? vultr_shard_plan(shards)
+                                               : sim::ShardPlan::single(),
+                            .threaded = threaded}},
         la{scenario.topo, wan,
            core::NodeConfig{
                .router = kServerLa,
@@ -247,6 +267,14 @@ inline std::filesystem::path detail_report_path(const std::string& stem) {
 /// a record was written.
 inline bool append_run_history(const std::string& stem, const std::string& record) {
   namespace fs = std::filesystem;
+  // Quick-mode numbers are measured at CI-smoke scale; appending them would
+  // corrupt trend comparisons against full-scale records, so they stay out
+  // of the committed history entirely.
+  if (quick_mode()) {
+    std::printf("quick mode: run record NOT appended to %s.json (history keeps full-scale runs)\n",
+                stem.c_str());
+    return false;
+  }
   const fs::path root = find_repo_root();
   if (root.empty()) return false;
   const fs::path file = root / (stem + ".json");

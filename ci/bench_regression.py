@@ -47,6 +47,27 @@ MANIFEST: dict[str, dict[str, str]] = {
     },
 }
 
+# history-record field recording the run's workload size.  The baseline must
+# come from a full-scale run: quick-mode records (smaller workload) are not
+# comparable and no longer get appended, but older histories may still carry
+# them — only records at the largest scale present are baseline candidates.
+SCALE_FIELD: dict[str, str] = {
+    "BENCH_dataplane": "scale_packets",
+    "BENCH_chaos": "faults",
+}
+
+
+def pick_baseline(runs: list[dict], scale_field: str) -> dict:
+    """Most recent run at the largest workload scale in the history (most
+    recent overall when no record carries the scale field)."""
+    scales = [r[scale_field] for r in runs
+              if isinstance(r.get(scale_field), (int, float))]
+    if not scales:
+        return runs[-1]
+    full_scale = max(scales)
+    like = [r for r in runs if r.get(scale_field) == full_scale]
+    return like[-1]
+
 
 def load_json(path: pathlib.Path) -> dict | None:
     try:
@@ -96,7 +117,10 @@ def check_bench(name: str, repo_root: pathlib.Path, current_dir: pathlib.Path,
     if not history or not history.get("runs"):
         print(f"{name}: no committed history — nothing to compare against (skipping)")
         return (0, 0)
-    baseline = history["runs"][-1]
+    baseline = pick_baseline(history["runs"], SCALE_FIELD[name])
+    if baseline is not history["runs"][-1]:
+        print(f"{name}: latest history entry is not full-scale — baselining "
+              f"against the most recent full-scale record instead")
 
     current = find_detail_report(current_dir, name)
     if current is None:

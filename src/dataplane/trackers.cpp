@@ -1,5 +1,7 @@
 #include "dataplane/trackers.hpp"
 
+#include <algorithm>
+
 namespace tango::dataplane {
 
 void OneWayDelayTracker::record(sim::Time at, double owd_ms) {
@@ -24,26 +26,39 @@ Arrival LossTracker::record(std::uint64_t sequence) {
     // missing.  A far-from-zero first arrival means we attached to an
     // existing stream mid-flight: use it as the baseline instead.
     if (sequence > 0 && sequence <= horizon_) {
-      for (std::uint64_t s = 0; s < sequence; ++s) missing_.insert(s);
+      for (std::uint64_t s = 0; s < sequence; ++s) set_bit(s);
+    } else {
+      base_ = sequence > horizon_ ? sequence - horizon_ : 0;
     }
     return arrival;
   }
   if (sequence > highest_) {
+    const std::uint64_t new_base = sequence > horizon_ ? sequence - horizon_ : 0;
+    // Sweep: still-missing sequences that fall below the new window floor
+    // are beyond the reordering horizon — confirmed lost.  Bits are only
+    // ever set at or below highest_, which bounds the scan at horizon_+1.
+    const std::uint64_t sweep_end = std::min(new_base, highest_ + 1);
+    for (std::uint64_t s = base_; s < sweep_end; ++s) {
+      if (test_bit(s)) {
+        clear_bit(s);
+        ++confirmed_lost_;
+      }
+    }
     // Everything between the previous highest and this one is now missing.
-    for (std::uint64_t s = highest_ + 1; s < sequence; ++s) missing_.insert(s);
+    // The part already below the new floor was never within the horizon of
+    // any arrival — it goes straight to confirmed lost.
+    if (new_base > highest_ + 1) confirmed_lost_ += new_base - highest_ - 1;
+    for (std::uint64_t s = std::max(highest_ + 1, new_base); s < sequence; ++s) set_bit(s);
     highest_ = sequence;
-  } else if (missing_.erase(sequence) != 0) {
+    if (new_base > base_) base_ = new_base;
+  } else if (sequence >= base_ && test_bit(sequence)) {
     // A late first arrival: reordering, not loss.
+    clear_bit(sequence);
     arrival = Arrival::reordered;
   } else {
     // Already counted (or below the mid-stream attach baseline): duplicate.
     ++duplicates_;
     arrival = Arrival::duplicate;
-  }
-  // Sweep: anything missing beyond the reordering horizon is confirmed lost.
-  while (!missing_.empty() && *missing_.begin() + horizon_ < highest_) {
-    missing_.erase(missing_.begin());
-    ++confirmed_lost_;
   }
   return arrival;
 }

@@ -8,8 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <vector>
 
 #include "telemetry/stats.hpp"
 #include "telemetry/timeseries.hpp"
@@ -76,8 +75,16 @@ enum class Arrival : std::uint8_t {
 /// two.
 class LossTracker {
  public:
-  explicit LossTracker(std::uint64_t reorder_horizon = 64)
-      : horizon_{reorder_horizon} {}
+  explicit LossTracker(std::uint64_t reorder_horizon = 64) : horizon_{reorder_horizon} {
+    // One bit per in-window sequence, ring-indexed by sequence number.  The
+    // window spans horizon_+1 sequences; round up to a power of two so the
+    // ring index is a mask.  Allocated once here — record() is on the
+    // per-delivered-packet path and must not touch the heap.
+    std::uint64_t bits = 1;
+    while (bits < horizon_ + 1) bits <<= 1;
+    ring_.assign(static_cast<std::size_t>((bits + 63) / 64), 0);
+    ring_mask_ = bits - 1;
+  }
 
   /// Records one arrival and reports how it was classified, so co-located
   /// trackers (reordering) can skip duplicates instead of double-counting.
@@ -96,13 +103,33 @@ class LossTracker {
   [[nodiscard]] std::uint64_t highest_seen() const noexcept { return highest_; }
 
  private:
+  [[nodiscard]] bool test_bit(std::uint64_t seq) const noexcept {
+    const std::uint64_t i = seq & ring_mask_;
+    return (ring_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set_bit(std::uint64_t seq) noexcept {
+    const std::uint64_t i = seq & ring_mask_;
+    ring_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void clear_bit(std::uint64_t seq) noexcept {
+    const std::uint64_t i = seq & ring_mask_;
+    ring_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
   std::uint64_t horizon_;
   std::uint64_t received_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t highest_ = 0;
   bool any_ = false;
-  /// Sequences <= highest_ not yet seen (bounded by the horizon sweep).
-  std::set<std::uint64_t> missing_;
+  /// Missing-sequence window as a ring of bits: bit(seq) is set iff seq is
+  /// <= highest_, not yet seen, and still within the reordering horizon
+  /// (base_ <= seq).  Replaces a std::set whose node churn was one heap
+  /// alloc/free per reordered delivery on the receive fast path.
+  std::vector<std::uint64_t> ring_;
+  std::uint64_t ring_mask_ = 0;
+  /// Window floor: sequences below this were swept (confirmed lost or
+  /// pre-attach); their bits are clear.
+  std::uint64_t base_ = 0;
   std::uint64_t confirmed_lost_ = 0;
 };
 

@@ -32,6 +32,19 @@ class Link {
   /// The delay model, exposed for scenario event injection.
   [[nodiscard]] CompositeDelayModel& delay() noexcept { return delay_; }
 
+  /// Static minimum transit time of this link: the base distribution's floor,
+  /// never below one tick.  This is the sharded engine's lookahead bound — a
+  /// packet offered to the link at T arrives no earlier than T + min_delay(),
+  /// so a shard may safely run ahead of a neighbor by that much.  Modifiers
+  /// can sample below this (negative shift_ms); the sharded WAN therefore
+  /// clamps sampled delays up to this floor, identically at every shard
+  /// count, keeping the bound sound without forking delay semantics.
+  [[nodiscard]] Time min_delay() const noexcept {
+    const double ms = delay_.base().floor_ms();
+    const Time floor = ms > 0.0 ? from_ms(ms) : 0;
+    return floor > 0 ? floor : 1;
+  }
+
   [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
   [[nodiscard]] std::uint32_t lanes() const noexcept { return lanes_; }

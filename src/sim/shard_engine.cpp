@@ -1,0 +1,371 @@
+#include "sim/shard_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace tango::sim {
+
+namespace {
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+ShardEngine::ShardEngine(std::vector<EventQueue*> queues, std::vector<std::vector<Time>> lookahead,
+                         DrainFn drain, void* ctx, bool threaded, std::size_t mailbox_capacity)
+    : queues_{std::move(queues)},
+      lookahead_{std::move(lookahead)},
+      drain_{drain},
+      ctx_{ctx},
+      threaded_{threaded},
+      shard_count_{static_cast<std::uint32_t>(queues_.size())} {
+  if (shard_count_ == 0) throw std::invalid_argument{"ShardEngine: no shards"};
+  if (lookahead_.size() != shard_count_) {
+    throw std::invalid_argument{"ShardEngine: lookahead matrix shape"};
+  }
+  rings_.resize(static_cast<std::size_t>(shard_count_) * shard_count_);
+  for (std::uint32_t from = 0; from < shard_count_; ++from) {
+    if (lookahead_[from].size() != shard_count_) {
+      throw std::invalid_argument{"ShardEngine: lookahead matrix shape"};
+    }
+    for (std::uint32_t to = 0; to < shard_count_; ++to) {
+      if (from != to && lookahead_[from][to] != kNoLink) {
+        rings_[static_cast<std::size_t>(from) * shard_count_ + to] =
+            std::make_unique<SpscRing<Mail>>(mailbox_capacity);
+      }
+    }
+  }
+  sync_ = std::make_unique<ShardSync[]>(shard_count_);
+  stats_.resize(shard_count_);
+  scratch_.assign(shard_count_, std::vector<Time>(shard_count_, -1));
+}
+
+void ShardEngine::note_control(Time at) {
+  control_times_.push(at);
+  // Lowering the barrier mid-run is safe: a control scheduled by a shard-0
+  // event at time t has at >= t > F_0 >= every F_i, so no shard has passed it.
+  if (at < barrier_.load(std::memory_order_relaxed)) {
+    barrier_.store(at, std::memory_order_release);
+  }
+}
+
+void ShardEngine::declare_progress(std::uint32_t i, bool& progress) {
+  if (progress) return;
+  version_.fetch_add(1, std::memory_order_seq_cst);
+  sync_[i].parked.store(false, std::memory_order_seq_cst);
+  progress = true;
+}
+
+void ShardEngine::post(std::uint32_t from, std::uint32_t to, Mail&& mail) {
+  SpscRing<Mail>* r = ring(from, to);
+  if (r == nullptr) throw std::logic_error{"ShardEngine::post: no link between shards"};
+  ++stats_[from].mail_posted;
+  while (!r->try_push(std::move(mail))) {
+    if (!threaded_) {
+      // Single real thread: make room by draining the destination directly.
+      // Ordering is unaffected — the mail's (at, key) position is fixed, and
+      // `to` cannot have run past `at` (conservative sync).
+      Mail spill;
+      if (r->try_pop(spill)) {
+        drain_(ctx_, to, std::move(spill));
+        ++stats_[to].mail_drained;
+      }
+      continue;
+    }
+    // Threaded: the consumer drains every loop iteration, so space appears
+    // as soon as it runs.  Draining our own inboxes while we wait breaks
+    // ring-full cycles (A full toward B, B full toward A).
+    bool drained = false;
+    for (std::uint32_t j = 0; j < shard_count_; ++j) {
+      SpscRing<Mail>* in = j == from ? nullptr : ring(j, from);
+      if (in == nullptr) continue;
+      Mail m;
+      while (in->try_pop(m)) {
+        drain_(ctx_, from, std::move(m));
+        ++stats_[from].mail_drained;
+        drained = true;
+      }
+    }
+    if (drained) version_.fetch_add(1, std::memory_order_seq_cst);
+    if (done_.load(std::memory_order_relaxed)) {
+      throw std::runtime_error{"ShardEngine::post: engine shut down mid-post"};
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool ShardEngine::step(std::uint32_t i) {
+  Stats& st = stats_[i];
+  std::vector<Time>& f = scratch_[i];
+  bool progress = false;
+
+  // Snapshot each producer's frontier *before* draining its ring: everything
+  // it mailed while completing events <= F_j is then visible in the drain
+  // (its frontier store is a release, our load an acquire).
+  for (std::uint32_t j = 0; j < shard_count_; ++j) {
+    if (j == i) continue;
+    f[j] = sync_[j].frontier.load(std::memory_order_acquire);
+    SpscRing<Mail>* in = ring(j, i);
+    if (in == nullptr) continue;
+    while (!in->empty()) {
+      // Declare progress (version bump + unpark) *before* the pop: the
+      // coordinator must never validate a quiescent snapshot whose ring we
+      // just emptied, or it could time-jump past the drained mail.
+      declare_progress(i, progress);
+      Mail m;
+      if (!in->try_pop(m)) break;
+      drain_(ctx_, i, std::move(m));
+      ++st.mail_drained;
+    }
+  }
+
+  const Time fl = floor_.load(std::memory_order_acquire);
+  const Time barrier = barrier_.load(std::memory_order_acquire);
+  Time raw = until_;
+  for (std::uint32_t j = 0; j < shard_count_; ++j) {
+    if (j == i || lookahead_[j][i] == kNoLink) continue;
+    raw = std::min(raw, f[j] + lookahead_[j][i]);
+  }
+  // The coordinator's floor only rises over validated-quiescent snapshots,
+  // so it may override lookahead — but never the control fence (shard 0's
+  // barrier cap, everyone else's F_0 cap).
+  Time limit = std::max(raw, fl);
+  if (i == 0) {
+    if (barrier != kHorizon) limit = std::min(limit, barrier - 1);
+  } else {
+    limit = std::min(limit, f[0]);
+  }
+  limit = std::min(limit, until_);
+
+  Time front = sync_[i].frontier.load(std::memory_order_relaxed);
+  if (limit > front) {
+    const std::optional<Time> next = queues_[i]->peek_time();
+    if (next.has_value() && *next <= limit) {
+      declare_progress(i, progress);
+      const auto t0 = std::chrono::steady_clock::now();
+      queues_[i]->run_events_until(limit);
+      st.busy_seconds += seconds_since(t0);
+      sync_[i].frontier.store(limit, std::memory_order_release);
+      version_.fetch_add(1, std::memory_order_seq_cst);
+    } else {
+      // Null-message advance: publish the wider window to neighbors without
+      // touching the queue and without counting as progress.  An idle sweep
+      // then converges to the coordinator's one-shot time-jump instead of
+      // creeping by one lookahead per sweep — and the queue clock stays at
+      // the last executed event, so later cross-shard arrivals inside the
+      // (already published) window are still schedulable.
+      sync_[i].frontier.store(limit, std::memory_order_release);
+    }
+    front = limit;
+  }
+
+  if (i == 0 && barrier != kHorizon && barrier <= until_ && front >= barrier - 1) {
+    // (barrier == kHorizon is the "no pending control" sentinel; in run_all
+    // until_ is also kHorizon, so without the explicit check this block would
+    // re-fire — and declare progress — on every sweep, forever.)
+    // Control crossing: every shard must have completed and parked at
+    // barrier-1 (they cannot exceed it: F_i <= F_0 = barrier-1).  Then shard
+    // 0 alone executes the control batch at `barrier` while the rest spin on
+    // atomics, which makes global mutations race-free; the new barrier and
+    // frontier are released afterwards, publishing those mutations.
+    bool all_parked_at_fence = true;
+    for (std::uint32_t j = 1; j < shard_count_; ++j) {
+      if (sync_[j].frontier.load(std::memory_order_acquire) < barrier - 1) {
+        all_parked_at_fence = false;
+        break;
+      }
+    }
+    if (all_parked_at_fence) {
+      declare_progress(i, progress);
+      const auto t0 = std::chrono::steady_clock::now();
+      queues_[0]->run_events_until(barrier);
+      st.busy_seconds += seconds_since(t0);
+      while (!control_times_.empty() && control_times_.top() <= barrier) control_times_.pop();
+      const Time next_barrier = control_times_.empty() ? kHorizon : control_times_.top();
+      barrier_.store(next_barrier, std::memory_order_release);
+      sync_[0].frontier.store(barrier, std::memory_order_release);
+      version_.fetch_add(1, std::memory_order_seq_cst);
+      ++st.barriers;
+    }
+  }
+
+  if (!progress) {
+    const std::optional<Time> next = queues_[i]->peek_time();
+    sync_[i].next_pub.store(next.has_value() ? *next : kNone, std::memory_order_seq_cst);
+    sync_[i].parked.store(true, std::memory_order_seq_cst);
+    ++st.park_spins;
+  }
+  return progress;
+}
+
+bool ShardEngine::coordinate() {
+  const std::uint64_t v0 = version_.load(std::memory_order_seq_cst);
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    if (!sync_[i].parked.load(std::memory_order_seq_cst)) return false;
+  }
+  for (const std::unique_ptr<SpscRing<Mail>>& r : rings_) {
+    if (r != nullptr && !r->empty()) return false;
+  }
+  Time m = kNone;
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    m = std::min(m, sync_[i].next_pub.load(std::memory_order_seq_cst));
+  }
+  // Validate the snapshot: any shard that progressed meanwhile bumped the
+  // version (and unparked) before touching its queue, so a stable version +
+  // still-parked re-check means the published next-event times were current.
+  if (version_.load(std::memory_order_seq_cst) != v0) return false;
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    if (!sync_[i].parked.load(std::memory_order_seq_cst)) return false;
+  }
+
+  if (m == kNone) {
+    if (drain_all_) {
+      done_.store(true, std::memory_order_seq_cst);
+      return true;
+    }
+    // Idle all the way to the bound: jump everyone to `until`.
+    if (floor_.load(std::memory_order_relaxed) < until_) {
+      floor_.store(until_, std::memory_order_seq_cst);
+      version_.fetch_add(1, std::memory_order_seq_cst);
+      ++jumps_;
+      return true;
+    }
+    return false;
+  }
+  const Time target = std::min(m - 1, until_);
+  if (target > floor_.load(std::memory_order_relaxed)) {
+    floor_.store(target, std::memory_order_seq_cst);
+    version_.fetch_add(1, std::memory_order_seq_cst);
+    ++jumps_;
+    return true;
+  }
+  return false;
+}
+
+void ShardEngine::run(Time until, bool drain_all) {
+  until_ = until;
+  drain_all_ = drain_all;
+  done_.store(false, std::memory_order_seq_cst);
+  floor_.store(-1, std::memory_order_seq_cst);
+  // Cross-run state: rings may hold mail timestamped past the previous
+  // bound, and frontiers rest wherever the last run pushed them (possibly
+  // far ahead, via null-message advance over an idle tail).  Flush the mail
+  // into the queues (single-threaded here — both ring endpoints are ours),
+  // then restart every frontier just below the earliest pending event:
+  // trivially sound, since no event at or before it exists anywhere.
+  for (std::uint32_t from = 0; from < shard_count_; ++from) {
+    for (std::uint32_t to = 0; to < shard_count_; ++to) {
+      SpscRing<Mail>* r = from == to ? nullptr : ring(from, to);
+      if (r == nullptr) continue;
+      Mail m;
+      while (r->try_pop(m)) {
+        drain_(ctx_, to, std::move(m));
+        ++stats_[to].mail_drained;
+      }
+    }
+  }
+  Time min_next = kNone;
+  for (EventQueue* q : queues_) {
+    const std::optional<Time> t = q->peek_time();
+    if (t.has_value()) min_next = std::min(min_next, *t);
+  }
+  const Time start = min_next == kNone ? until_ : min_next - 1;
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    sync_[i].frontier.store(start, std::memory_order_seq_cst);
+    sync_[i].parked.store(false, std::memory_order_seq_cst);
+    sync_[i].next_pub.store(kNone, std::memory_order_seq_cst);
+  }
+  barrier_.store(control_times_.empty() ? kHorizon : control_times_.top(),
+                 std::memory_order_seq_cst);
+  if (threaded_ && shard_count_ > 1) {
+    run_threaded();
+  } else {
+    run_cooperative();
+  }
+  if (!drain_all) {
+    // Bounded runs park every clock exactly at the bound (the classic
+    // run_until contract); all events <= until are done, so this only moves
+    // clocks forward.
+    for (EventQueue* q : queues_) q->run_until(until_);
+  }
+}
+
+void ShardEngine::run_until(Time until) { run(until, /*drain_all=*/false); }
+void ShardEngine::run_all() { run(kHorizon, /*drain_all=*/true); }
+
+void ShardEngine::run_cooperative() {
+  // A sweep with zero progress means the state is static (single thread), so
+  // the coordinator must act; if it ever cannot, the liveness argument
+  // (min-frontier shard always advances, or the barrier crosses, or the
+  // bound is reached) is broken — fail loudly rather than spin forever.
+  std::uint64_t idle_sweeps = 0;
+  while (!done_.load(std::memory_order_relaxed)) {
+    bool any = false;
+    Time min_front = kNone;
+    for (std::uint32_t i = 0; i < shard_count_; ++i) {
+      any |= step(i);
+      min_front = std::min(min_front, sync_[i].frontier.load(std::memory_order_relaxed));
+    }
+    if (!drain_all_ && min_front >= until_) break;
+    if (any || coordinate()) {
+      idle_sweeps = 0;
+    } else if (++idle_sweeps > 4) {
+      throw std::logic_error{"ShardEngine: stalled with pending work (lookahead deadlock?)"};
+    }
+  }
+}
+
+void ShardEngine::worker(std::uint32_t i) {
+  // Workers run until the coordinator declares the run over (done_), even
+  // after reaching the bound themselves: their inbox rings may still receive
+  // mail timestamped past `until`, and a producer blocked on a full ring
+  // needs its consumer draining.
+  while (!done_.load(std::memory_order_relaxed)) {
+    if (!step(i)) std::this_thread::yield();
+  }
+}
+
+void ShardEngine::run_threaded() {
+  std::vector<std::exception_ptr> errors(shard_count_);
+  std::vector<std::thread> threads;
+  threads.reserve(shard_count_);
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    threads.emplace_back([this, i, &errors] {
+      try {
+        worker(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        done_.store(true, std::memory_order_seq_cst);
+      }
+    });
+  }
+  // Caller thread coordinates: time-jumps over idle gaps, detects quiescence,
+  // and (in bounded runs) ends the run once every frontier reached the bound.
+  // No shard can be blocked in post() at that point: a shard inside post is
+  // mid-execution and has not yet published the final frontier store.
+  while (!done_.load(std::memory_order_seq_cst)) {
+    if (!drain_all_) {
+      Time min_front = kNone;
+      for (std::uint32_t i = 0; i < shard_count_; ++i) {
+        min_front = std::min(min_front, sync_[i].frontier.load(std::memory_order_acquire));
+      }
+      if (min_front >= until_) {
+        done_.store(true, std::memory_order_seq_cst);
+        break;
+      }
+    }
+    coordinate();
+    std::this_thread::yield();
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tango::sim

@@ -1,0 +1,201 @@
+// Conservative parallel discrete-event engine for the sharded WAN.
+//
+// The topology is partitioned by router affinity (ShardPlan): each shard owns
+// an EventQueue and executes only events of its own routers.  Shards advance
+// under Chandy-Misra-Bryant conservative synchronization: shard i may run up
+// to
+//
+//     safe_i = min over in-neighbors j of (F_j + lookahead(j->i))
+//
+// where F_j is shard j's *frontier* ("completed every event at <= F_j",
+// published with release semantics) and lookahead(j->i) is the minimum static
+// transit time of any link from a shard-j router to a shard-i router
+// (Link::min_delay(), >= 1 ns).  Cross-shard packet hand-off travels through
+// bounded SPSC mailboxes, one ring per linked shard pair; a shard drains its
+// inboxes (after acquiring each producer's frontier) on every loop iteration,
+// so mail with a timestamp inside the safe window is always scheduled before
+// the window is executed.
+//
+// Determinism (bitwise 1-shard vs N-shard) rests on three rules:
+//   * every packet arrival is scheduled with an ordering key that is a pure
+//     function of logical history — (link index, per-link transmit sequence),
+//     with the top bit set so arrivals sort after same-timestamp control and
+//     injection events.  *When* mail is drained never affects *where* it
+//     sorts;
+//   * traffic injections carry the kInjectBand key (per-queue counter), so at
+//     equal timestamps the order is control < injection < arrival in every
+//     queue at every shard count;
+//   * control events (plain schedule_at on shard 0's queue — scenario faults,
+//     switch timers, anything that may mutate global state such as FIBs or
+//     link status) are fenced behind a global barrier: no shard runs past the
+//     earliest pending control time, and shard 0 executes it only after every
+//     other shard has completed and parked at barrier-1.  The fence is backed
+//     by the invariant F_i <= F_0 for all i (shard 0 has zero control
+//     lookahead toward everyone), which also guarantees no shard has run past
+//     a control event that a shard-0 event schedules mid-run.
+//
+// Idle gaps (all shards parked, no mail in flight) are crossed with a
+// coordinator time-jump instead of lookahead-creep: the coordinator validates
+// a globally quiescent snapshot (parked flags + ring emptiness + a version
+// counter that every progressing shard bumps *before* touching its queue) and
+// raises a global floor to just below the earliest published next-event time.
+// The same snapshot, with no pending event anywhere, is the run_all
+// termination condition.
+//
+// Execution modes share one loop body: `threaded` runs one OS thread per
+// shard (plus the caller as coordinator); cooperative mode round-robins every
+// shard on the caller thread.  Identical digests across modes are the proof
+// that results do not depend on the thread schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/spsc_ring.hpp"
+#include "sim/time.hpp"
+
+namespace tango::sim {
+
+class ShardEngine {
+ public:
+  /// Run bound used by run_all; also the "no constraint" lookahead sentinel.
+  static constexpr Time kHorizon = std::numeric_limits<Time>::max() / 4;
+  static constexpr Time kNoLink = kHorizon;
+  static constexpr Time kNone = std::numeric_limits<Time>::max();
+
+  // --- Same-timestamp ordering-key bands (see file comment) ---------------
+  /// Control events use the queue's plain FIFO counter: keys < 2^62.
+  static constexpr std::uint64_t kInjectBand = std::uint64_t{1} << 62;
+  static constexpr std::uint64_t kArrivalBand = std::uint64_t{1} << 63;
+  static constexpr int kArrivalLinkShift = 43;
+  static constexpr std::uint64_t kArrivalSeqMask = (std::uint64_t{1} << kArrivalLinkShift) - 1;
+
+  /// A packet in flight between shards.  `key` is the arrival-band ordering
+  /// key computed by the sender; the receiver schedules with it verbatim.
+  struct Mail {
+    Time at = 0;
+    std::uint64_t key = 0;
+    std::uint32_t dst = 0;  ///< destination router id
+    net::Packet packet;
+  };
+
+  /// Called on the destination shard's loop for each drained mail item; must
+  /// schedule the arrival on that shard's queue via schedule_keyed(at, key).
+  using DrainFn = void (*)(void* ctx, std::uint32_t shard, Mail&& mail);
+
+  struct Stats {
+    std::uint64_t mail_posted = 0;
+    std::uint64_t mail_drained = 0;
+    std::uint64_t barriers = 0;     ///< control fences crossed (shard 0)
+    std::uint64_t park_spins = 0;   ///< no-progress loop iterations (stall proxy)
+    double busy_seconds = 0.0;      ///< wall time spent executing events
+  };
+
+  /// `queues[i]` is shard i's scheduler (owned by the caller, one writer
+  /// thread each).  `lookahead[j][i]` is the min link transit time from shard
+  /// j to shard i, kNoLink when no such link exists.  `threaded` picks OS
+  /// threads vs cooperative round-robin.
+  ShardEngine(std::vector<EventQueue*> queues, std::vector<std::vector<Time>> lookahead,
+              DrainFn drain, void* ctx, bool threaded, std::size_t mailbox_capacity = 1024);
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Records a pending control event (wired as queue 0's schedule observer).
+  /// Safe from the driver between runs and from shard-0 events during one.
+  void note_control(Time at);
+  static void note_control_thunk(void* self, Time at) {
+    static_cast<ShardEngine*>(self)->note_control(at);
+  }
+
+  /// Hands cross-shard mail to shard `to`'s inbox.  Called from shard
+  /// `from`'s loop while it executes events.  Blocks (draining its own
+  /// inboxes to stay deadlock-free) when the ring is momentarily full.
+  void post(std::uint32_t from, std::uint32_t to, Mail&& mail);
+
+  /// Advances every shard to exactly `until` (all events at <= until
+  /// executed, every queue clock parked at until).
+  void run_until(Time until);
+
+  /// Runs to global quiescence: all queues empty, no mail in flight.  Each
+  /// shard's clock rests at its last executed event (the classic run_all
+  /// contract), even though frontiers end far ahead.
+  void run_all();
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shard_count_; }
+  [[nodiscard]] bool threaded() const noexcept { return threaded_; }
+  [[nodiscard]] const Stats& stats(std::uint32_t shard) const { return stats_[shard]; }
+  /// Coordinator idle-gap time jumps across the whole engine lifetime.
+  [[nodiscard]] std::uint64_t time_jumps() const noexcept { return jumps_; }
+  [[nodiscard]] Time frontier(std::uint32_t shard) const noexcept {
+    return sync_[shard].frontier.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// 64 rather than std::hardware_destructive_interference_size (see
+  /// spsc_ring.hpp — the builtin trips -Winterference-size under -Werror).
+  static constexpr std::size_t kCacheLine = 64;
+
+  /// Per-shard synchronization state, cache-line separated.
+  struct alignas(kCacheLine) ShardSync {
+    std::atomic<Time> frontier{-1};
+    /// Earliest local pending event, published while parked (kNone = empty).
+    std::atomic<Time> next_pub{kNone};
+    std::atomic<bool> parked{false};
+  };
+
+  [[nodiscard]] SpscRing<Mail>* ring(std::uint32_t from, std::uint32_t to) noexcept {
+    return rings_[static_cast<std::size_t>(from) * shard_count_ + to].get();
+  }
+
+  /// Marks shard i as actively progressing: version bump + unpark, both
+  /// strictly before the shard touches its queue, so the coordinator's
+  /// quiescence validation can never observe a stale-parked snapshot.
+  void declare_progress(std::uint32_t i, bool& progress);
+
+  /// One loop iteration for shard i: drain inboxes, advance to the safe
+  /// bound, handle the control barrier (shard 0), park when idle.
+  bool step(std::uint32_t i);
+
+  /// Coordinator: validates global quiescence and either finishes the run or
+  /// raises the time-jump floor.  Returns true when it acted.
+  bool coordinate();
+
+  void run(Time until, bool drain_all);
+  void run_cooperative();
+  void run_threaded();
+  void worker(std::uint32_t i);
+
+  std::vector<EventQueue*> queues_;
+  std::vector<std::vector<Time>> lookahead_;
+  DrainFn drain_;
+  void* ctx_;
+  bool threaded_;
+  std::uint32_t shard_count_;
+  std::vector<std::unique_ptr<SpscRing<Mail>>> rings_;  // [from * K + to], linked pairs only
+  std::unique_ptr<ShardSync[]> sync_;
+  std::vector<Stats> stats_;
+  std::vector<std::vector<Time>> scratch_;  // per-shard frontier snapshot buffers
+
+  alignas(kCacheLine) std::atomic<Time> barrier_{kHorizon};
+  alignas(kCacheLine) std::atomic<Time> floor_{-1};
+  alignas(kCacheLine) std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> done_{false};
+
+  /// Pending control-event times; shard 0's thread (or the driver while the
+  /// engine is idle) is the only toucher.
+  std::priority_queue<Time, std::vector<Time>, std::greater<>> control_times_;
+
+  Time until_ = kHorizon;  // per-run bound
+  bool drain_all_ = false;
+  std::uint64_t jumps_ = 0;
+};
+
+}  // namespace tango::sim

@@ -1,0 +1,60 @@
+// Router→shard affinity for the sharded WAN engine.
+//
+// A plan assigns every router (and, by ownership, every outbound link) to
+// one shard.  Conventions the engine relies on:
+//
+//  * Shard 0 is the control shard.  Routers with delivery handlers (the
+//    edge switches) and everything that injects external control events —
+//    scenario faults, sync_fibs, traffic generators driven through
+//    wan.events() — must live there, because shard 0 is the only shard whose
+//    events may mutate global state (FIBs, link status, delay models).  The
+//    engine gives shard 0 zero lookahead toward every other shard so those
+//    mutations are fenced: when shard 0 executes time T, every other shard
+//    has completed strictly less than T and is parked.
+//  * Routers not named in `assignments` default to shard 0.
+//  * Determinism does not depend on the plan making topological sense; a bad
+//    plan only costs parallelism (tight lookahead), never correctness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace tango::sim {
+
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  /// Explicit router→shard assignments; unlisted routers go to shard 0.
+  std::vector<std::pair<bgp::RouterId, std::uint32_t>> assignments;
+
+  [[nodiscard]] std::uint32_t shard_of(bgp::RouterId id) const noexcept {
+    for (const auto& [router, shard] : assignments) {
+      if (router == id) return shard < shards ? shard : 0;
+    }
+    return 0;
+  }
+
+  /// Everything on one shard: the classic single-threaded layout.
+  [[nodiscard]] static ShardPlan single() { return ShardPlan{}; }
+
+  /// Spreads `interior` routers round-robin over shards 1..shards-1 (all of
+  /// them to shard 0 when shards == 1).  Edge routers are simply left
+  /// unassigned — they default to the control shard.
+  [[nodiscard]] static ShardPlan round_robin(std::uint32_t shards,
+                                             std::span<const bgp::RouterId> interior) {
+    ShardPlan plan;
+    plan.shards = shards == 0 ? 1 : shards;
+    if (plan.shards > 1) {
+      std::uint32_t next = 1;
+      for (const bgp::RouterId id : interior) {
+        plan.assignments.emplace_back(id, next);
+        next = next + 1 == plan.shards ? 1 : next + 1;
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace tango::sim

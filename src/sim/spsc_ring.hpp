@@ -1,0 +1,93 @@
+// Bounded single-producer/single-consumer ring buffer: the cross-shard
+// mailbox of the sharded WAN engine.
+//
+// One producer shard thread pushes, one consumer shard thread pops; there is
+// exactly one ring per ordered shard pair, so neither side ever contends.
+// The hot path is two relaxed loads, a store, and one release/acquire pair —
+// no locks, no CAS.  Head and tail live on separate cache lines (and each
+// side caches its last view of the opposite index) so a push and a pop do
+// not ping-pong a shared line.
+//
+// Capacity is fixed at construction and rounded up to a power of two; a full
+// ring makes try_push return false, and the engine's shard loop drains every
+// inbox each iteration precisely so a blocked producer always makes progress
+// once its consumer runs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace tango::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity = 1024) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when the ring is full (item untouched).
+  [[nodiscard]] bool try_push(T&& item) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot size; exact from either endpoint's thread, approximate (but
+  /// never torn) from a third observer such as the quiescence detector.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  /// Fixed 64 rather than std::hardware_destructive_interference_size: the
+  /// value is part of the layout and gcc warns that the builtin varies with
+  /// -mtune (and CI builds with -Werror).  64 is right for every target the
+  /// project builds on.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Consumer cursor: next slot to pop.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  /// Producer's cached view of head_ (refreshed only when the ring looks full).
+  alignas(kCacheLine) std::uint64_t cached_head_ = 0;
+  /// Producer cursor: next slot to fill.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  /// Consumer's cached view of tail_ (refreshed only when the ring looks empty).
+  alignas(kCacheLine) std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace tango::sim

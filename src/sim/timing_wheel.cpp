@@ -17,6 +17,38 @@ namespace {
 
 }  // namespace
 
+TimingWheel::Chunk* TimingWheel::acquire_chunk() {
+  if (free_chunks_ != nullptr) {
+    Chunk* c = free_chunks_;
+    free_chunks_ = c->next;
+    c->next = nullptr;
+    c->count = 0;
+    return c;
+  }
+  chunk_arena_.push_back(std::make_unique<Chunk>());
+  return chunk_arena_.back().get();
+}
+
+void TimingWheel::push_item(Bucket& b, const Item& item) {
+  if (b.tail == nullptr || b.tail->count == kChunkItems) {
+    Chunk* c = acquire_chunk();
+    if (b.tail == nullptr) {
+      b.head = b.tail = c;
+    } else {
+      b.tail->next = c;
+      b.tail = c;
+    }
+  }
+  b.tail->items[b.tail->count++] = item;
+}
+
+void TimingWheel::release_chunks(Bucket& b) noexcept {
+  if (b.head == nullptr) return;
+  b.tail->next = free_chunks_;
+  free_chunks_ = b.head;
+  b.head = b.tail = nullptr;
+}
+
 std::uint32_t TimingWheel::acquire_slot(Action&& action) {
   if (!free_slots_.empty()) {
     const std::uint32_t idx = free_slots_.back();
@@ -38,9 +70,9 @@ void TimingWheel::place(const Item& item) {
   const std::uint64_t delta = tick - cursor_;
   const int level = level_of(delta);
   const std::size_t slot = (tick >> (kLevelBits * level)) & kSlotMask;
-  std::vector<Item>& b = bucket(level, slot);
+  Bucket& b = bucket(level, slot);
   if (b.empty()) mark(level, slot);
-  b.push_back(item);
+  push_item(b, item);
 }
 
 void TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
@@ -77,23 +109,30 @@ bool TimingWheel::level_empty(int level) const noexcept {
 
 void TimingWheel::cascade(int level, std::size_t slot) {
   telemetry::inc(cascades_metric_);
-  std::vector<Item>& b = bucket(level, slot);
+  Bucket& b = bucket(level, slot);
   unmark(level, slot);
   // Items re-place by their delta to the (just advanced) cursor: items of
   // the current window land at a lower level, previously wrapped items of a
   // later epoch may move up.  Bucket order is preserved per destination;
   // cross-destination order is restored by the seq sort when a level-0
-  // bucket is staged.
-  for (const Item& item : b) place(item);
-  b.clear();
+  // bucket is staged.  Detach the chain first: place() may acquire chunks,
+  // and the drained ones below must not be reused mid-walk.
+  Bucket detached = b;
+  b.head = b.tail = nullptr;
+  for (Chunk* c = detached.head; c != nullptr; c = c->next) {
+    for (std::uint32_t i = 0; i < c->count; ++i) place(c->items[i]);
+  }
+  release_chunks(detached);
 }
 
 void TimingWheel::stage(std::size_t slot) {
-  std::vector<Item>& b = bucket(0, slot);
+  Bucket& b = bucket(0, slot);
   unmark(0, slot);
-  staging_spare_.clear();
-  staging_spare_.swap(b);         // bucket keeps the old (empty) staging capacity
-  staging_.swap(staging_spare_);  // staging receives the items
+  staging_.clear();
+  for (Chunk* c = b.head; c != nullptr; c = c->next) {
+    staging_.insert(staging_.end(), c->items, c->items + c->count);
+  }
+  release_chunks(b);
   staging_next_ = 0;
   std::sort(staging_.begin(), staging_.end(),
             [](const Item& a, const Item& b2) { return a.seq < b2.seq; });
@@ -216,7 +255,7 @@ void TimingWheel::clear() {
       while (bits != 0) {
         const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
         bits &= bits - 1;
-        buckets_[base + (word << 6) + bit].clear();
+        release_chunks(buckets_[base + (word << 6) + bit]);
       }
       occupied_[level][word] = 0;
     }

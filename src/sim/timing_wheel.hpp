@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -107,9 +108,34 @@ class TimingWheel {
     }
   };
 
-  [[nodiscard]] std::vector<Item>& bucket(int level, std::size_t slot) noexcept {
+  /// Bucket storage: a singly linked list of fixed-size item chunks drawn
+  /// from a wheel-owned recycling pool.  Per-slot std::vectors would re-pay
+  /// geometric growth every time the cursor lands a batch in a cold slot
+  /// (slot choice is `tick & mask`, effectively random per batch), which
+  /// showed up as steady-state heap allocs on the forwarding fast path.
+  /// Chunks are returned to the free list when a bucket drains, so once the
+  /// pool has grown to the peak in-flight event count the wheel never
+  /// allocates again.
+  static constexpr std::size_t kChunkItems = 10;  // 10 * 24 B + header ≈ 256 B
+  struct Chunk {
+    Item items[kChunkItems];
+    Chunk* next = nullptr;
+    std::uint32_t count = 0;
+  };
+  struct Bucket {
+    Chunk* head = nullptr;
+    Chunk* tail = nullptr;
+    [[nodiscard]] bool empty() const noexcept { return head == nullptr; }
+  };
+
+  [[nodiscard]] Bucket& bucket(int level, std::size_t slot) noexcept {
     return buckets_[static_cast<std::size_t>(level) * kSlots + slot];
   }
+
+  [[nodiscard]] Chunk* acquire_chunk();
+  void push_item(Bucket& b, const Item& item);
+  /// Returns every chunk of `b` to the free list and empties it.
+  void release_chunks(Bucket& b) noexcept;
 
   [[nodiscard]] std::uint32_t acquire_slot(Action&& action);
   void place(const Item& item);
@@ -138,16 +164,17 @@ class TimingWheel {
   /// Moves the action out of its pool slot and recycles the slot.
   [[nodiscard]] Action take_action(const Item& item);
 
-  std::vector<Item> buckets_[kLevels * kSlots];
+  Bucket buckets_[kLevels * kSlots];
+  std::vector<std::unique_ptr<Chunk>> chunk_arena_;
+  Chunk* free_chunks_ = nullptr;
   std::uint64_t occupied_[kLevels][kSlots / 64] = {};
   /// The wheel's notion of "now": the tick of the last staged bucket (or a
   /// window base <= every pending entry).  Never ahead of any pending entry.
   std::uint64_t cursor_ = 0;
-  /// Same-timestamp batch currently being drained, sorted by seq.
+  /// Same-timestamp batch currently being drained, sorted by seq.  Grows to
+  /// the largest batch once, then its capacity is reused forever.
   std::vector<Item> staging_;
   std::size_t staging_next_ = 0;
-  /// Scratch vector swapped with drained buckets so both keep their capacity.
-  std::vector<Item> staging_spare_;
   std::priority_queue<Item, std::vector<Item>, FarLater> far_;
   /// Stable action storage; items refer into it by index, so cascades never
   /// move a payload.

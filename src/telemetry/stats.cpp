@@ -35,30 +35,44 @@ void StreamingStats::reset() {
   max_ = 0.0;
 }
 
+void RollingWindow::push_back(TimedValue v) {
+  if (count_ == ring_.size()) {
+    // Grow to the next power of two and linearize so index arithmetic stays
+    // a mask.  Happens only while ramping toward the window's peak
+    // occupancy; the steady state never reallocates.
+    std::vector<TimedValue> grown(ring_.empty() ? 16 : ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) grown[i] = at_index(i);
+    ring_.swap(grown);
+    head_ = 0;
+  }
+  ring_[(head_ + count_) & (ring_.size() - 1)] = v;
+  ++count_;
+}
+
 void RollingWindow::update(sim::Time at, double value) {
-  samples_.push_back(TimedValue{at, value});
+  push_back(TimedValue{at, value});
   sum_ += value;
   sum_sq_ += value * value;
   evict(at);
 }
 
 void RollingWindow::evict(sim::Time now) {
-  while (!samples_.empty() && samples_.front().at <= now - window_) {
-    const double v = samples_.front().value;
+  while (count_ != 0 && front().at <= now - window_) {
+    const double v = front().value;
     sum_ -= v;
     sum_sq_ -= v * v;
-    samples_.pop_front();
+    pop_front();
   }
 }
 
 std::optional<double> RollingWindow::mean() const {
-  if (samples_.empty()) return std::nullopt;
-  return sum_ / static_cast<double>(samples_.size());
+  if (count_ == 0) return std::nullopt;
+  return sum_ / static_cast<double>(count_);
 }
 
 std::optional<double> RollingWindow::stddev() const {
-  if (samples_.size() < 2) return std::nullopt;
-  const auto n = static_cast<double>(samples_.size());
+  if (count_ < 2) return std::nullopt;
+  const auto n = static_cast<double>(count_);
   // Running-sum variance; eviction arithmetic can leave a tiny negative
   // residue, so clamp before the sqrt.
   const double var = std::max(0.0, (sum_sq_ - sum_ * sum_ / n) / (n - 1.0));
@@ -66,16 +80,16 @@ std::optional<double> RollingWindow::stddev() const {
 }
 
 std::optional<double> RollingWindow::min() const {
-  if (samples_.empty()) return std::nullopt;
-  double m = samples_.front().value;
-  for (const TimedValue& s : samples_) m = std::min(m, s.value);
+  if (count_ == 0) return std::nullopt;
+  double m = front().value;
+  for (std::size_t i = 1; i < count_; ++i) m = std::min(m, at_index(i).value);
   return m;
 }
 
 std::optional<double> RollingWindow::max() const {
-  if (samples_.empty()) return std::nullopt;
-  double m = samples_.front().value;
-  for (const TimedValue& s : samples_) m = std::max(m, s.value);
+  if (count_ == 0) return std::nullopt;
+  double m = front().value;
+  for (std::size_t i = 1; i < count_; ++i) m = std::max(m, at_index(i).value);
   return m;
 }
 

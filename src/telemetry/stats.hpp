@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -77,9 +77,9 @@ class RollingWindow {
   /// taken with a `now` argument do this implicitly.
   void evict(sim::Time now);
 
-  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
   /// Samples still inside the window as of `now`.
-  [[nodiscard]] std::size_t count(sim::Time now) { evict(now); return samples_.size(); }
+  [[nodiscard]] std::size_t count(sim::Time now) { evict(now); return count_; }
   [[nodiscard]] std::optional<double> mean() const;
   [[nodiscard]] std::optional<double> stddev() const;
   [[nodiscard]] std::optional<double> min() const;
@@ -94,7 +94,8 @@ class RollingWindow {
   [[nodiscard]] sim::Time window() const noexcept { return window_; }
 
   void clear() {
-    samples_.clear();
+    head_ = 0;
+    count_ = 0;
     sum_ = 0.0;
     sum_sq_ = 0.0;
   }
@@ -105,8 +106,25 @@ class RollingWindow {
     double value;
   };
 
+  // Ring buffer instead of std::deque: a deque under steady push_back /
+  // pop_front churn frees exhausted front blocks and allocates fresh back
+  // blocks, i.e. one heap round-trip per block of samples — on the
+  // per-delivered-packet receive path.  The ring reallocates only while
+  // growing toward the window's peak occupancy, then never again.
+  [[nodiscard]] const TimedValue& front() const noexcept { return ring_[head_]; }
+  [[nodiscard]] const TimedValue& at_index(std::size_t i) const noexcept {
+    return ring_[(head_ + i) & (ring_.size() - 1)];
+  }
+  void push_back(TimedValue v);
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+  }
+
   sim::Time window_;
-  std::deque<TimedValue> samples_;
+  std::vector<TimedValue> ring_;  // power-of-two size
+  std::size_t head_ = 0;          // index of the oldest sample
+  std::size_t count_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
 };

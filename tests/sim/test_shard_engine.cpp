@@ -1,0 +1,332 @@
+// Conservative-synchronization engine tests: toy shard graphs driving
+// ShardEngine directly (ordering, frontiers, barriers, time jumps), then the
+// determinism acceptance gate on the sharded WAN — bitwise-identical delivery
+// digests at 1, 2, 4 and 8 shards, cooperative and threaded.
+#include "sim/shard_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/wan.hpp"
+#include "topo/vultr_scenario.hpp"
+
+namespace tango::sim {
+namespace {
+
+using namespace topo::vultr;
+
+// --- Toy harness: a ring of shards relaying one token --------------------
+
+struct ToyCtx {
+  ShardEngine* engine = nullptr;
+  std::vector<EventQueue*> queues;
+  std::vector<std::vector<Time>> logs;  // per-shard executed times (owner-written)
+  Time limit = 0;
+  Time hop = 0;
+  std::uint32_t shards = 0;
+};
+
+void toy_execute(ToyCtx* t, std::uint32_t shard, Time at, std::uint64_t key) {
+  t->logs[shard].push_back(at);
+  const Time next = at + t->hop;
+  if (next <= t->limit) {
+    t->engine->post(shard, (shard + 1) % t->shards,
+                    ShardEngine::Mail{.at = next, .key = key, .dst = 0, .packet = {}});
+  }
+}
+
+void toy_drain(void* ctx, std::uint32_t shard, ShardEngine::Mail&& mail) {
+  auto* t = static_cast<ToyCtx*>(ctx);
+  const Time at = mail.at;
+  const std::uint64_t key = mail.key;
+  t->queues[shard]->schedule_keyed(at, key, [t, shard, at, key] { toy_execute(t, shard, at, key); });
+}
+
+/// Shards in a forward ring: lookahead(i -> i+1) = hop, no other edges.
+struct ToyRing {
+  explicit ToyRing(std::uint32_t shards, Time hop, Time limit, bool threaded) {
+    ctx.shards = shards;
+    ctx.hop = hop;
+    ctx.limit = limit;
+    ctx.logs.resize(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      queues.emplace_back(EventQueue::Backend::timing_wheel);
+      ctx.queues.push_back(&queues.back());
+    }
+    std::vector<std::vector<Time>> lookahead(shards,
+                                             std::vector<Time>(shards, ShardEngine::kNoLink));
+    for (std::uint32_t i = 0; i < shards; ++i) lookahead[i][(i + 1) % shards] = hop;
+    engine = std::make_unique<ShardEngine>(ctx.queues, std::move(lookahead), &toy_drain, &ctx,
+                                           threaded, /*mailbox_capacity=*/8);
+    ctx.engine = engine.get();
+  }
+
+  /// Seeds the token at (shard, at).
+  void kick(std::uint32_t shard, Time at) {
+    ToyCtx* t = &ctx;
+    queues[shard].schedule_at(at, [t, shard, at] { toy_execute(t, shard, at, 1); });
+  }
+
+  std::deque<EventQueue> queues;  // stable addresses, no moves
+  ToyCtx ctx;
+  std::unique_ptr<ShardEngine> engine;
+};
+
+std::vector<Time> times(Time first, Time step, Time last) {
+  std::vector<Time> v;
+  for (Time t = first; t <= last; t += step) v.push_back(t);
+  return v;
+}
+
+TEST(ShardEngineToyTest, PingPongRunAllExecutesEveryHopInOrder) {
+  ToyRing ring{2, /*hop=*/10, /*limit=*/200, /*threaded=*/false};
+  ring.kick(0, 0);
+  ring.engine->run_all();
+
+  EXPECT_EQ(ring.ctx.logs[0], times(0, 20, 200));
+  EXPECT_EQ(ring.ctx.logs[1], times(10, 20, 190));
+  EXPECT_EQ(ring.engine->stats(0).mail_posted, 10u);   // 0..180 relay on
+  EXPECT_EQ(ring.engine->stats(1).mail_posted, 10u);   // 10..190 relay on
+  EXPECT_EQ(ring.engine->stats(0).mail_drained, 10u);  // arrivals 20..200
+  EXPECT_EQ(ring.engine->stats(1).mail_drained, 10u);  // arrivals 10..190
+  // run_all leaves each clock at the shard's last executed event.
+  EXPECT_EQ(ring.queues[0].now(), 200);
+  EXPECT_EQ(ring.queues[1].now(), 190);
+}
+
+TEST(ShardEngineToyTest, RunUntilStopsAtBoundAndResumes) {
+  ToyRing ring{2, 10, 200, false};
+  ring.kick(0, 0);
+  ring.engine->run_until(55);
+  EXPECT_EQ(ring.ctx.logs[0], times(0, 20, 40));
+  EXPECT_EQ(ring.ctx.logs[1], times(10, 20, 50));
+  // Bounded runs park every clock exactly at the bound.
+  EXPECT_EQ(ring.queues[0].now(), 55);
+  EXPECT_EQ(ring.queues[1].now(), 55);
+  EXPECT_GE(ring.engine->frontier(0), 55);
+  EXPECT_GE(ring.engine->frontier(1), 55);
+
+  // The in-flight hop at t=60 survives the pause (ring mail drains on the
+  // next run) and the relay completes exactly as an unpaused run would.
+  ring.engine->run_until(200);
+  EXPECT_EQ(ring.ctx.logs[0], times(0, 20, 200));
+  EXPECT_EQ(ring.ctx.logs[1], times(10, 20, 190));
+  EXPECT_EQ(ring.queues[0].now(), 200);
+}
+
+TEST(ShardEngineToyTest, CoordinatorJumpsIdleGapsInsteadOfCreeping) {
+  // Two events a millisecond apart with 10 ns lookahead: creeping would take
+  // ~10^5 sweeps per gap; the coordinator must cross each gap in one jump.
+  ToyRing ring{2, 10, 0, false};  // limit 0: no relaying, pure schedule
+  ToyCtx* t = &ring.ctx;
+  ring.queues[1].schedule_at(0, [t] { t->logs[1].push_back(0); });
+  ring.queues[1].schedule_at(kMillisecond, [t] { t->logs[1].push_back(kMillisecond); });
+  ring.engine->run_until(2 * kMillisecond);
+
+  EXPECT_EQ(ring.ctx.logs[1], (std::vector<Time>{0, kMillisecond}));
+  EXPECT_EQ(ring.queues[0].now(), 2 * kMillisecond);
+  EXPECT_EQ(ring.queues[1].now(), 2 * kMillisecond);
+  // One jump to just below t=1ms, one to the bound after the queues drain.
+  EXPECT_GE(ring.engine->time_jumps(), 2u);
+}
+
+TEST(ShardEngineToyTest, ThreadedMatchesCooperative) {
+  constexpr std::uint32_t kShards = 4;
+  ToyRing coop{kShards, 7, 500, false};
+  ToyRing thr{kShards, 7, 500, true};
+  for (std::uint32_t i = 0; i < kShards; ++i) {
+    coop.kick(i, i);
+    thr.kick(i, i);
+  }
+  coop.engine->run_all();
+  thr.engine->run_all();
+  for (std::uint32_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(coop.ctx.logs[i], thr.ctx.logs[i]) << "shard " << i;
+    EXPECT_FALSE(coop.ctx.logs[i].empty());
+  }
+  EXPECT_TRUE(thr.engine->threaded());
+}
+
+TEST(ShardEngineToyTest, ControlBarrierFencesOtherShards) {
+  // A control event at t=10 on shard 0 mutates state that shard 1's events
+  // straddle: the t=5 event must see the old value, the t=15 event the new
+  // one, which requires shard 1 to hold at t=9 until the control runs.
+  ToyRing ring{2, 10, 0, false};
+  ring.queues[0].set_schedule_observer(&ShardEngine::note_control_thunk, ring.engine.get());
+
+  int flag = 0;
+  std::vector<std::pair<std::string, int>> seen;
+  ToyCtx* t = &ring.ctx;
+  ring.queues[1].schedule_at(5, [&flag, &seen] { seen.emplace_back("s1@5", flag); });
+  ring.queues[1].schedule_at(15, [&flag, &seen] { seen.emplace_back("s1@15", flag); });
+  ring.queues[0].schedule_at(10, [&flag, &seen] {
+    flag = 1;
+    seen.emplace_back("ctl@10", flag);
+  });
+  (void)t;
+  ring.engine->run_all();
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, int>{"s1@5", 0}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, int>{"ctl@10", 1}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, int>{"s1@15", 1}));
+  EXPECT_EQ(ring.engine->stats(0).barriers, 1u);
+}
+
+TEST(ShardEngineToyTest, SameTimestampBandsOrderControlInjectArrival) {
+  // The determinism contract at equal timestamps: control (plain FIFO keys)
+  // < injection band < arrival band, regardless of scheduling order.
+  EventQueue q{EventQueue::Backend::timing_wheel};
+  std::vector<std::string> order;
+  q.schedule_keyed(50, ShardEngine::kArrivalBand | (7ull << ShardEngine::kArrivalLinkShift) | 1,
+                   [&order] { order.emplace_back("arrival-l7s1"); });
+  q.schedule_keyed(50, ShardEngine::kInjectBand | 0, [&order] { order.emplace_back("inject-0"); });
+  q.schedule_at(50, [&order] { order.emplace_back("control"); });
+  q.schedule_keyed(50, ShardEngine::kArrivalBand | (3ull << ShardEngine::kArrivalLinkShift) | 9,
+                   [&order] { order.emplace_back("arrival-l3s9"); });
+  q.schedule_keyed(50, ShardEngine::kInjectBand | 1, [&order] { order.emplace_back("inject-1"); });
+  q.schedule_keyed(50, ShardEngine::kArrivalBand | (3ull << ShardEngine::kArrivalLinkShift) | 2,
+                   [&order] { order.emplace_back("arrival-l3s2"); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<std::string>{"control", "inject-0", "inject-1", "arrival-l3s2",
+                                             "arrival-l3s9", "arrival-l7s1"}));
+}
+
+// --- WAN determinism gate -------------------------------------------------
+
+struct SoakAccum {
+  Wan* wan = nullptr;
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  std::uint64_t count = 0;
+};
+
+void record_delivery(void* ctx, net::Packet& p) {
+  auto* a = static_cast<SoakAccum*>(ctx);
+  const std::uint64_t hash = p.flow_key() != nullptr ? p.flow_key()->hash : 0;
+  const std::uint64_t hop_limit = p.ip().has_value() ? p.ip()->hop_limit : 0;
+  a->digest ^= static_cast<std::uint64_t>(a->wan->now()) ^ hash ^ (hop_limit << 48);
+  a->digest *= 0x100000001B3ull;
+  ++a->count;
+}
+
+struct SoakResult {
+  std::uint64_t digest = 0;
+  std::uint64_t count = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t link_loss = 0;
+  std::uint64_t mail_posted = 0;
+};
+
+/// Bidirectional LA<->NY traffic over the sharded Vultr WAN with a mid-run
+/// link-down/link-up control pair and a FIB resync — the digest must be a
+/// pure function of the scenario, not of the shard layout or thread
+/// schedule.
+SoakResult sharded_soak(std::uint32_t shards, bool threaded) {
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  const std::array<bgp::RouterId, 7> interior{kNtt,    kTelia,   kGtt,    kCogent,
+                                              kLevel3, kVultrLa, kVultrNy};
+  WanOptions opt;
+  opt.sharded = true;
+  opt.plan = ShardPlan::round_robin(shards, interior);
+  opt.threaded = threaded;
+  Wan wan{s.topo, Rng{20260808}, opt};
+
+  SoakAccum ny{&wan};
+  SoakAccum la{&wan};
+  wan.attach_raw(kServerNy, &record_delivery, &ny);
+  wan.attach_raw(kServerLa, &record_delivery, &la);
+
+  static const std::vector<std::uint8_t> kPayload{0xde, 0xad, 0xbe, 0xef};
+  for (int i = 0; i < 160; ++i) {
+    const Time at = (i + 1) * (kMillisecond / 20);  // 50 us apart, 8 ms span
+    wan.schedule_on(kServerLa, at, [&wan, &s, i] {
+      wan.send_from(kServerLa,
+                    net::make_udp_packet(s.plan.la_hosts.host(1), s.plan.ny_hosts.host(1),
+                                         static_cast<std::uint16_t>(1000 + i % 11),
+                                         static_cast<std::uint16_t>(2000 + i % 7), kPayload));
+    });
+    wan.schedule_on(kServerNy, at + 13 * kMicrosecond, [&wan, &s, i] {
+      wan.send_from(kServerNy,
+                    net::make_udp_packet(s.plan.ny_hosts.host(2), s.plan.la_hosts.host(1),
+                                         static_cast<std::uint16_t>(3000 + i % 13),
+                                         static_cast<std::uint16_t>(4000 + i % 5), kPayload));
+    });
+  }
+  // Control events: fail the NTT->NY edge under load, restore it, resync
+  // FIBs (a no-op for routing here, but it bumps the flow-cache generation
+  // on every shard — the barrier must order that against in-flight lookups).
+  wan.events().schedule_at(3 * kMillisecond, [&wan] {
+    wan.link(kNtt, kVultrNy).set_down(true);
+    wan.link(kVultrNy, kNtt).set_down(true);
+  });
+  wan.events().schedule_at(5 * kMillisecond, [&wan] { wan.sync_fibs(); });
+  wan.events().schedule_at(6 * kMillisecond, [&wan] {
+    wan.link(kNtt, kVultrNy).set_down(false);
+    wan.link(kVultrNy, kNtt).set_down(false);
+  });
+
+  wan.run_all();
+
+  SoakResult r;
+  r.digest = ny.digest * 0x9E3779B97F4A7C15ull ^ la.digest;
+  r.count = ny.count + la.count;
+  r.delivered = wan.delivered();
+  r.link_loss = wan.dropped(DropReason::link_loss);
+  for (std::uint32_t i = 0; i < wan.shard_count(); ++i) {
+    r.mail_posted += wan.shard_stats(i).mail_posted;
+  }
+  return r;
+}
+
+TEST(ShardedWanDeterminismTest, DigestIdenticalAcrossShardCounts) {
+  const SoakResult base = sharded_soak(1, false);
+  ASSERT_GT(base.count, 100u);  // the scenario actually delivers traffic
+  EXPECT_GT(base.link_loss, 0u);  // the link-down window actually bites
+  EXPECT_EQ(base.mail_posted, 0u);  // single shard: no cross-shard mail
+
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const SoakResult r = sharded_soak(shards, false);
+    EXPECT_EQ(r.digest, base.digest) << shards << " shards (cooperative)";
+    EXPECT_EQ(r.count, base.count) << shards << " shards (cooperative)";
+    EXPECT_EQ(r.delivered, base.delivered) << shards << " shards (cooperative)";
+    EXPECT_EQ(r.link_loss, base.link_loss) << shards << " shards (cooperative)";
+    if (shards > 1) {
+      EXPECT_GT(r.mail_posted, 0u) << "traffic never crossed shards at " << shards;
+    }
+  }
+}
+
+TEST(ShardedWanDeterminismTest, DigestIdenticalUnderThreads) {
+  const SoakResult base = sharded_soak(1, false);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    const SoakResult r = sharded_soak(shards, true);
+    EXPECT_EQ(r.digest, base.digest) << shards << " shards (threaded)";
+    EXPECT_EQ(r.count, base.count) << shards << " shards (threaded)";
+    EXPECT_EQ(r.delivered, base.delivered) << shards << " shards (threaded)";
+  }
+}
+
+TEST(ShardedWanDeterminismTest, ShardOfReflectsThePlan) {
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  const std::array<bgp::RouterId, 7> interior{kNtt,    kTelia,   kGtt,    kCogent,
+                                              kLevel3, kVultrLa, kVultrNy};
+  WanOptions opt;
+  opt.sharded = true;
+  opt.plan = ShardPlan::round_robin(4, interior);
+  Wan wan{s.topo, Rng{1}, opt};
+  EXPECT_TRUE(wan.sharded());
+  EXPECT_EQ(wan.shard_count(), 4u);
+  EXPECT_EQ(wan.shard_of(kServerLa), 0u);  // edges stay on the control shard
+  EXPECT_EQ(wan.shard_of(kServerNy), 0u);
+  EXPECT_EQ(wan.shard_of(kNtt), 1u);
+  EXPECT_EQ(wan.shard_of(kTelia), 2u);
+  EXPECT_EQ(wan.shard_of(kGtt), 3u);
+  EXPECT_EQ(wan.shard_of(kCogent), 1u);  // round-robin wraps over shards 1..3
+}
+
+}  // namespace
+}  // namespace tango::sim
