@@ -139,6 +139,7 @@ struct SoakResult {
   std::uint64_t mail_posted = 0;        ///< cross-shard mailbox traffic (sharded runs)
   int max_unusable_streak = 0;
   std::uint64_t digest = 0;
+  std::uint64_t fib_digest = 0;  ///< final FIB contents (incremental-vs-full oracle)
   double pkts_per_sec = 0;  ///< WAN deliveries per wall-clock second (not in the digest)
   std::vector<std::uint64_t> buckets_la;
   std::vector<std::uint64_t> buckets_ny;
@@ -182,9 +183,10 @@ std::vector<std::vector<std::uint8_t>> make_malformed_frames() {
 SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault>& schedule,
                     sim::EventQueue::Backend backend,
                     const telemetry::Observability& obs = {}, bool inject_malformed = false,
-                    std::uint32_t shards = 0, bool threaded = false) {
+                    std::uint32_t shards = 0, bool threaded = false,
+                    sim::FibSync fib_sync = sim::FibSync::incremental) {
   Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
-             backend, obs, shards, threaded};
+             backend, obs, shards, threaded, fib_sync};
   tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
   tb.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
 
@@ -310,6 +312,7 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
   r.quarantines = tb.la.health().quarantines() + tb.ny.health().quarantines();
   r.recoveries = tb.la.health().recoveries() + tb.ny.health().recoveries();
   r.malformed_drops = tb.la.dp().malformed_drops() + tb.ny.dp().malformed_drops();
+  r.fib_digest = tb.wan.fib_digest();
   mix(r.digest, r.wan_delivered);
   mix(r.digest, r.wan_dropped);
   mix(r.digest, r.switches);
@@ -414,6 +417,46 @@ int check_sharded_determinism(std::uint64_t seed, sim::Time total,
                    "FAIL I4-sharded: %u-shard run posted no cross-shard mail — "
                    "the plan never split the topology, so the check has no teeth\n",
                    shards);
+      ++violations;
+    }
+  }
+  std::printf("\n");
+  return violations;
+}
+
+// --- Incremental FIB sync determinism (I4-fib) -------------------------------
+
+/// Runs the soak with the full-rebuild FIB sync oracle at 1/2/4/8 shards and
+/// requires each run to match the incremental-mode baseline bit for bit —
+/// both the soak digest (every delivery and fault reaction) and the final
+/// FIB digest.  The gate that incremental delta application and surgical
+/// cache invalidation never change a forwarding decision.
+int check_fib_sync_determinism(std::uint64_t seed, sim::Time total,
+                               const std::vector<Fault>& schedule) {
+  std::printf("incremental FIB sync determinism (I4-fib, full-rebuild oracle runs):\n");
+  const SoakResult base = run_soak(seed, total, schedule,
+                                   sim::EventQueue::Backend::timing_wheel, {},
+                                   /*inject_malformed=*/false, /*shards=*/1);
+  std::printf("  incremental, 1 shard : digest %016llx, fib %016llx\n",
+              static_cast<unsigned long long>(base.digest),
+              static_cast<unsigned long long>(base.fib_digest));
+  int violations = 0;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const SoakResult full = run_soak(seed, total, schedule,
+                                     sim::EventQueue::Backend::timing_wheel, {},
+                                     /*inject_malformed=*/false, shards, /*threaded=*/false,
+                                     sim::FibSync::full_rebuild);
+    std::printf("  full-rebuild, %u shard%s: digest %016llx, fib %016llx\n", shards,
+                shards == 1 ? " " : "s", static_cast<unsigned long long>(full.digest),
+                static_cast<unsigned long long>(full.fib_digest));
+    if (full.digest != base.digest || full.fib_digest != base.fib_digest) {
+      std::fprintf(stderr,
+                   "FAIL I4-fib: full-rebuild run at %u shards diverged from the "
+                   "incremental baseline (digest %016llx vs %016llx, fib %016llx vs %016llx)\n",
+                   shards, static_cast<unsigned long long>(full.digest),
+                   static_cast<unsigned long long>(base.digest),
+                   static_cast<unsigned long long>(full.fib_digest),
+                   static_cast<unsigned long long>(base.fib_digest));
       ++violations;
     }
   }
@@ -530,6 +573,8 @@ int run(std::uint64_t seed, sim::Time total) {
   }
   const int shard_violations = check_sharded_determinism(seed, total, schedule);
   violations += shard_violations;
+  const int fib_sync_violations = check_fib_sync_determinism(seed, total, schedule);
+  violations += fib_sync_violations;
 
   JsonWriter w;
   w.begin_object();
@@ -550,14 +595,16 @@ int run(std::uint64_t seed, sim::Time total) {
                 "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"faults\": %zu, "
                 "\"traffic_delivered\": %llu, \"quarantines\": %llu, \"recoveries\": %llu, "
                 "\"max_unusable_streak\": %d, \"pkts_per_sec\": %.0f, \"deterministic\": %s, "
-                "\"sharded_deterministic\": %s, \"violations\": %d}",
+                "\"sharded_deterministic\": %s, \"fib_sync_deterministic\": %s, "
+                "\"violations\": %d}",
                 git_head_sha().c_str(), utc_timestamp().c_str(),
                 static_cast<unsigned long long>(seed), schedule.size(),
                 static_cast<unsigned long long>(wheel.traffic_la + wheel.traffic_ny),
                 static_cast<unsigned long long>(wheel.quarantines),
                 static_cast<unsigned long long>(wheel.recoveries), wheel.max_unusable_streak,
                 wheel.pkts_per_sec, wheel.digest == heap.digest ? "true" : "false",
-                shard_violations == 0 ? "true" : "false", violations);
+                shard_violations == 0 ? "true" : "false",
+                fib_sync_violations == 0 ? "true" : "false", violations);
   if (append_run_history("BENCH_chaos", record)) {
     std::printf("appended run record to <repo-root>/BENCH_chaos.json\n");
   }
@@ -596,6 +643,25 @@ int run_shards_only(std::uint64_t seed, sim::Time total) {
   return 0;
 }
 
+/// `--fib-sync-only`: just the I4-fib gate (incremental FIB sync vs the
+/// full-rebuild oracle at 1/2/4/8 shards), no reports and no run history.
+int run_fib_sync_only(std::uint64_t seed, sim::Time total) {
+  print_header("Chaos soak (incremental FIB sync gate)",
+               "incremental vs full-rebuild FIB sync at 1/2/4/8 shards; "
+               "bitwise-equal soak and FIB digests required",
+               seed);
+  const std::vector<Fault> schedule = make_schedule(seed, total);
+  if (schedule.size() < 2) {
+    std::fprintf(stderr, "FAIL: degenerate schedule (%zu faults) — soak too short\n",
+                 schedule.size());
+    return 1;
+  }
+  const int violations = check_fib_sync_determinism(seed, total, schedule);
+  if (violations > 0) return 1;
+  std::printf("I4-fib held (%zu faults, shard counts 1/2/4/8)\n", schedule.size());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tango::bench
 
@@ -606,10 +672,13 @@ int main(int argc, char** argv) {
     total = 45 * tango::sim::kSecond;  // ~3 faults: same invariants, CI-sized
   }
   bool shards_only = false;
+  bool fib_sync_only = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards-only") == 0) {
       shards_only = true;
+    } else if (std::strcmp(argv[i], "--fib-sync-only") == 0) {
+      fib_sync_only = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -617,5 +686,6 @@ int main(int argc, char** argv) {
   if (positional.size() > 0) seed = std::strtoull(positional[0], nullptr, 10);
   if (positional.size() > 1) total = std::strtoull(positional[1], nullptr, 10) * tango::sim::kSecond;
   if (shards_only) return tango::bench::run_shards_only(seed, total);
+  if (fib_sync_only) return tango::bench::run_fib_sync_only(seed, total);
   return tango::bench::run(seed, total);
 }

@@ -1,0 +1,362 @@
+// E14: mesh-scale churn — incremental control→data-plane convergence.
+//
+// Builds a generated three-tier Gao–Rexford AS mesh (256 routers, 1664
+// prefixes at full scale; see topo/mesh_gen.hpp), floods the initial table,
+// then drives control-plane churn — single-prefix UPDATE storms
+// (withdraw + re-originate) and session flaps on multi-homed stubs — while
+// measuring how fast the data plane reconverges:
+//
+//   * an incremental-mode Wan applies only the dirty (router, prefix)
+//     deltas the BGP layer recorded (falling back to per-router rebuilds
+//     when a flap dirties more than the overflow bound);
+//   * a full-rebuild-mode Wan on the same topology is the oracle: at every
+//     checkpoint both must report bitwise-identical FIB digests;
+//   * the headline gate: at >= 256 routers the incremental sync must
+//     reconverge the data plane >= 5x faster than the full rebuild;
+//   * a traffic phase forwards stub-to-stub bursts through churn and
+//     reports pkts/sec and flow-cache effectiveness (per-prefix
+//     invalidation keeps unrelated flows' cache entries warm).
+//
+// TANGO_BENCH_QUICK=1 shrinks the mesh and round counts for CI (digest
+// checks keep their teeth; the 5x gate applies only at full scale).
+// Results go to stdout and the BENCH_mesh detail JSON, plus a one-line run
+// record appended to BENCH_mesh.json at the repo root.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "net/packet.hpp"
+#include "topo/mesh_gen.hpp"
+
+namespace tango::bench {
+namespace {
+
+struct MeshScale {
+  topo::MeshParams params;
+  std::uint64_t churn_rounds = 30;
+  std::uint64_t oracle_every = 6;   ///< full-rebuild checkpoint cadence
+  std::uint64_t traffic_ticks = 40; ///< traffic phase: ticks of bursts + churn
+  std::uint64_t bursts_per_tick = 8;
+  std::uint64_t burst_size = 64;
+};
+
+MeshScale pick_scale() {
+  MeshScale s;
+  if (quick_mode()) {
+    s.params = topo::MeshParams{.tier1 = 4, .tier2 = 12, .stubs = 48, .prefixes_per_stub = 4};
+    s.churn_rounds = 8;
+    s.oracle_every = 4;
+    s.traffic_ticks = 10;
+    s.bursts_per_tick = 4;
+    s.burst_size = 32;
+  }
+  return s;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// IPv4 host inside origination `index`'s /24 (mesh_gen's 10/8 layout).
+net::Ipv4Address host_in(std::size_t index, std::uint8_t host) {
+  return net::Ipv4Address{0x0A000000u | (static_cast<std::uint32_t>(index) << 8) | host};
+}
+
+struct ChurnStats {
+  std::uint64_t prefix_flaps = 0;
+  std::uint64_t session_flaps = 0;
+  double control_ms_total = 0;  ///< BGP reconvergence wall time
+  double inc_sync_us_total = 0;
+  double full_sync_us_total = 0;
+  std::uint64_t full_sync_samples = 0;
+  std::uint64_t digest_checks = 0;
+  std::uint64_t digest_mismatches = 0;
+};
+
+/// One churn round against the control plane; returns its reconvergence wall
+/// time.  70% single-prefix flap (withdraw + re-originate: the UPDATE-storm
+/// shape), 30% session flap on a stub uplink (the bulk-invalidation shape
+/// that exercises the dirty-list overflow fallback).
+double churn_once(topo::Topology& topo, const topo::Mesh& mesh, std::mt19937_64& rng,
+                  ChurnStats& stats) {
+  const auto start = std::chrono::steady_clock::now();
+  if (rng() % 10 < 7) {
+    const auto& [stub, prefix] = mesh.originations[rng() % mesh.originations.size()];
+    topo.bgp().withdraw(stub, prefix);
+    topo.bgp().originate(stub, prefix);
+    ++stats.prefix_flaps;
+  } else {
+    const bgp::RouterId stub = mesh.stubs[rng() % mesh.stubs.size()];
+    const std::vector<bgp::RouterId> uplinks = topo.bgp().router(stub).neighbors();
+    const bgp::RouterId provider = uplinks[rng() % uplinks.size()];
+    topo.bgp().remove_session(stub, provider);
+    topo.bgp().add_transit(provider, stub, static_cast<std::uint32_t>(rng() % 4));
+    ++stats.session_flaps;
+  }
+  const double ms = ms_since(start);
+  stats.control_ms_total += ms;
+  return ms;
+}
+
+/// Syncs the incremental Wan (always) and the full-rebuild oracle (on
+/// checkpoint rounds), recording sync costs and checking digest equality.
+void sync_and_check(sim::Wan& inc, sim::Wan& full, bool checkpoint, ChurnStats& stats) {
+  inc.sync_fibs();
+  stats.inc_sync_us_total += static_cast<double>(inc.fib_sync_stats().last_sync_micros);
+  if (!checkpoint) return;
+  full.sync_fibs();
+  stats.full_sync_us_total += static_cast<double>(full.fib_sync_stats().last_sync_micros);
+  ++stats.full_sync_samples;
+  ++stats.digest_checks;
+  if (inc.fib_digest() != full.fib_digest()) {
+    ++stats.digest_mismatches;
+    std::fprintf(stderr,
+                 "FAIL: FIB digest mismatch after churn (incremental %016llx, "
+                 "oracle %016llx)\n",
+                 static_cast<unsigned long long>(inc.fib_digest()),
+                 static_cast<unsigned long long>(full.fib_digest()));
+  }
+}
+
+struct TrafficResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  double pkts_per_sec = 0;
+  double cache_hit_rate = 0;
+};
+
+/// Stub-to-stub bursts interleaved with churn: every tick sends
+/// bursts_per_tick bursts from random stubs to random prefixes and runs the
+/// fabric dry; every 4th tick flaps a prefix and resyncs incrementally first.
+TrafficResult run_traffic(sim::Wan& wan, topo::Topology& topo, const topo::Mesh& mesh,
+                          const MeshScale& scale, std::mt19937_64& rng, ChurnStats& stats) {
+  TrafficResult r;
+  std::uint64_t delivered = 0;
+  for (bgp::RouterId stub : mesh.stubs) {
+    wan.attach_raw(
+        stub, [](void* ctx, net::Packet&) { ++*static_cast<std::uint64_t*>(ctx); }, &delivered);
+  }
+  const std::vector<std::uint8_t> payload(64, 0x5A);
+  const std::uint64_t hits_before = wan.fib_cache_hits();
+  const std::uint64_t lookups_before = wan.fib_lookups();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t tick = 0; tick < scale.traffic_ticks; ++tick) {
+    if (tick % 4 == 3) {
+      churn_once(topo, mesh, rng, stats);
+      sync_and_check(wan, wan, /*checkpoint=*/false, stats);
+    }
+    for (std::uint64_t b = 0; b < scale.bursts_per_tick; ++b) {
+      const bgp::RouterId src = mesh.stubs[rng() % mesh.stubs.size()];
+      const std::size_t dst_index = rng() % mesh.originations.size();
+      std::vector<net::Packet> burst = wan.acquire_burst();
+      burst.reserve(scale.burst_size);
+      for (std::uint64_t p = 0; p < scale.burst_size; ++p) {
+        burst.push_back(net::make_udp4_packet(
+            wan.buffer_pool(), host_in(0, 1),
+            host_in(dst_index, static_cast<std::uint8_t>(1 + p % 200)),
+            static_cast<std::uint16_t>(40000 + p), 7777, payload));
+      }
+      r.sent += scale.burst_size;
+      wan.send_burst_from(src, std::move(burst));
+    }
+    wan.run_all();
+  }
+  const double wall_s = ms_since(start) / 1000.0;
+  r.delivered = delivered;
+  r.dropped = wan.total_dropped();
+  if (wall_s > 0) r.pkts_per_sec = static_cast<double>(delivered) / wall_s;
+  const std::uint64_t lookups = wan.fib_lookups() - lookups_before;
+  if (lookups > 0) {
+    r.cache_hit_rate =
+        static_cast<double>(wan.fib_cache_hits() - hits_before) / static_cast<double>(lookups);
+  }
+  return r;
+}
+
+int run(std::uint64_t seed) {
+  const MeshScale scale = pick_scale();
+  print_header("Mesh-scale churn (E14)",
+               "generated Gao-Rexford AS mesh: incremental vs full-rebuild FIB sync under "
+               "UPDATE storms and session flaps",
+               seed);
+
+  // --- Build + initial flood ---------------------------------------------
+  topo::Topology topo;
+  auto t0 = std::chrono::steady_clock::now();
+  topo::MeshParams params = scale.params;
+  params.seed = seed;
+  const topo::Mesh mesh = topo::generate_mesh(topo, params);
+  const double build_ms = ms_since(t0);
+
+  topo.bgp().set_message_limit(50'000'000);
+  topo.bgp().set_batched_delivery(true);  // coalesce the flood's UPDATE bursts
+  t0 = std::chrono::steady_clock::now();
+  const std::uint64_t flood_messages = topo.bgp().run_to_convergence();
+  const double flood_ms = ms_since(t0);
+  std::printf("mesh: %zu routers (%zu/%zu/%zu), %zu prefixes, %zu links\n",
+              mesh.routers(), mesh.tier1.size(), mesh.tier2.size(), mesh.stubs.size(),
+              mesh.originations.size(), topo.links().size());
+  std::printf("build %.0f ms, initial flood %.0f ms (%llu messages, batched delivery)\n\n",
+              build_ms, flood_ms, static_cast<unsigned long long>(flood_messages));
+
+  // The incremental Wan consumes the speakers' dirty lists; the full-rebuild
+  // twin is the read-only oracle (constructed second, never sees traffic).
+  t0 = std::chrono::steady_clock::now();
+  sim::Wan wan_inc{topo, sim::Rng{seed},
+                   sim::WanOptions{.fib_sync = sim::FibSync::incremental}};
+  const double first_sync_ms = ms_since(t0);
+  sim::Wan wan_full{topo, sim::Rng{seed},
+                    sim::WanOptions{.fib_sync = sim::FibSync::full_rebuild}};
+  std::printf("first full FIB sync: %.0f ms for %zu routers\n", first_sync_ms, mesh.routers());
+
+  int violations = 0;
+  if (wan_inc.fib_digest() != wan_full.fib_digest()) {
+    std::fprintf(stderr, "FAIL: initial FIB digests differ before any churn\n");
+    ++violations;
+  }
+
+  // --- Churn rounds --------------------------------------------------------
+  std::mt19937_64 rng{seed * 0x9E3779B97F4A7C15ull + 1};
+  ChurnStats stats;
+  for (std::uint64_t round = 0; round < scale.churn_rounds; ++round) {
+    churn_once(topo, mesh, rng, stats);
+    const bool checkpoint =
+        (round + 1) % scale.oracle_every == 0 || round + 1 == scale.churn_rounds;
+    sync_and_check(wan_inc, wan_full, checkpoint, stats);
+  }
+  const double rounds = static_cast<double>(scale.churn_rounds);
+  const double inc_sync_avg_us =
+      stats.inc_sync_us_total / static_cast<double>(scale.churn_rounds);
+  const double full_sync_avg_us =
+      stats.full_sync_samples > 0
+          ? stats.full_sync_us_total / static_cast<double>(stats.full_sync_samples)
+          : 0;
+  const double speedup = inc_sync_avg_us > 0 ? full_sync_avg_us / inc_sync_avg_us : 0;
+  // Reconvergence as the operator sees it: control-plane propagation plus the
+  // incremental data-plane sync.
+  const double convergence_ms =
+      stats.control_ms_total / rounds + inc_sync_avg_us / 1000.0;
+
+  const sim::Wan::FibSyncStats& fs = wan_inc.fib_sync_stats();
+  std::printf("\nchurn (%llu rounds: %llu prefix flaps, %llu session flaps):\n",
+              static_cast<unsigned long long>(scale.churn_rounds),
+              static_cast<unsigned long long>(stats.prefix_flaps),
+              static_cast<unsigned long long>(stats.session_flaps));
+  std::printf("  reconvergence        %.2f ms/round (control %.2f ms + inc sync %.0f us)\n",
+              convergence_ms, stats.control_ms_total / rounds, inc_sync_avg_us);
+  std::printf("  incremental sync     %.0f us avg\n", inc_sync_avg_us);
+  std::printf("  full-rebuild oracle  %.0f us avg (%llu samples)\n", full_sync_avg_us,
+              static_cast<unsigned long long>(stats.full_sync_samples));
+  std::printf("  sync speedup         %.1fx (incremental vs full rebuild)\n", speedup);
+  std::printf("  delta applies %llu, router rebuilds %llu, prefix invalidations %llu, "
+              "generation invalidations %llu\n",
+              static_cast<unsigned long long>(fs.delta_applies),
+              static_cast<unsigned long long>(fs.router_rebuilds),
+              static_cast<unsigned long long>(fs.prefix_invalidations),
+              static_cast<unsigned long long>(fs.generation_invalidations));
+
+  if (stats.digest_mismatches > 0) ++violations;
+  const bool full_scale = !quick_mode() && mesh.routers() >= 256;
+  if (full_scale && speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: incremental sync only %.1fx faster than full rebuild (gate: 5x at "
+                 ">=256 routers)\n",
+                 speedup);
+    ++violations;
+  }
+
+  // --- Traffic under churn -------------------------------------------------
+  const TrafficResult traffic = run_traffic(wan_inc, topo, mesh, scale, rng, stats);
+  std::printf("\ntraffic under churn: %llu sent, %llu delivered, %llu dropped, "
+              "%.0f pkts/s, cache hit rate %.1f%%\n",
+              static_cast<unsigned long long>(traffic.sent),
+              static_cast<unsigned long long>(traffic.delivered),
+              static_cast<unsigned long long>(traffic.dropped), traffic.pkts_per_sec,
+              100.0 * traffic.cache_hit_rate);
+  if (traffic.delivered != traffic.sent) {
+    std::fprintf(stderr,
+                 "FAIL: traffic loss in a lossless mesh (%llu sent, %llu delivered) — "
+                 "stale FIB or cache entry served\n",
+                 static_cast<unsigned long long>(traffic.sent),
+                 static_cast<unsigned long long>(traffic.delivered));
+    ++violations;
+  }
+
+  // Final oracle checkpoint after the traffic phase's churn.
+  sync_and_check(wan_inc, wan_full, /*checkpoint=*/true, stats);
+  if (stats.digest_mismatches > 0 && violations == 0) ++violations;
+
+  // --- Reports -------------------------------------------------------------
+  JsonWriter w;
+  w.begin_object();
+  w.field("seed", seed);
+  w.field("routers", static_cast<std::uint64_t>(mesh.routers()));
+  w.field("prefixes", static_cast<std::uint64_t>(mesh.originations.size()));
+  w.field("links", static_cast<std::uint64_t>(topo.links().size()));
+  w.begin_object("build")
+      .field("build_ms", build_ms, 1)
+      .field("initial_flood_ms", flood_ms, 1)
+      .field("flood_messages", flood_messages)
+      .field("first_full_sync_ms", first_sync_ms, 1)
+      .end_object();
+  w.begin_object("churn")
+      .field("rounds", scale.churn_rounds)
+      .field("prefix_flaps", stats.prefix_flaps)
+      .field("session_flaps", stats.session_flaps)
+      .field("convergence_ms", convergence_ms, 3)
+      .field("inc_sync_avg_us", inc_sync_avg_us, 1)
+      .field("full_sync_avg_us", full_sync_avg_us, 1)
+      .field("sync_speedup", speedup, 2)
+      .field("delta_applies", fs.delta_applies)
+      .field("router_rebuilds", fs.router_rebuilds)
+      .field("prefix_invalidations", fs.prefix_invalidations)
+      .field("generation_invalidations", fs.generation_invalidations)
+      .field("digest_checks", stats.digest_checks)
+      .field("digest_mismatches", stats.digest_mismatches)
+      .end_object();
+  w.begin_object("traffic")
+      .field("sent", traffic.sent)
+      .field("delivered", traffic.delivered)
+      .field("dropped", traffic.dropped)
+      .field("pkts_per_sec", traffic.pkts_per_sec, 0)
+      .field("cache_hit_rate", traffic.cache_hit_rate, 4)
+      .end_object();
+  w.field("violations", static_cast<std::uint64_t>(violations));
+  w.end_object();
+  const auto path = detail_report_path("BENCH_mesh");
+  w.write_file(path);
+  std::printf("wrote %s\n", path.string().c_str());
+
+  char record[512];
+  std::snprintf(record, sizeof record,
+                "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"routers\": %zu, "
+                "\"prefixes\": %zu, \"convergence_ms\": %.3f, \"churn_pkts_per_sec\": %.0f, "
+                "\"sync_speedup\": %.2f, \"digests_equal\": %s, \"violations\": %d}",
+                git_head_sha().c_str(), utc_timestamp().c_str(),
+                static_cast<unsigned long long>(seed), mesh.routers(),
+                mesh.originations.size(), convergence_ms, traffic.pkts_per_sec, speedup,
+                stats.digest_mismatches == 0 ? "true" : "false", violations);
+  if (append_run_history("BENCH_mesh", record)) {
+    std::printf("appended run record to <repo-root>/BENCH_mesh.json\n");
+  }
+
+  if (violations > 0) return 1;
+  std::printf("mesh-scale churn passed (%llu digest checks, %.1fx sync speedup)\n",
+              static_cast<unsigned long long>(stats.digest_checks), speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tango::bench
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+  return tango::bench::run(seed);
+}

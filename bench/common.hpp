@@ -63,19 +63,23 @@ struct Testbed {
   /// `shards` > 0 selects the sharded engine with the Vultr round-robin plan
   /// (`threaded` picks OS threads over cooperative round-robin); drive it
   /// through wan.run_all()/run_until() rather than wan.events().run_*.
+  /// `fib_sync` selects incremental delta application or the full-rebuild
+  /// oracle (see sim::FibSync) — the chaos soak runs both and compares.
   explicit Testbed(std::uint64_t seed, bool keep_series = true,
                    sim::Time la_clock_offset = 500 * sim::kMicrosecond,
                    sim::Time ny_clock_offset = -300 * sim::kMicrosecond,
                    sim::EventQueue::Backend backend = sim::EventQueue::Backend::timing_wheel,
                    telemetry::Observability obs = {}, std::uint32_t shards = 0,
-                   bool threaded = false)
+                   bool threaded = false,
+                   sim::FibSync fib_sync = sim::FibSync::incremental)
       : scenario{topo::make_vultr_scenario()},
         wan{scenario.topo, sim::Rng{seed},
             sim::WanOptions{.backend = backend,
                             .sharded = shards > 0,
                             .plan = shards > 0 ? vultr_shard_plan(shards)
                                                : sim::ShardPlan::single(),
-                            .threaded = threaded}},
+                            .threaded = threaded,
+                            .fib_sync = fib_sync}},
         la{scenario.topo, wan,
            core::NodeConfig{
                .router = kServerLa,

@@ -35,15 +35,25 @@ import pathlib
 import subprocess
 import sys
 
-# history-record field -> dotted path into the detail report.
-MANIFEST: dict[str, dict[str, str]] = {
+# history-record field -> (dotted path into the detail report, direction).
+# Direction "higher" is throughput-style (a drop regresses); "lower" is
+# latency-style (a rise regresses).
+MANIFEST: dict[str, dict[str, tuple[str, str]]] = {
     "BENCH_dataplane": {
-        "wheel_pkts_per_sec": "scale.timing_wheel.pkts_per_sec",
-        "heap_pkts_per_sec": "scale.binary_heap.pkts_per_sec",
-        "pipeline_pkts_per_sec": "pipeline.pkts_per_sec",
+        "wheel_pkts_per_sec": ("scale.timing_wheel.pkts_per_sec", "higher"),
+        "heap_pkts_per_sec": ("scale.binary_heap.pkts_per_sec", "higher"),
+        "pipeline_pkts_per_sec": ("pipeline.pkts_per_sec", "higher"),
     },
     "BENCH_chaos": {
-        "pkts_per_sec": "timing_wheel.pkts_per_sec",
+        "pkts_per_sec": ("timing_wheel.pkts_per_sec", "higher"),
+    },
+    # Quick mode shrinks the mesh itself, so the quick run's convergence_ms
+    # sits far below the full-scale baseline and the lower-is-better gate
+    # catches only gross regressions; pkts_per_sec keeps per-packet work
+    # comparable (similar hop counts at both scales).
+    "BENCH_mesh": {
+        "convergence_ms": ("churn.convergence_ms", "lower"),
+        "churn_pkts_per_sec": ("traffic.pkts_per_sec", "higher"),
     },
 }
 
@@ -54,6 +64,7 @@ MANIFEST: dict[str, dict[str, str]] = {
 SCALE_FIELD: dict[str, str] = {
     "BENCH_dataplane": "scale_packets",
     "BENCH_chaos": "faults",
+    "BENCH_mesh": "routers",
 }
 
 
@@ -129,7 +140,7 @@ def check_bench(name: str, repo_root: pathlib.Path, current_dir: pathlib.Path,
         return (-1, 0)
 
     compared = regressions = 0
-    for base_field, detail_path in MANIFEST[name].items():
+    for base_field, (detail_path, direction) in MANIFEST[name].items():
         base = baseline.get(base_field)
         if not isinstance(base, (int, float)) or base <= 0:
             print(f"{name}: {base_field} absent in the committed baseline (skipping field)")
@@ -140,12 +151,15 @@ def check_bench(name: str, repo_root: pathlib.Path, current_dir: pathlib.Path,
             return (-1, 0)
         compared += 1
         delta_pct = 100.0 * (cur - base) / base
+        # Normalize so negative always means "got worse".
+        worse_pct = delta_pct if direction == "higher" else -delta_pct
         verdict = "OK"
-        if delta_pct < -threshold:
-            verdict = f"REGRESSION (worse than -{threshold:.0f}%)"
+        if worse_pct < -threshold:
+            verdict = (f"REGRESSION ({direction} is better, "
+                       f"worse than {threshold:.0f}%)")
             regressions += 1
         print(f"{name}: {base_field}: baseline {base:.0f}, current {cur:.0f} "
-              f"({delta_pct:+.1f}%) {verdict}")
+              f"({delta_pct:+.1f}%, {direction} is better) {verdict}")
     return (compared, regressions)
 
 

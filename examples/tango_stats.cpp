@@ -187,6 +187,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(e.counter->value()));
   }
 
+  const sim::Wan::FibSyncStats& fib = wan.fib_sync_stats();
+  const bool inc_mode = wan.fib_sync_mode() == sim::FibSync::incremental;
+  std::printf("\ncontrol->data-plane convergence (sync_fibs, %s mode):\n",
+              inc_mode ? "incremental" : "full-rebuild");
+  std::printf("  %-38s %12llu\n", "syncs", static_cast<unsigned long long>(fib.syncs));
+  std::printf("  %-38s %12llu\n", "fib_delta_applies",
+              static_cast<unsigned long long>(fib.delta_applies));
+  std::printf("  %-38s %12llu\n", "router_rebuild_fallbacks",
+              static_cast<unsigned long long>(fib.router_rebuilds));
+  std::printf("  %-38s %12llu\n", "full_rebuilds",
+              static_cast<unsigned long long>(fib.full_rebuilds));
+  std::printf("  %-38s %12llu\n", "cache_invalidations{kind=prefix}",
+              static_cast<unsigned long long>(fib.prefix_invalidations));
+  std::printf("  %-38s %12llu\n", "cache_invalidations{kind=generation}",
+              static_cast<unsigned long long>(fib.generation_invalidations));
+  std::printf("  %-38s %9llu us\n", "last_convergence_duration",
+              static_cast<unsigned long long>(fib.last_sync_micros));
+
   const auto events = tracer.events();
   std::printf("\npacket trace: %llu events admitted (1/64 sampling), last %zu retained\n",
               static_cast<unsigned long long>(tracer.recorded()),

@@ -96,6 +96,34 @@ std::vector<Asn> BgpNetwork::forwarding_as_path(RouterId from, const net::Prefix
   return out;
 }
 
+void BgpNetwork::deliver(BgpSpeaker& target, const Update& update) {
+  if (!wire_transport_) {
+    target.receive(update);
+    return;
+  }
+  // Serialize through the RFC 4271 encoder and re-parse, exactly as
+  // bytes would cross a TCP session.  The next hop is the sender's
+  // session address (synthesized per router here).
+  const net::IpAddress next_hop =
+      update.prefix.is_v6()
+          ? net::IpAddress{net::Ipv6Prefix{*net::Ipv6Address::parse("fe80::"), 64}
+                               .host(update.from)}
+          : net::IpAddress{net::Ipv4Address{0x0A000000u | update.from}};
+  const auto bytes = wire::encode_update(update, next_hop);
+  wire_bytes_ += bytes.size();
+  try {
+    wire::ParsedMessage parsed = wire::parse_message(bytes);
+    if (!parsed.update) throw wire::WireError{"decoded a non-update"};
+    Update rebuilt = std::move(*parsed.update);
+    rebuilt.from = update.from;
+    target.receive(rebuilt);
+  } catch (const wire::WireError&) {
+    // Fail closed: a session would reset here; the simulation drops
+    // the one update and keeps converging on what did decode.
+    ++wire_parse_failures_;
+  }
+}
+
 std::uint64_t BgpNetwork::run_to_convergence() {
   std::uint64_t delivered = 0;
   // Deterministic schedule: repeatedly sweep routers in id order, delivering
@@ -103,44 +131,51 @@ std::uint64_t BgpNetwork::run_to_convergence() {
   // policies converges regardless of schedule; determinism makes tests
   // reproducible.
   bool progressed = true;
+  std::map<RouterId, std::vector<Update>> pending;  // batched sweeps only
   while (progressed) {
     progressed = false;
+    if (!batched_delivery_) {
+      for (auto& [id, sp] : routers_) {
+        for (auto& [target, update] : sp->drain_outbox()) {
+          auto it = routers_.find(target);
+          if (it == routers_.end()) continue;  // target withdrawn from sim
+          deliver(*it->second, update);
+          ++delivered;
+          ++total_messages_;
+          if (delivered > message_limit_) {
+            throw ConvergenceError{"BgpNetwork: message limit exceeded (policy dispute?)"};
+          }
+          progressed = true;
+        }
+      }
+      continue;
+    }
+    // Batched sweep: gather the whole frontier first, then deliver each
+    // receiver's group under one begin/commit pair (one decision pass per
+    // distinct prefix per receiver).  Grouping by receiver in id order keeps
+    // the schedule deterministic.
     for (auto& [id, sp] : routers_) {
       for (auto& [target, update] : sp->drain_outbox()) {
-        auto it = routers_.find(target);
-        if (it == routers_.end()) continue;  // target withdrawn from sim
-        if (wire_transport_) {
-          // Serialize through the RFC 4271 encoder and re-parse, exactly as
-          // bytes would cross a TCP session.  The next hop is the sender's
-          // session address (synthesized per router here).
-          const net::IpAddress next_hop =
-              update.prefix.is_v6()
-                  ? net::IpAddress{net::Ipv6Prefix{*net::Ipv6Address::parse("fe80::"), 64}
-                                       .host(update.from)}
-                  : net::IpAddress{net::Ipv4Address{0x0A000000u | update.from}};
-          const auto bytes = wire::encode_update(update, next_hop);
-          wire_bytes_ += bytes.size();
-          try {
-            wire::ParsedMessage parsed = wire::parse_message(bytes);
-            if (!parsed.update) throw wire::WireError{"decoded a non-update"};
-            Update rebuilt = std::move(*parsed.update);
-            rebuilt.from = update.from;
-            it->second->receive(rebuilt);
-          } catch (const wire::WireError&) {
-            // Fail closed: a session would reset here; the simulation drops
-            // the one update and keeps converging on what did decode.
-            ++wire_parse_failures_;
-          }
-        } else {
-          it->second->receive(update);
-        }
+        if (routers_.find(target) == routers_.end()) continue;
+        pending[target].push_back(std::move(update));
+      }
+    }
+    for (auto& [target, updates] : pending) {
+      if (updates.empty()) continue;
+      BgpSpeaker& sp = *routers_.at(target);
+      sp.begin_batch();
+      for (const Update& update : updates) {
+        deliver(sp, update);
         ++delivered;
         ++total_messages_;
         if (delivered > message_limit_) {
+          sp.commit_batch();
           throw ConvergenceError{"BgpNetwork: message limit exceeded (policy dispute?)"};
         }
         progressed = true;
       }
+      sp.commit_batch();
+      updates.clear();  // keep the per-target buffer's capacity across sweeps
     }
   }
   return delivered;

@@ -74,6 +74,18 @@ class BgpNetwork {
   /// Returns the number of messages delivered.
   std::uint64_t run_to_convergence();
 
+  /// Batched delivery: each sweep gathers every queued update, groups by
+  /// receiving router, and delivers each router's group inside a
+  /// begin_batch()/commit_batch() pair — one decision pass per distinct
+  /// prefix per router per sweep instead of one per UPDATE.  The converged
+  /// state is identical to unbatched delivery (same best routes, same
+  /// exports at the fixed point); a storm of updates for the same prefix
+  /// costs one re-decide instead of many, and transient flap exports are
+  /// suppressed, so total_messages() grows more slowly.  Off by default to
+  /// keep historical message counts stable for tests.
+  void set_batched_delivery(bool on) noexcept { batched_delivery_ = on; }
+  [[nodiscard]] bool batched_delivery() const noexcept { return batched_delivery_; }
+
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
 
   /// Divergence guard: maximum messages per run_to_convergence call.
@@ -93,10 +105,14 @@ class BgpNetwork {
   }
 
  private:
+  /// Delivers one update to `target` (through the wire codec when enabled).
+  void deliver(BgpSpeaker& target, const Update& update);
+
   std::map<RouterId, std::unique_ptr<BgpSpeaker>> routers_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t message_limit_ = 10'000'000;
   bool wire_transport_ = false;
+  bool batched_delivery_ = false;
   std::uint64_t wire_bytes_ = 0;
   std::uint64_t wire_parse_failures_ = 0;
 };

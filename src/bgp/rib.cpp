@@ -1,57 +1,92 @@
 #include "bgp/rib.hpp"
 
+#include <algorithm>
+
 namespace tango::bgp {
 
-void AdjRibIn::put(const Route& route) { routes_[route.prefix][route.learned_from] = route; }
+namespace {
+
+/// Position of the route learned from `neighbor` in a neighbor-sorted array.
+[[nodiscard]] auto neighbor_pos(std::vector<Route>& routes, RouterId neighbor) {
+  return std::lower_bound(
+      routes.begin(), routes.end(), neighbor,
+      [](const Route& r, RouterId n) { return r.learned_from < n; });
+}
+
+}  // namespace
+
+const AdjRibIn::Entry* AdjRibIn::slot(const net::Prefix& prefix) const noexcept {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), prefix,
+                             [](const Entry& e, const net::Prefix& p) { return e.prefix < p; });
+  if (it == entries_.end() || !(it->prefix == prefix)) return nullptr;
+  return &*it;
+}
+
+AdjRibIn::Entry& AdjRibIn::slot_create(const net::Prefix& prefix) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), prefix,
+                             [](const Entry& e, const net::Prefix& p) { return e.prefix < p; });
+  if (it == entries_.end() || !(it->prefix == prefix)) {
+    it = entries_.insert(it, Entry{.prefix = prefix});
+  }
+  return *it;
+}
+
+void AdjRibIn::put(const Route& route) {
+  Entry& entry = slot_create(route.prefix);
+  auto it = neighbor_pos(entry.routes, route.learned_from);
+  if (it != entry.routes.end() && it->learned_from == route.learned_from) {
+    *it = route;
+    return;
+  }
+  entry.routes.insert(it, route);
+  ++size_;
+}
 
 bool AdjRibIn::erase(const net::Prefix& prefix, RouterId neighbor) {
-  auto it = routes_.find(prefix);
-  if (it == routes_.end()) return false;
-  const bool removed = it->second.erase(neighbor) > 0;
-  if (it->second.empty()) routes_.erase(it);
-  return removed;
+  Entry* entry = const_cast<Entry*>(slot(prefix));
+  if (entry == nullptr) return false;
+  auto it = neighbor_pos(entry->routes, neighbor);
+  if (it == entry->routes.end() || it->learned_from != neighbor) return false;
+  entry->routes.erase(it);
+  --size_;
+  if (entry->routes.empty()) {
+    entries_.erase(entries_.begin() + (entry - entries_.data()));
+  }
+  return true;
 }
 
 std::vector<net::Prefix> AdjRibIn::erase_neighbor(RouterId neighbor) {
   std::vector<net::Prefix> affected;
-  for (auto it = routes_.begin(); it != routes_.end();) {
-    if (it->second.erase(neighbor) > 0) affected.push_back(it->first);
-    if (it->second.empty()) {
-      it = routes_.erase(it);
-    } else {
-      ++it;
-    }
+  affected.reserve(entries_.size());
+  for (Entry& entry : entries_) {
+    auto it = neighbor_pos(entry.routes, neighbor);
+    if (it == entry.routes.end() || it->learned_from != neighbor) continue;
+    entry.routes.erase(it);
+    --size_;
+    affected.push_back(entry.prefix);
   }
+  std::erase_if(entries_, [](const Entry& e) { return e.routes.empty(); });
   return affected;
 }
 
-std::vector<Route> AdjRibIn::candidates(const net::Prefix& prefix) const {
-  std::vector<Route> out;
-  auto it = routes_.find(prefix);
-  if (it == routes_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [neighbor, route] : it->second) out.push_back(route);
-  return out;
+std::span<const Route> AdjRibIn::candidates(const net::Prefix& prefix) const {
+  const Entry* entry = slot(prefix);
+  if (entry == nullptr) return {};
+  return entry->routes;
 }
 
 const Route* AdjRibIn::find(const net::Prefix& prefix, RouterId neighbor) const {
-  auto it = routes_.find(prefix);
-  if (it == routes_.end()) return nullptr;
-  auto jt = it->second.find(neighbor);
-  return jt == it->second.end() ? nullptr : &jt->second;
+  const Entry* entry = slot(prefix);
+  if (entry == nullptr) return nullptr;
+  auto it = neighbor_pos(const_cast<std::vector<Route>&>(entry->routes), neighbor);
+  return (it != entry->routes.end() && it->learned_from == neighbor) ? &*it : nullptr;
 }
 
 std::vector<net::Prefix> AdjRibIn::prefixes() const {
   std::vector<net::Prefix> out;
-  out.reserve(routes_.size());
-  for (const auto& [prefix, by_neighbor] : routes_) out.push_back(prefix);
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.prefix);
   return out;
-}
-
-std::size_t AdjRibIn::size() const noexcept {
-  std::size_t n = 0;
-  for (const auto& [prefix, by_neighbor] : routes_) n += by_neighbor.size();
-  return n;
 }
 
 std::string to_string(DecisionStep s) {
@@ -109,12 +144,18 @@ bool Decision::better(const Route& a, const Route& b) {
   return false;
 }
 
-std::optional<Route> Decision::select(const std::vector<Route>& candidates) {
-  if (candidates.empty()) return std::nullopt;
-  const Route* best = &candidates.front();
+const Route* Decision::best_of(std::span<const Route> candidates, const Route* extra) noexcept {
+  const Route* best = nullptr;
   for (const Route& r : candidates) {
-    if (better(r, *best)) best = &r;
+    if (best == nullptr || better(r, *best)) best = &r;
   }
+  if (extra != nullptr && (best == nullptr || better(*extra, *best))) best = extra;
+  return best;
+}
+
+std::optional<Route> Decision::select(std::span<const Route> candidates) {
+  const Route* best = best_of(candidates, nullptr);
+  if (best == nullptr) return std::nullopt;
   return *best;
 }
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bgp/route.hpp"
@@ -10,6 +11,12 @@
 namespace tango::bgp {
 
 /// Adj-RIB-In: per-neighbor candidate routes, keyed by prefix.
+///
+/// Storage is a flat sorted table of per-prefix candidate arrays (each array
+/// sorted by learned_from), so the decision process reads candidates as a
+/// contiguous span with a stable iteration order instead of materializing a
+/// fresh vector per decision, and a prefix's entry is found by binary search
+/// over contiguous memory rather than tree-node chasing.
 class AdjRibIn {
  public:
   /// Stores (replacing any previous route for the same prefix/neighbor).
@@ -23,16 +30,27 @@ class AdjRibIn {
   /// Returns the affected prefixes.
   std::vector<net::Prefix> erase_neighbor(RouterId neighbor);
 
-  /// All candidate routes for `prefix` in deterministic (neighbor) order.
-  [[nodiscard]] std::vector<Route> candidates(const net::Prefix& prefix) const;
+  /// All candidate routes for `prefix` in deterministic (neighbor) order — a
+  /// view into the flat storage, valid until the next mutation.
+  [[nodiscard]] std::span<const Route> candidates(const net::Prefix& prefix) const;
 
   [[nodiscard]] const Route* find(const net::Prefix& prefix, RouterId neighbor) const;
 
   [[nodiscard]] std::vector<net::Prefix> prefixes() const;
-  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
  private:
-  std::map<net::Prefix, std::map<RouterId, Route>> routes_;
+  struct Entry {
+    net::Prefix prefix;
+    std::vector<Route> routes;  ///< sorted by learned_from
+  };
+
+  /// The entry for `prefix`, or nullptr.  Mutable variant creates on miss.
+  [[nodiscard]] const Entry* slot(const net::Prefix& prefix) const noexcept;
+  [[nodiscard]] Entry& slot_create(const net::Prefix& prefix);
+
+  std::vector<Entry> entries_;  ///< sorted by prefix
+  std::size_t size_ = 0;        ///< total routes across all entries
 };
 
 /// Result of comparing two routes in the decision process, with the step
@@ -70,7 +88,13 @@ struct Decision {
   [[nodiscard]] static DecisionStep deciding_step(const Route& a, const Route& b);
 
   /// Best route among candidates; nullopt for an empty set.
-  [[nodiscard]] static std::optional<Route> select(const std::vector<Route>& candidates);
+  [[nodiscard]] static std::optional<Route> select(std::span<const Route> candidates);
+
+  /// Zero-copy selection: best of `candidates` and the optional `extra`
+  /// candidate (a locally originated route).  Returns a pointer into the
+  /// arguments; nullptr when both are empty.
+  [[nodiscard]] static const Route* best_of(std::span<const Route> candidates,
+                                            const Route* extra) noexcept;
 };
 
 /// Loc-RIB: the selected best route per prefix.
@@ -85,6 +109,12 @@ class LocRib {
   [[nodiscard]] const Route* find(const net::Prefix& prefix) const;
   [[nodiscard]] std::vector<Route> routes() const;
   [[nodiscard]] std::size_t size() const noexcept { return best_.size(); }
+
+  /// Visits every best route in prefix order without materializing copies.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [prefix, route] : best_) f(route);
+  }
 
  private:
   std::map<net::Prefix, Route> best_;

@@ -1,5 +1,6 @@
 #include "bgp/speaker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tango::bgp {
@@ -15,8 +16,9 @@ constexpr std::uint32_t kSelfLocalPref = 1000;
 void BgpSpeaker::add_session(RouterId neighbor, Asn neighbor_asn, SessionConfig config) {
   if (neighbor == id_) throw std::invalid_argument{"BgpSpeaker: session with self"};
   sessions_[neighbor] = SessionState{.asn = neighbor_asn, .config = config};
-  // Export current best routes over the fresh session.
-  for (const Route& best : loc_rib_.routes()) sync_export(neighbor, best.prefix);
+  // Export current best routes over the fresh session (sync_export only
+  // reads the Loc-RIB, so the copy-free walk is safe).
+  loc_rib_.for_each([&](const Route& best) { sync_export(neighbor, best.prefix); });
 }
 
 void BgpSpeaker::remove_session(RouterId neighbor) {
@@ -105,26 +107,52 @@ std::vector<std::pair<RouterId, Update>> BgpSpeaker::drain_outbox() {
   return out;
 }
 
-std::vector<Route> BgpSpeaker::candidates_for(const net::Prefix& prefix) const {
-  std::vector<Route> candidates = adj_rib_in_.candidates(prefix);
-  if (auto it = originated_.find(prefix); it != originated_.end()) {
-    candidates.push_back(it->second);
+void BgpSpeaker::note_fib_dirty(const net::Prefix& prefix) {
+  if (fib_dirty_overflow_) return;
+  if (fib_dirty_.size() >= kFibDirtyLimit) {
+    fib_dirty_.clear();
+    fib_dirty_overflow_ = true;
+    return;
   }
-  return candidates;
+  fib_dirty_.push_back(prefix);
 }
 
 void BgpSpeaker::reprocess(const net::Prefix& prefix) {
-  auto best = Decision::select(candidates_for(prefix));
+  if (batching_) {
+    batch_dirty_.push_back(prefix);
+    return;
+  }
+  reprocess_now(prefix);
+}
+
+void BgpSpeaker::reprocess_now(const net::Prefix& prefix) {
+  // Zero-copy decision pass: candidates are read in place (a span over the
+  // Adj-RIB-In's flat storage plus the origination, if any).
+  const Route* originated = nullptr;
+  if (auto it = originated_.find(prefix); it != originated_.end()) originated = &it->second;
+  const Route* best = Decision::best_of(adj_rib_in_.candidates(prefix), originated);
 
   bool changed = false;
-  if (best) {
+  if (best != nullptr) {
     changed = loc_rib_.set(*best);
   } else {
     changed = loc_rib_.erase(prefix);
   }
   if (!changed) return;
 
+  note_fib_dirty(prefix);
   for (const auto& [neighbor, state] : sessions_) sync_export(neighbor, prefix);
+}
+
+void BgpSpeaker::commit_batch() {
+  batching_ = false;
+  if (batch_dirty_.empty()) return;
+  // One decision pass per distinct prefix, in deterministic prefix order.
+  std::sort(batch_dirty_.begin(), batch_dirty_.end());
+  batch_dirty_.erase(std::unique(batch_dirty_.begin(), batch_dirty_.end()),
+                     batch_dirty_.end());
+  for (const net::Prefix& prefix : batch_dirty_) reprocess_now(prefix);
+  batch_dirty_.clear();
 }
 
 void BgpSpeaker::sync_export(RouterId neighbor, const net::Prefix& prefix) {

@@ -80,8 +80,26 @@ class BgpSpeaker {
   // --- Message processing --------------------------------------------------
 
   /// Handles one incoming UPDATE from a neighbor (import policy, RIB
-  /// maintenance, decision process, export generation).
+  /// maintenance, decision process, export generation).  Inside a batch
+  /// (see begin_batch) the decision pass is deferred to commit_batch.
   void receive(const Update& update);
+
+  // --- Batched re-decide ----------------------------------------------------
+  // A burst of UPDATEs frequently touches the same prefix many times (storm
+  // replays, session bring-up, path hunting).  Batching coalesces the burst:
+  // receive() performs only RIB maintenance and records the touched prefix;
+  // commit_batch() then runs ONE decision pass per distinct prefix.  The
+  // converged state is identical to unbatched delivery; only the number of
+  // intermediate decision passes and transient exports shrinks.
+
+  /// Starts deferring decision passes.  Idempotent.
+  void begin_batch() noexcept { batching_ = true; }
+
+  /// Runs the deferred decision passes (one per distinct touched prefix, in
+  /// prefix order) and leaves batching mode.
+  void commit_batch();
+
+  [[nodiscard]] bool batching() const noexcept { return batching_; }
 
   /// Pending outbound updates as (target router, update) pairs; draining
   /// them transfers ownership to the transport (BgpNetwork).
@@ -99,17 +117,40 @@ class BgpSpeaker {
   /// Count of UPDATE messages processed (for convergence statistics).
   [[nodiscard]] std::uint64_t updates_processed() const noexcept { return updates_processed_; }
 
+  // --- FIB dirty-prefix delta ----------------------------------------------
+  // Every Loc-RIB change (best route replaced or removed) records its prefix
+  // here, so a data-plane consumer (sim::Wan) can resync FIBs incrementally:
+  // cost proportional to what changed, not to the RIB.  The list may carry
+  // duplicates (dedup is the consumer's concern) and is bounded: past
+  // kFibDirtyLimit distinct records it collapses into an overflow flag, the
+  // signal to fall back to a full per-router rebuild (bulk events such as
+  // session teardown or initial convergence land here by design).
+
+  static constexpr std::size_t kFibDirtyLimit = 1024;
+
+  /// Prefixes whose best route changed since the last clear_fib_dirty().
+  /// Meaningless while fib_dirty_overflowed().
+  [[nodiscard]] const std::vector<net::Prefix>& fib_dirty() const noexcept {
+    return fib_dirty_;
+  }
+  [[nodiscard]] bool fib_dirty_overflowed() const noexcept { return fib_dirty_overflow_; }
+  void clear_fib_dirty() noexcept {
+    fib_dirty_.clear();
+    fib_dirty_overflow_ = false;
+  }
+
  private:
-  /// Re-runs the decision process for `prefix`; on change, refreshes
-  /// exports to every neighbor.
+  /// Re-runs the decision process for `prefix`; on change, records the
+  /// prefix as FIB-dirty and refreshes exports to every neighbor.  Inside a
+  /// batch the pass is deferred (the prefix is queued for commit_batch).
   void reprocess(const net::Prefix& prefix);
+  void reprocess_now(const net::Prefix& prefix);
+  void note_fib_dirty(const net::Prefix& prefix);
 
   /// Computes the desired export of the best route for `prefix` to
   /// `neighbor` and emits an announce/withdraw if it differs from what the
   /// neighbor last heard.
   void sync_export(RouterId neighbor, const net::Prefix& prefix);
-
-  [[nodiscard]] std::vector<Route> candidates_for(const net::Prefix& prefix) const;
 
   RouterId id_;
   Asn asn_;
@@ -126,6 +167,10 @@ class BgpSpeaker {
   std::map<RouterId, std::map<net::Prefix, Route>> adj_rib_out_;
   std::vector<std::pair<RouterId, Update>> outbox_;
   std::uint64_t updates_processed_ = 0;
+  std::vector<net::Prefix> fib_dirty_;
+  bool fib_dirty_overflow_ = false;
+  bool batching_ = false;
+  std::vector<net::Prefix> batch_dirty_;  ///< prefixes touched inside the batch
 };
 
 }  // namespace tango::bgp

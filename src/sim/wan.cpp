@@ -1,6 +1,7 @@
 #include "sim/wan.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace tango::sim {
@@ -40,12 +41,25 @@ namespace {
   return telemetry::TraceCause::none;
 }
 
+/// Binary search over a flat table sorted by `proj(entry)`; nullptr on miss.
+/// The one lookup routine behind find_router/shard_of/find_link.
+template <typename Table, typename Key, typename Proj>
+[[nodiscard]] auto flat_find(Table& table, const Key& key, Proj proj) noexcept
+    -> decltype(&table.front()) {
+  auto it = std::lower_bound(
+      table.begin(), table.end(), key,
+      [&proj](const auto& entry, const Key& k) { return proj(entry) < k; });
+  if (it == table.end() || !(proj(*it) == key)) return nullptr;
+  return &*it;
+}
+
 }  // namespace
 
 Wan::Wan(topo::Topology& topo, Rng rng, EventQueue::Backend backend)
     : Wan{topo, rng, WanOptions{.backend = backend}} {}
 
-Wan::Wan(topo::Topology& topo, Rng rng, const WanOptions& options) : topo_{topo} {
+Wan::Wan(topo::Topology& topo, Rng rng, const WanOptions& options)
+    : topo_{topo}, fib_sync_mode_{options.fib_sync} {
   const std::uint32_t shard_count =
       options.sharded ? (options.plan.shards == 0 ? 1 : options.plan.shards) : 1;
   shards_.reserve(shard_count);
@@ -107,39 +121,119 @@ Wan::Wan(topo::Topology& topo, Rng rng, const WanOptions& options) : topo_{topo}
 }
 
 Wan::RouterState* Wan::find_router(bgp::RouterId id) noexcept {
-  auto it = std::lower_bound(routers_.begin(), routers_.end(), id,
-                             [](const RouterState& s, bgp::RouterId v) { return s.id < v; });
-  if (it == routers_.end() || it->id != id) return nullptr;
-  return &*it;
+  return flat_find(routers_, id, [](const RouterState& s) { return s.id; });
 }
 
 std::uint32_t Wan::shard_of(bgp::RouterId router) const noexcept {
-  auto it = std::lower_bound(routers_.begin(), routers_.end(), router,
-                             [](const RouterState& s, bgp::RouterId v) { return s.id < v; });
-  if (it == routers_.end() || it->id != router) return 0;
-  return it->shard;
+  const RouterState* state =
+      flat_find(routers_, router, [](const RouterState& s) { return s.id; });
+  return state != nullptr ? state->shard : 0;
 }
 
 Wan::LinkState* Wan::find_link(const topo::LinkKey& key) noexcept {
-  auto it =
-      std::lower_bound(links_.begin(), links_.end(), key,
-                       [](const LinkState& e, const topo::LinkKey& k) { return e.key < k; });
-  if (it == links_.end() || !(it->key == key)) return nullptr;
-  return &*it;
+  return flat_find(links_, key,
+                   [](const LinkState& e) -> const topo::LinkKey& { return e.key; });
+}
+
+void Wan::rebuild_router_fib(RouterState& state, const bgp::BgpSpeaker& sp) {
+  state.fib.clear();
+  sp.loc_rib().for_each([&](const bgp::Route& route) {
+    const bgp::RouterId next_hop = route.locally_originated() ? state.id : route.learned_from;
+    state.fib.insert(net::trie_key(route.prefix), next_hop);
+  });
+  // Bumping the router's generation invalidates its whole flow cache without
+  // touching the (cold) cache arrays.
+  ++state.generation;
+  ++fib_stats_.generation_invalidations;
+}
+
+void Wan::apply_fib_delta(RouterState& state, const bgp::BgpSpeaker& sp,
+                          const net::Prefix& prefix) {
+  ++fib_stats_.delta_applies;
+  const net::Ipv6Prefix key = net::trie_key(prefix);
+  const bgp::Route* best = sp.loc_rib().find(prefix);
+  if (best != nullptr) {
+    const bgp::RouterId next_hop = best->locally_originated() ? state.id : best->learned_from;
+    state.fib.insert(key, next_hop);
+  } else {
+    state.fib.erase(key);
+  }
+  // Surgical invalidation: an LPM result can only have gone stale when some
+  // changed prefix covers the cached destination, so zeroing exactly those
+  // ways keeps every other flow's entry warm across the sync.
+  for (FlowCacheSet& set : state.flow_cache) {
+    for (FlowCacheWay& way : set.way) {
+      if (way.generation == state.generation && key.contains(way.dst)) {
+        way.generation = 0;
+        ++fib_stats_.prefix_invalidations;
+      }
+    }
+  }
 }
 
 void Wan::sync_fibs() {
+  const auto start = std::chrono::steady_clock::now();
+  ++fib_stats_.syncs;
+  // The very first sync always rebuilds: dirty lists may predate this Wan.
+  const bool full_mode = fib_sync_mode_ == FibSync::full_rebuild;
+  const bool full = full_mode || !fib_synced_once_;
+  if (full) ++fib_stats_.full_rebuilds;
   for (RouterState& state : routers_) {
-    state.fib.clear();
-    const bgp::BgpSpeaker& sp = topo_.bgp().router(state.id);
-    for (const bgp::Route& route : sp.loc_rib().routes()) {
-      const bgp::RouterId next_hop = route.locally_originated() ? state.id : route.learned_from;
-      state.fib.insert(net::trie_key(route.prefix), next_hop);
+    bgp::BgpSpeaker& sp = topo_.bgp().router(state.id);
+    if (full) {
+      rebuild_router_fib(state, sp);
+      // A full-mode Wan is a read-only oracle: it leaves the dirty lists for
+      // an incremental-mode Wan riding the same topology.  An incremental
+      // Wan's first (full) sync subsumes and consumes any backlog.
+      if (!full_mode) sp.clear_fib_dirty();
+      continue;
+    }
+    if (sp.fib_dirty_overflowed()) {
+      rebuild_router_fib(state, sp);
+      ++fib_stats_.router_rebuilds;
+      sp.clear_fib_dirty();
+      continue;
+    }
+    const std::vector<net::Prefix>& dirty = sp.fib_dirty();
+    if (dirty.empty()) continue;
+    // The speaker's list may repeat a prefix (it flip-flopped during
+    // convergence); deltas are idempotent, so dedup is purely an optimization
+    // — through a reused scratch buffer to keep the steady state allocation-free.
+    dirty_scratch_.assign(dirty.begin(), dirty.end());
+    std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+    dirty_scratch_.erase(std::unique(dirty_scratch_.begin(), dirty_scratch_.end()),
+                         dirty_scratch_.end());
+    for (const net::Prefix& prefix : dirty_scratch_) apply_fib_delta(state, sp, prefix);
+    sp.clear_fib_dirty();
+  }
+  fib_synced_once_ = true;
+  fib_stats_.last_sync_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            start)
+          .count());
+}
+
+std::uint64_t Wan::fib_digest() const {
+  // FNV-1a over (router id, prefix bytes, prefix length, next hop) in table /
+  // lexicographic trie order: deterministic, and identical FIB contents give
+  // identical digests regardless of how the tries were built.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&mix_byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (i * 8)));
+  };
+  for (const RouterState& state : routers_) {
+    mix_u64(state.id);
+    for (const auto& [prefix, next_hop] : state.fib.entries()) {
+      for (std::uint8_t b : prefix.address().bytes()) mix_byte(b);
+      mix_byte(prefix.length());
+      mix_u64(next_hop);
     }
   }
-  // Bumping the generation invalidates every router's flow cache without
-  // touching the (cold) cache arrays.
-  ++cache_generation_;
+  return h;
 }
 
 void Wan::attach(bgp::RouterId id, DeliveryHandler handler) {
@@ -342,13 +436,13 @@ bool Wan::lookup_next_hop(Shard& sh, RouterState& state, const net::Packet::Flow
   ++sh.fib_lookups;
   telemetry::inc(sh.fib_lookups_metric);
   FlowCacheSet& set = state.flow_cache[flow.hash & (kFlowCacheSets - 1)];
-  if (set.way[0].generation == cache_generation_ && set.way[0].dst == flow.dst) {
+  if (set.way[0].generation == state.generation && set.way[0].dst == flow.dst) {
     ++sh.fib_cache_hits;
     telemetry::inc(sh.fib_hits_metric);
     next_hop = set.way[0].next_hop;
     return true;
   }
-  if (set.way[1].generation == cache_generation_ && set.way[1].dst == flow.dst) {
+  if (set.way[1].generation == state.generation && set.way[1].dst == flow.dst) {
     ++sh.fib_cache_hits;
     telemetry::inc(sh.fib_hits_metric);
     std::swap(set.way[0], set.way[1]);  // move-to-front LRU
@@ -359,7 +453,7 @@ bool Wan::lookup_next_hop(Shard& sh, RouterState& state, const net::Packet::Flow
   if (next == nullptr) return false;
   // Positive results only: unroutable packets are rare and drop anyway.
   set.way[1] = set.way[0];
-  set.way[0] = FlowCacheWay{flow.dst, *next, cache_generation_};
+  set.way[0] = FlowCacheWay{flow.dst, *next, state.generation};
   next_hop = *next;
   return true;
 }

@@ -15,7 +15,10 @@
 // that traffic sources can draw from.  On top of that:
 //   * each router carries a small set-associative *flow cache* in front of
 //     its PrefixTrie FIB, so consecutive packets of a flow skip the
-//     longest-prefix-match walk (invalidated wholesale by sync_fibs());
+//     longest-prefix-match walk; sync_fibs() invalidates surgically — only
+//     cached destinations covered by a changed prefix on the affected
+//     router — falling back to a per-router generation bump on bulk
+//     changes;
 //   * edge delivery can be attached as a raw function pointer + context
 //     (attach_raw), replacing the std::function indirection on the hot
 //     path with a devirtualized callsite;
@@ -40,6 +43,18 @@
 
 namespace tango::sim {
 
+/// How sync_fibs() turns Loc-RIB state into FIB tries.
+///
+/// `incremental` (default) applies only the (router, prefix) deltas the BGP
+/// layer recorded since the last sync — cost proportional to the change —
+/// falling back to a per-router rebuild when a router's delta list
+/// overflowed (bulk events: session teardown, initial convergence).
+/// `full_rebuild` is the oracle backend: clear and rebuild every router's
+/// trie from its Loc-RIB, invalidate every flow cache.  Both modes produce
+/// bitwise-identical FIBs and forwarding decisions (the chaos soak and
+/// tests/sim/test_fib_sync.cpp gate on digest equality).
+enum class FibSync : std::uint8_t { incremental, full_rebuild };
+
 /// Construction-time configuration of the WAN engine.
 ///
 /// `sharded = false` (classic) is bit-for-bit the original single-threaded
@@ -56,6 +71,7 @@ struct WanOptions {
   ShardPlan plan;
   bool threaded = false;
   std::size_t mailbox_capacity = 1024;
+  FibSync fib_sync = FibSync::incremental;
 };
 
 /// Why a packet never reached a delivery handler.
@@ -106,10 +122,36 @@ class Wan {
   ///   * the tracer and hop observer see shard-0 traffic only.
   Wan(topo::Topology& topo, Rng rng, const WanOptions& options);
 
-  /// Rebuilds every router's FIB from the BGP Loc-RIBs and invalidates all
-  /// flow caches.  Call after any control-plane change (new origination,
-  /// community change, session flap).
+  /// Brings every router's FIB in sync with the BGP Loc-RIBs and invalidates
+  /// exactly the flow-cache entries a change could have gone stale under.
+  /// Call after any control-plane change (new origination, community change,
+  /// session flap).  Under FibSync::incremental the cost is proportional to
+  /// the number of changed (router, prefix) pairs; under full_rebuild (or on
+  /// a router whose delta list overflowed) the router's trie is rebuilt from
+  /// scratch and its whole flow cache invalidated by a generation bump.
+  /// Consumes the speakers' dirty-prefix lists: at most one incremental-mode
+  /// Wan may ride a given Topology (further full-mode Wans are fine).
   void sync_fibs();
+
+  /// Convergence statistics for sync_fibs (see tango_stats).
+  struct FibSyncStats {
+    std::uint64_t syncs = 0;            ///< sync_fibs calls
+    std::uint64_t delta_applies = 0;    ///< (router, prefix) deltas applied
+    std::uint64_t router_rebuilds = 0;  ///< overflow fallbacks to per-router rebuild
+    std::uint64_t full_rebuilds = 0;    ///< whole-WAN rebuilds (full mode / first sync)
+    std::uint64_t prefix_invalidations = 0;      ///< cache ways invalidated surgically
+    std::uint64_t generation_invalidations = 0;  ///< per-router whole-cache bumps
+    std::uint64_t last_sync_micros = 0;          ///< wall-clock cost of the last sync
+  };
+  [[nodiscard]] const FibSyncStats& fib_sync_stats() const noexcept { return fib_stats_; }
+
+  void set_fib_sync_mode(FibSync mode) noexcept { fib_sync_mode_ = mode; }
+  [[nodiscard]] FibSync fib_sync_mode() const noexcept { return fib_sync_mode_; }
+
+  /// Deterministic digest over every router's FIB contents (router id,
+  /// prefix, next hop, in table/trie order).  The incremental-vs-full
+  /// equality oracle used by tests and bench_mesh_scale.
+  [[nodiscard]] std::uint64_t fib_digest() const;
 
   /// Attaches the edge delivery handler for router `id`.
   void attach(bgp::RouterId id, DeliveryHandler handler);
@@ -216,7 +258,10 @@ class Wan {
  private:
   /// Per-router flow cache: 2-way set-associative, indexed by the packet's
   /// cached 5-tuple hash, tagged by destination address (the FIB key) and a
-  /// generation stamp so sync_fibs() invalidates every cache in O(1).
+  /// generation stamp checked against the router's generation — a bulk
+  /// change invalidates the whole cache by bumping the router's counter in
+  /// O(1), while an incremental delta zeroes only the ways whose destination
+  /// the changed prefix covers.
   struct FlowCacheWay {
     net::Ipv6Address dst;
     bgp::RouterId next_hop = 0;
@@ -236,6 +281,7 @@ class Wan {
     DeliveryHandler handler;
     RawDeliveryFn raw_handler = nullptr;
     void* raw_ctx = nullptr;
+    std::uint32_t generation = 1;  ///< flow-cache validity stamp
     std::array<FlowCacheSet, kFlowCacheSets> flow_cache{};
   };
 
@@ -288,6 +334,15 @@ class Wan {
   [[nodiscard]] RouterState* find_router(bgp::RouterId id) noexcept;
   [[nodiscard]] LinkState* find_link(const topo::LinkKey& key) noexcept;
 
+  /// Clears `state`'s trie and rebuilds it from the speaker's Loc-RIB, then
+  /// invalidates the whole flow cache (generation bump).
+  void rebuild_router_fib(RouterState& state, const bgp::BgpSpeaker& sp);
+  /// Applies one (router, prefix) delta: inserts/erases the trie entry to
+  /// match the Loc-RIB and zeroes only cache ways the prefix covers.
+  /// Idempotent (reads current state, not an op log).
+  void apply_fib_delta(RouterState& state, const bgp::BgpSpeaker& sp,
+                       const net::Prefix& prefix);
+
   topo::Topology& topo_;
   /// Flat tables sorted by id/key: a handful of routers and links, looked up
   /// on every hop — binary search over contiguous memory, no tree nodes.
@@ -296,7 +351,10 @@ class Wan {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<ShardEngine> engine_;  ///< nullptr in classic mode
   HopObserver hop_observer_;
-  std::uint32_t cache_generation_ = 1;
+  FibSyncStats fib_stats_;
+  FibSync fib_sync_mode_ = FibSync::incremental;
+  bool fib_synced_once_ = false;
+  std::vector<net::Prefix> dirty_scratch_;  ///< reused per-sync dedup buffer
   telemetry::PacketTracer* tracer_ = nullptr;
 };
 

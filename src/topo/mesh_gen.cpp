@@ -1,0 +1,124 @@
+#include "topo/mesh_gen.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tango::topo {
+
+namespace {
+
+/// splitmix64: tiny, deterministic, and self-contained (topo/ does not
+/// depend on the simulator's RNG).
+struct SplitMix {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform-enough draw in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+/// A deterministic pseudo-random constant-delay profile (1..25 ms).  Jitter
+/// and loss stay off: the mesh bench measures engine and FIB-sync cost, not
+/// the delay models (bench_wan_engine covers those).
+LinkProfile mesh_profile(SplitMix& rng) {
+  return LinkProfile{.base_delay_ms = 1.0 + static_cast<double>(rng.below(25))};
+}
+
+}  // namespace
+
+Mesh generate_mesh(Topology& topo, const MeshParams& params) {
+  if (params.tier1 == 0 || params.tier2 == 0 || params.stubs == 0) {
+    throw std::invalid_argument{"generate_mesh: every tier needs at least one router"};
+  }
+  if (params.providers_per_tier2 > params.tier1 || params.providers_per_tier2 == 0) {
+    throw std::invalid_argument{"generate_mesh: providers_per_tier2 out of range"};
+  }
+  if (params.providers_per_stub > params.tier2 || params.providers_per_stub == 0) {
+    throw std::invalid_argument{"generate_mesh: providers_per_stub out of range"};
+  }
+  const std::uint64_t total_prefixes =
+      static_cast<std::uint64_t>(params.stubs) * params.prefixes_per_stub;
+  if (total_prefixes > 65536) {
+    throw std::invalid_argument{"generate_mesh: more than 65536 prefixes (10/8 of /24s)"};
+  }
+
+  SplitMix rng{params.seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull};
+  Mesh mesh;
+
+  // Ids are dense from 1; each router is its own AS (single-router-per-AS
+  // model, ASN = 100 + id keeps ASNs visibly distinct from ids).
+  bgp::RouterId next_id = 1;
+  const auto add = [&](const char* tag, std::uint32_t index) {
+    const bgp::RouterId id = next_id++;
+    topo.add_router(id, 100 + id, std::string{tag} + "-" + std::to_string(index));
+    return id;
+  };
+  for (std::uint32_t i = 0; i < params.tier1; ++i) mesh.tier1.push_back(add("T1", i));
+  for (std::uint32_t i = 0; i < params.tier2; ++i) mesh.tier2.push_back(add("T2", i));
+  for (std::uint32_t i = 0; i < params.stubs; ++i) mesh.stubs.push_back(add("S", i));
+
+  const auto peered = [&](bgp::RouterId a, bgp::RouterId b) {
+    return topo.bgp().router(a).has_session(b);
+  };
+
+  // Tier-1: full clique of settlement-free peerings (transit-free core).
+  for (std::size_t i = 0; i < mesh.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < mesh.tier1.size(); ++j) {
+      topo.add_peering(mesh.tier1[i], mesh.tier1[j], mesh_profile(rng), mesh_profile(rng));
+    }
+  }
+
+  // Multi-homes `customer` to `fanout` distinct providers drawn from `pool`,
+  // with a pseudo-random session preference (the Vultr-style weight tiebreak)
+  // so the decision process' preference step is exercised at scale.
+  const auto multihome = [&](bgp::RouterId customer, const std::vector<bgp::RouterId>& pool,
+                             std::uint32_t fanout) {
+    std::uint32_t homed = 0;
+    while (homed < fanout) {
+      const bgp::RouterId provider = pool[rng.below(pool.size())];
+      if (peered(customer, provider)) continue;  // already drawn
+      topo.add_transit(provider, customer, mesh_profile(rng), mesh_profile(rng),
+                       static_cast<std::uint32_t>(rng.below(4)));
+      ++homed;
+    }
+  };
+
+  for (bgp::RouterId t2 : mesh.tier2) multihome(t2, mesh.tier1, params.providers_per_tier2);
+
+  // Tier-2 lateral peering: a ring for connectivity plus random chords up to
+  // the requested degree (regional peering fabric).
+  if (mesh.tier2.size() >= 2) {
+    for (std::size_t i = 0; i < mesh.tier2.size(); ++i) {
+      const bgp::RouterId a = mesh.tier2[i];
+      const bgp::RouterId b = mesh.tier2[(i + 1) % mesh.tier2.size()];
+      if (!peered(a, b)) topo.add_peering(a, b, mesh_profile(rng), mesh_profile(rng));
+      for (std::uint32_t d = 1; d < params.tier2_peer_degree; ++d) {
+        const bgp::RouterId c = mesh.tier2[rng.below(mesh.tier2.size())];
+        if (c == a || peered(a, c)) continue;
+        topo.add_peering(a, c, mesh_profile(rng), mesh_profile(rng));
+      }
+    }
+  }
+
+  for (bgp::RouterId stub : mesh.stubs) multihome(stub, mesh.tier2, params.providers_per_stub);
+
+  // Stub originations: the 10/8 space carved into /24s by global index.
+  // Installed speaker-side only — the caller runs the initial flood.
+  mesh.originations.reserve(total_prefixes);
+  for (std::uint32_t s = 0; s < params.stubs; ++s) {
+    for (std::uint32_t p = 0; p < params.prefixes_per_stub; ++p) {
+      const std::uint32_t index = s * params.prefixes_per_stub + p;
+      const net::Prefix prefix =
+          net::Ipv4Prefix{net::Ipv4Address{0x0A000000u | (index << 8)}, 24};
+      topo.bgp().router(mesh.stubs[s]).originate(prefix);
+      mesh.originations.emplace_back(mesh.stubs[s], prefix);
+    }
+  }
+  return mesh;
+}
+
+}  // namespace tango::topo

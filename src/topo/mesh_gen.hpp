@@ -1,0 +1,53 @@
+// Synthetic AS-level mesh generator for scale benchmarks and tests.
+//
+// Produces a three-tier Gao–Rexford topology in the style of measured
+// AS-graph models: a clique of transit-free tier-1 providers, a layer of
+// regional tier-2 providers (multi-homed to tier-1s, partially peered among
+// themselves) and a large fringe of stub ASes multi-homed to tier-2s, each
+// originating a block of /24s.  Wiring, link delays and session preferences
+// are pseudo-random but fully determined by MeshParams::seed, so two calls
+// with equal params build byte-identical control planes — the property the
+// incremental-vs-full FIB sync oracle in bench_mesh_scale relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace tango::topo {
+
+/// Shape of the generated mesh.  Defaults give 256 routers / 1664 prefixes.
+struct MeshParams {
+  std::uint32_t tier1 = 8;    ///< transit-free clique
+  std::uint32_t tier2 = 40;   ///< regional providers
+  std::uint32_t stubs = 208;  ///< edge ASes (prefix originators)
+  std::uint32_t prefixes_per_stub = 8;
+  std::uint32_t providers_per_tier2 = 2;   ///< tier-1 uplinks per tier-2
+  std::uint32_t providers_per_stub = 2;    ///< tier-2 uplinks per stub
+  std::uint32_t tier2_peer_degree = 3;     ///< extra tier-2 peerings per router
+  std::uint64_t seed = 1;                  ///< determines all wiring choices
+};
+
+/// What generate_mesh built, for drivers that inject traffic or churn.
+struct Mesh {
+  std::vector<bgp::RouterId> tier1;
+  std::vector<bgp::RouterId> tier2;
+  std::vector<bgp::RouterId> stubs;
+  /// (originator, prefix) pairs, in origination order.
+  std::vector<std::pair<bgp::RouterId, net::Prefix>> originations;
+  [[nodiscard]] std::size_t routers() const noexcept {
+    return tier1.size() + tier2.size() + stubs.size();
+  }
+};
+
+/// Builds the mesh into `topo`: routers, sessions (with Gao–Rexford
+/// relationships and pseudo-random session preferences on transit links) and
+/// stub prefix originations.  Originations are installed speaker-side
+/// without propagation — call `topo.bgp().run_to_convergence()` afterwards
+/// (the initial flood is the expensive step; drivers time it, and may enable
+/// batched delivery first).  Throws std::invalid_argument on degenerate
+/// params (zero tier sizes, more uplinks than providers).
+Mesh generate_mesh(Topology& topo, const MeshParams& params);
+
+}  // namespace tango::topo

@@ -1,0 +1,279 @@
+// Incremental control→data-plane convergence: the delta path of sync_fibs()
+// must be indistinguishable from the full-rebuild oracle — identical FIB
+// digests under randomized churn, identical forwarding decisions, and no
+// stale flow-cache entry ever served after a per-prefix invalidation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/wan.hpp"
+#include "topo/mesh_gen.hpp"
+#include "topo/topology.hpp"
+
+namespace tango::sim {
+namespace {
+
+net::Ipv4Prefix stub_prefix(std::uint32_t index) {
+  return net::Ipv4Prefix{net::Ipv4Address{0x0A000000u | (index << 8)}, 24};
+}
+
+net::Ipv4Address host_in(std::uint32_t index, std::uint8_t host) {
+  return net::Ipv4Address{0x0A000000u | (index << 8) | host};
+}
+
+/// A small deterministic mesh (44 routers, 96 prefixes) shared by the
+/// churn-equality tests; convergence at this scale is cheap enough to run
+/// unbatched per round.
+topo::MeshParams small_mesh() {
+  topo::MeshParams params;
+  params.tier1 = 4;
+  params.tier2 = 8;
+  params.stubs = 32;
+  params.prefixes_per_stub = 3;
+  params.seed = 42;
+  return params;
+}
+
+/// Deterministic per-test RNG (xorshift64) for churn choices, independent of
+/// the Wan's own draws.
+struct Churn {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+// Under randomized withdraw/re-originate churn, an incremental Wan and a
+// full-rebuild oracle on the same topology must agree digest-for-digest
+// after every round.  The oracle syncs FIRST each round: full mode must not
+// consume the speakers' dirty lists out from under the incremental Wan.
+TEST(FibSync, IncrementalMatchesFullRebuildUnderChurn) {
+  topo::Topology topo;
+  const topo::Mesh mesh = topo::generate_mesh(topo, small_mesh());
+  topo.bgp().set_message_limit(50'000'000);
+  topo.bgp().run_to_convergence();
+
+  Wan inc{topo, Rng{1}, WanOptions{.fib_sync = FibSync::incremental}};
+  Wan full{topo, Rng{1}, WanOptions{.fib_sync = FibSync::full_rebuild}};
+  ASSERT_EQ(inc.fib_digest(), full.fib_digest()) << "initial FIBs must match";
+  EXPECT_EQ(inc.fib_sync_stats().full_rebuilds, 1u) << "first sync is always full";
+
+  Churn rng{0xC0FFEEu};
+  const auto total = static_cast<std::uint32_t>(mesh.originations.size());
+  for (int round = 0; round < 20; ++round) {
+    const auto& [origin, prefix] = mesh.originations[rng.below(total)];
+    if (topo.bgp().router(origin).originates(prefix)) {
+      topo.bgp().withdraw(origin, prefix);
+    } else {
+      topo.bgp().originate(origin, prefix);
+    }
+    full.sync_fibs();  // oracle first: must leave the dirty lists intact
+    inc.sync_fibs();
+    ASSERT_EQ(inc.fib_digest(), full.fib_digest()) << "divergence at round " << round;
+  }
+  EXPECT_GT(inc.fib_sync_stats().delta_applies, 0u)
+      << "churn at this scale must exercise the delta path, not rebuilds";
+  EXPECT_EQ(full.fib_sync_stats().delta_applies, 0u);
+  EXPECT_EQ(full.fib_sync_stats().full_rebuilds, 21u);
+}
+
+// Forwarding equivalence: after each churn round both Wans must move packets
+// along identical hop sequences (the mesh profile is lossless and
+// jitter-free, so paths are a pure function of the FIBs).
+TEST(FibSync, ForwardingMatchesOracleAfterChurn) {
+  topo::Topology topo;
+  const topo::Mesh mesh = topo::generate_mesh(topo, small_mesh());
+  topo.bgp().set_message_limit(50'000'000);
+  topo.bgp().run_to_convergence();
+
+  Wan inc{topo, Rng{1}, WanOptions{.fib_sync = FibSync::incremental}};
+  Wan full{topo, Rng{1}, WanOptions{.fib_sync = FibSync::full_rebuild}};
+  for (bgp::RouterId stub : mesh.stubs) {
+    inc.attach(stub, [](net::Packet&) {});
+    full.attach(stub, [](net::Packet&) {});
+  }
+
+  const std::vector<std::uint8_t> payload{0xAB};
+  auto hops_of = [&payload](Wan& wan, std::uint32_t from_stub_index,
+                            bgp::RouterId from_router, std::uint32_t to_index,
+                            std::uint16_t sport) {
+    std::vector<bgp::RouterId> hops;
+    wan.set_hop_observer([&hops](bgp::RouterId from, bgp::RouterId, const net::Packet&) {
+      hops.push_back(from);
+    });
+    wan.send_from(from_router,
+                  net::make_udp4_packet(host_in(from_stub_index * 3, 1), host_in(to_index, 9),
+                                        sport, 7, payload));
+    wan.run_all();
+    wan.set_hop_observer({});
+    return hops;
+  };
+
+  Churn rng{0xBEEFu};
+  const auto total = static_cast<std::uint32_t>(mesh.originations.size());
+  std::uint16_t sport = 20000;
+  for (int round = 0; round < 10; ++round) {
+    const auto& [origin, prefix] = mesh.originations[rng.below(total)];
+    if (topo.bgp().router(origin).originates(prefix)) {
+      topo.bgp().withdraw(origin, prefix);
+    } else {
+      topo.bgp().originate(origin, prefix);
+    }
+    full.sync_fibs();
+    inc.sync_fibs();
+
+    // Probe a handful of random stub-to-stub flows; fresh sport per probe so
+    // each is a new flow (cold caches exercise the trie, repeats the cache).
+    for (int probe = 0; probe < 4; ++probe) {
+      const auto from = static_cast<std::uint32_t>(rng.below(mesh.stubs.size()));
+      const auto to_index = static_cast<std::uint32_t>(rng.below(total));
+      ++sport;
+      const auto inc_hops = hops_of(inc, from, mesh.stubs[from], to_index, sport);
+      const auto full_hops = hops_of(full, from, mesh.stubs[from], to_index, sport);
+      ASSERT_EQ(inc_hops, full_hops)
+          << "round " << round << " probe " << probe << ": stale forwarding state";
+    }
+    ASSERT_EQ(inc.delivered(), full.delivered());
+    ASSERT_EQ(inc.total_dropped(), full.total_dropped());
+  }
+}
+
+// A bulk change (session teardown dirtying >kFibDirtyLimit prefixes) must
+// trip the overflow flag and fall back to a per-router rebuild — and still
+// match the oracle.
+TEST(FibSync, DirtyOverflowFallsBackToRouterRebuild) {
+  constexpr std::uint32_t kPrefixes = bgp::BgpSpeaker::kFibDirtyLimit + 76;  // 1100
+  topo::Topology topo;
+  topo.add_router(1, 100, "A");
+  topo.add_router(2, 200, "B");
+  const topo::LinkProfile wire{.base_delay_ms = 1.0};
+  topo.add_transit(/*provider=*/1, /*customer=*/2, wire, wire);
+  for (std::uint32_t i = 0; i < kPrefixes; ++i) {
+    topo.bgp().router(1).originate(net::Prefix{stub_prefix(i)});
+  }
+  topo.bgp().set_message_limit(50'000'000);
+  topo.bgp().run_to_convergence();
+
+  Wan inc{topo, Rng{1}, WanOptions{.fib_sync = FibSync::incremental}};
+  Wan full{topo, Rng{1}, WanOptions{.fib_sync = FibSync::full_rebuild}};
+  ASSERT_EQ(inc.fib_digest(), full.fib_digest());
+
+  // Teardown wipes B's 1100 learned prefixes at once: dirty-list overflow.
+  topo.bgp().remove_session(1, 2);
+  EXPECT_TRUE(topo.bgp().router(2).fib_dirty_overflowed());
+
+  inc.sync_fibs();
+  full.sync_fibs();
+  EXPECT_EQ(inc.fib_digest(), full.fib_digest());
+  EXPECT_GE(inc.fib_sync_stats().router_rebuilds, 1u)
+      << "overflow must fall back to a per-router rebuild";
+  EXPECT_FALSE(topo.bgp().router(2).fib_dirty_overflowed())
+      << "incremental sync must consume the overflow flag";
+
+  // The fallback is per-router: a subsequent small change rides the delta path.
+  const std::uint64_t deltas_before = inc.fib_sync_stats().delta_applies;
+  topo.bgp().router(1).withdraw_origin(net::Prefix{stub_prefix(0)});
+  topo.bgp().run_to_convergence();
+  inc.sync_fibs();
+  full.sync_fibs();
+  EXPECT_EQ(inc.fib_digest(), full.fib_digest());
+  EXPECT_GT(inc.fib_sync_stats().delta_applies, deltas_before);
+}
+
+// Per-prefix flow-cache invalidation on a 3-router chain: churning one
+// prefix must zero exactly the cached ways that prefix covers (one per
+// router on the warmed path), leave the unrelated flow's entries hot, and
+// never serve the stale next hop for the withdrawn prefix.
+TEST(FibSync, PerPrefixInvalidationIsSurgical) {
+  topo::Topology topo;
+  topo.add_router(1, 100, "A");
+  topo.add_router(2, 200, "B");
+  topo.add_router(3, 300, "C");
+  const topo::LinkProfile wire{.base_delay_ms = 1.0};
+  topo.add_transit(/*provider=*/2, /*customer=*/1, wire, wire);
+  topo.add_transit(/*provider=*/2, /*customer=*/3, wire, wire);
+  const net::Prefix keep{stub_prefix(1)};   // stays originated at C
+  const net::Prefix churn{stub_prefix(2)};  // withdrawn mid-test
+  topo.bgp().router(3).originate(keep);
+  topo.bgp().router(3).originate(churn);
+  topo.bgp().run_to_convergence();
+
+  Wan wan{topo, Rng{1}, WanOptions{.fib_sync = FibSync::incremental}};
+  std::uint64_t delivered = 0;
+  wan.attach(3, [&delivered](net::Packet&) { ++delivered; });
+
+  const std::vector<std::uint8_t> payload{0x01};
+  auto send = [&](std::uint32_t index, std::uint16_t sport) {
+    wan.send_from(1,
+                  net::make_udp4_packet(host_in(1, 1), host_in(index, 5), sport, 7, payload));
+    wan.run_all();
+  };
+
+  // Warm both flows along A -> B -> C (three lookups each, all cold).
+  send(1, 1111);
+  send(2, 2222);
+  ASSERT_EQ(delivered, 2u);
+  ASSERT_EQ(wan.fib_lookups(), 6u);
+  ASSERT_EQ(wan.fib_cache_hits(), 0u);
+
+  const std::uint64_t invalidations_before = wan.fib_sync_stats().prefix_invalidations;
+  topo.bgp().withdraw(3, churn);
+  wan.sync_fibs();
+
+  // One cached way per router covered the churned prefix; nothing else.
+  EXPECT_EQ(wan.fib_sync_stats().prefix_invalidations - invalidations_before, 3u);
+  EXPECT_EQ(wan.fib_sync_stats().generation_invalidations, 3u)
+      << "only the construction-time full sync may bump generations";
+
+  // The untouched flow stays cached: every hop of a repeat is a cache hit.
+  send(1, 1111);
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(wan.fib_cache_hits(), 3u);
+
+  // The churned flow must take the trie walk (no stale cached next hop) and
+  // discover the prefix is gone.
+  send(2, 2222);
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(wan.dropped(DropReason::no_route), 1u)
+      << "a stale flow-cache entry served a withdrawn prefix";
+  EXPECT_EQ(wan.fib_cache_hits(), 3u);
+}
+
+// Mode plumbing: the runtime switch and the constructor option agree, and
+// stats distinguish the two paths.
+TEST(FibSync, ModeSelectionAndStats) {
+  topo::Topology topo;
+  topo.add_router(1, 100, "A");
+  topo.add_router(2, 200, "B");
+  const topo::LinkProfile wire{.base_delay_ms = 1.0};
+  topo.add_transit(1, 2, wire, wire);
+  topo.bgp().router(1).originate(net::Prefix{stub_prefix(0)});
+  topo.bgp().run_to_convergence();
+
+  Wan wan{topo, Rng{1}};  // default options
+  EXPECT_EQ(wan.fib_sync_mode(), FibSync::incremental);
+  EXPECT_EQ(wan.fib_sync_stats().syncs, 1u);
+  EXPECT_EQ(wan.fib_sync_stats().full_rebuilds, 1u);
+
+  topo.bgp().router(1).originate(net::Prefix{stub_prefix(1)});
+  topo.bgp().run_to_convergence();
+  wan.sync_fibs();
+  EXPECT_EQ(wan.fib_sync_stats().syncs, 2u);
+  EXPECT_GT(wan.fib_sync_stats().delta_applies, 0u);
+
+  wan.set_fib_sync_mode(FibSync::full_rebuild);
+  EXPECT_EQ(wan.fib_sync_mode(), FibSync::full_rebuild);
+  const std::uint64_t rebuilds = wan.fib_sync_stats().full_rebuilds;
+  wan.sync_fibs();
+  EXPECT_EQ(wan.fib_sync_stats().full_rebuilds, rebuilds + 1);
+}
+
+}  // namespace
+}  // namespace tango::sim
