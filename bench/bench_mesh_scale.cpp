@@ -17,6 +17,16 @@
 //     reports pkts/sec and flow-cache effectiveness (per-prefix
 //     invalidation keeps unrelated flows' cache entries warm).
 //
+// A second phase (E15) layers the Tango overlay itself on the generated
+// mesh: 64 cooperating sites on stub routers (8 in quick mode), a 63-prefix
+// tunnel pool each, full-mesh establish of all 64*63 = 4032 ordered pairs
+// through the interleaved discovery work-queue, then feedback + probing +
+// per-peer policy under host traffic and control-plane churn.  Gates:
+// path ids verified disjoint and compact (the old fixed-stride scheme
+// wrapped the 16-bit space at 65 sites), every direction discovers a path,
+// no data loss, and the discovery-cost metrics (convergence runs, BGP
+// messages) land in the committed run record for ci/bench_regression.py.
+//
 // TANGO_BENCH_QUICK=1 shrinks the mesh and round counts for CI (digest
 // checks keep their teeth; the 5x gate applies only at full scale).
 // Results go to stdout and the BENCH_mesh detail JSON, plus a one-line run
@@ -24,11 +34,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "core/mesh.hpp"
 #include "net/packet.hpp"
 #include "topo/mesh_gen.hpp"
 
@@ -179,6 +192,210 @@ TrafficResult run_traffic(sim::Wan& wan, topo::Topology& topo, const topo::Mesh&
   return r;
 }
 
+// --- E15: the Tango overlay at mesh scale ----------------------------------
+
+struct TangoScale {
+  std::size_t sites = 64;
+  /// 63 pool prefixes across 63 inbound pairs: one-prefix slices, one path
+  /// per ordered pair — 4032 paths, comfortably inside the 16-bit id space
+  /// the old per-pair stride scheme wrapped at this site count.
+  std::size_t pool_per_site = 63;
+  std::uint64_t ticks = 20;                      ///< feedback-phase ticks
+  sim::Time tick = 100 * sim::kMillisecond;      ///< simulated time per tick
+  sim::Time probe_period = 20 * sim::kMillisecond;
+  std::uint64_t pairs_per_tick = 16;             ///< traffic: ordered pairs per tick
+  std::uint64_t pkts_per_pair = 16;
+  std::uint64_t churn_every = 5;                 ///< churn cadence, in ticks
+};
+
+TangoScale pick_tango_scale() {
+  TangoScale t;
+  if (quick_mode()) {
+    // 8 sites, still one-prefix slices: the work-queue's convergence-run
+    // count stays scale-independent (rounds + flush), so the quick run's
+    // tango_establish_convergence_runs is directly comparable to the
+    // committed full-scale baseline.
+    t.sites = 8;
+    t.pool_per_site = 7;
+    t.ticks = 6;
+    t.pairs_per_tick = 4;
+    t.pkts_per_pair = 8;
+    t.churn_every = 3;
+  }
+  return t;
+}
+
+struct TangoResult {
+  std::size_t sites = 0;
+  std::size_t directions = 0;
+  std::size_t paths = 0;
+  double establish_ms = 0;
+  std::uint64_t convergence_runs = 0;
+  std::uint64_t discovery_rounds = 0;
+  std::uint64_t bgp_messages = 0;
+  bool ids_compact_disjoint = false;
+  std::uint64_t reports_delivered = 0;
+  double reports_per_sec = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t traffic_sent = 0;
+  std::uint64_t traffic_delivered = 0;
+  std::uint64_t churn_flaps = 0;
+  std::size_t pairing_state_bytes = 0;
+  int violations = 0;
+};
+
+/// Builds a fresh mesh + overlay (the E14 topology has churned state and
+/// claimed stub delivery handlers) and drives establish, then feedback +
+/// probing + policy under traffic and churn.
+TangoResult run_tango_phase(std::uint64_t seed, const MeshScale& mesh_scale) {
+  const TangoScale ts = pick_tango_scale();
+  TangoResult r;
+  r.sites = ts.sites;
+
+  std::printf("\n--- Tango overlay (E15): %zu sites, %zu ordered pairs ---\n", ts.sites,
+              ts.sites * (ts.sites - 1));
+
+  topo::Topology topo;
+  topo::MeshParams params = mesh_scale.params;
+  params.seed = seed;
+  const topo::Mesh mesh = topo::generate_mesh(topo, params);
+  const auto plans = topo::plan_mesh_sites(topo, mesh, ts.sites, ts.pool_per_site);
+  topo.bgp().set_message_limit(200'000'000);
+  topo.bgp().set_batched_delivery(true);
+  topo.bgp().run_to_convergence();
+
+  sim::Wan wan{topo, sim::Rng{seed}, sim::WanOptions{.fib_sync = sim::FibSync::incremental}};
+  core::TangoMesh overlay{wan};
+  std::vector<std::unique_ptr<core::TangoNode>> nodes;
+  nodes.reserve(plans.size());
+  for (const auto& plan : plans) {
+    nodes.push_back(std::make_unique<core::TangoNode>(
+        topo, wan,
+        core::NodeConfig{.router = plan.router,
+                         .host_prefix = plan.hosts,
+                         .tunnel_prefix_pool = plan.tunnel_pool,
+                         .edge_asns = {plan.asn}}));
+    overlay.add_site(*nodes.back());
+  }
+
+  // --- Establish: all ordered pairs through the interleaved work-queue ----
+  auto t0 = std::chrono::steady_clock::now();
+  const auto results = overlay.establish(core::SteeringMechanism::communities,
+                                         core::EstablishMode::interleaved);
+  r.establish_ms = ms_since(t0);
+  const core::MeshEstablishStats& es = overlay.establish_stats();
+  r.directions = es.directions;
+  r.paths = es.paths;
+  r.convergence_runs = es.convergence_runs;
+  r.discovery_rounds = es.discovery_rounds;
+  r.bgp_messages = es.bgp_messages;
+
+  if (r.directions != ts.sites * (ts.sites - 1)) {
+    std::fprintf(stderr, "FAIL: E15 established %zu directions, expected %zu\n", r.directions,
+                 ts.sites * (ts.sites - 1));
+    ++r.violations;
+  }
+  std::set<core::PathId> ids;
+  std::size_t pathless_directions = 0;
+  for (const auto& result : results) {
+    if (result.paths.empty()) ++pathless_directions;
+    for (const auto& path : result.paths) ids.insert(path.id);
+  }
+  r.ids_compact_disjoint = ids.size() == r.paths && !ids.empty() && *ids.begin() == 1 &&
+                           *ids.rbegin() == r.paths;
+  if (!r.ids_compact_disjoint) {
+    std::fprintf(stderr,
+                 "FAIL: E15 path ids not compact/disjoint (%zu distinct of %zu paths)\n",
+                 ids.size(), r.paths);
+    ++r.violations;
+  }
+  if (pathless_directions > 0) {
+    std::fprintf(stderr, "FAIL: E15 %zu directions discovered no path\n", pathless_directions);
+    ++r.violations;
+  }
+  std::printf("establish: %zu directions, %zu paths in %.0f ms "
+              "(%llu convergence runs over %llu rounds, %llu BGP messages)\n",
+              r.directions, r.paths, r.establish_ms,
+              static_cast<unsigned long long>(r.convergence_runs),
+              static_cast<unsigned long long>(r.discovery_rounds),
+              static_cast<unsigned long long>(r.bgp_messages));
+
+  // --- Feedback + probing + policy under traffic and churn ----------------
+  for (auto& node : nodes) node->set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  overlay.start();
+  overlay.start_probing(ts.probe_period);
+
+  std::mt19937_64 rng{seed * 0x9E3779B97F4A7C15ull + 15};
+  const std::vector<std::uint8_t> payload(64, 0xA5);
+  std::uint64_t data_delivered = 0;
+  for (auto& node : nodes) {
+    node->dp().set_host_handler(
+        [&data_delivered](const net::Packet& inner,
+                          const std::optional<dataplane::ReceiveInfo>& info) {
+          // Probes (5-byte payload) also arrive Tango-encapsulated; count
+          // only the 64-byte data packets.
+          if (info && inner.size() > 100) ++data_delivered;
+        });
+  }
+
+  ChurnStats churn_stats;
+  t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t tick = 0; tick < ts.ticks; ++tick) {
+    if (tick > 0 && tick % ts.churn_every == 0) {
+      // Control-plane churn under a live overlay: flap a stub /24 or a stub
+      // uplink session, then apply the dirty deltas incrementally.
+      churn_once(topo, mesh, rng, churn_stats);
+      wan.sync_fibs();
+      ++r.churn_flaps;
+    }
+    for (std::uint64_t p = 0; p < ts.pairs_per_tick; ++p) {
+      core::TangoNode& src = *nodes[rng() % nodes.size()];
+      core::TangoNode& dst = *nodes[rng() % nodes.size()];
+      if (&src == &dst) continue;
+      for (std::uint64_t i = 0; i < ts.pkts_per_pair; ++i) {
+        src.dp().send_from_host(net::make_udp_packet(
+            src.host_address(2 + i), dst.host_address(2 + i),
+            static_cast<std::uint16_t>(40000 + i), 7777, payload));
+        ++r.traffic_sent;
+      }
+    }
+    wan.events().run_until(wan.now() + ts.tick);
+  }
+  overlay.stop();
+  overlay.stop_probing();
+  wan.events().run_all();
+  const double feedback_wall_s = ms_since(t0) / 1000.0;
+
+  r.reports_delivered = overlay.reports_delivered();
+  if (feedback_wall_s > 0) {
+    r.reports_per_sec = static_cast<double>(r.reports_delivered) / feedback_wall_s;
+  }
+  for (const auto& node : nodes) r.probes_sent += node->probes_sent();
+  r.traffic_delivered = data_delivered;
+  r.pairing_state_bytes = overlay.pairing_state_bytes();
+
+  if (r.reports_delivered == 0) {
+    std::fprintf(stderr, "FAIL: E15 delivered no feedback reports\n");
+    ++r.violations;
+  }
+  if (r.traffic_delivered != r.traffic_sent) {
+    std::fprintf(stderr,
+                 "FAIL: E15 overlay traffic loss (%llu sent, %llu delivered)\n",
+                 static_cast<unsigned long long>(r.traffic_sent),
+                 static_cast<unsigned long long>(r.traffic_delivered));
+    ++r.violations;
+  }
+  std::printf("feedback: %llu reports (%.0f/s wall), %llu probes, traffic %llu/%llu "
+              "delivered, %llu churn flaps, pairing state %.1f MB\n",
+              static_cast<unsigned long long>(r.reports_delivered), r.reports_per_sec,
+              static_cast<unsigned long long>(r.probes_sent),
+              static_cast<unsigned long long>(r.traffic_delivered),
+              static_cast<unsigned long long>(r.traffic_sent),
+              static_cast<unsigned long long>(r.churn_flaps),
+              static_cast<double>(r.pairing_state_bytes) / (1024.0 * 1024.0));
+  return r;
+}
+
 int run(std::uint64_t seed) {
   const MeshScale scale = pick_scale();
   print_header("Mesh-scale churn (E14)",
@@ -292,6 +509,10 @@ int run(std::uint64_t seed) {
   sync_and_check(wan_inc, wan_full, /*checkpoint=*/true, stats);
   if (stats.digest_mismatches > 0 && violations == 0) ++violations;
 
+  // --- Tango overlay phase (E15) ------------------------------------------
+  const TangoResult tango = run_tango_phase(seed, scale);
+  violations += tango.violations;
+
   // --- Reports -------------------------------------------------------------
   JsonWriter w;
   w.begin_object();
@@ -327,21 +548,52 @@ int run(std::uint64_t seed) {
       .field("pkts_per_sec", traffic.pkts_per_sec, 0)
       .field("cache_hit_rate", traffic.cache_hit_rate, 4)
       .end_object();
+  w.begin_object("tango");
+  w.field("sites", static_cast<std::uint64_t>(tango.sites));
+  w.field("directions", static_cast<std::uint64_t>(tango.directions));
+  w.field("paths", static_cast<std::uint64_t>(tango.paths));
+  w.field("ids_compact_disjoint",
+          std::string{tango.ids_compact_disjoint ? "true" : "false"});
+  w.begin_object("establish")
+      .field("establish_ms", tango.establish_ms, 1)
+      .field("convergence_runs", tango.convergence_runs)
+      .field("discovery_rounds", tango.discovery_rounds)
+      .field("bgp_messages", tango.bgp_messages)
+      .end_object();
+  w.begin_object("feedback")
+      .field("reports_delivered", tango.reports_delivered)
+      .field("reports_per_sec", tango.reports_per_sec, 0)
+      .field("probes_sent", tango.probes_sent)
+      .field("traffic_sent", tango.traffic_sent)
+      .field("traffic_delivered", tango.traffic_delivered)
+      .field("churn_flaps", tango.churn_flaps)
+      .end_object();
+  w.field("pairing_state_kb",
+          static_cast<double>(tango.pairing_state_bytes) / 1024.0, 1);
+  w.end_object();
   w.field("violations", static_cast<std::uint64_t>(violations));
   w.end_object();
   const auto path = detail_report_path("BENCH_mesh");
   w.write_file(path);
   std::printf("wrote %s\n", path.string().c_str());
 
-  char record[512];
+  char record[1024];
   std::snprintf(record, sizeof record,
                 "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"routers\": %zu, "
                 "\"prefixes\": %zu, \"convergence_ms\": %.3f, \"churn_pkts_per_sec\": %.0f, "
-                "\"sync_speedup\": %.2f, \"digests_equal\": %s, \"violations\": %d}",
+                "\"sync_speedup\": %.2f, \"digests_equal\": %s, \"tango_sites\": %zu, "
+                "\"tango_paths\": %zu, \"tango_establish_ms\": %.1f, "
+                "\"tango_establish_convergence_runs\": %llu, "
+                "\"tango_establish_bgp_messages\": %llu, \"tango_reports_per_sec\": %.0f, "
+                "\"tango_pairing_state_kb\": %.1f, \"violations\": %d}",
                 git_head_sha().c_str(), utc_timestamp().c_str(),
                 static_cast<unsigned long long>(seed), mesh.routers(),
                 mesh.originations.size(), convergence_ms, traffic.pkts_per_sec, speedup,
-                stats.digest_mismatches == 0 ? "true" : "false", violations);
+                stats.digest_mismatches == 0 ? "true" : "false", tango.sites, tango.paths,
+                tango.establish_ms,
+                static_cast<unsigned long long>(tango.convergence_runs),
+                static_cast<unsigned long long>(tango.bgp_messages), tango.reports_per_sec,
+                static_cast<double>(tango.pairing_state_bytes) / 1024.0, violations);
   if (append_run_history("BENCH_mesh", record)) {
     std::printf("appended run record to <repo-root>/BENCH_mesh.json\n");
   }

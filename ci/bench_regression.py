@@ -51,9 +51,21 @@ MANIFEST: dict[str, dict[str, tuple[str, str]]] = {
     # sits far below the full-scale baseline and the lower-is-better gate
     # catches only gross regressions; pkts_per_sec keeps per-packet work
     # comparable (similar hop counts at both scales).
+    #
+    # Tango overlay (E15) discovery-cost and pairing-memory gates:
+    # tango_establish_convergence_runs is scale-INDEPENDENT by design — the
+    # interleaved work-queue costs rounds+1 runs regardless of site count
+    # (both quick and full use one-prefix pool slices), so quick 3 vs
+    # baseline 3 is an exact comparison and any per-direction convergence
+    # leak explodes it.  The messages and pairing-state totals sit far below
+    # the full-scale baseline in quick mode (lower-is-better, gross
+    # regressions only), like convergence_ms.
     "BENCH_mesh": {
         "convergence_ms": ("churn.convergence_ms", "lower"),
         "churn_pkts_per_sec": ("traffic.pkts_per_sec", "higher"),
+        "tango_establish_convergence_runs": ("tango.establish.convergence_runs", "lower"),
+        "tango_establish_bgp_messages": ("tango.establish.bgp_messages", "lower"),
+        "tango_pairing_state_kb": ("tango.pairing_state_kb", "lower"),
     },
 }
 

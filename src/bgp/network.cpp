@@ -125,6 +125,7 @@ void BgpNetwork::deliver(BgpSpeaker& target, const Update& update) {
 }
 
 std::uint64_t BgpNetwork::run_to_convergence() {
+  ++convergence_runs_;
   std::uint64_t delivered = 0;
   // Deterministic schedule: repeatedly sweep routers in id order, delivering
   // each router's queued output before moving on.  BGP with valley-free

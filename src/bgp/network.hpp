@@ -88,6 +88,12 @@ class BgpNetwork {
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
 
+  /// Times run_to_convergence() has been entered.  Deltas of this counter
+  /// are the "convergence runs" cost metric: batched mesh discovery pays one
+  /// run per work-queue round where the sequential path pays one per
+  /// originate/withdraw.
+  [[nodiscard]] std::uint64_t convergence_runs() const noexcept { return convergence_runs_; }
+
   /// Divergence guard: maximum messages per run_to_convergence call.
   void set_message_limit(std::uint64_t limit) noexcept { message_limit_ = limit; }
 
@@ -110,6 +116,7 @@ class BgpNetwork {
 
   std::map<RouterId, std::unique_ptr<BgpSpeaker>> routers_;
   std::uint64_t total_messages_ = 0;
+  std::uint64_t convergence_runs_ = 0;
   std::uint64_t message_limit_ = 10'000'000;
   bool wire_transport_ = false;
   bool batched_delivery_ = false;

@@ -136,4 +136,183 @@ DiscoveryResult discover_paths(topo::Topology& topo, const DiscoveryRequest& req
   return result;
 }
 
+namespace {
+
+/// One direction's place in the shared work-queue: the same state
+/// discover_paths() keeps in locals, lifted into a struct so the engine can
+/// advance every direction one convergence step at a time.
+struct DirectionState {
+  const DiscoveryRequest* request = nullptr;
+  DiscoveryResult result;
+  bgp::CommunitySet suppression;
+  std::vector<bgp::Asn> targets;
+  std::size_t pool_index = 0;
+  PathId next_id = 1;
+  enum class Phase : std::uint8_t { pool, probe, done } phase = Phase::pool;
+
+  [[nodiscard]] bool poisoning() const noexcept {
+    return request->mechanism == SteeringMechanism::poisoning;
+  }
+  [[nodiscard]] bool active() const noexcept { return phase != Phase::done; }
+};
+
+/// Speaker-side (deferred) origination of `prefix` with the direction's
+/// current steering state; the shared convergence run settles it.
+void announce_deferred(bgp::BgpNetwork& bgp, DirectionState& d, const net::Ipv6Prefix& prefix,
+                       const bgp::CommunitySet& communities,
+                       const std::vector<bgp::Asn>& poisoned) {
+  bgp::BgpSpeaker& speaker = bgp.router(d.request->destination);
+  if (d.poisoning()) {
+    speaker.originate(net::Prefix{prefix}, {}, bgp::Origin::igp, poisoned);
+  } else {
+    speaker.originate(net::Prefix{prefix}, communities);
+  }
+}
+
+std::vector<bgp::Asn> batch_label_exclusions(const DirectionState& d) {
+  std::vector<bgp::Asn> out = d.request->edge_asns;
+  if (d.poisoning()) out.insert(out.end(), d.targets.begin(), d.targets.end());
+  return out;
+}
+
+/// Advances one direction after a shared convergence run: observes the best
+/// route for the prefix it announced this round and runs the same
+/// record/suppress/terminate logic as the sequential loop.  Any follow-up
+/// announcement or withdrawal is queued speaker-side for the next round.
+void advance_direction(topo::Topology& topo, DirectionState& d) {
+  bgp::BgpNetwork& bgp = topo.bgp();
+  const DiscoveryRequest& request = *d.request;
+
+  if (d.phase == DirectionState::Phase::probe) {
+    // Termination probe (paper §4.1 stopping rule): the last pool prefix was
+    // re-announced with the final suppression set; observe, then restore its
+    // steady-state announcement.
+    const DiscoveredPath& last = d.result.paths.back();
+    const bgp::Route* best = bgp.best_route(request.source, net::Prefix{last.prefix});
+    DiscoveryStep probe{.prefix = last.prefix,
+                        .communities = d.suppression,
+                        .poisoned = d.targets,
+                        .observed = std::nullopt};
+    if (best == nullptr) {
+      d.result.exhausted = true;
+    } else {
+      probe.observed = best->as_path;  // more paths exist than pool prefixes
+    }
+    d.result.steps.push_back(std::move(probe));
+    announce_deferred(bgp, d, last.prefix, last.communities, last.poisoned);
+    d.phase = DirectionState::Phase::done;
+    return;
+  }
+
+  const net::Ipv6Prefix& prefix = request.prefix_pool[d.pool_index];
+  const bgp::Route* best = bgp.best_route(request.source, net::Prefix{prefix});
+  DiscoveryStep step{.prefix = prefix,
+                     .communities = d.suppression,
+                     .poisoned = d.targets,
+                     .observed = std::nullopt};
+
+  if (best == nullptr) {
+    // Suppression made the prefix unreachable: enumeration complete.
+    bgp.router(request.destination).withdraw_origin(net::Prefix{prefix});
+    d.result.steps.push_back(std::move(step));
+    d.result.exhausted = true;
+    d.phase = DirectionState::Phase::done;
+    return;
+  }
+
+  step.observed = best->as_path;
+  d.result.steps.push_back(step);
+
+  // Same safety valve as the sequential loop: an ignored suppression
+  // community repeats the previous route — stop, don't record duplicates.
+  if (!d.result.paths.empty() && d.result.paths.back().as_path == best->as_path) {
+    bgp.router(request.destination).withdraw_origin(net::Prefix{prefix});
+    d.result.steps.back().observed = std::nullopt;
+    d.phase = DirectionState::Phase::done;
+    return;
+  }
+
+  DiscoveredPath path{.id = d.next_id++,
+                      .prefix = prefix,
+                      .communities = d.suppression,
+                      .poisoned = d.targets,
+                      .as_path = best->as_path,
+                      .label = topo.label_path(best->as_path.unique_sequence(),
+                                               batch_label_exclusions(d))};
+  d.result.paths.push_back(std::move(path));
+
+  auto target = suppression_target(best->as_path, request.edge_asns, d.targets);
+  if (!target) {
+    d.result.exhausted = true;
+    d.phase = DirectionState::Phase::done;
+    return;
+  }
+  d.targets.push_back(*target);
+  if (!d.poisoning()) d.suppression.add(bgp::action::do_not_announce_to(*target));
+
+  ++d.pool_index;
+  if (d.pool_index == request.prefix_pool.size()) {
+    // Every pool prefix is pinned to a path: one more probe round decides
+    // whether enumeration was exhaustive or merely ran out of prefixes.
+    d.phase = DirectionState::Phase::probe;
+  }
+}
+
+}  // namespace
+
+std::vector<DiscoveryResult> discover_paths_batch(topo::Topology& topo,
+                                                  const std::vector<DiscoveryRequest>& requests,
+                                                  BatchDiscoveryStats* stats) {
+  bgp::BgpNetwork& bgp = topo.bgp();
+  const std::uint64_t messages_before = bgp.total_messages();
+  BatchDiscoveryStats local;
+
+  std::vector<DirectionState> directions(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    directions[i].request = &requests[i];
+    if (requests[i].prefix_pool.empty()) directions[i].phase = DirectionState::Phase::done;
+  }
+
+  auto any_active = [&]() {
+    for (const DirectionState& d : directions) {
+      if (d.active()) return true;
+    }
+    return false;
+  };
+
+  while (any_active()) {
+    // Announce round: every active direction queues its next probe
+    // announcement speaker-side (no convergence yet).
+    for (DirectionState& d : directions) {
+      if (!d.active()) continue;
+      if (d.phase == DirectionState::Phase::probe) {
+        announce_deferred(bgp, d, d.result.paths.back().prefix, d.suppression, d.targets);
+      } else {
+        announce_deferred(bgp, d, d.request->prefix_pool[d.pool_index], d.suppression,
+                          d.targets);
+      }
+    }
+    // One shared convergence run settles every direction's announcement.
+    bgp.run_to_convergence();
+    ++local.convergence_runs;
+    ++local.rounds;
+    // Observe round: every active direction reads its converged best route
+    // and advances (queuing follow-up withdrawals/restores for later).
+    for (DirectionState& d : directions) {
+      if (d.active()) advance_direction(topo, d);
+    }
+  }
+  // Flush trailing speaker-side withdrawals and steady-state restores.
+  bgp.run_to_convergence();
+  ++local.convergence_runs;
+
+  local.bgp_messages = bgp.total_messages() - messages_before;
+  if (stats != nullptr) *stats = local;
+
+  std::vector<DiscoveryResult> results;
+  results.reserve(directions.size());
+  for (DirectionState& d : directions) results.push_back(std::move(d.result));
+  return results;
+}
+
 }  // namespace tango::core

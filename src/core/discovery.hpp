@@ -78,6 +78,41 @@ struct DiscoveryResult {
                                              const DiscoveryRequest& request,
                                              PathId first_id = 1);
 
+/// Cost accounting for a batched discovery run (the control-plane price of
+/// establishing a whole mesh, the metric bench_mesh_scale E15 gates on).
+struct BatchDiscoveryStats {
+  /// Work-queue rounds (the longest direction's step count dominates).
+  std::uint64_t rounds = 0;
+  /// Shared run_to_convergence() calls — one per round plus the final flush,
+  /// versus one per originate/withdraw in the sequential path.
+  std::uint64_t convergence_runs = 0;
+  /// Total BGP messages across the batch.  Message counts cannot be
+  /// attributed per direction here (a shared convergence run carries many
+  /// directions' updates), so per-result bgp_messages stays zero in batch
+  /// mode and this total is the authoritative figure.
+  std::uint64_t bgp_messages = 0;
+};
+
+/// Runs many discovery directions through a work-queue that interleaves
+/// their convergence runs: each round, every still-active direction
+/// announces its next probe prefix speaker-side, ONE shared
+/// run_to_convergence() settles the control plane, and every direction then
+/// observes its best route and advances its state machine.  Because each
+/// direction announces prefixes drawn from a disjoint pool slice, and both
+/// suppression communities and poisoned ASNs ride the announcement of the
+/// prefix they steer, the converged best route for one direction's prefix is
+/// independent of every other direction's announcements — and the BGP
+/// decision process is a total order over route attributes, not arrival
+/// order.  The per-direction results (paths, steps, exhaustion) are
+/// therefore identical to calling discover_paths() once per request in
+/// sequence; only the number of convergence runs changes (O(max steps)
+/// instead of O(total steps)).  Path ids are assigned per direction starting
+/// at 1 — callers coordinating a shared id space renumber afterwards
+/// (TangoMesh uses a PathIdAllocator).
+std::vector<DiscoveryResult> discover_paths_batch(
+    topo::Topology& topo, const std::vector<DiscoveryRequest>& requests,
+    BatchDiscoveryStats* stats = nullptr);
+
 /// Picks the suppression target from an AS path observed at the source: the
 /// transit adjacent to the destination edge (the AS whose export the
 /// destination's provider must suppress next).  nullopt when the path has

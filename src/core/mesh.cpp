@@ -1,6 +1,8 @@
 #include "core/mesh.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace tango::core {
 
@@ -8,38 +10,113 @@ TangoMesh::TangoMesh(sim::Wan& wan, PairingOptions options) : wan_{wan}, options
 
 void TangoMesh::add_site(TangoNode& node) {
   if (established_) throw std::logic_error{"TangoMesh: add_site after establish"};
+  const bgp::RouterId router = node.config().router;
+  if (!by_router_.emplace(router, &node).second) {
+    throw std::logic_error{"TangoMesh: duplicate site router id"};
+  }
   sites_.push_back(&node);
 }
 
-std::vector<DiscoveryResult> TangoMesh::establish(SteeringMechanism mechanism) {
+std::vector<net::Ipv6Prefix> TangoMesh::pool_slice(const std::vector<net::Ipv6Prefix>& pool,
+                                                   std::size_t slices, std::size_t rank) {
+  if (slices == 0 || rank >= slices) {
+    throw std::logic_error{"TangoMesh: pool_slice rank out of range"};
+  }
+  const std::size_t base = pool.size() / slices;
+  const std::size_t extra = pool.size() % slices;
+  // Deal the remainder to the first `extra` ranks: slice sizes differ by at
+  // most one and the union of all slices is exactly the pool.
+  const std::size_t count = base + (rank < extra ? 1 : 0);
+  if (count == 0) {
+    throw std::logic_error{"TangoMesh: destination pool too small for site count"};
+  }
+  const std::size_t begin = rank * base + std::min(rank, extra);
+  return {pool.begin() + static_cast<std::ptrdiff_t>(begin),
+          pool.begin() + static_cast<std::ptrdiff_t>(begin + count)};
+}
+
+std::vector<DiscoveryResult> TangoMesh::establish(SteeringMechanism mechanism,
+                                                  EstablishMode mode) {
   const std::size_t n = sites_.size();
   if (n < 2) throw std::logic_error{"TangoMesh: need at least two sites"};
 
-  std::vector<DiscoveryResult> results;
-  std::size_t ordered_pair = 0;
+  // Build one request per ordered pair, source-major — the canonical
+  // direction order every later stage (renumbering, installation, results)
+  // follows, so sequential and interleaved establish are bit-identical.
+  struct Direction {
+    std::size_t src;
+    std::size_t dst;
+  };
+  std::vector<Direction> directions;
+  std::vector<DiscoveryRequest> requests;
+  directions.reserve(n * (n - 1));
+  requests.reserve(n * (n - 1));
   for (std::size_t src = 0; src < n; ++src) {
     for (std::size_t dst = 0; dst < n; ++dst) {
       if (src == dst) continue;
-
-      // Slice the destination's pool: its inbound pairs share it evenly.
-      // The slice for `src` is indexed by src's rank among dst's peers.
-      const auto& pool = sites_[dst]->config().tunnel_prefix_pool;
-      const std::size_t slices = n - 1;
-      const std::size_t per_slice = pool.size() / slices;
-      if (per_slice == 0) {
-        throw std::logic_error{"TangoMesh: destination pool too small for site count"};
-      }
+      // Slice the destination's pool: its inbound pairs share it, indexed by
+      // src's rank among dst's peers.
       const std::size_t rank = src < dst ? src : src - 1;
-      const std::vector<net::Ipv6Prefix> slice{
-          pool.begin() + static_cast<std::ptrdiff_t>(rank * per_slice),
-          pool.begin() + static_cast<std::ptrdiff_t>((rank + 1) * per_slice)};
-
-      const PathId first_id = static_cast<PathId>(ordered_pair * kIdsPerPair + 1);
-      results.push_back(
-          sites_[src]->discover_outbound(*sites_[dst], first_id, mechanism, &slice));
-      ++ordered_pair;
+      const std::vector<net::Ipv6Prefix> slice =
+          pool_slice(sites_[dst]->config().tunnel_prefix_pool, n - 1, rank);
+      requests.push_back(sites_[src]->build_discovery_request(*sites_[dst], mechanism, &slice));
+      directions.push_back({src, dst});
     }
   }
+
+  topo::Topology& topo = sites_.front()->topo();
+  stats_ = {};
+  const std::uint64_t msgs_before = topo.bgp().total_messages();
+  const std::uint64_t runs_before = topo.bgp().convergence_runs();
+
+  std::vector<DiscoveryResult> results;
+  if (mode == EstablishMode::interleaved) {
+    BatchDiscoveryStats batch_stats;
+    results = discover_paths_batch(topo, requests, &batch_stats);
+    stats_.discovery_rounds = batch_stats.rounds;
+  } else {
+    results.reserve(requests.size());
+    // Placeholder ids (1..k per direction), same as the batch engine emits;
+    // the allocator below renumbers both modes identically.
+    for (const DiscoveryRequest& request : requests) {
+      results.push_back(discover_paths(topo, request, 1));
+    }
+  }
+  stats_.bgp_messages = topo.bgp().total_messages() - msgs_before;
+  stats_.convergence_runs = topo.bgp().convergence_runs() - runs_before;
+
+  // Renumber from the mesh allocator: compact ids in source-major direction
+  // order, sized by what each direction actually discovered.  The allocator
+  // throws PathIdExhausted when the 16-bit space truly runs out; the seen-
+  // set turns any allocator bug into a loud failure instead of two pairs
+  // silently sharing tunnel state.
+  id_alloc_ = PathIdAllocator{};
+  std::size_t total_paths = 0;
+  for (const DiscoveryResult& result : results) total_paths += result.paths.size();
+  std::vector<bool> seen(total_paths + 1, false);
+  for (DiscoveryResult& result : results) {
+    if (result.paths.empty()) continue;
+    const PathId first = id_alloc_.reserve(result.paths.size());
+    for (std::size_t i = 0; i < result.paths.size(); ++i) {
+      const PathId id = static_cast<PathId>(first + i);
+      if (id < seen.size() && seen[id]) {
+        throw std::logic_error{"TangoMesh: path id collision on id " + std::to_string(id)};
+      }
+      if (id < seen.size()) seen[id] = true;
+      result.paths[i].id = id;
+    }
+  }
+  stats_.directions = results.size();
+  stats_.paths = total_paths;
+
+  // Install every direction (tunnels, steering, health, initial active
+  // path) with FIB syncs deferred, then refresh the data plane once.
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    sites_[directions[k].src]->install_outbound(*sites_[directions[k].dst], results[k],
+                                                /*sync_fibs=*/false);
+  }
+  wan_.sync_fibs();
+
   established_ = true;
   return results;
 }
@@ -47,36 +124,57 @@ std::vector<DiscoveryResult> TangoMesh::establish(SteeringMechanism mechanism) {
 void TangoMesh::start() {
   if (running_) return;
   running_ = true;
-  for (TangoNode* sender : sites_) {
-    for (TangoNode* receiver : sites_) {
-      if (sender == receiver) continue;
-      schedule_feedback(*sender, *receiver);
-    }
-    schedule_policy(*sender);
-  }
+  schedule_feedback_tick();
+  schedule_policy_tick();
 }
 
-void TangoMesh::schedule_feedback(TangoNode& sender, TangoNode& receiver) {
-  wan_.events().schedule_in(options_.feedback_period, [this, &sender, &receiver]() {
-    if (!running_) return;
-    const sim::Time now = wan_.now();
-    for (PathId id : sender.paths_to(receiver.config().router)) {
-      auto report = receiver.build_report_for(id, now);
-      if (!report) continue;
-      wan_.events().schedule_in(options_.feedback_delay, [this, &sender, id, r = *report]() {
-        sender.update_report(id, r);
-        ++reports_delivered_;
-      });
+void TangoMesh::feedback_tick() {
+  // Collect every due report across all N*(N-1) ordered pairs, then ship
+  // the whole batch on one delayed event (the control channel's one-way
+  // latency) instead of one event per report.
+  struct PendingReport {
+    TangoNode* sender;
+    PathId id;
+    PathReport report;
+  };
+  const sim::Time now = wan_.now();
+  std::vector<PendingReport> batch;
+  for (TangoNode* sender : sites_) {
+    for (const auto& [peer, ids] : sender->peer_paths()) {
+      auto it = by_router_.find(peer);
+      if (it == by_router_.end()) continue;
+      TangoNode* receiver = it->second;
+      for (PathId id : ids) {
+        if (auto report = receiver->build_report_for(id, now)) {
+          batch.push_back({sender, id, *report});
+        }
+      }
     }
-    schedule_feedback(sender, receiver);
+  }
+  if (batch.empty()) return;
+  // In-flight reports still land after stop(), as before.
+  wan_.events().schedule_in(options_.feedback_delay, [this, batch = std::move(batch)]() {
+    for (const PendingReport& pending : batch) {
+      pending.sender->update_report(pending.id, pending.report);
+      ++reports_delivered_;
+    }
   });
 }
 
-void TangoMesh::schedule_policy(TangoNode& node) {
-  wan_.events().schedule_in(options_.policy_period, [this, &node]() {
+void TangoMesh::schedule_feedback_tick() {
+  wan_.events().schedule_in(options_.feedback_period, [this]() {
     if (!running_) return;
-    node.apply_policy(wan_.now());
-    schedule_policy(node);
+    feedback_tick();
+    schedule_feedback_tick();
+  });
+}
+
+void TangoMesh::schedule_policy_tick() {
+  wan_.events().schedule_in(options_.policy_period, [this]() {
+    if (!running_) return;
+    const sim::Time now = wan_.now();
+    for (TangoNode* site : sites_) site->apply_policy(now);
+    schedule_policy_tick();
   });
 }
 
@@ -86,6 +184,12 @@ void TangoMesh::start_probing(sim::Time period) {
 
 void TangoMesh::stop_probing() {
   for (TangoNode* site : sites_) site->stop_probing();
+}
+
+std::size_t TangoMesh::pairing_state_bytes() const {
+  std::size_t bytes = 0;
+  for (const TangoNode* site : sites_) bytes += site->state_bytes();
+  return bytes;
 }
 
 }  // namespace tango::core

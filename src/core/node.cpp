@@ -27,9 +27,9 @@ TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
   }
 }
 
-DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
-                                             SteeringMechanism mechanism,
-                                             const std::vector<net::Ipv6Prefix>* pool_override) {
+DiscoveryRequest TangoNode::build_discovery_request(
+    const TangoNode& peer, SteeringMechanism mechanism,
+    const std::vector<net::Ipv6Prefix>* pool_override) const {
   DiscoveryRequest request;
   request.destination = peer.config_.router;
   request.source = config_.router;
@@ -43,9 +43,20 @@ DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
       request.edge_asns.push_back(asn);
     }
   }
+  return request;
+}
 
+DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
+                                             SteeringMechanism mechanism,
+                                             const std::vector<net::Ipv6Prefix>* pool_override) {
+  const DiscoveryRequest request = build_discovery_request(peer, mechanism, pool_override);
   DiscoveryResult result = discover_paths(topo_, request, first_id);
+  install_outbound(peer, result);
+  return result;
+}
 
+void TangoNode::install_outbound(TangoNode& peer, const DiscoveryResult& result,
+                                 bool sync_fibs) {
   std::vector<PathId> ids;
   for (std::size_t i = 0; i < result.paths.size(); ++i) {
     const DiscoveredPath& path = result.paths[i];
@@ -62,8 +73,7 @@ DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
   // view of the (changed) control plane.
   const bgp::RouterId peer_id = peer.config_.router;
   switch_.add_peer_prefix(peer.config_.host_prefix, peer_id);
-  peer_host_prefixes_.push_back(peer.config_.host_prefix);
-  wan_.sync_fibs();
+  if (sync_fibs) wan_.sync_fibs();
 
   // Track every discovered path's health from now (grace period starts at
   // registration, so an idle-but-new path is not quarantined prematurely).
@@ -76,11 +86,12 @@ DiscoveryResult TangoNode::discover_outbound(TangoNode& peer, PathId first_id,
                                [peer_id](const auto& e) { return e.first == peer_id; });
   if (existing == peer_paths_.end()) {
     peer_paths_.emplace_back(peer_id, std::move(ids));
+    // Kept index-aligned with peer_paths_ (send_probe_round addresses the
+    // probe's inner packet by the same index).
+    peer_host_prefixes_.push_back(peer.config_.host_prefix);
   } else {
     existing->second = std::move(ids);
   }
-
-  return result;
 }
 
 std::vector<bgp::RouterId> TangoNode::peers() const {
@@ -181,6 +192,15 @@ void TangoNode::start_probing(sim::Time period) {
     send_probe_round();
     start_probing(period);
   });
+}
+
+std::size_t TangoNode::state_bytes() const {
+  std::size_t bytes = registry_.state_bytes() + switch_.state_bytes();
+  bytes += peer_paths_.capacity() * sizeof(peer_paths_[0]);
+  for (const auto& [peer, ids] : peer_paths_) bytes += ids.capacity() * sizeof(PathId);
+  bytes += peer_host_prefixes_.capacity() * sizeof(peer_host_prefixes_[0]);
+  bytes += health_.state_bytes();
+  return bytes;
 }
 
 std::optional<PathReport> TangoNode::build_report_for(PathId id, sim::Time now) {

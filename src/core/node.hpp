@@ -72,11 +72,40 @@ class TangoNode {
       SteeringMechanism mechanism = SteeringMechanism::communities,
       const std::vector<net::Ipv6Prefix>* pool_override = nullptr);
 
+  /// The control-plane request discover_outbound would run, without running
+  /// it.  A TangoMesh builds one request per ordered pair and feeds them all
+  /// to the interleaved work-queue engine (discover_paths_batch), then hands
+  /// each result back through install_outbound().
+  [[nodiscard]] DiscoveryRequest build_discovery_request(
+      const TangoNode& peer, SteeringMechanism mechanism = SteeringMechanism::communities,
+      const std::vector<net::Ipv6Prefix>* pool_override = nullptr) const;
+
+  /// Installs an already-discovered result toward `peer`: tunnels, registry
+  /// entries, health tracking, host-prefix steering and the initial active
+  /// path.  Path ids in `result` must already be final (a TangoMesh
+  /// renumbers them from its allocator first).  With `sync_fibs` false the
+  /// WAN FIB refresh is the caller's responsibility — a mesh installing
+  /// thousands of directions syncs once at the end instead of per pair.
+  void install_outbound(TangoNode& peer, const DiscoveryResult& result, bool sync_fibs = true);
+
   /// Router ids of peers with discovered outbound paths.
   [[nodiscard]] std::vector<bgp::RouterId> peers() const;
 
   /// Outbound path ids toward one peer.
   [[nodiscard]] std::vector<PathId> paths_to(bgp::RouterId peer) const;
+
+  /// Outbound paths per peer, in discovery order (no copy; the mesh-level
+  /// feedback tick walks this instead of calling paths_to per pair).
+  [[nodiscard]] const std::vector<std::pair<bgp::RouterId, std::vector<PathId>>>& peer_paths()
+      const noexcept {
+    return peer_paths_;
+  }
+
+  /// Estimated bytes of pairing state this node holds: registry entries and
+  /// reports, per-peer path lists, tunnel-table slots and receiver trackers.
+  /// An estimate (containers report capacity, heap headers are ignored) —
+  /// meant for trend accounting at mesh scale, not exact sizing.
+  [[nodiscard]] std::size_t state_bytes() const;
 
   // --- Route control -----------------------------------------------------------
 
@@ -120,6 +149,7 @@ class TangoNode {
 
   // --- Access --------------------------------------------------------------------
 
+  [[nodiscard]] topo::Topology& topo() noexcept { return topo_; }
   [[nodiscard]] dataplane::TangoSwitch& dp() noexcept { return switch_; }
   [[nodiscard]] const dataplane::TangoSwitch& dp() const noexcept { return switch_; }
   [[nodiscard]] PathRegistry& registry() noexcept { return registry_; }

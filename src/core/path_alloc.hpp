@@ -1,0 +1,82 @@
+// Compact allocator for the 16-bit wire path-id space.
+//
+// The wire format carries path ids in 16 bits (net::TangoHeader), so a
+// cooperation set shares at most 65535 ids (id 0 means "no path").  The
+// original TangoMesh scheme reserved a fixed 16-id block per ordered pair
+// (`ordered_pair * kIdsPerPair + 1`), which silently wrapped the id space at
+// >= 65 sites — colliding id ranges across pairs and corrupting every
+// consumer keyed on PathId (tunnel tables, trackers, health state).
+//
+// This allocator replaces the static scheme: blocks are sized by the actual
+// discovered-path count of each direction and handed out contiguously, so
+// the space exhausts only when the mesh genuinely holds ~65k paths — and
+// then it fails loudly instead of wrapping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "dataplane/trackers.hpp"
+
+namespace tango::core {
+
+using dataplane::PathId;
+
+/// Thrown when a reservation does not fit the remaining 16-bit id space.
+class PathIdExhausted : public std::length_error {
+ public:
+  using std::length_error::length_error;
+};
+
+/// Bump allocator over [1, max_id].  Allocation is strictly monotonic, so
+/// two reserved blocks can never overlap by construction; the failure mode
+/// of the old fixed-stride scheme (silent 16-bit wraparound) is replaced by
+/// a thrown PathIdExhausted.  Not thread-safe (mesh establish is
+/// single-threaded control-plane code).
+class PathIdAllocator {
+ public:
+  /// `max_id` exists for tests that want a small space; production uses the
+  /// full 16-bit range.
+  explicit PathIdAllocator(PathId max_id = std::numeric_limits<PathId>::max()) noexcept
+      : max_{max_id} {}
+
+  /// Reserves `count` consecutive ids and returns the first.  Throws
+  /// PathIdExhausted when the block does not fit in the remaining space —
+  /// the loud replacement for the old wraparound.  count == 0 is a caller
+  /// bug and throws std::logic_error.
+  PathId reserve(std::size_t count) {
+    if (count == 0) throw std::logic_error{"PathIdAllocator: empty reservation"};
+    const std::size_t first = next_;
+    if (count > static_cast<std::size_t>(max_) - first + 1) {
+      throw PathIdExhausted{
+          "PathIdAllocator: 16-bit path-id space exhausted (next id " +
+          std::to_string(first) + ", requested " + std::to_string(count) + ", max " +
+          std::to_string(max_) + ") — the wire format cannot address more paths"};
+    }
+    next_ = first + count;
+    return static_cast<PathId>(first);
+  }
+
+  /// Shorthand for a single id.
+  PathId next() { return reserve(1); }
+
+  /// Ids handed out so far.
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return static_cast<std::size_t>(next_) - 1;
+  }
+
+  /// Ids still available before exhaustion.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(max_) - next_ + 1;
+  }
+
+  [[nodiscard]] PathId max_id() const noexcept { return max_; }
+
+ private:
+  std::size_t next_ = 1;  ///< next free id; wider than PathId so the +count test is exact
+  PathId max_;
+};
+
+}  // namespace tango::core

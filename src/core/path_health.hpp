@@ -97,6 +97,11 @@ class PathHealthMonitor {
   [[nodiscard]] std::uint64_t quarantines() const noexcept { return quarantines_; }
   [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
 
+  /// Estimated resident bytes of tracked-path state (mesh-scale accounting).
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return sizeof(PathHealthMonitor) + entries_.capacity() * sizeof(Entry);
+  }
+
   /// Registers one transition counter per target state
   /// (`tango_health_transitions_total{node=..., to=<state>}`) and resolves
   /// their raw pointers; every state-machine edge then pays one relaxed

@@ -41,4 +41,18 @@ const PathReport* PathRegistry::report(PathId id) const {
   return it == reports_.end() ? nullptr : &it->second;
 }
 
+std::size_t PathRegistry::state_bytes() const {
+  // ~3 pointers of red-black-tree node overhead per map entry.
+  constexpr std::size_t kNodeOverhead = 3 * sizeof(void*);
+  std::size_t bytes = sizeof(PathRegistry);
+  for (const auto& [id, path] : paths_) {
+    bytes += kNodeOverhead + sizeof(id) + sizeof(path) + path.label.capacity() +
+             path.as_path.asns().capacity() * sizeof(bgp::Asn) +
+             path.poisoned.capacity() * sizeof(bgp::Asn) +
+             path.communities.size() * sizeof(bgp::Community);
+  }
+  bytes += reports_.size() * (kNodeOverhead + sizeof(PathId) + sizeof(PathReport));
+  return bytes;
+}
+
 }  // namespace tango::core

@@ -34,6 +34,11 @@ class PathRegistry {
     return reports_;
   }
 
+  /// Estimated resident bytes of registered paths and their live reports
+  /// (tree nodes plus per-path heap: label, communities, AS path).  Trend
+  /// accounting for mesh-scale growth, not exact heap usage.
+  [[nodiscard]] std::size_t state_bytes() const;
+
  private:
   std::map<PathId, DiscoveredPath> paths_;
   std::map<PathId, PathReport> reports_;

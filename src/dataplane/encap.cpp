@@ -160,4 +160,16 @@ std::vector<PathId> TunnelReceiver::paths() const {
   return out;
 }
 
+std::size_t TunnelReceiver::state_bytes() const {
+  std::size_t bytes = sizeof(TunnelReceiver) +
+                      trackers_.capacity() * sizeof(trackers_[0]) +
+                      owd_hist_.capacity() * sizeof(owd_hist_[0]);
+  for (const auto& tracker : trackers_) {
+    if (!tracker) continue;
+    bytes += sizeof(PathTracker) +
+             tracker->series().size() * sizeof(telemetry::Sample);
+  }
+  return bytes;
+}
+
 }  // namespace tango::dataplane

@@ -60,6 +60,12 @@ class TunnelSender {
   [[nodiscard]] std::uint64_t next_sequence(PathId path) const;
   [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
 
+  /// Estimated resident bytes of per-path sender state (the dense sequence
+  /// array, sized by the highest PathId sent on).
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return sizeof(TunnelSender) + seq_.capacity() * sizeof(std::uint64_t);
+  }
+
   /// Resolves the sender's instruments (encap counter, lifecycle tracer).
   /// `node` labels trace events with the router where encapsulation happens.
   void wire_telemetry(telemetry::Counter* sent, telemetry::PacketTracer* tracer,
@@ -141,6 +147,11 @@ class TunnelReceiver {
   [[nodiscard]] PathTracker* tracker(PathId path);
   /// Path ids with at least one received packet, ascending.
   [[nodiscard]] std::vector<PathId> paths() const;
+
+  /// Estimated resident bytes of receiver measurement state: the dense
+  /// tracker-slot array plus each live tracker (and its retained time
+  /// series when keep_series is on).  Trend accounting, not exact.
+  [[nodiscard]] std::size_t state_bytes() const;
   [[nodiscard]] std::uint64_t packets_received() const noexcept { return received_; }
   /// Packets rejected for missing/invalid authentication tags.
   [[nodiscard]] std::uint64_t auth_failures() const noexcept { return auth_failures_; }

@@ -170,6 +170,15 @@ class TangoSwitch {
   /// Counted here at the switch; the receiver's auth_failures() matches.
   [[nodiscard]] std::uint64_t auth_drops() const noexcept { return auth_drops_; }
 
+  /// Estimated resident bytes of per-path data-plane state: tunnel table,
+  /// sender sequence array, receiver trackers and the per-peer active-path
+  /// map.  Used by TangoMesh::pairing_state_bytes() to make N-site growth
+  /// measurable; an estimate, not exact heap usage.
+  [[nodiscard]] std::size_t state_bytes() const {
+    return tunnels_.state_bytes() + sender_.state_bytes() + receiver_.state_bytes() +
+           active_by_peer_.capacity() * sizeof(active_by_peer_[0]);
+  }
+
  private:
   void on_wan_packet(net::Packet& packet);
   void trace_malformed_drop(const net::Packet& packet, telemetry::TraceCause cause);

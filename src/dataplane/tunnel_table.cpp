@@ -25,4 +25,12 @@ std::vector<PathId> TunnelTable::ids() const {
   return out;
 }
 
+std::size_t TunnelTable::state_bytes() const {
+  std::size_t bytes = sizeof(TunnelTable) + slots_.capacity() * sizeof(slots_[0]);
+  for (const auto& slot : slots_) {
+    if (slot) bytes += slot->label.capacity();
+  }
+  return bytes;
+}
+
 }  // namespace tango::dataplane

@@ -54,6 +54,11 @@ class TunnelTable {
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
+  /// Estimated resident bytes: the dense slot array (sized by the highest
+  /// installed PathId — the cost of O(1) lookup under a mesh-wide compact
+  /// id space) plus per-tunnel label heap.  Trend accounting, not exact.
+  [[nodiscard]] std::size_t state_bytes() const;
+
  private:
   std::vector<std::optional<Tunnel>> slots_;
   std::size_t count_ = 0;

@@ -121,4 +121,34 @@ Mesh generate_mesh(Topology& topo, const MeshParams& params) {
   return mesh;
 }
 
+std::vector<MeshSitePlan> plan_mesh_sites(Topology& topo, const Mesh& mesh, std::size_t sites,
+                                          std::size_t pool_per_site) {
+  if (sites > mesh.stubs.size()) {
+    throw std::invalid_argument{"plan_mesh_sites: more sites than stub routers"};
+  }
+  if (sites > 256) {
+    throw std::invalid_argument{"plan_mesh_sites: more than 256 sites (one /40 each)"};
+  }
+  if (pool_per_site > 255) {
+    throw std::invalid_argument{"plan_mesh_sites: pool does not fit the site's /40"};
+  }
+  const net::Ipv6Prefix root = net::Ipv6Prefix::parse("2001:db8::/32").value();
+  std::vector<MeshSitePlan> plans;
+  plans.reserve(sites);
+  for (std::size_t i = 0; i < sites; ++i) {
+    const net::Ipv6Prefix block = root.subnet(40, i);
+    MeshSitePlan plan;
+    plan.router = mesh.stubs[i];
+    plan.asn = topo.bgp().router(plan.router).asn();
+    plan.hosts = block.subnet(48, 0);
+    plan.tunnel_pool.reserve(pool_per_site);
+    for (std::size_t p = 1; p <= pool_per_site; ++p) {
+      plan.tunnel_pool.push_back(block.subnet(48, p));
+    }
+    topo.bgp().router(plan.router).originate(plan.hosts);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
 }  // namespace tango::topo

@@ -50,4 +50,24 @@ struct Mesh {
 /// params (zero tier sizes, more uplinks than providers).
 Mesh generate_mesh(Topology& topo, const MeshParams& params);
 
+/// One Tango site placed on a stub router of a generated mesh.
+struct MeshSitePlan {
+  bgp::RouterId router = 0;
+  bgp::Asn asn = 0;             ///< the stub's own ASN (the site's edge ASN)
+  net::Ipv6Prefix hosts;        ///< host prefix, announced over traditional BGP
+  /// /48s available for exposing wide-area routes (a TangoMesh slices this
+  /// across the site's inbound pairs).
+  std::vector<net::Ipv6Prefix> tunnel_pool;
+};
+
+/// Plans `sites` Tango sites on the first `sites` stub routers of `mesh`:
+/// site i owns the i-th /40 of 2001:db8::/32, carved into /48s — the first
+/// is its host prefix, the next `pool_per_site` form its tunnel pool — and
+/// its host prefix is originated at its router (speaker-side, like the stub
+/// /24s; the caller's convergence run floods it).  Fully deterministic.
+/// Throws std::invalid_argument when the mesh has fewer stubs than `sites`,
+/// sites exceed the 256 /40s, or the pool does not fit the site's /40.
+std::vector<MeshSitePlan> plan_mesh_sites(Topology& topo, const Mesh& mesh, std::size_t sites,
+                                          std::size_t pool_per_site);
+
 }  // namespace tango::topo

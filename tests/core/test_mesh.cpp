@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
 
 #include "sim/events.hpp"
 #include "topo/vultr_scenario.hpp"
@@ -178,6 +180,72 @@ TEST(MeshValidation, NeedsTwoSites) {
   TangoNode la{s.topo, wan, site_config(s.la)};
   mesh.add_site(la);
   EXPECT_THROW(mesh.establish(), std::logic_error);
+}
+
+// pool_slice must partition the pool exactly: every prefix in exactly one
+// slice, sizes differing by at most one.  The old `pool.size() / slices`
+// arithmetic silently dropped the remainder prefixes — a site with a
+// 5-prefix pool and 2 inbound pairs exposed only 4 of its 5 routes.
+TEST(PoolSlice, PartitionsEveryPoolExactly) {
+  const net::Ipv6Prefix root = net::Ipv6Prefix::parse("2001:db8::/32").value();
+  for (std::size_t pool_size = 1; pool_size <= 40; ++pool_size) {
+    std::vector<net::Ipv6Prefix> pool;
+    for (std::size_t i = 0; i < pool_size; ++i) pool.push_back(root.subnet(48, i));
+    for (std::size_t slices = 1; slices <= std::min<std::size_t>(8, pool_size); ++slices) {
+      std::vector<net::Ipv6Prefix> joined;
+      std::size_t min_size = pool_size;
+      std::size_t max_size = 0;
+      for (std::size_t rank = 0; rank < slices; ++rank) {
+        const auto slice = TangoMesh::pool_slice(pool, slices, rank);
+        min_size = std::min(min_size, slice.size());
+        max_size = std::max(max_size, slice.size());
+        joined.insert(joined.end(), slice.begin(), slice.end());
+      }
+      EXPECT_EQ(joined, pool) << pool_size << " prefixes across " << slices << " slices";
+      EXPECT_LE(max_size - min_size, 1u) << "unbalanced slices";
+    }
+  }
+}
+
+TEST(PoolSlice, EmptySliceAndBadRankThrow) {
+  const net::Ipv6Prefix root = net::Ipv6Prefix::parse("2001:db8::/32").value();
+  const std::vector<net::Ipv6Prefix> pool{root.subnet(48, 0), root.subnet(48, 1)};
+  // 2 prefixes across 3 consumers: ranks 0 and 1 get one each, rank 2 would
+  // be empty — refuse instead of handing a direction nothing to announce.
+  EXPECT_EQ(TangoMesh::pool_slice(pool, 3, 0).size(), 1u);
+  EXPECT_EQ(TangoMesh::pool_slice(pool, 3, 1).size(), 1u);
+  EXPECT_THROW(TangoMesh::pool_slice(pool, 3, 2), std::logic_error);
+  EXPECT_THROW(TangoMesh::pool_slice(pool, 0, 0), std::logic_error);
+  EXPECT_THROW(TangoMesh::pool_slice(pool, 2, 2), std::logic_error);
+}
+
+// Establish-level remainder check: LA's pool trimmed to 5 prefixes across 2
+// inbound pairs used to slice as 2+2 (prefix 5 unreachable by any pair);
+// now it slices 3+2 and the first inbound direction discovers a third path.
+TEST(MeshValidation, RemainderPrefixesAreNotDropped) {
+  topo::ThreeSiteScenario s = topo::make_three_site_scenario();
+  sim::Wan wan{s.topo, sim::Rng{1}};
+  NodeConfig odd = site_config(s.la);
+  odd.tunnel_prefix_pool.resize(5);
+  TangoNode la{s.topo, wan, odd};
+  TangoNode ny{s.topo, wan, site_config(s.ny)};
+  TangoNode ch{s.topo, wan, site_config(s.ch)};
+  TangoMesh mesh{wan};
+  mesh.add_site(la);
+  mesh.add_site(ny);
+  mesh.add_site(ch);
+  mesh.establish();
+
+  // NY ranks first among LA's inbound pairs: 3-prefix slice, 3 paths
+  // (4 exist toward LA; the old 2-prefix slice capped it at 2).
+  EXPECT_EQ(ny.paths_to(kServerLa).size(), 3u);
+  // CH gets the 2-prefix slice.
+  EXPECT_EQ(ch.paths_to(kServerLa).size(), 2u);
+  // Together the two slices consume the whole 5-prefix pool.
+  std::set<std::string> used;
+  for (PathId id : ny.paths_to(kServerLa)) used.insert(ny.registry().find(id)->prefix.to_string());
+  for (PathId id : ch.paths_to(kServerLa)) used.insert(ch.registry().find(id)->prefix.to_string());
+  EXPECT_EQ(used.size(), 5u) << "a pool prefix was dropped by slicing";
 }
 
 TEST(MeshValidation, PoolTooSmallThrows) {

@@ -1,0 +1,94 @@
+// PathIdAllocator: the collision-checked replacement for the old fixed
+// 16-ids-per-ordered-pair scheme, which wrapped the 16-bit id space at 65
+// mesh sites.
+#include "core/path_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tango::core {
+namespace {
+
+TEST(PathIdAllocator, CompactMonotonicBlocks) {
+  PathIdAllocator alloc;
+  EXPECT_EQ(alloc.reserve(4), 1u);
+  EXPECT_EQ(alloc.reserve(1), 5u);
+  EXPECT_EQ(alloc.next(), 6u);
+  EXPECT_EQ(alloc.reserve(10), 7u);
+  EXPECT_EQ(alloc.allocated(), 16u);
+  EXPECT_EQ(alloc.remaining(), 65535u - 16u);
+}
+
+TEST(PathIdAllocator, BlocksNeverOverlap) {
+  PathIdAllocator alloc;
+  std::set<PathId> seen;
+  for (int block = 0; block < 100; ++block) {
+    const std::size_t count = 1 + static_cast<std::size_t>(block % 7);
+    const PathId first = alloc.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(seen.insert(static_cast<PathId>(first + i)).second)
+          << "id " << (first + i) << " handed out twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), alloc.allocated());
+}
+
+TEST(PathIdAllocator, ExhaustionThrowsInsteadOfWrapping) {
+  PathIdAllocator alloc{/*max_id=*/10};
+  EXPECT_EQ(alloc.reserve(10), 1u);
+  EXPECT_EQ(alloc.remaining(), 0u);
+  EXPECT_THROW(alloc.next(), PathIdExhausted);
+  // A partial fit must also refuse (no split blocks).
+  PathIdAllocator alloc2{/*max_id=*/10};
+  alloc2.reserve(8);
+  EXPECT_THROW(alloc2.reserve(3), PathIdExhausted);
+  EXPECT_EQ(alloc2.reserve(2), 9u);  // exact fit still succeeds
+}
+
+TEST(PathIdAllocator, EmptyReservationIsACallerBug) {
+  PathIdAllocator alloc;
+  EXPECT_THROW(alloc.reserve(0), std::logic_error);
+}
+
+TEST(PathIdAllocator, FullSixteenBitSpaceIsAddressable) {
+  PathIdAllocator alloc;
+  const PathId first = alloc.reserve(65535);  // ids 1..65535 (0 = "no path")
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(alloc.remaining(), 0u);
+  EXPECT_THROW(alloc.next(), PathIdExhausted);
+}
+
+// Regression for the old TangoMesh scheme: `ordered_pair * 16 + 1` cast to
+// a 16-bit PathId.  At >= 65 sites (>= 4096 ordered pairs) the multiply
+// exceeds 65535 and the cast silently wraps — pair 4096 gets first id 1
+// again, colliding with pair 0's range.  The allocator makes the same
+// demand fail loudly instead.
+TEST(PathIdAllocator, RegressionOldStrideSchemeWrappedAt65Sites) {
+  constexpr std::size_t kIdsPerPair = 16;
+  constexpr std::size_t kSites = 65;
+  constexpr std::size_t kPairs = kSites * (kSites - 1);  // 4160 ordered pairs
+  // The old arithmetic, verbatim: silent wraparound, no error.
+  const auto old_first_id = [](std::size_t ordered_pair) {
+    return static_cast<PathId>(ordered_pair * kIdsPerPair + 1);
+  };
+  EXPECT_EQ(old_first_id(0), old_first_id(4096)) << "old scheme reused pair 0's ids";
+
+  // The allocator serving the same per-pair demand refuses past the edge.
+  PathIdAllocator alloc;
+  bool threw = false;
+  std::size_t pairs_served = 0;
+  try {
+    for (std::size_t pair = 0; pair < kPairs; ++pair) {
+      (void)alloc.reserve(kIdsPerPair);
+      ++pairs_served;
+    }
+  } catch (const PathIdExhausted&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(pairs_served, 65535u / kIdsPerPair);  // 4095 full blocks fit
+}
+
+}  // namespace
+}  // namespace tango::core
