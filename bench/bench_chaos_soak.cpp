@@ -184,11 +184,19 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
                     sim::EventQueue::Backend backend,
                     const telemetry::Observability& obs = {}, bool inject_malformed = false,
                     std::uint32_t shards = 0, bool threaded = false,
-                    sim::FibSync fib_sync = sim::FibSync::incremental) {
+                    sim::FibSync fib_sync = sim::FibSync::incremental,
+                    bool policy_engine = false) {
   Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
              backend, obs, shards, threaded, fib_sync};
   tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
   tb.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
+  if (policy_engine) {
+    // Engine installed in its default failover mode: it refreshes weights on
+    // every policy tick and its route hook runs on every outbound packet but
+    // declines every decision — the soak must stay bit-identical.
+    tb.la.enable_policy_engine();
+    tb.ny.enable_policy_engine();
+  }
 
   SoakResult r;
   const std::size_t buckets = static_cast<std::size_t>(total / kBucket) + 2;
@@ -464,6 +472,46 @@ int check_fib_sync_determinism(std::uint64_t seed, sim::Time total,
   return violations;
 }
 
+// --- Policy-engine transparency (I4-policy) ----------------------------------
+
+/// Runs the soak with the pluggable policy engine enabled in failover mode on
+/// both nodes and requires a bitwise-identical digest against the bare
+/// baseline: the engine's hook rides every packet and its weight table
+/// refreshes on every policy tick, yet in failover mode none of it may
+/// change a forwarding decision, a measurement, or an RNG draw.
+int check_policy_engine_determinism(std::uint64_t seed, sim::Time total,
+                                    const std::vector<Fault>& schedule) {
+  std::printf("policy-engine transparency (I4-policy, failover-mode engine enabled):\n");
+  const SoakResult base = run_soak(seed, total, schedule,
+                                   sim::EventQueue::Backend::timing_wheel);
+  const SoakResult engine = run_soak(seed, total, schedule,
+                                     sim::EventQueue::Backend::timing_wheel, {},
+                                     /*inject_malformed=*/false, /*shards=*/0,
+                                     /*threaded=*/false, sim::FibSync::incremental,
+                                     /*policy_engine=*/true);
+  std::printf("  bare   : digest %016llx, fib %016llx\n",
+              static_cast<unsigned long long>(base.digest),
+              static_cast<unsigned long long>(base.fib_digest));
+  std::printf("  engine : digest %016llx, fib %016llx\n",
+              static_cast<unsigned long long>(engine.digest),
+              static_cast<unsigned long long>(engine.fib_digest));
+  int violations = 0;
+  if (engine.digest != base.digest || engine.fib_digest != base.fib_digest ||
+      engine.max_unusable_streak != base.max_unusable_streak) {
+    std::fprintf(stderr,
+                 "FAIL I4-policy: failover-mode policy engine moved the soak "
+                 "(digest %016llx vs %016llx, fib %016llx vs %016llx, streak %d vs %d)\n",
+                 static_cast<unsigned long long>(engine.digest),
+                 static_cast<unsigned long long>(base.digest),
+                 static_cast<unsigned long long>(engine.fib_digest),
+                 static_cast<unsigned long long>(base.fib_digest),
+                 engine.max_unusable_streak, base.max_unusable_streak);
+    ++violations;
+  }
+  std::printf("\n");
+  return violations;
+}
+
 // --- Reporting ---------------------------------------------------------------
 
 void emit_result(JsonWriter& w, const char* key, const SoakResult& r) {
@@ -575,6 +623,8 @@ int run(std::uint64_t seed, sim::Time total) {
   violations += shard_violations;
   const int fib_sync_violations = check_fib_sync_determinism(seed, total, schedule);
   violations += fib_sync_violations;
+  const int policy_violations = check_policy_engine_determinism(seed, total, schedule);
+  violations += policy_violations;
 
   JsonWriter w;
   w.begin_object();
@@ -590,13 +640,13 @@ int run(std::uint64_t seed, sim::Time total) {
   w.write_file(path);
   std::printf("wrote %s\n", path.string().c_str());
 
-  char record[512];
+  char record[640];
   std::snprintf(record, sizeof record,
                 "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"faults\": %zu, "
                 "\"traffic_delivered\": %llu, \"quarantines\": %llu, \"recoveries\": %llu, "
                 "\"max_unusable_streak\": %d, \"pkts_per_sec\": %.0f, \"deterministic\": %s, "
                 "\"sharded_deterministic\": %s, \"fib_sync_deterministic\": %s, "
-                "\"violations\": %d}",
+                "\"policy_engine_deterministic\": %s, \"violations\": %d}",
                 git_head_sha().c_str(), utc_timestamp().c_str(),
                 static_cast<unsigned long long>(seed), schedule.size(),
                 static_cast<unsigned long long>(wheel.traffic_la + wheel.traffic_ny),
@@ -604,7 +654,8 @@ int run(std::uint64_t seed, sim::Time total) {
                 static_cast<unsigned long long>(wheel.recoveries), wheel.max_unusable_streak,
                 wheel.pkts_per_sec, wheel.digest == heap.digest ? "true" : "false",
                 shard_violations == 0 ? "true" : "false",
-                fib_sync_violations == 0 ? "true" : "false", violations);
+                fib_sync_violations == 0 ? "true" : "false",
+                policy_violations == 0 ? "true" : "false", violations);
   if (append_run_history("BENCH_chaos", record)) {
     std::printf("appended run record to <repo-root>/BENCH_chaos.json\n");
   }
@@ -643,6 +694,26 @@ int run_shards_only(std::uint64_t seed, sim::Time total) {
   return 0;
 }
 
+/// `--policy-only`: just the I4-policy gate (failover-mode policy engine vs
+/// the bare baseline), no reports and no run history — the ctest gate that
+/// enabling the engine cannot perturb the soak.
+int run_policy_only(std::uint64_t seed, sim::Time total) {
+  print_header("Chaos soak (policy-engine transparency gate)",
+               "same fault schedule with the failover-mode policy engine enabled; "
+               "bitwise-equal soak and FIB digests required",
+               seed);
+  const std::vector<Fault> schedule = make_schedule(seed, total);
+  if (schedule.size() < 2) {
+    std::fprintf(stderr, "FAIL: degenerate schedule (%zu faults) — soak too short\n",
+                 schedule.size());
+    return 1;
+  }
+  const int violations = check_policy_engine_determinism(seed, total, schedule);
+  if (violations > 0) return 1;
+  std::printf("I4-policy held (%zu faults, engine enabled on both nodes)\n", schedule.size());
+  return 0;
+}
+
 /// `--fib-sync-only`: just the I4-fib gate (incremental FIB sync vs the
 /// full-rebuild oracle at 1/2/4/8 shards), no reports and no run history.
 int run_fib_sync_only(std::uint64_t seed, sim::Time total) {
@@ -673,12 +744,15 @@ int main(int argc, char** argv) {
   }
   bool shards_only = false;
   bool fib_sync_only = false;
+  bool policy_only = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards-only") == 0) {
       shards_only = true;
     } else if (std::strcmp(argv[i], "--fib-sync-only") == 0) {
       fib_sync_only = true;
+    } else if (std::strcmp(argv[i], "--policy-only") == 0) {
+      policy_only = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -687,5 +761,6 @@ int main(int argc, char** argv) {
   if (positional.size() > 1) total = std::strtoull(positional[1], nullptr, 10) * tango::sim::kSecond;
   if (shards_only) return tango::bench::run_shards_only(seed, total);
   if (fib_sync_only) return tango::bench::run_fib_sync_only(seed, total);
+  if (policy_only) return tango::bench::run_policy_only(seed, total);
   return tango::bench::run(seed, total);
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/policy_engine.hpp"
 #include "net/checksum.hpp"
 #include "net/packet.hpp"
 
@@ -242,12 +243,35 @@ struct PipelineResult {
   double ns_per_packet = 0;
   double allocs_per_packet = 0;
   double pool_hit_rate = 0;
+  std::uint64_t weighted_decisions = 0;  ///< engine decisions (weighted variant only)
+  std::uint64_t flowlets_started = 0;
 };
 
+/// With `weighted_policy`, LA runs the policy engine in weighted mode with a
+/// hand-fed weight table (no probing machinery in this bench), so every
+/// measured packet takes the flowlet split path: slot lookup + weighted pick.
+/// The inter-round sim-time advance (~37 ms WAN drain) dwarfs the 500 us
+/// flowlet gap, so each packet starts a fresh flowlet — the worst case for
+/// the allocation gate, since the pick logic runs every time.
 PipelineResult run_pipeline(std::uint64_t seed, std::size_t flows, std::size_t rounds,
-                            std::size_t warmup_rounds) {
+                            std::size_t warmup_rounds, bool weighted_policy = false) {
   Testbed tb{seed, /*keep_series=*/false};
   const std::vector<std::uint8_t> payload(512, 0x42);
+
+  if (weighted_policy) {
+    tb.la.enable_policy_engine();
+    core::PolicyEngine* eng = tb.la.policy_engine();
+    eng->set_default_mode(core::PolicyMode::weighted);
+    core::PathViews views;
+    for (const auto& p : tb.la_outbound.paths) {
+      views[p.id] = core::PathReport{.owd_ewma_ms = 30.0 + static_cast<double>(p.id),
+                                     .jitter_ms = 0.5,
+                                     .loss_rate = 0.0,
+                                     .samples = 100,
+                                     .updated_at = tb.wan.now() + 1};
+    }
+    eng->refresh(kServerNy, views, tb.wan.now() + 1);
+  }
 
   std::vector<net::Ipv6Address> srcs;
   std::vector<net::Ipv6Address> dsts;
@@ -307,6 +331,10 @@ PipelineResult run_pipeline(std::uint64_t seed, std::size_t flows, std::size_t r
                 static_cast<double>(pool_ops)
           : 0;
   result.sent = measured_sent;
+  if (weighted_policy) {
+    result.weighted_decisions = tb.la.policy_engine()->weighted_decisions();
+    result.flowlets_started = tb.la.policy_engine()->flowlets_started();
+  }
   return result;
 }
 
@@ -525,8 +553,9 @@ void emit_scale(JsonWriter& w, const char* key, const ScaleResult& s) {
 }
 
 void write_detail_json(const MicroResult& micro, const PipelineResult& pipe,
-                       const ScaleResult& wheel, const ScaleResult& heap,
-                       const SchedResult& sched_wheel, const SchedResult& sched_heap,
+                       const PipelineResult& pipe_weighted, const ScaleResult& wheel,
+                       const ScaleResult& heap, const SchedResult& sched_wheel,
+                       const SchedResult& sched_heap,
                        const std::vector<ShardScaleResult>& shard_scale) {
   JsonWriter w;
   w.begin_object();
@@ -553,6 +582,16 @@ void write_detail_json(const MicroResult& micro, const PipelineResult& pipe,
       .field("ns_per_packet", pipe.ns_per_packet, 1)
       .field("allocs_per_packet", pipe.allocs_per_packet, 3)
       .field("pool_hit_rate", pipe.pool_hit_rate, 3)
+      .end_object();
+
+  w.begin_object("pipeline_weighted")
+      .field("flows", pipe_weighted.flows)
+      .field("packets_sent", pipe_weighted.sent)
+      .field("packets_delivered", pipe_weighted.delivered)
+      .field("pkts_per_sec", pipe_weighted.pkts_per_sec, 0)
+      .field("allocs_per_packet", pipe_weighted.allocs_per_packet, 3)
+      .field("weighted_decisions", pipe_weighted.weighted_decisions)
+      .field("flowlets_started", pipe_weighted.flowlets_started)
       .end_object();
 
   w.begin_object("scale");
@@ -606,21 +645,23 @@ void write_detail_json(const MicroResult& micro, const PipelineResult& pipe,
 
 void append_history(const ScaleResult& wheel, const ScaleResult& heap,
                     const SchedResult& sched_wheel, const SchedResult& sched_heap,
-                    const PipelineResult& pipe,
+                    const PipelineResult& pipe, const PipelineResult& pipe_weighted,
                     const std::vector<ShardScaleResult>& shard_scale) {
-  char record[640];
+  char record[768];
   std::snprintf(
       record, sizeof record,
       "    {\"sha\": \"%s\", \"date\": \"%s\", \"scale_flows\": %zu, "
       "\"scale_packets\": %llu, \"wheel_pkts_per_sec\": %.0f, \"heap_pkts_per_sec\": %.0f, "
       "\"wheel_speedup\": %.2f, \"wheel_ns_per_event\": %.1f, \"heap_ns_per_event\": %.1f, "
       "\"fib_cache_hit_rate\": %.4f, \"pipeline_pkts_per_sec\": %.0f, "
-      "\"pipeline_allocs_per_packet\": %.3f",
+      "\"pipeline_allocs_per_packet\": %.3f, \"pipeline_weighted_pkts_per_sec\": %.0f, "
+      "\"pipeline_weighted_allocs_per_packet\": %.3f",
       git_head_sha().c_str(), utc_timestamp().c_str(), wheel.flows,
       static_cast<unsigned long long>(wheel.sent), wheel.pkts_per_sec, heap.pkts_per_sec,
       heap.pkts_per_sec > 0 ? wheel.pkts_per_sec / heap.pkts_per_sec : 0.0,
       sched_wheel.ns_per_event, sched_heap.ns_per_event, wheel.fib_cache_hit_rate,
-      pipe.pkts_per_sec, pipe.allocs_per_packet);
+      pipe.pkts_per_sec, pipe.allocs_per_packet, pipe_weighted.pkts_per_sec,
+      pipe_weighted.allocs_per_packet);
   std::string rec{record};
   if (!shard_scale.empty()) {
     char extra[128];
@@ -678,6 +719,20 @@ int run(const Config& cfg) {
               pipe.ns_per_packet);
   std::printf("  %.3f heap allocs/packet steady-state, pool hit rate %.1f%%\n\n",
               pipe.allocs_per_packet, 100.0 * pipe.pool_hit_rate);
+
+  const PipelineResult pipe_weighted =
+      run_pipeline(cfg.seed, cfg.flows, cfg.rounds, /*warmup_rounds=*/20,
+                   /*weighted_policy=*/true);
+  std::printf("pipeline + weighted flowlet policy (same workload, engine in weighted mode):\n");
+  std::printf("  sent=%llu delivered=%llu, %.0f pkts/sec\n",
+              static_cast<unsigned long long>(pipe_weighted.sent),
+              static_cast<unsigned long long>(pipe_weighted.delivered),
+              pipe_weighted.pkts_per_sec);
+  std::printf("  %.3f heap allocs/packet on the flowlet split path "
+              "(%llu weighted decisions, %llu flowlets)\n\n",
+              pipe_weighted.allocs_per_packet,
+              static_cast<unsigned long long>(pipe_weighted.weighted_decisions),
+              static_cast<unsigned long long>(pipe_weighted.flowlets_started));
 
   const SchedResult sched_heap =
       run_scheduler_micro(sim::EventQueue::Backend::binary_heap, cfg.sched_events);
@@ -757,13 +812,31 @@ int run(const Config& cfg) {
     std::printf("\n");
   }
 
-  write_detail_json(micro, pipe, wheel, heap, sched_wheel, sched_heap, shard_scale);
-  append_history(wheel, heap, sched_wheel, sched_heap, pipe, shard_scale);
+  write_detail_json(micro, pipe, pipe_weighted, wheel, heap, sched_wheel, sched_heap,
+                    shard_scale);
+  append_history(wheel, heap, sched_wheel, sched_heap, pipe, pipe_weighted, shard_scale);
 
   // Shape checks (the acceptance criteria for this bench).
   bool ok = shard_gate_ok;
   if (pipe.delivered == 0) {
     std::fprintf(stderr, "FAIL: pipeline delivered no packets\n");
+    ok = false;
+  }
+  if (pipe_weighted.delivered == 0 || pipe_weighted.weighted_decisions == 0 ||
+      pipe_weighted.flowlets_started == 0) {
+    std::fprintf(stderr,
+                 "FAIL: weighted-policy pipeline inert (delivered %llu, decisions %llu, "
+                 "flowlets %llu) — the alloc gate has no teeth\n",
+                 static_cast<unsigned long long>(pipe_weighted.delivered),
+                 static_cast<unsigned long long>(pipe_weighted.weighted_decisions),
+                 static_cast<unsigned long long>(pipe_weighted.flowlets_started));
+    ok = false;
+  }
+  if (pipe_weighted.allocs_per_packet > 0.0) {
+    std::fprintf(stderr,
+                 "FAIL: flowlet split path allocates %.3f/packet steady-state — "
+                 "the weighted decision must stay zero-alloc\n",
+                 pipe_weighted.allocs_per_packet);
     ok = false;
   }
   if (micro.fast.allocs_per_packet * 2.0 > micro.legacy.allocs_per_packet) {
@@ -790,8 +863,8 @@ int run(const Config& cfg) {
   }
   if (!ok) return 1;
   std::printf(
-      "shape checks passed (fast path <= legacy/2 allocs, traffic delivered, "
-      "wheel >= 1.3x heap)\n");
+      "shape checks passed (fast path <= legacy/2 allocs, flowlet split path "
+      "zero-alloc, traffic delivered, wheel >= 1.3x heap)\n");
   return 0;
 }
 

@@ -20,7 +20,10 @@ once from the repo root and commit the appended records).
 The baseline is read from ``git show HEAD:<file>`` so a record appended by the
 CI run itself (the bench binaries append unconditionally when they can find
 the repo root) can never be its own baseline.  Falls back to the working-tree
-file outside a git checkout.
+file outside a git checkout.  Baselines are picked per metric: the most
+recent full-scale record *carrying that field*, so histories that predate a
+newly-added metric skip it with a warning instead of erroring, and the metric
+becomes gateable the moment one full-scale record has it.
 
 Only the Python standard library is used.
 
@@ -43,6 +46,7 @@ MANIFEST: dict[str, dict[str, tuple[str, str]]] = {
         "wheel_pkts_per_sec": ("scale.timing_wheel.pkts_per_sec", "higher"),
         "heap_pkts_per_sec": ("scale.binary_heap.pkts_per_sec", "higher"),
         "pipeline_pkts_per_sec": ("pipeline.pkts_per_sec", "higher"),
+        "pipeline_weighted_pkts_per_sec": ("pipeline_weighted.pkts_per_sec", "higher"),
     },
     "BENCH_chaos": {
         "pkts_per_sec": ("timing_wheel.pkts_per_sec", "higher"),
@@ -67,6 +71,16 @@ MANIFEST: dict[str, dict[str, tuple[str, str]]] = {
         "tango_establish_bgp_messages": ("tango.establish.bgp_messages", "lower"),
         "tango_pairing_state_kb": ("tango.pairing_state_kb", "lower"),
     },
+    # E16 policy ablation: goodput is a rate (quick and full mode offer the
+    # same load into the same capacities, so it is scale-comparable), and the
+    # hedged sensitive p99 rides the same congestion regime at both scales.
+    # The loss percentages are deliberately not gated: hedging drives them
+    # toward zero where relative deltas are all noise.
+    "BENCH_policy": {
+        "heavy_tail_weighted_goodput_pps": ("heavy_tail.weighted.goodput_pps", "higher"),
+        "heavy_tail_hedged_sensitive_p99_ms": ("heavy_tail.hedged.sensitive_p99_owd_ms",
+                                               "lower"),
+    },
 }
 
 # history-record field recording the run's workload size.  The baseline must
@@ -77,19 +91,29 @@ SCALE_FIELD: dict[str, str] = {
     "BENCH_dataplane": "scale_packets",
     "BENCH_chaos": "faults",
     "BENCH_mesh": "routers",
+    "BENCH_policy": "workload_packets",
 }
 
 
-def pick_baseline(runs: list[dict], scale_field: str) -> dict:
-    """Most recent run at the largest workload scale in the history (most
-    recent overall when no record carries the scale field)."""
-    scales = [r[scale_field] for r in runs
+def pick_baseline(runs: list[dict], scale_field: str | None,
+                  field: str) -> dict | None:
+    """The baseline record for one metric: the most recent run at the largest
+    workload scale *among records that carry the field*.  Per-field selection
+    keeps a freshly-added metric gateable from its first full-scale record
+    without invalidating older histories that predate it (they are simply not
+    candidates), and returns None when no record has it yet.
+    """
+    having = [r for r in runs if isinstance(r.get(field), (int, float))]
+    if not having:
+        return None
+    if scale_field is None:
+        return having[-1]
+    scales = [r[scale_field] for r in having
               if isinstance(r.get(scale_field), (int, float))]
     if not scales:
-        return runs[-1]
+        return having[-1]
     full_scale = max(scales)
-    like = [r for r in runs if r.get(scale_field) == full_scale]
-    return like[-1]
+    return [r for r in having if r.get(scale_field) == full_scale][-1]
 
 
 def load_json(path: pathlib.Path) -> dict | None:
@@ -140,10 +164,10 @@ def check_bench(name: str, repo_root: pathlib.Path, current_dir: pathlib.Path,
     if not history or not history.get("runs"):
         print(f"{name}: no committed history — nothing to compare against (skipping)")
         return (0, 0)
-    baseline = pick_baseline(history["runs"], SCALE_FIELD[name])
-    if baseline is not history["runs"][-1]:
-        print(f"{name}: latest history entry is not full-scale — baselining "
-              f"against the most recent full-scale record instead")
+    scale_field = SCALE_FIELD.get(name)
+    if scale_field is None:
+        print(f"{name}: WARNING: no scale field registered — baselining against "
+              f"the most recent record carrying each metric")
 
     current = find_detail_report(current_dir, name)
     if current is None:
@@ -153,9 +177,12 @@ def check_bench(name: str, repo_root: pathlib.Path, current_dir: pathlib.Path,
 
     compared = regressions = 0
     for base_field, (detail_path, direction) in MANIFEST[name].items():
-        base = baseline.get(base_field)
+        baseline = pick_baseline(history["runs"], scale_field, base_field)
+        base = baseline.get(base_field) if baseline is not None else None
         if not isinstance(base, (int, float)) or base <= 0:
-            print(f"{name}: {base_field} absent in the committed baseline (skipping field)")
+            print(f"{name}: WARNING: no committed record carries {base_field} yet "
+                  f"— run the full bench once and commit the appended history "
+                  f"(skipping field)")
             continue
         cur = dig(current, detail_path)
         if cur is None:

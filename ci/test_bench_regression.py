@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench regression gate's baseline selection and the
+mixed-history behaviour: committed BENCH files that predate a newly-added
+metric must be skipped with a warning, never a KeyError.
+
+Run directly (``python3 ci/test_bench_regression.py``) or via ctest.  Only
+the standard library is used; the temp dirs carry no .git, so
+``committed_history`` exercises its working-tree fallback.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+import bench_regression as br
+
+
+def run(sha: str, scale: int | None = None, **fields) -> dict:
+    record = {"sha": sha, "date": "2026-01-01T00:00:00Z", **fields}
+    if scale is not None:
+        record["test_scale"] = scale
+    return record
+
+
+class PickBaselineTest(unittest.TestCase):
+    def test_most_recent_full_scale_record_wins(self):
+        runs = [run("a", 100, tput=50.0), run("b", 100, tput=60.0),
+                run("c", 10, tput=999.0)]  # newer but quick-scale
+        self.assertIs(br.pick_baseline(runs, "test_scale", "tput"), runs[1])
+
+    def test_records_missing_the_field_are_not_candidates(self):
+        # The newest full-scale record predates the metric: the selector must
+        # reach past it to the one that carries the field.
+        runs = [run("old", 100, new_metric=42.0), run("new", 100, tput=60.0)]
+        self.assertIs(br.pick_baseline(runs, "test_scale", "new_metric"), runs[0])
+
+    def test_no_record_carries_the_field(self):
+        runs = [run("a", 100, tput=50.0)]
+        self.assertIsNone(br.pick_baseline(runs, "test_scale", "new_metric"))
+
+    def test_without_scale_field_most_recent_carrier_wins(self):
+        runs = [run("a", tput=50.0), run("b", tput=60.0), run("c")]
+        self.assertIs(br.pick_baseline(runs, None, "tput"), runs[1])
+        self.assertIs(br.pick_baseline(runs, "test_scale", "tput"), runs[1])
+
+
+class CheckBenchTest(unittest.TestCase):
+    """Drives check_bench against temp files with a synthetic manifest."""
+
+    NAME = "BENCH_unittest"
+
+    def setUp(self):
+        self._repo = tempfile.TemporaryDirectory()
+        self._cur = tempfile.TemporaryDirectory()
+        self.repo_root = pathlib.Path(self._repo.name)
+        self.current_dir = pathlib.Path(self._cur.name)
+        self.addCleanup(self._repo.cleanup)
+        self.addCleanup(self._cur.cleanup)
+
+        self._saved = (dict(br.MANIFEST), dict(br.SCALE_FIELD))
+        br.MANIFEST[self.NAME] = {
+            "tput": ("detail.tput", "higher"),
+            "p99_ms": ("detail.p99_ms", "lower"),
+        }
+        br.SCALE_FIELD[self.NAME] = "test_scale"
+
+    def tearDown(self):
+        br.MANIFEST, br.SCALE_FIELD = self._saved
+
+    def write_history(self, runs: list[dict]) -> None:
+        path = self.repo_root / f"{self.NAME}.json"
+        path.write_text(json.dumps({"runs": runs}))
+
+    def write_detail(self, detail: dict) -> None:
+        path = self.current_dir / f"{self.NAME}.latest.json"
+        path.write_text(json.dumps(detail))
+
+    def check(self, threshold: float = 15.0) -> tuple[tuple[int, int], str]:
+        out = io.StringIO()
+        with redirect_stdout(out):
+            result = br.check_bench(self.NAME, self.repo_root, self.current_dir,
+                                    threshold)
+        return result, out.getvalue()
+
+    def test_mixed_history_skips_predating_field_with_warning(self):
+        # Committed history predates p99_ms entirely: the gate must compare
+        # tput, warn about p99_ms, and neither raise nor error out.
+        self.write_history([run("a", 100, tput=100.0)])
+        self.write_detail({"detail": {"tput": 98.0, "p99_ms": 50.0}})
+        (compared, regressions), log = self.check()
+        self.assertEqual(compared, 1)
+        self.assertEqual(regressions, 0)
+        self.assertIn("no committed record carries p99_ms", log)
+
+    def test_field_gates_from_its_first_fullscale_record(self):
+        self.write_history([run("a", 100, tput=100.0),
+                            run("b", 100, tput=100.0, p99_ms=40.0)])
+        self.write_detail({"detail": {"tput": 98.0, "p99_ms": 41.0}})
+        (compared, regressions), _ = self.check()
+        self.assertEqual(compared, 2)
+        self.assertEqual(regressions, 0)
+
+    def test_direction_aware_regression_on_latency_rise(self):
+        self.write_history([run("a", 100, tput=100.0, p99_ms=40.0)])
+        self.write_detail({"detail": {"tput": 100.0, "p99_ms": 60.0}})  # +50%
+        (compared, regressions), log = self.check()
+        self.assertEqual(compared, 2)
+        self.assertEqual(regressions, 1)
+        self.assertIn("REGRESSION", log)
+
+    def test_improvement_in_either_direction_passes(self):
+        self.write_history([run("a", 100, tput=100.0, p99_ms=40.0)])
+        self.write_detail({"detail": {"tput": 150.0, "p99_ms": 20.0}})
+        (_, regressions), _ = self.check()
+        self.assertEqual(regressions, 0)
+
+    def test_quick_scale_records_are_not_baselines(self):
+        # The newest record is quick-scale with an absurdly low tput; gating
+        # against it would mask a regression vs the full-scale baseline.
+        self.write_history([run("full", 100, tput=100.0),
+                            run("quick", 10, tput=10.0)])
+        self.write_detail({"detail": {"tput": 50.0, "p99_ms": 1.0}})
+        (_, regressions), log = self.check()
+        self.assertEqual(regressions, 1)
+        self.assertIn("baseline 100", log)
+
+    def test_unregistered_scale_field_warns_instead_of_keyerror(self):
+        del br.SCALE_FIELD[self.NAME]
+        self.write_history([run("a", tput=100.0, p99_ms=40.0)])
+        self.write_detail({"detail": {"tput": 99.0, "p99_ms": 40.0}})
+        (compared, regressions), log = self.check()
+        self.assertEqual(compared, 2)
+        self.assertEqual(regressions, 0)
+        self.assertIn("no scale field registered", log)
+
+    def test_missing_detail_path_is_an_error(self):
+        self.write_history([run("a", 100, tput=100.0, p99_ms=40.0)])
+        self.write_detail({"detail": {"tput": 99.0}})
+        (compared, _), log = self.check()
+        self.assertEqual(compared, -1)
+        self.assertIn("missing from the detail report", log)
+
+
+if __name__ == "__main__":
+    unittest.main()

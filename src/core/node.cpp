@@ -25,6 +25,19 @@ TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
     probes_metric_ = &config_.obs.metrics->counter("tango_node_probes_sent_total",
                                                    {{"node", label}}, "Measurement probes sent");
   }
+  if (config_.policy_engine) enable_policy_engine(*config_.policy_engine);
+}
+
+void TangoNode::enable_policy_engine(PolicyEngine::Options options) {
+  engine_ = std::make_unique<PolicyEngine>(options);
+  switch_.set_route_fn(
+      [](void* ctx, const net::Packet& inner, bgp::RouterId peer, std::uint64_t flow_hash,
+         sim::Time now) -> dataplane::TangoSwitch::RouteDecision {
+        const PolicyEngine::Decision d =
+            static_cast<PolicyEngine*>(ctx)->decide(inner, peer, flow_hash, now);
+        return {.primary = d.primary, .duplicate = d.duplicate};
+      },
+      engine_.get());
 }
 
 DiscoveryRequest TangoNode::build_discovery_request(
@@ -109,7 +122,7 @@ std::vector<PathId> TangoNode::paths_to(bgp::RouterId peer) const {
 }
 
 std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
-  if (!policy_) return switch_.active_path();
+  if (!policy_ && !engine_) return switch_.active_path();
 
   health_.tick(now);
 
@@ -136,12 +149,15 @@ std::optional<PathId> TangoNode::apply_policy(sim::Time now) {
     // sees no incumbent and picks the best of the survivors.
     const std::optional<PathId> effective_current =
         current && health_.usable(*current) ? current : std::optional<PathId>{};
-    auto chosen = policy_->choose(views, now, effective_current);
+    auto chosen = policy_ ? policy_->choose(views, now, effective_current) : effective_current;
     if (chosen && chosen != current) {
       switch_.set_active_path(peer, *chosen);
       ++path_switches_;
       telemetry::inc(path_switches_metric_);
     }
+    // The engine rides the same tick and the same health-filtered view: its
+    // weighted/hedged ranking always reflects what the failover policy saw.
+    if (engine_) engine_->refresh(peer, views, now);
     last_choice = chosen ? chosen : current;
   }
   return last_choice ? last_choice : switch_.active_path();

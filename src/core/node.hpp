@@ -7,6 +7,7 @@
 
 #include "core/discovery.hpp"
 #include "core/path_health.hpp"
+#include "core/policy_engine.hpp"
 #include "core/registry.hpp"
 #include "core/routing_policy.hpp"
 #include "dataplane/switch.hpp"
@@ -42,6 +43,11 @@ struct NodeConfig {
   /// Share one Observability across the deployment — both nodes and the WAN
   /// — for a coherent snapshot.
   telemetry::Observability obs;
+  /// When set, a PolicyEngine is created at construction with these options
+  /// and attached to the switch's route hook (class/rule tables are then
+  /// configured through policy_engine()).  Absent = classic failover-only
+  /// routing, bit-identical to builds without the engine.
+  std::optional<PolicyEngine::Options> policy_engine;
 };
 
 class TangoNode {
@@ -112,6 +118,17 @@ class TangoNode {
   void set_policy(std::unique_ptr<RoutingPolicy> policy) { policy_ = std::move(policy); }
   [[nodiscard]] const RoutingPolicy* policy() const noexcept { return policy_.get(); }
 
+  /// Creates (or replaces) the per-packet policy engine and attaches it to
+  /// the switch's raw route hook.  The engine's weights refresh on every
+  /// apply_policy tick from the same health-filtered report view the
+  /// RoutingPolicy sees.  In its default failover mode the engine declines
+  /// every decision, leaving the data path byte-identical.
+  void enable_policy_engine(PolicyEngine::Options options = {});
+
+  /// The engine, nullptr until enable_policy_engine (or NodeConfig opt-in).
+  [[nodiscard]] PolicyEngine* policy_engine() noexcept { return engine_.get(); }
+  [[nodiscard]] const PolicyEngine* policy_engine() const noexcept { return engine_.get(); }
+
   /// Runs the policy against the current reports; switches the data plane's
   /// active path when the decision changed.  Returns the chosen path.
   std::optional<PathId> apply_policy(sim::Time now);
@@ -169,6 +186,7 @@ class TangoNode {
   PathRegistry registry_;
   PathHealthMonitor health_;
   std::unique_ptr<RoutingPolicy> policy_;
+  std::unique_ptr<PolicyEngine> engine_;
   std::uint64_t path_switches_ = 0;
   /// Outbound paths per peer (router id); insertion order preserved for
   /// deterministic iteration.

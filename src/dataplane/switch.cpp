@@ -59,6 +59,12 @@ void TangoSwitch::wire_observability(const telemetry::Observability& obs,
     malformed_tango_metric_ = &obs.metrics->counter(
         "tango_switch_malformed_drops_total", std::move(tango_labels),
         "WAN arrivals dropped for malformed input, by cause");
+    hedge_duplicates_metric_ =
+        &obs.metrics->counter("tango_hedge_duplicates_total", labels,
+                              "Hedged second copies sent on the backup path");
+    hedge_suppressed_metric_ =
+        &obs.metrics->counter("tango_hedge_suppressed_total", labels,
+                              "Hedged second copies suppressed before host delivery");
   }
   sender_.wire_telemetry(encap, obs.tracer, router_);
   receiver_.wire_telemetry({.registry = obs.metrics,
@@ -98,6 +104,15 @@ bool TangoSwitch::prepare_outbound(net::Packet& inner) {
     path = selector_(inner);
     by_selector = path.has_value();
   }
+  PathId dup_path = 0;
+  if (route_fn_ != nullptr) {
+    const RouteDecision decision =
+        route_fn_(route_ctx_, inner, *peer, flow->hash, wan_.now());
+    if (!path && decision.primary != 0) path = decision.primary;
+    if (decision.duplicate != 0 && (!path || decision.duplicate != *path)) {
+      dup_path = decision.duplicate;
+    }
+  }
   if (!path) path = active_path(*peer);
   if (!path) {
     ++no_tunnel_drops_;
@@ -125,6 +140,10 @@ bool TangoSwitch::prepare_outbound(net::Packet& inner) {
                                           : telemetry::TraceCause::active_path});
   }
 
+  // The hedged second copy must be taken *before* the in-place wrap below
+  // consumes the inner bytes.
+  if (dup_path != 0) send_hedge_duplicate(inner, dup_path);
+
   if (!sender_.wrap_inplace(inner, *path, wan_.now())) {
     ++no_tunnel_drops_;
     telemetry::inc(no_tunnel_metric_);
@@ -146,6 +165,37 @@ bool TangoSwitch::prepare_outbound(net::Packet& inner) {
                      .stage = telemetry::TraceStage::wan_enqueue,
                      .cause = telemetry::TraceCause::none});
   }
+  return true;
+}
+
+void TangoSwitch::send_hedge_duplicate(const net::Packet& inner, PathId path) {
+  // Pool-backed copy of the inner packet, with headroom for its own wrap.
+  std::vector<std::uint8_t> buf = wan_.buffer_pool().acquire();
+  const auto src = inner.bytes();
+  buf.resize(net::Packet::kDefaultHeadroom + src.size());
+  std::copy(src.begin(), src.end(), buf.begin() + net::Packet::kDefaultHeadroom);
+  net::Packet copy{std::move(buf), net::Packet::kDefaultHeadroom};
+  if (!sender_.wrap_inplace(copy, path, wan_.now())) {
+    wan_.buffer_pool().release(std::move(copy).release_buffer());
+    return;
+  }
+  ++hedge_duplicates_;
+  telemetry::inc(hedge_duplicates_metric_);
+  wan_.send_from(router_, std::move(copy));
+}
+
+bool TangoSwitch::suppress_hedged_duplicate(const net::Packet& inner) {
+  const std::uint16_t dport = net::udp_dst_port(inner);
+  if (dport < hedge_dedup_lo_ || dport > hedge_dedup_hi_) return false;
+  // Content hash over the inner bytes: the hedged copies differ only in
+  // their outer (per-path) headers, which the unwrap already trimmed away.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : inner.bytes()) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  if (!deduper_.seen_before(h)) return false;
+  telemetry::inc(hedge_suppressed_metric_);
   return true;
 }
 
@@ -188,6 +238,9 @@ void TangoSwitch::on_wan_packet(net::Packet& packet) {
   switch (result.status) {
     case UnwrapStatus::ok:
       // The buffer now holds the inner packet (outer headers trimmed away).
+      // Both copies of a hedged pair were measured on their own paths above;
+      // only the first reaches the hosts.
+      if (hedge_dedup_armed_ && suppress_hedged_duplicate(packet)) return;
       if (host_handler_) host_handler_(packet, result.info);
       return;
     case UnwrapStatus::not_tango:

@@ -50,6 +50,18 @@ class TangoSwitch {
   /// decision" (§3) — e.g. keying on the inner traffic class.
   using Selector = std::function<std::optional<PathId>(const net::Packet& inner)>;
 
+  /// Raw (devirtualized) per-packet route hook for the policy engine: a
+  /// plain function pointer, mirroring Wan::attach_raw, so the hot path pays
+  /// no std::function dispatch.  primary == 0 falls back to the active path;
+  /// duplicate != 0 additionally sends a copy of the packet on that path
+  /// (hedged duplication; the receiving switch suppresses the second copy).
+  struct RouteDecision {
+    PathId primary = 0;
+    PathId duplicate = 0;
+  };
+  using RouteFn = RouteDecision (*)(void* ctx, const net::Packet& inner, bgp::RouterId peer,
+                                    std::uint64_t flow_hash, sim::Time now);
+
   /// Attaches to `router` on `wan` (registers the WAN delivery handler).
   /// Both must outlive the switch.
   TangoSwitch(bgp::RouterId router, sim::Wan& wan, SwitchOptions options = {});
@@ -107,6 +119,27 @@ class TangoSwitch {
 
   void set_selector(Selector selector) { selector_ = std::move(selector); }
   void set_host_handler(HostHandler handler) { host_handler_ = std::move(handler); }
+
+  /// Installs the raw route hook (nullptr detaches).  Consulted after the
+  /// Selector: a Selector verdict wins on the primary path; the hook's
+  /// duplicate request is honored either way.
+  void set_route_fn(RouteFn fn, void* ctx) noexcept {
+    route_fn_ = fn;
+    route_ctx_ = ctx;
+  }
+
+  /// Arms receiver-side hedge dedup: decapsulated packets whose inner UDP
+  /// destination port falls in [dport_lo, dport_hi] (the loss-sensitive
+  /// class) are content-hashed and the second copy of a hedged pair is
+  /// suppressed before host delivery.  Measurement still sees both copies —
+  /// each arrival updates its own path's trackers first.
+  void arm_hedge_dedup(std::uint16_t dport_lo, std::uint16_t dport_hi,
+                       std::size_t slots = 4096) {
+    hedge_dedup_lo_ = dport_lo;
+    hedge_dedup_hi_ = dport_hi;
+    deduper_ = HedgeDeduper{slots};
+    hedge_dedup_armed_ = true;
+  }
 
   // --- Data path --------------------------------------------------------------
 
@@ -169,6 +202,12 @@ class TangoSwitch {
   /// WAN arrivals dropped for missing/invalid telemetry auth tags (§6).
   /// Counted here at the switch; the receiver's auth_failures() matches.
   [[nodiscard]] std::uint64_t auth_drops() const noexcept { return auth_drops_; }
+  /// Hedged duplicates this switch sent (second copies, not the primaries).
+  [[nodiscard]] std::uint64_t hedge_duplicates() const noexcept { return hedge_duplicates_; }
+  /// Hedged second copies this switch suppressed before host delivery.
+  [[nodiscard]] std::uint64_t hedge_suppressed() const noexcept {
+    return deduper_.suppressed();
+  }
 
   /// Estimated resident bytes of per-path data-plane state: tunnel table,
   /// sender sequence array, receiver trackers and the per-peer active-path
@@ -176,7 +215,7 @@ class TangoSwitch {
   /// measurable; an estimate, not exact heap usage.
   [[nodiscard]] std::size_t state_bytes() const {
     return tunnels_.state_bytes() + sender_.state_bytes() + receiver_.state_bytes() +
-           active_by_peer_.capacity() * sizeof(active_by_peer_[0]);
+           active_by_peer_.capacity() * sizeof(active_by_peer_[0]) + deduper_.state_bytes();
   }
 
  private:
@@ -185,6 +224,12 @@ class TangoSwitch {
   /// Classifies + (for peer traffic) encapsulates one outbound packet in
   /// place.  Returns false when the packet was consumed by a drop counter.
   bool prepare_outbound(net::Packet& inner);
+  /// Copies `inner` into a pool-drawn buffer, wraps it on `path` and hands
+  /// it to the WAN (the hedged second copy).
+  void send_hedge_duplicate(const net::Packet& inner, PathId path);
+  /// True when the decapsulated inner packet is a hedged second copy that
+  /// must not reach the hosts (content-hash dedup over the armed class).
+  [[nodiscard]] bool suppress_hedged_duplicate(const net::Packet& inner);
 
   bgp::RouterId router_;
   sim::Wan& wan_;
@@ -199,6 +244,13 @@ class TangoSwitch {
   std::vector<std::pair<PeerId, PathId>> active_by_peer_;
   Selector selector_;
   HostHandler host_handler_;
+  RouteFn route_fn_ = nullptr;
+  void* route_ctx_ = nullptr;
+  HedgeDeduper deduper_{1};  ///< re-assigned (sized) by arm_hedge_dedup
+  bool hedge_dedup_armed_ = false;
+  std::uint16_t hedge_dedup_lo_ = 0;
+  std::uint16_t hedge_dedup_hi_ = 0;
+  std::uint64_t hedge_duplicates_ = 0;
   std::uint64_t no_tunnel_drops_ = 0;
   std::uint64_t passthrough_ = 0;
   std::uint64_t malformed_outer_drops_ = 0;
@@ -209,6 +261,8 @@ class TangoSwitch {
   telemetry::Counter* no_tunnel_metric_ = nullptr;
   telemetry::Counter* malformed_outer_metric_ = nullptr;
   telemetry::Counter* malformed_tango_metric_ = nullptr;
+  telemetry::Counter* hedge_duplicates_metric_ = nullptr;
+  telemetry::Counter* hedge_suppressed_metric_ = nullptr;
   telemetry::PacketTracer* tracer_ = nullptr;
 };
 

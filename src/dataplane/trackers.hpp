@@ -133,6 +133,51 @@ class LossTracker {
   std::uint64_t confirmed_lost_ = 0;
 };
 
+/// Receiver-side duplicate suppression for hedged traffic.
+///
+/// Hedged senders duplicate a packet on two paths; each copy carries its own
+/// per-tunnel sequence, so the sequence window cannot pair them up — the
+/// copies are instead identical *inner* packets, and the deduper keys on a
+/// content hash of the inner bytes.  Single-probe open addressing over a
+/// power-of-two ring of 64-bit keys: a colliding insert overwrites (bounded
+/// state, like a real switch — an overwritten entry lets one duplicate
+/// through, it never suppresses a first delivery of a distinct packet short
+/// of a 64-bit hash collision).  seen_before() is on the per-delivered-packet
+/// path and never allocates.
+class HedgeDeduper {
+ public:
+  explicit HedgeDeduper(std::size_t slots = 4096) {
+    std::size_t n = 1;
+    while (n < slots) n <<= 1;
+    keys_.assign(n, 0);
+    mask_ = n - 1;
+  }
+
+  /// True when `key` was already delivered recently (suppress this copy);
+  /// records the key otherwise.
+  [[nodiscard]] bool seen_before(std::uint64_t key) noexcept {
+    if (key == 0) key = 1;  // 0 marks an empty slot
+    std::uint64_t& slot = keys_[static_cast<std::size_t>(key & mask_)];
+    if (slot == key) {
+      ++suppressed_;
+      return true;
+    }
+    slot = key;
+    return false;
+  }
+
+  /// Copies suppressed as already-delivered duplicates.
+  [[nodiscard]] std::uint64_t suppressed() const noexcept { return suppressed_; }
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return keys_.capacity() * sizeof(keys_[0]);
+  }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
 /// Reordering detection: counts packets arriving with a sequence lower than
 /// one already seen (late arrivals).  TCP's in-order delivery turns every
 /// such event into head-of-line blocking, the §5 argument for switching away

@@ -176,6 +176,24 @@ Packet build_udp4(std::vector<std::uint8_t> buf, const Ipv4Address& src, const I
 
 }  // namespace
 
+std::uint16_t udp_dst_port(const Packet& p) noexcept {
+  const auto bytes = p.bytes();
+  std::size_t udp_off = 0;
+  if (p.version() == 6) {
+    const auto h6 = p.ip();
+    if (!h6 || h6->next_header != Ipv6Header::kNextHeaderUdp) return 0;
+    udp_off = Ipv6Header::kSize;
+  } else if (p.version() == 4) {
+    const auto h4 = p.ip4();
+    if (!h4 || h4->protocol != Ipv4Header::kProtocolUdp) return 0;
+    udp_off = h4->header_length();
+  } else {
+    return 0;
+  }
+  if (bytes.size() < udp_off + 4) return 0;  // truncated transport header
+  return static_cast<std::uint16_t>((bytes[udp_off + 2] << 8) | bytes[udp_off + 3]);
+}
+
 Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst, std::uint16_t src_port,
                        std::uint16_t dst_port, std::span<const std::uint8_t> payload,
                        std::uint8_t hop_limit) {

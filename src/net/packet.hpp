@@ -152,6 +152,12 @@ class BufferPool {
   std::uint64_t misses_ = 0;
 };
 
+/// The UDP destination port of a (v4 or v6) packet; 0 when the packet is
+/// not UDP or too truncated to carry one.  Bounds-checked throughout — safe
+/// on arbitrary bytes.  Traffic classifiers (policy engine, hedge dedup)
+/// key on this without a second full header parse.
+[[nodiscard]] std::uint16_t udp_dst_port(const Packet& p) noexcept;
+
 /// Builds a plain (host-side) IPv6+UDP packet carrying `payload`, with
 /// kDefaultHeadroom reserved for later encapsulation.
 [[nodiscard]] Packet make_udp_packet(const Ipv6Address& src, const Ipv6Address& dst,

@@ -70,6 +70,17 @@ class Link {
   void set_down(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool down() const noexcept { return down_; }
 
+  /// Deterministic virtual-queue capacity model.  The link serves packets at
+  /// `pkts_per_sec`; a packet offered while the server is busy queues behind
+  /// the backlog (its delay grows by the backlog), and a packet that would
+  /// wait longer than `max_queue_ms` is a congestion drop.  No RNG draws —
+  /// enabling it never perturbs the run's random streams, and disabling it
+  /// (the default, pkts_per_sec <= 0) leaves transmit() byte-identical to
+  /// the uncapacitated link.  Queueing only ever *adds* delay, so
+  /// min_delay()'s lookahead bound for the sharded engine stays sound.
+  void set_capacity(double pkts_per_sec, double max_queue_ms);
+  [[nodiscard]] std::uint64_t congestion_drops() const noexcept { return congestion_drops_; }
+
   /// Resolves this link's registry instruments (nullptr = uninstrumented).
   void wire_metrics(telemetry::Counter* packets, telemetry::Counter* drops) noexcept {
     packets_metric_ = packets;
@@ -83,6 +94,12 @@ class Link {
   double lane_spread_ms_;
   Rng rng_;
   bool down_ = false;
+  /// Capacity model state: service time per packet (0 = unlimited), the
+  /// instant the virtual server frees up, and the longest tolerated wait.
+  Time service_time_ = 0;
+  Time max_queue_ = 0;
+  Time next_free_ = 0;
+  std::uint64_t congestion_drops_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t drops_ = 0;
   telemetry::Counter* packets_metric_ = nullptr;
