@@ -16,7 +16,12 @@
 //       identical delivery digests, drops, path switches, quarantines —
 //       and stays byte-identical when a stream of malformed WAN frames is
 //       injected into both receive paths throughout the run (garbage is
-//       dropped and counted, never perturbing measurement or routing).
+//       dropped and counted, never perturbing measurement or routing);
+//   I5  a keyed pairing is adversary-proof where the telemetry is
+//       authenticated: forged feedback reports and replayed data packets
+//       are dropped with exact accounting and the soak digest does not
+//       move, while selective report suppression — which cannot be
+//       prevented — is at least *detected* through sequence gaps.
 //
 // TANGO_BENCH_QUICK=1 shrinks the soak for CI (same invariants, fewer
 // faults).  Results go to stdout and the BENCH_chaos detail JSON, plus a
@@ -26,12 +31,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "dataplane/encap.hpp"
 #include "net/packet.hpp"
+#include "net/report.hpp"
 #include "telemetry/export.hpp"
 
 namespace tango::bench {
@@ -137,6 +147,18 @@ struct SoakResult {
   std::uint64_t malformed_ingress = 0;  ///< garbage frames injected (not in the digest)
   std::uint64_t malformed_drops = 0;    ///< garbage frames counted as dropped
   std::uint64_t mail_posted = 0;        ///< cross-shard mailbox traffic (sharded runs)
+  // I5 adversarial accounting (none of it enters the digest — the digest
+  // must stay equal to the clean keyed run's, that is the whole point).
+  std::uint64_t reports_delivered = 0;
+  std::uint64_t forged_injected = 0;       ///< forged report envelopes fed to ingest
+  std::uint64_t forged_dropped = 0;        ///< report_forged counters, both nodes
+  std::uint64_t reports_replayed = 0;      ///< report_replayed counters, both nodes
+  std::uint64_t reports_stale = 0;         ///< report_stale counters, both nodes
+  std::uint64_t report_gaps = 0;           ///< report_seq gaps seen by both senders
+  std::uint64_t reports_suppressed = 0;    ///< reports the on-path adversary swallowed
+  std::uint64_t replay_injected = 0;       ///< replayed data packets injected
+  std::uint64_t replay_rx_dropped = 0;     ///< receiver replay_dropped, both nodes
+  std::uint64_t replay_switch_dropped = 0; ///< switch replay_drops, both nodes
   int max_unusable_streak = 0;
   std::uint64_t digest = 0;
   std::uint64_t fib_digest = 0;  ///< final FIB contents (incremental-vs-full oracle)
@@ -180,14 +202,74 @@ std::vector<std::vector<std::uint8_t>> make_malformed_frames() {
   return out;
 }
 
+// --- I5 adversaries ----------------------------------------------------------
+
+/// The pairing key the adversarial twins run under.  The attacker never
+/// holds it: forgeries are tagged under kWrongKey (or not at all), and the
+/// replay flood re-injects *recorded* authenticated packets verbatim.
+constexpr net::SipHashKey kSoakKey{.k0 = 0x746f6e6779776f6eull, .k1 = 0x74616e676f746e67ull};
+constexpr net::SipHashKey kWrongKey{.k0 = 0xbadbadbadbadbad0ull, .k1 = 0x0defacedefacedefull};
+
+enum : unsigned {
+  kAttackForgery = 1u << 0,      ///< forged report envelopes into both senders
+  kAttackReplayFlood = 1u << 1,  ///< recorded data packets blasted at both switches
+  kAttackSuppression = 1u << 2,  ///< every 3rd feedback report silently swallowed
+};
+
+/// Forged feedback reports: pure garbage, a well-formed envelope tagged
+/// under the wrong key, and one with authentication stripped entirely.  A
+/// keyed sender must classify all three as report_forged.
+std::vector<std::vector<std::uint8_t>> make_forged_reports() {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.emplace_back(net::ReportEnvelope::kSize, 0xA5);  // wrong magic throughout
+
+  net::ReportEnvelope wrong;
+  wrong.flags = net::ReportEnvelope::kFlagAuthenticated;
+  wrong.path_id = 1;
+  wrong.report_seq = 1'000'000;  // far ahead, so only the MAC can save us
+  wrong.loss_rate = 1.0;         // "your best path is dead", says the liar
+  wrong.samples = 1;
+  wrong.auth_tag = net::report_auth_tag(kWrongKey, wrong);
+  {
+    net::ByteWriter w;
+    wrong.serialize(w);
+    out.push_back(std::move(w).take());
+  }
+
+  net::ReportEnvelope stripped = wrong;
+  stripped.flags = 0;
+  stripped.auth_tag = 0;
+  {
+    net::ByteWriter w;
+    stripped.serialize(w);
+    out.push_back(std::move(w).take());
+  }
+  return out;
+}
+
 SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault>& schedule,
                     sim::EventQueue::Backend backend,
                     const telemetry::Observability& obs = {}, bool inject_malformed = false,
                     std::uint32_t shards = 0, bool threaded = false,
                     sim::FibSync fib_sync = sim::FibSync::incremental,
-                    bool policy_engine = false) {
+                    bool policy_engine = false,
+                    std::optional<net::SipHashKey> auth_key = std::nullopt,
+                    unsigned attacks = 0) {
+  // The suppression adversary rides the pairing's on-path hook; its context
+  // must outlive the Testbed.
+  struct SuppressCtx {
+    std::uint64_t calls = 0;
+  } suppress_ctx;
+  core::PairingOptions pairing_options;
+  if ((attacks & kAttackSuppression) != 0) {
+    pairing_options.suppress_report = [](void* ctx, core::PathId,
+                                         std::span<const std::uint8_t>) {
+      return (++static_cast<SuppressCtx*>(ctx)->calls % 3) == 0;
+    };
+    pairing_options.suppress_ctx = &suppress_ctx;
+  }
   Testbed tb{seed, /*keep_series=*/false, 500 * sim::kMicrosecond, -300 * sim::kMicrosecond,
-             backend, obs, shards, threaded, fib_sync};
+             backend, obs, shards, threaded, fib_sync, auth_key, pairing_options};
   tb.la.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
   tb.ny.set_policy(std::make_unique<core::HysteresisPolicy>(1.0));
   if (policy_engine) {
@@ -273,6 +355,78 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
     tb.wan.events().schedule_in(7 * sim::kMillisecond, MalformedLoop{tb, junk, r, running});
   }
 
+  // I5 forgery loop: forged report envelopes straight into both senders'
+  // ingest path.  Classification is synchronous and touches no RNG, so the
+  // soak digest must not move.
+  const std::vector<std::vector<std::uint8_t>> forged =
+      (attacks & kAttackForgery) != 0 ? make_forged_reports()
+                                      : std::vector<std::vector<std::uint8_t>>{};
+  struct ForgeryLoop {
+    Testbed& tb;
+    const std::vector<std::vector<std::uint8_t>>& forged;
+    SoakResult& r;
+    bool& running;
+    void operator()() const {
+      if (!running) return;
+      for (const auto& wire : forged) {
+        tb.la.ingest_report_wire(wire);
+        tb.ny.ingest_report_wire(wire);
+        r.forged_injected += 2;
+      }
+      tb.wan.events().schedule_in(13 * sim::kMillisecond, ForgeryLoop{*this});
+    }
+  };
+  if ((attacks & kAttackForgery) != 0) {
+    tb.wan.events().schedule_in(13 * sim::kMillisecond, ForgeryLoop{tb, forged, r, running});
+  }
+
+  // I5 replay flood: an attacker records early authenticated data packets
+  // off the wire and blasts the recording at both switches for the rest of
+  // the run.  (The recording is reconstructed with a twin TunnelSender over
+  // the same tunnel table — sequences 0..7, long since seen by the time the
+  // flood starts.)  Every copy must die in the replay window, before the
+  // trackers, before the hosts.
+  struct ReplayFloodLoop {
+    Testbed& tb;
+    SoakResult& r;
+    bool& running;
+    net::SipHashKey key;
+    std::shared_ptr<std::vector<net::Packet>> to_ny;
+    std::shared_ptr<std::vector<net::Packet>> to_la;
+    void operator()() const {
+      if (!running) return;
+      if (to_ny->empty()) {
+        const sim::NodeClock clock;
+        dataplane::TunnelSender la_twin{tb.la.dp().tunnels(), clock, key};
+        dataplane::TunnelSender ny_twin{tb.ny.dp().tunnels(), clock, key};
+        const std::vector<std::uint8_t> sting(8, 0xEE);
+        const net::Packet inner_to_ny =
+            net::make_udp_packet(tb.la.host_address(0x10), tb.scenario.plan.ny_hosts.host(0x20),
+                                 4444, 4444, sting);
+        const net::Packet inner_to_la =
+            net::make_udp_packet(tb.ny.host_address(0x20), tb.scenario.plan.la_hosts.host(0x10),
+                                 4444, 4444, sting);
+        const core::PathId la_path = tb.la_outbound.paths.front().id;
+        const core::PathId ny_path = tb.ny_outbound.paths.front().id;
+        for (int i = 0; i < 8; ++i) {
+          to_ny->push_back(*la_twin.wrap(inner_to_ny, la_path, tb.wan.now()));
+          to_la->push_back(*ny_twin.wrap(inner_to_la, ny_path, tb.wan.now()));
+        }
+      }
+      for (const net::Packet& p : *to_ny) tb.ny.dp().inject_wan(p);
+      for (const net::Packet& p : *to_la) tb.la.dp().inject_wan(p);
+      r.replay_injected += to_ny->size() + to_la->size();
+      tb.wan.events().schedule_in(13 * sim::kMillisecond, ReplayFloodLoop{*this});
+    }
+  };
+  if ((attacks & kAttackReplayFlood) != 0) {
+    // Start after the genuine streams are far past the recorded sequences.
+    tb.wan.events().schedule_in(2500 * sim::kMillisecond,
+                                ReplayFloodLoop{tb, r, running, *auth_key,
+                                                std::make_shared<std::vector<net::Packet>>(),
+                                                std::make_shared<std::vector<net::Packet>>()});
+  }
+
   // I2 sampler: how long does a sender stay on a path its own health
   // monitor has declared dead?
   struct PinSampler {
@@ -320,6 +474,15 @@ SoakResult run_soak(std::uint64_t seed, sim::Time total, const std::vector<Fault
   r.quarantines = tb.la.health().quarantines() + tb.ny.health().quarantines();
   r.recoveries = tb.la.health().recoveries() + tb.ny.health().recoveries();
   r.malformed_drops = tb.la.dp().malformed_drops() + tb.ny.dp().malformed_drops();
+  r.reports_delivered = tb.pairing.reports_delivered();
+  r.reports_suppressed = tb.pairing.reports_suppressed();
+  r.forged_dropped = tb.la.report_forged() + tb.ny.report_forged();
+  r.reports_replayed = tb.la.report_replayed() + tb.ny.report_replayed();
+  r.reports_stale = tb.la.report_stale() + tb.ny.report_stale();
+  r.report_gaps = tb.la.report_gaps() + tb.ny.report_gaps();
+  r.replay_rx_dropped =
+      tb.la.dp().receiver().replay_dropped() + tb.ny.dp().receiver().replay_dropped();
+  r.replay_switch_dropped = tb.la.dp().replay_drops() + tb.ny.dp().replay_drops();
   r.fib_digest = tb.wan.fib_digest();
   mix(r.digest, r.wan_delivered);
   mix(r.digest, r.wan_dropped);
@@ -512,6 +675,132 @@ int check_policy_engine_determinism(std::uint64_t seed, sim::Time total,
   return violations;
 }
 
+// --- Adversarial resilience (I5) ---------------------------------------------
+
+struct AdversarialOutcome {
+  SoakResult clean;     ///< keyed pairing, no attacks — the digest yardstick
+  SoakResult forged;    ///< + forged report envelopes
+  SoakResult replayed;  ///< + replayed data packets
+  SoakResult starved;   ///< + every 3rd report suppressed
+  int violations = 0;
+};
+
+/// Runs the soak on a keyed pairing four times: clean, under report forgery,
+/// under a data-packet replay flood, and under selective report
+/// suppression.  Forgery and replay must change *nothing* but their drop
+/// counters (digest and FIB digest bitwise-equal to the clean keyed run,
+/// drops == injections exactly, switch and receiver accounting agreeing);
+/// suppression legitimately starves the sender, so there the gate is
+/// detection: sequence gaps appear, bounded by the count actually swallowed.
+AdversarialOutcome check_adversarial_resilience(std::uint64_t seed, sim::Time total,
+                                                const std::vector<Fault>& schedule) {
+  std::printf("adversarial resilience (I5, keyed pairing under attack):\n");
+  AdversarialOutcome o;
+  const auto wheel = sim::EventQueue::Backend::timing_wheel;
+  auto keyed_run = [&](unsigned attacks) {
+    return run_soak(seed, total, schedule, wheel, {}, /*inject_malformed=*/false,
+                    /*shards=*/0, /*threaded=*/false, sim::FibSync::incremental,
+                    /*policy_engine=*/false, kSoakKey, attacks);
+  };
+  o.clean = keyed_run(0);
+  o.forged = keyed_run(kAttackForgery);
+  o.replayed = keyed_run(kAttackReplayFlood);
+  o.starved = keyed_run(kAttackSuppression);
+
+  std::printf("  clean keyed : digest %016llx, reports delivered %llu\n",
+              static_cast<unsigned long long>(o.clean.digest),
+              static_cast<unsigned long long>(o.clean.reports_delivered));
+  std::printf("  forgery     : digest %016llx, %llu forged injected, %llu dropped forged\n",
+              static_cast<unsigned long long>(o.forged.digest),
+              static_cast<unsigned long long>(o.forged.forged_injected),
+              static_cast<unsigned long long>(o.forged.forged_dropped));
+  std::printf("  replay flood: digest %016llx, %llu replays injected, %llu dropped "
+              "(switch agrees: %llu)\n",
+              static_cast<unsigned long long>(o.replayed.digest),
+              static_cast<unsigned long long>(o.replayed.replay_injected),
+              static_cast<unsigned long long>(o.replayed.replay_rx_dropped),
+              static_cast<unsigned long long>(o.replayed.replay_switch_dropped));
+  std::printf("  suppression : %llu reports swallowed, %llu sequence gaps seen\n",
+              static_cast<unsigned long long>(o.starved.reports_suppressed),
+              static_cast<unsigned long long>(o.starved.report_gaps));
+
+  // The clean keyed run must be free of false positives: nothing forged,
+  // replayed, stale or gapped when nobody is attacking.
+  if (o.clean.forged_dropped + o.clean.reports_replayed + o.clean.reports_stale +
+          o.clean.report_gaps + o.clean.replay_rx_dropped + o.clean.replay_switch_dropped !=
+      0) {
+    std::fprintf(stderr,
+                 "FAIL I5: clean keyed run raised adversary counters (forged %llu, "
+                 "replayed %llu, stale %llu, gaps %llu, data replays %llu/%llu)\n",
+                 static_cast<unsigned long long>(o.clean.forged_dropped),
+                 static_cast<unsigned long long>(o.clean.reports_replayed),
+                 static_cast<unsigned long long>(o.clean.reports_stale),
+                 static_cast<unsigned long long>(o.clean.report_gaps),
+                 static_cast<unsigned long long>(o.clean.replay_rx_dropped),
+                 static_cast<unsigned long long>(o.clean.replay_switch_dropped));
+    ++o.violations;
+  }
+  if (o.clean.reports_delivered == 0) {
+    std::fprintf(stderr, "FAIL I5: keyed pairing delivered no reports — no teeth\n");
+    ++o.violations;
+  }
+
+  if (o.forged.digest != o.clean.digest || o.forged.fib_digest != o.clean.fib_digest) {
+    std::fprintf(stderr,
+                 "FAIL I5: forged reports moved the soak (digest %016llx vs %016llx, "
+                 "fib %016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(o.forged.digest),
+                 static_cast<unsigned long long>(o.clean.digest),
+                 static_cast<unsigned long long>(o.forged.fib_digest),
+                 static_cast<unsigned long long>(o.clean.fib_digest));
+    ++o.violations;
+  }
+  if (o.forged.forged_injected == 0 ||
+      o.forged.forged_dropped != o.forged.forged_injected) {
+    std::fprintf(stderr, "FAIL I5: forgery accounting off (%llu injected, %llu dropped)\n",
+                 static_cast<unsigned long long>(o.forged.forged_injected),
+                 static_cast<unsigned long long>(o.forged.forged_dropped));
+    ++o.violations;
+  }
+
+  if (o.replayed.digest != o.clean.digest || o.replayed.fib_digest != o.clean.fib_digest) {
+    std::fprintf(stderr,
+                 "FAIL I5: replayed data packets moved the soak (digest %016llx vs "
+                 "%016llx, fib %016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(o.replayed.digest),
+                 static_cast<unsigned long long>(o.clean.digest),
+                 static_cast<unsigned long long>(o.replayed.fib_digest),
+                 static_cast<unsigned long long>(o.clean.fib_digest));
+    ++o.violations;
+  }
+  if (o.replayed.replay_injected == 0 ||
+      o.replayed.replay_rx_dropped != o.replayed.replay_injected ||
+      o.replayed.replay_switch_dropped != o.replayed.replay_injected) {
+    std::fprintf(stderr,
+                 "FAIL I5: replay accounting off (%llu injected, receiver dropped %llu, "
+                 "switch dropped %llu)\n",
+                 static_cast<unsigned long long>(o.replayed.replay_injected),
+                 static_cast<unsigned long long>(o.replayed.replay_rx_dropped),
+                 static_cast<unsigned long long>(o.replayed.replay_switch_dropped));
+    ++o.violations;
+  }
+
+  if (o.starved.reports_suppressed == 0) {
+    std::fprintf(stderr, "FAIL I5: the suppression adversary swallowed nothing — no teeth\n");
+    ++o.violations;
+  }
+  if (o.starved.report_gaps == 0 || o.starved.report_gaps > o.starved.reports_suppressed) {
+    std::fprintf(stderr,
+                 "FAIL I5: suppression went undetected (%llu swallowed, %llu gaps — "
+                 "want 0 < gaps <= swallowed)\n",
+                 static_cast<unsigned long long>(o.starved.reports_suppressed),
+                 static_cast<unsigned long long>(o.starved.report_gaps));
+    ++o.violations;
+  }
+  std::printf("\n");
+  return o;
+}
+
 // --- Reporting ---------------------------------------------------------------
 
 void emit_result(JsonWriter& w, const char* key, const SoakResult& r) {
@@ -526,6 +815,15 @@ void emit_result(JsonWriter& w, const char* key, const SoakResult& r) {
       .field("max_unusable_streak", static_cast<std::uint64_t>(r.max_unusable_streak))
       .field("malformed_ingress", r.malformed_ingress)
       .field("malformed_drops", r.malformed_drops)
+      .field("reports_delivered", r.reports_delivered)
+      .field("reports_suppressed", r.reports_suppressed)
+      .field("report_forged_dropped", r.forged_dropped)
+      .field("report_replayed", r.reports_replayed)
+      .field("report_stale", r.reports_stale)
+      .field("report_gaps", r.report_gaps)
+      .field("forged_injected", r.forged_injected)
+      .field("replay_injected", r.replay_injected)
+      .field("replay_dropped", r.replay_rx_dropped)
       .field("pkts_per_sec", r.pkts_per_sec, 0)
       .field("digest", r.digest)
       .end_object();
@@ -625,6 +923,8 @@ int run(std::uint64_t seed, sim::Time total) {
   violations += fib_sync_violations;
   const int policy_violations = check_policy_engine_determinism(seed, total, schedule);
   violations += policy_violations;
+  const AdversarialOutcome adversarial = check_adversarial_resilience(seed, total, schedule);
+  violations += adversarial.violations;
 
   JsonWriter w;
   w.begin_object();
@@ -634,19 +934,24 @@ int run(std::uint64_t seed, sim::Time total) {
   emit_result(w, "timing_wheel", wheel);
   emit_result(w, "binary_heap", heap);
   emit_result(w, "timing_wheel_malformed", poisoned);
+  emit_result(w, "keyed_clean", adversarial.clean);
+  emit_result(w, "keyed_report_forgery", adversarial.forged);
+  emit_result(w, "keyed_replay_flood", adversarial.replayed);
+  emit_result(w, "keyed_report_suppression", adversarial.starved);
   w.field("invariant_violations", static_cast<std::uint64_t>(violations));
   w.end_object();
   const auto path = detail_report_path("BENCH_chaos");
   w.write_file(path);
   std::printf("wrote %s\n", path.string().c_str());
 
-  char record[640];
+  char record[768];
   std::snprintf(record, sizeof record,
                 "    {\"sha\": \"%s\", \"date\": \"%s\", \"seed\": %llu, \"faults\": %zu, "
                 "\"traffic_delivered\": %llu, \"quarantines\": %llu, \"recoveries\": %llu, "
                 "\"max_unusable_streak\": %d, \"pkts_per_sec\": %.0f, \"deterministic\": %s, "
                 "\"sharded_deterministic\": %s, \"fib_sync_deterministic\": %s, "
-                "\"policy_engine_deterministic\": %s, \"violations\": %d}",
+                "\"policy_engine_deterministic\": %s, \"adversarially_resilient\": %s, "
+                "\"violations\": %d}",
                 git_head_sha().c_str(), utc_timestamp().c_str(),
                 static_cast<unsigned long long>(seed), schedule.size(),
                 static_cast<unsigned long long>(wheel.traffic_la + wheel.traffic_ny),
@@ -655,7 +960,8 @@ int run(std::uint64_t seed, sim::Time total) {
                 wheel.pkts_per_sec, wheel.digest == heap.digest ? "true" : "false",
                 shard_violations == 0 ? "true" : "false",
                 fib_sync_violations == 0 ? "true" : "false",
-                policy_violations == 0 ? "true" : "false", violations);
+                policy_violations == 0 ? "true" : "false",
+                adversarial.violations == 0 ? "true" : "false", violations);
   if (append_run_history("BENCH_chaos", record)) {
     std::printf("appended run record to <repo-root>/BENCH_chaos.json\n");
   }
@@ -714,6 +1020,28 @@ int run_policy_only(std::uint64_t seed, sim::Time total) {
   return 0;
 }
 
+/// `--adversarial-only`: just the I5 gate (keyed pairing under report
+/// forgery, data replay flood and report suppression), no reports and no
+/// run history — the ctest shape.
+int run_adversarial_only(std::uint64_t seed, sim::Time total) {
+  print_header("Chaos soak (adversarial resilience gate)",
+               "same fault schedule on a keyed pairing under report forgery, replay "
+               "flood and selective suppression; forged/replayed input must drop with "
+               "exact accounting and an unmoved digest, suppression must be detected",
+               seed);
+  const std::vector<Fault> schedule = make_schedule(seed, total);
+  if (schedule.size() < 2) {
+    std::fprintf(stderr, "FAIL: degenerate schedule (%zu faults) — soak too short\n",
+                 schedule.size());
+    return 1;
+  }
+  const AdversarialOutcome o = check_adversarial_resilience(seed, total, schedule);
+  if (o.violations > 0) return 1;
+  std::printf("I5 held (%zu faults; forgery, replay flood and suppression twins)\n",
+              schedule.size());
+  return 0;
+}
+
 /// `--fib-sync-only`: just the I4-fib gate (incremental FIB sync vs the
 /// full-rebuild oracle at 1/2/4/8 shards), no reports and no run history.
 int run_fib_sync_only(std::uint64_t seed, sim::Time total) {
@@ -745,6 +1073,7 @@ int main(int argc, char** argv) {
   bool shards_only = false;
   bool fib_sync_only = false;
   bool policy_only = false;
+  bool adversarial_only = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards-only") == 0) {
@@ -753,6 +1082,8 @@ int main(int argc, char** argv) {
       fib_sync_only = true;
     } else if (std::strcmp(argv[i], "--policy-only") == 0) {
       policy_only = true;
+    } else if (std::strcmp(argv[i], "--adversarial-only") == 0) {
+      adversarial_only = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -762,5 +1093,6 @@ int main(int argc, char** argv) {
   if (shards_only) return tango::bench::run_shards_only(seed, total);
   if (fib_sync_only) return tango::bench::run_fib_sync_only(seed, total);
   if (policy_only) return tango::bench::run_policy_only(seed, total);
+  if (adversarial_only) return tango::bench::run_adversarial_only(seed, total);
   return tango::bench::run(seed, total);
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/pairing.hpp"
+#include "net/siphash.hpp"
 #include "sim/events.hpp"
 #include "telemetry/observability.hpp"
 #include "telemetry/table.hpp"
@@ -65,13 +66,19 @@ struct Testbed {
   /// through wan.run_all()/run_until() rather than wan.events().run_*.
   /// `fib_sync` selects incremental delta application or the full-rebuild
   /// oracle (see sim::FibSync) — the chaos soak runs both and compares.
+  /// `auth_key` keys both nodes with the same pairing secret (authenticated
+  /// data path + report envelopes); `pairing_options` reaches the feedback
+  /// loop (the chaos soak's suppression twin installs its on-path adversary
+  /// hook here).
   explicit Testbed(std::uint64_t seed, bool keep_series = true,
                    sim::Time la_clock_offset = 500 * sim::kMicrosecond,
                    sim::Time ny_clock_offset = -300 * sim::kMicrosecond,
                    sim::EventQueue::Backend backend = sim::EventQueue::Backend::timing_wheel,
                    telemetry::Observability obs = {}, std::uint32_t shards = 0,
                    bool threaded = false,
-                   sim::FibSync fib_sync = sim::FibSync::incremental)
+                   sim::FibSync fib_sync = sim::FibSync::incremental,
+                   std::optional<net::SipHashKey> auth_key = std::nullopt,
+                   core::PairingOptions pairing_options = {})
       : scenario{topo::make_vultr_scenario()},
         wan{scenario.topo, sim::Rng{seed},
             sim::WanOptions{.backend = backend,
@@ -89,6 +96,7 @@ struct Testbed {
                .edge_asns = {kAsnVultr, kAsnServerLa},
                .clock = sim::NodeClock{la_clock_offset},
                .keep_series = keep_series,
+               .auth_key = auth_key,
                .name = "la",
                .obs = obs}},
         ny{scenario.topo, wan,
@@ -100,9 +108,10 @@ struct Testbed {
                .edge_asns = {kAsnVultr, kAsnServerNy},
                .clock = sim::NodeClock{ny_clock_offset},
                .keep_series = keep_series,
+               .auth_key = auth_key,
                .name = "ny",
                .obs = obs}},
-        pairing{wan, la, ny} {
+        pairing{wan, la, ny, pairing_options} {
     wan.wire_observability(obs);
     auto [la_out, ny_out] = pairing.establish();
     la_outbound = std::move(la_out);

@@ -172,9 +172,18 @@ int main(int argc, char** argv) {
   std::printf("headline counters:\n");
   for (const telemetry::MetricEntry& e : registry.entries()) {
     if (e.kind != telemetry::MetricKind::counter || e.counter->value() == 0) continue;
+    // Headline allowlist: throughput/health, plus the trustworthy-telemetry
+    // drop classes (zero — and therefore silent — unless something is
+    // forging, replaying or suppressing; see DESIGN.md §8a).
     if (e.name != "tango_wan_delivered_total" && e.name != "tango_switch_encap_total" &&
         e.name != "tango_node_path_switches_total" &&
-        e.name != "tango_health_transitions_total") {
+        e.name != "tango_health_transitions_total" &&
+        e.name != "tango_switch_replay_drops_total" &&
+        e.name != "tango_node_report_forged_total" &&
+        e.name != "tango_node_report_replayed_total" &&
+        e.name != "tango_node_report_stale_total" &&
+        e.name != "tango_node_report_gaps_total" &&
+        e.name != "tango_node_report_lying_total") {
       continue;
     }
     std::string labels;

@@ -16,6 +16,7 @@
 
 #include "bgp/wire.hpp"
 #include "net/packet.hpp"
+#include "net/report.hpp"
 
 namespace {
 
@@ -149,6 +150,66 @@ void emit_tango(const fs::path& dir) {
   write_seed(dir, "repro_truncated_auth_tag", short_tag);
 }
 
+void emit_report(const fs::path& dir) {
+  const net::SipHashKey key{.k0 = 0x746f6e6779776f6eull, .k1 = 0x74616e676f746e67ull};
+
+  net::ReportEnvelope plain;
+  plain.path_id = 2;
+  plain.report_seq = 41;
+  plain.owd_ewma_ms = 28.375;
+  plain.jitter_ms = 0.625;
+  plain.loss_rate = 0.015625;
+  plain.samples = 1234;
+  plain.lost = 7;
+  plain.updated_at = 5'000'000'000ull;
+  net::ByteWriter w;
+  plain.serialize(w);
+  write_seed(dir, "report_plain", w.view());
+
+  net::ReportEnvelope authed = plain;
+  authed.flags |= net::ReportEnvelope::kFlagAuthenticated;
+  authed.auth_tag = net::report_auth_tag(key, authed);
+  net::ByteWriter wa;
+  authed.serialize(wa);
+  write_seed(dir, "report_authenticated", wa.view());
+
+  // The attack surface the sender-side ingest classifies: a valid envelope
+  // whose tag belongs to another key (forged), one whose auth flag was
+  // stripped after signing (downgrade), and truncations at both boundaries.
+  net::ReportEnvelope wrong_key = plain;
+  wrong_key.flags |= net::ReportEnvelope::kFlagAuthenticated;
+  wrong_key.auth_tag = net::report_auth_tag(net::SipHashKey{.k0 = 1, .k1 = 2}, wrong_key);
+  net::ByteWriter wk;
+  wrong_key.serialize(wk);
+  write_seed(dir, "repro_wrong_key_tag", wk.view());
+
+  auto stripped = std::vector<std::uint8_t>{wa.view().begin(), wa.view().end()};
+  stripped[3] &= static_cast<std::uint8_t>(~net::ReportEnvelope::kFlagAuthenticated);
+  stripped.resize(net::ReportEnvelope::kSize);
+  write_seed(dir, "repro_stripped_auth_flag", stripped);
+
+  write_seed(dir, "repro_truncated_body", truncate(w.view(), net::ReportEnvelope::kSize - 1));
+  write_seed(dir, "repro_truncated_tag",
+             truncate(wa.view(), net::ReportEnvelope::kSize + 4));
+
+  auto bad_magic = std::vector<std::uint8_t>{w.view().begin(), w.view().end()};
+  bad_magic[0] ^= 0xFF;
+  write_seed(dir, "repro_bad_magic", bad_magic);
+
+  auto bad_version = std::vector<std::uint8_t>{w.view().begin(), w.view().end()};
+  bad_version[2] = net::ReportEnvelope::kVersion + 1;
+  write_seed(dir, "repro_unknown_version", bad_version);
+
+  // NaN bit patterns in every double slot: the codec must stay total and
+  // byte-stable even when value comparison would be poisoned by NaN != NaN.
+  auto nan_doubles = std::vector<std::uint8_t>{w.view().begin(), w.view().end()};
+  for (std::size_t field = 0; field < 3; ++field) {
+    const std::size_t off = 16 + field * 8;  // first double starts after the u64 seq
+    for (std::size_t i = 0; i < 8; ++i) nan_doubles[off + i] = 0xFF;
+  }
+  write_seed(dir, "repro_nan_doubles", nan_doubles);
+}
+
 void emit_bgp(const fs::path& dir) {
   namespace wire = bgp::wire;
   write_seed(dir, "keepalive", wire::encode_keepalive());
@@ -228,6 +289,7 @@ int main(int argc, char** argv) {
   emit_ipv4(root / "ipv4");
   emit_ipv6_udp(root / "ipv6_udp");
   emit_tango(root / "tango");
+  emit_report(root / "report");
   emit_bgp(root / "bgp");
   return 0;
 }

@@ -134,8 +134,7 @@ void TangoMesh::feedback_tick() {
   // latency) instead of one event per report.
   struct PendingReport {
     TangoNode* sender;
-    PathId id;
-    PathReport report;
+    std::vector<std::uint8_t> wire;  ///< serialized ReportEnvelope
   };
   const sim::Time now = wan_.now();
   std::vector<PendingReport> batch;
@@ -145,18 +144,18 @@ void TangoMesh::feedback_tick() {
       if (it == by_router_.end()) continue;
       TangoNode* receiver = it->second;
       for (PathId id : ids) {
-        if (auto report = receiver->build_report_for(id, now)) {
-          batch.push_back({sender, id, *report});
+        if (auto wire = receiver->build_report_envelope_for(id, now)) {
+          batch.push_back({sender, std::move(*wire)});
         }
       }
     }
   }
   if (batch.empty()) return;
-  // In-flight reports still land after stop(), as before.
+  // In-flight reports still land after stop(), as before.  Each sender runs
+  // the serialized envelope through its fail-closed ingest pipeline (§6).
   wan_.events().schedule_in(options_.feedback_delay, [this, batch = std::move(batch)]() {
     for (const PendingReport& pending : batch) {
-      pending.sender->update_report(pending.id, pending.report);
-      ++reports_delivered_;
+      if (pending.sender->ingest_report_wire(pending.wire)) ++reports_delivered_;
     }
   });
 }

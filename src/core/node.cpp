@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/report.hpp"
+
 namespace tango::core {
 
 TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
@@ -24,6 +26,19 @@ TangoNode::TangoNode(topo::Topology& topo, sim::Wan& wan, NodeConfig config)
                                       "Active-path switches made by the routing policy");
     probes_metric_ = &config_.obs.metrics->counter("tango_node_probes_sent_total",
                                                    {{"node", label}}, "Measurement probes sent");
+    report_forged_metric_ = &config_.obs.metrics->counter(
+        "tango_node_report_forged_total", {{"node", label}},
+        "Wire reports dropped as unparseable or wrongly authenticated");
+    report_replayed_metric_ = &config_.obs.metrics->counter(
+        "tango_node_report_replayed_total", {{"node", label}},
+        "Wire reports dropped for re-delivering the last accepted sequence");
+    report_stale_metric_ = &config_.obs.metrics->counter(
+        "tango_node_report_stale_total", {{"node", label}},
+        "Wire reports dropped for a sequence older than one already accepted");
+    report_gaps_metric_ = &config_.obs.metrics->counter(
+        "tango_node_report_gaps_total", {{"node", label}},
+        "Report sequences skipped before an accepted envelope (suppression evidence)");
+    compliance_.wire_metrics(*config_.obs.metrics, label);
   }
   if (config_.policy_engine) enable_policy_engine(*config_.policy_engine);
 }
@@ -216,6 +231,9 @@ std::size_t TangoNode::state_bytes() const {
   for (const auto& [peer, ids] : peer_paths_) bytes += ids.capacity() * sizeof(PathId);
   bytes += peer_host_prefixes_.capacity() * sizeof(peer_host_prefixes_[0]);
   bytes += health_.state_bytes();
+  bytes += compliance_.state_bytes();
+  bytes += report_tx_seq_.capacity() * sizeof(std::uint64_t);
+  bytes += report_rx_next_.capacity() * sizeof(std::uint64_t);
   return bytes;
 }
 
@@ -235,6 +253,111 @@ std::optional<PathReport> TangoNode::build_report_for(PathId id, sim::Time now) 
   report.lost = tracker->loss().lost();
   report.updated_at = now;
   return report;
+}
+
+std::optional<std::vector<std::uint8_t>> TangoNode::build_report_envelope_for(PathId id,
+                                                                              sim::Time now) {
+  const auto report = build_report_for(id, now);
+  if (!report) return std::nullopt;
+
+  if (report_tx_seq_.size() <= id) report_tx_seq_.resize(static_cast<std::size_t>(id) + 1, 0);
+
+  net::ReportEnvelope envelope;
+  envelope.path_id = id;
+  envelope.report_seq = report_tx_seq_[id]++;
+  envelope.owd_ewma_ms = report->owd_ewma_ms;
+  envelope.jitter_ms = report->jitter_ms;
+  envelope.loss_rate = report->loss_rate;
+  envelope.samples = report->samples;
+  envelope.lost = report->lost;
+  envelope.updated_at = report->updated_at;
+  if (config_.auth_key) {
+    envelope.flags |= net::ReportEnvelope::kFlagAuthenticated;
+    envelope.auth_tag = net::report_auth_tag(*config_.auth_key, envelope);
+  }
+
+  net::ByteWriter w{envelope.wire_size()};
+  envelope.serialize(w);
+  return std::move(w).take();
+}
+
+bool TangoNode::ingest_report_wire(std::span<const std::uint8_t> wire) {
+  const sim::Time now = wan_.now();
+  const auto drop = [this, now](telemetry::TraceCause cause, PathId path, std::uint64_t key) {
+    if (tracer_ != nullptr && tracer_->armed()) {
+      tracer_->record({.at = now,
+                       .key = key,
+                       .node = config_.router,
+                       .path = path,
+                       .stage = telemetry::TraceStage::drop,
+                       .cause = cause});
+    }
+  };
+
+  net::ByteReader reader{wire};
+  const auto envelope = net::ReportEnvelope::parse(reader);
+  // Forged covers everything an attacker can fabricate without the key:
+  // unparseable bytes, a stripped auth flag, a wrong tag.  None of these
+  // may touch per-path state, so they classify before the sequence check.
+  const bool authentic =
+      envelope && (!config_.auth_key ||
+                   (envelope->authenticated() &&
+                    envelope->auth_tag == net::report_auth_tag(*config_.auth_key, *envelope)));
+  if (!authentic) {
+    ++report_forged_;
+    telemetry::inc(report_forged_metric_);
+    drop(telemetry::TraceCause::report_forged, envelope ? envelope->path_id : 0,
+         envelope ? envelope->report_seq : 0);
+    return false;
+  }
+
+  const PathId id = envelope->path_id;
+  if (report_rx_next_.size() <= id) report_rx_next_.resize(static_cast<std::size_t>(id) + 1, 0);
+  const std::uint64_t next = report_rx_next_[id];  // one past the last accepted; 0 = none
+  if (next != 0 && envelope->report_seq < next) {
+    // An authenticated envelope from the past: the peer never reuses a
+    // sequence, so this is a capture re-delivered (replayed = the newest
+    // such capture, stale = anything older still).
+    if (envelope->report_seq + 1 == next) {
+      ++report_replayed_;
+      telemetry::inc(report_replayed_metric_);
+      drop(telemetry::TraceCause::report_replayed, id, envelope->report_seq);
+    } else {
+      ++report_stale_;
+      telemetry::inc(report_stale_metric_);
+      drop(telemetry::TraceCause::report_stale, id, envelope->report_seq);
+    }
+    return false;
+  }
+  if (next != 0 && envelope->report_seq > next) {
+    // Sequences [next, report_seq) were built by the peer but never arrived
+    // here — each one is a missing report, the §6 suppression signal.
+    const std::uint64_t skipped = envelope->report_seq - next;
+    report_gaps_ += skipped;
+    if (report_gaps_metric_ != nullptr) report_gaps_metric_->inc(skipped);
+  }
+  report_rx_next_[id] = envelope->report_seq + 1;
+
+  PathReport report;
+  report.owd_ewma_ms = envelope->owd_ewma_ms;
+  report.jitter_ms = envelope->jitter_ms;
+  report.loss_rate = envelope->loss_rate;
+  report.samples = envelope->samples;
+  report.lost = envelope->lost;
+  report.updated_at = envelope->updated_at;
+
+  // Authenticated and fresh still only means "the peer said it": cross-check
+  // the cumulative claims against what this sender actually put on the wire.
+  const ComplianceVerdict verdict =
+      compliance_.check(id, report, switch_.sender().next_sequence(id));
+  if (verdict != ComplianceVerdict::ok) {
+    drop(telemetry::TraceCause::report_lying, id, envelope->report_seq);
+    health_.force_quarantine(id, now);
+    return false;
+  }
+
+  update_report(id, report);
+  return true;
 }
 
 }  // namespace tango::core

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
+#include "core/compliance.hpp"
 #include "core/discovery.hpp"
 #include "core/path_health.hpp"
 #include "core/policy_engine.hpp"
@@ -149,6 +151,38 @@ class TangoNode {
   /// Non-const: the time-aware jitter read evicts expired window samples.
   [[nodiscard]] std::optional<PathReport> build_report_for(PathId id, sim::Time now);
 
+  /// Serializes build_report_for(id, now) into a wire ReportEnvelope —
+  /// per-path report sequence stamped, SipHash tag attached when this node
+  /// has an auth key (§6).  Nullopt when there is nothing to report yet.
+  /// This is what actually crosses the control channel; the sender must
+  /// go through ingest_report_wire, never a direct struct handoff.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> build_report_envelope_for(
+      PathId id, sim::Time now);
+
+  /// Sender-side ingest of one wire report.  Fail-closed classification:
+  /// unparseable or wrongly-tagged envelopes drop as forged; an envelope
+  /// re-delivering the last accepted sequence drops as replayed; one older
+  /// still drops as stale; a sequence jump is accepted but its gap counted
+  /// (suppression evidence).  Survivors are cross-checked against this
+  /// sender's own sent accounting (ComplianceMonitor) — a lying peer's
+  /// report is rejected and the path force-quarantined.  Returns true when
+  /// the report was accepted and applied.
+  bool ingest_report_wire(std::span<const std::uint8_t> wire);
+
+  /// Wire reports dropped as unparseable or wrongly authenticated.
+  [[nodiscard]] std::uint64_t report_forged() const noexcept { return report_forged_; }
+  /// Wire reports dropped for re-delivering the last accepted sequence.
+  [[nodiscard]] std::uint64_t report_replayed() const noexcept { return report_replayed_; }
+  /// Wire reports dropped for a sequence older than one already accepted.
+  [[nodiscard]] std::uint64_t report_stale() const noexcept { return report_stale_; }
+  /// Report sequences skipped before an accepted envelope (each one is a
+  /// report that was built but never arrived — suppression evidence).
+  [[nodiscard]] std::uint64_t report_gaps() const noexcept { return report_gaps_; }
+
+  /// The sent-accounting cross-check over ingested reports.
+  [[nodiscard]] ComplianceMonitor& compliance() noexcept { return compliance_; }
+  [[nodiscard]] const ComplianceMonitor& compliance() const noexcept { return compliance_; }
+
   /// Count of active-path switches the policy has made.
   [[nodiscard]] std::uint64_t path_switches() const noexcept { return path_switches_; }
 
@@ -185,6 +219,16 @@ class TangoNode {
   dataplane::TangoSwitch switch_;
   PathRegistry registry_;
   PathHealthMonitor health_;
+  ComplianceMonitor compliance_;
+  /// Dense per-path wire-report sequences: next to *send* about the peer's
+  /// path (receiver role) and one past the last *accepted* (sender role;
+  /// 0 = none accepted yet, so sequence 0 itself stays acceptable).
+  std::vector<std::uint64_t> report_tx_seq_;
+  std::vector<std::uint64_t> report_rx_next_;
+  std::uint64_t report_forged_ = 0;
+  std::uint64_t report_replayed_ = 0;
+  std::uint64_t report_stale_ = 0;
+  std::uint64_t report_gaps_ = 0;
   std::unique_ptr<RoutingPolicy> policy_;
   std::unique_ptr<PolicyEngine> engine_;
   std::uint64_t path_switches_ = 0;
@@ -197,6 +241,10 @@ class TangoNode {
   // Pre-resolved instruments (nullptr without config.obs.metrics).
   telemetry::Counter* path_switches_metric_ = nullptr;
   telemetry::Counter* probes_metric_ = nullptr;
+  telemetry::Counter* report_forged_metric_ = nullptr;
+  telemetry::Counter* report_replayed_metric_ = nullptr;
+  telemetry::Counter* report_stale_metric_ = nullptr;
+  telemetry::Counter* report_gaps_metric_ = nullptr;
   telemetry::PacketTracer* tracer_ = nullptr;
 };
 

@@ -23,13 +23,19 @@ void TangoPairing::start() {
 void TangoPairing::feedback_tick(TangoNode& receiver_side, TangoNode& sender_side) {
   const sim::Time now = wan_.now();
   for (PathId id : sender_side.registry().ids()) {
-    auto report = receiver_side.build_report_for(id, now);
-    if (!report) continue;
-    // The report crosses the control channel before the sender sees it.
+    // What crosses the control channel is the serialized envelope, not the
+    // struct: the sender re-derives the report through the fail-closed
+    // parse + auth + sequence + compliance pipeline (§6).
+    auto wire = receiver_side.build_report_envelope_for(id, now);
+    if (!wire) continue;
+    if (options_.suppress_report != nullptr &&
+        options_.suppress_report(options_.suppress_ctx, id, *wire)) {
+      ++reports_suppressed_;
+      continue;
+    }
     wan_.events().schedule_in(options_.feedback_delay,
-                              [this, &sender_side, id, r = *report]() {
-                                sender_side.update_report(id, r);
-                                ++reports_delivered_;
+                              [this, &sender_side, bytes = std::move(*wire)]() {
+                                if (sender_side.ingest_report_wire(bytes)) ++reports_delivered_;
                               });
   }
 }

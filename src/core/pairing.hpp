@@ -18,6 +18,13 @@ struct PairingOptions {
   sim::Time feedback_delay = 40 * sim::kMillisecond;
   /// How often each sender re-evaluates its routing policy.
   sim::Time policy_period = 100 * sim::kMillisecond;
+  /// On-path adversary hook (chaos/tests): called with each serialized
+  /// report before it is shipped; returning true swallows it (selective
+  /// suppression — the sender sees a sequence gap, not a drop counter).
+  /// Raw function pointer + context, like the switch's RouteFn.
+  bool (*suppress_report)(void* ctx, PathId id,
+                          std::span<const std::uint8_t> wire) = nullptr;
+  void* suppress_ctx = nullptr;
 };
 
 class TangoPairing {
@@ -37,7 +44,10 @@ class TangoPairing {
   void stop() noexcept { running_ = false; }
 
   [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Reports the senders accepted (parsed, authenticated, fresh, compliant).
   [[nodiscard]] std::uint64_t reports_delivered() const noexcept { return reports_delivered_; }
+  /// Reports swallowed by the suppress_report hook before shipping.
+  [[nodiscard]] std::uint64_t reports_suppressed() const noexcept { return reports_suppressed_; }
 
  private:
   void feedback_tick(TangoNode& receiver_side, TangoNode& sender_side);
@@ -50,6 +60,7 @@ class TangoPairing {
   PairingOptions options_;
   bool running_ = false;
   std::uint64_t reports_delivered_ = 0;
+  std::uint64_t reports_suppressed_ = 0;
 };
 
 }  // namespace tango::core

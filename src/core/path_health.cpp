@@ -59,6 +59,18 @@ void PathHealthMonitor::quarantine(Entry& e) {
   ++quarantines_;
 }
 
+void PathHealthMonitor::force_quarantine(PathId id, sim::Time now) {
+  Entry* e = find(id);
+  if (e == nullptr) {
+    track(id, now);
+    e = find(id);
+  }
+  // A probing path loses its in-flight probe credit too: the evidence that
+  // triggered the force overrides whatever the probe might report.
+  if (e->state == PathHealth::probing) enter(*e, PathHealth::quarantined);
+  quarantine(*e);
+}
+
 void PathHealthMonitor::on_report(PathId id, const PathReport& report, sim::Time now) {
   Entry* e = find(id);
   if (e == nullptr) {

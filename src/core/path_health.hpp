@@ -75,6 +75,12 @@ class PathHealthMonitor {
   /// Advances staleness transitions to `now` (call from the policy tick).
   void tick(sim::Time now);
 
+  /// Forces `id` into quarantine regardless of its report evidence — the
+  /// compliance monitor's hook for a peer caught lying about a path (§6):
+  /// its reports can no longer be believed, so the reports must not be able
+  /// to keep the path usable.  Tracks the path first if unknown.
+  void force_quarantine(PathId id, sim::Time now);
+
   [[nodiscard]] PathHealth state(PathId id) const;
 
   /// Usable = may be offered to the routing policy.

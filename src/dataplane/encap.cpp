@@ -6,8 +6,12 @@ std::uint64_t telemetry_auth_tag(const net::SipHashKey& key, const net::TangoHea
                                  std::span<const std::uint8_t> inner_bytes) {
   // Streaming SipHash over the big-endian measurement fields followed by the
   // inner bytes: identical to hashing the concatenated buffer, without
-  // materializing it.
+  // materializing it.  version|flags lead the MAC: without them a header
+  // flag bit could be flipped in flight without invalidating the tag (the
+  // sender sets kFlagAuthenticated before computing the tag, so both
+  // directions see the same flag byte).
   net::SipHash h{key};
+  h.update_u16(static_cast<std::uint16_t>((header.version << 8) | header.flags));
   h.update_u16(header.path_id);
   h.update_u64(header.tx_time_ns);
   h.update_u64(header.sequence);
@@ -93,6 +97,28 @@ UnwrapResult TunnelReceiver::unwrap_classified(net::Packet& packet, sim::Time no
       }
       return {UnwrapStatus::auth_failed, std::nullopt};
     }
+    // Anti-replay: a verbatim capture re-injected later carries a *valid*
+    // tag, so only sequence memory can reject it — and it must do so here,
+    // before the stale tx_time reaches the trackers.  Meaningful only once
+    // the tag proves the sequence is the sender's own (an unauthenticated
+    // deployment could be desynchronized by spoofed far-future sequences).
+    const PathId path = view->tango.path_id;
+    if (replay_windows_.size() <= path) {
+      replay_windows_.resize(static_cast<std::size_t>(path) + 1);
+    }
+    if (!replay_windows_[path].accept(view->tango.sequence)) {
+      ++replay_dropped_;
+      telemetry::inc(telemetry_.replay_dropped);
+      if (telemetry_.tracer != nullptr && telemetry_.tracer->armed()) {
+        telemetry_.tracer->record({.at = now,
+                                   .key = view->tango.sequence,
+                                   .node = telemetry_.node,
+                                   .path = path,
+                                   .stage = telemetry::TraceStage::drop,
+                                   .cause = telemetry::TraceCause::replay});
+      }
+      return {UnwrapStatus::replayed, std::nullopt};
+    }
   }
 
   ReceiveInfo info;
@@ -164,6 +190,7 @@ std::size_t TunnelReceiver::state_bytes() const {
   std::size_t bytes = sizeof(TunnelReceiver) +
                       trackers_.capacity() * sizeof(trackers_[0]) +
                       owd_hist_.capacity() * sizeof(owd_hist_[0]);
+  for (const ReplayWindow& w : replay_windows_) bytes += w.state_bytes();
   for (const auto& tracker : trackers_) {
     if (!tracker) continue;
     bytes += sizeof(PathTracker) +

@@ -108,6 +108,7 @@ enum class UnwrapStatus : std::uint8_t {
   malformed_outer,  ///< truncated or length-inconsistent IPv6/UDP envelope
   malformed_tango,  ///< Tango port but bad magic/version/truncated header
   auth_failed,      ///< telemetry authentication tag missing or invalid (§6)
+  replayed,         ///< valid tag but an already-seen per-path sequence
 };
 
 /// Classified receive verdict; `info` is set exactly when `status == ok`.
@@ -155,6 +156,9 @@ class TunnelReceiver {
   [[nodiscard]] std::uint64_t packets_received() const noexcept { return received_; }
   /// Packets rejected for missing/invalid authentication tags.
   [[nodiscard]] std::uint64_t auth_failures() const noexcept { return auth_failures_; }
+  /// Authenticated packets rejected for an already-seen (replayed) or
+  /// below-window sequence, before they could touch the trackers.
+  [[nodiscard]] std::uint64_t replay_dropped() const noexcept { return replay_dropped_; }
 
   /// Receiver-side wire-up.  The registry pointer is kept (not just the
   /// resolved counters) because per-path OWD histograms register lazily,
@@ -164,6 +168,7 @@ class TunnelReceiver {
     std::string node_label;  ///< `node` label on per-path histograms
     telemetry::Counter* received = nullptr;
     telemetry::Counter* auth_failures = nullptr;
+    telemetry::Counter* replay_dropped = nullptr;
     telemetry::PacketTracer* tracer = nullptr;
     std::uint32_t node = 0;  ///< router id on trace events
   };
@@ -176,8 +181,12 @@ class TunnelReceiver {
   /// Dense PathId-indexed slots; unique_ptr keeps tracker addresses stable
   /// across growth (callers hold PathTracker* across packets).
   std::vector<std::unique_ptr<PathTracker>> trackers_;
+  /// Dense per-path anti-replay windows (authenticated deployments only;
+  /// grown alongside trackers_ on a path's first packet).
+  std::vector<ReplayWindow> replay_windows_;
   std::uint64_t received_ = 0;
   std::uint64_t auth_failures_ = 0;
+  std::uint64_t replay_dropped_ = 0;
   Telemetry telemetry_;
   /// Dense per-path one-way-delay histograms (microseconds), resolved when
   /// the path's tracker is created; nullptr while uninstrumented.

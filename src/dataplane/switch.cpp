@@ -35,6 +35,7 @@ void TangoSwitch::wire_observability(const telemetry::Observability& obs,
   telemetry::Counter* encap = nullptr;
   telemetry::Counter* decap = nullptr;
   telemetry::Counter* auth_fail = nullptr;
+  telemetry::Counter* replay = nullptr;
   if (obs.metrics != nullptr) {
     const telemetry::Labels labels{{"node", node_label}};
     passthrough_metric_ = &obs.metrics->counter(
@@ -49,6 +50,9 @@ void TangoSwitch::wire_observability(const telemetry::Observability& obs,
                                   "Tango packets measured and decapsulated");
     auth_fail = &obs.metrics->counter("tango_switch_auth_failures_total", labels,
                                       "Packets rejected for invalid authentication tags");
+    replay = &obs.metrics->counter(
+        "tango_switch_replay_drops_total", labels,
+        "Authenticated packets dropped for an already-seen sequence (anti-replay window)");
     telemetry::Labels outer_labels = labels;
     outer_labels.emplace_back("cause", "outer");
     malformed_outer_metric_ = &obs.metrics->counter(
@@ -71,6 +75,7 @@ void TangoSwitch::wire_observability(const telemetry::Observability& obs,
                             .node_label = std::move(node_label),
                             .received = decap,
                             .auth_failures = auth_fail,
+                            .replay_dropped = replay,
                             .tracer = obs.tracer,
                             .node = router_});
 }
@@ -262,6 +267,12 @@ void TangoSwitch::on_wan_packet(net::Packet& packet) {
       // records that the packet was consumed here rather than delivered
       // (forged envelopes must not reach hosts as plain traffic).
       ++auth_drops_;
+      return;
+    case UnwrapStatus::replayed:
+      // Valid tag, already-seen sequence: a captured-and-replayed packet.
+      // The receiver counted and traced it before any tracker was touched;
+      // the switch consumes it here — a replay must not reach the hosts.
+      ++replay_drops_;
       return;
   }
 }

@@ -202,6 +202,10 @@ class TangoSwitch {
   /// WAN arrivals dropped for missing/invalid telemetry auth tags (§6).
   /// Counted here at the switch; the receiver's auth_failures() matches.
   [[nodiscard]] std::uint64_t auth_drops() const noexcept { return auth_drops_; }
+  /// WAN arrivals dropped as replays: a valid tag but an already-seen
+  /// per-path sequence.  Counted here at the switch; the receiver's
+  /// replay_dropped() matches.
+  [[nodiscard]] std::uint64_t replay_drops() const noexcept { return replay_drops_; }
   /// Hedged duplicates this switch sent (second copies, not the primaries).
   [[nodiscard]] std::uint64_t hedge_duplicates() const noexcept { return hedge_duplicates_; }
   /// Hedged second copies this switch suppressed before host delivery.
@@ -256,6 +260,7 @@ class TangoSwitch {
   std::uint64_t malformed_outer_drops_ = 0;
   std::uint64_t malformed_tango_drops_ = 0;
   std::uint64_t auth_drops_ = 0;
+  std::uint64_t replay_drops_ = 0;
   // Pre-resolved instruments (nullptr until wire_observability).
   telemetry::Counter* passthrough_metric_ = nullptr;
   telemetry::Counter* no_tunnel_metric_ = nullptr;

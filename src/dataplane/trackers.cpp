@@ -29,6 +29,11 @@ Arrival LossTracker::record(std::uint64_t sequence) {
       for (std::uint64_t s = 0; s < sequence; ++s) set_bit(s);
     } else {
       base_ = sequence > horizon_ ? sequence - horizon_ : 0;
+      // The attach window [base_, sequence) must be marked missing too:
+      // without these bits an in-horizon predecessor arriving late after the
+      // attach fell through to the duplicate branch, deflating
+      // unique_received and skipping reorder accounting.
+      for (std::uint64_t s = base_; s < sequence; ++s) set_bit(s);
     }
     return arrival;
   }
@@ -87,11 +92,43 @@ void ReorderTracker::record(std::uint64_t sequence) {
 }
 
 void PathTracker::record(sim::Time at, double owd_ms, std::uint64_t sequence) {
+  // Classify first: a duplicate (retransmit, network dup, or a replayed
+  // packet that slipped past the receiver's window) carries a stale
+  // tx_time_ns, and feeding it to the delay tracker would corrupt the OWD
+  // EWMA, the jitter accumulator and the kept series.  Its arrival is still
+  // counted by the loss tracker's own duplicate accounting; nothing else
+  // moves.  A duplicate is not a late first arrival either: counting it in
+  // the reorder tracker would report reordering on a path that merely
+  // duplicated.
+  if (loss_.record(sequence) == Arrival::duplicate) return;
   delay_.record(at, owd_ms);
-  // A duplicate is not a late first arrival: counting it in the reorder
-  // tracker would report reordering on a path that merely duplicated.
-  if (loss_.record(sequence) != Arrival::duplicate) reorder_.record(sequence);
+  reorder_.record(sequence);
   if (keep_series_) series_.record(at, owd_ms);
+}
+
+bool ReplayWindow::accept(std::uint64_t sequence) {
+  if (!any_) {
+    any_ = true;
+    highest_ = sequence;
+    set_bit(sequence);
+    return true;
+  }
+  if (sequence > highest_) {
+    // Advance: positions the new span re-uses must forget the sequences
+    // they tracked a window ago.  Bounded at width_ clears per call.
+    const std::uint64_t clear_from =
+        sequence - highest_ >= width_ ? sequence - width_ + 1 : highest_ + 1;
+    for (std::uint64_t s = clear_from; s < sequence; ++s) clear_bit(s);
+    set_bit(sequence);
+    highest_ = sequence;
+    return true;
+  }
+  // Below the window floor: too old to distinguish from a replay — reject
+  // (the IPsec anti-replay rule; a legitimate sender never lags this far).
+  if (highest_ - sequence >= width_) return false;
+  if (test_bit(sequence)) return false;
+  set_bit(sequence);
+  return true;
 }
 
 }  // namespace tango::dataplane

@@ -133,6 +133,58 @@ class LossTracker {
   std::uint64_t confirmed_lost_ = 0;
 };
 
+/// Per-path anti-replay window for authenticated tunnels (§6): an
+/// IPsec-style sliding bitset over the last `width` sequences, ring-indexed
+/// like LossTracker's missing-sequence window.  A sequence is accepted at
+/// most once; anything at or below the window floor is rejected outright
+/// (too old to distinguish from a replay).  The ring is allocated once at
+/// construction — accept() is on the per-received-packet path and must not
+/// touch the heap.
+///
+/// This sits *in front of* the measurement trackers: a replayed packet
+/// carries a valid tag (it is a verbatim capture), so the MAC cannot reject
+/// it — only sequence memory can, and it must, before the stale tx_time
+/// reaches the delay trackers or the duplicate inflates loss accounting.
+class ReplayWindow {
+ public:
+  explicit ReplayWindow(std::uint64_t width = 1024) {
+    std::uint64_t bits = 1;
+    while (bits < width) bits <<= 1;
+    width_ = bits;
+    ring_.assign(static_cast<std::size_t>(bits / 64), 0);
+    ring_mask_ = bits - 1;
+  }
+
+  /// True when `sequence` is fresh (and records it); false for an
+  /// already-seen or below-window sequence — drop the packet as a replay.
+  [[nodiscard]] bool accept(std::uint64_t sequence);
+
+  [[nodiscard]] std::uint64_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return sizeof(ReplayWindow) + ring_.capacity() * sizeof(ring_[0]);
+  }
+
+ private:
+  [[nodiscard]] bool test_bit(std::uint64_t seq) const noexcept {
+    const std::uint64_t i = seq & ring_mask_;
+    return (ring_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set_bit(std::uint64_t seq) noexcept {
+    const std::uint64_t i = seq & ring_mask_;
+    ring_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void clear_bit(std::uint64_t seq) noexcept {
+    const std::uint64_t i = seq & ring_mask_;
+    ring_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  std::uint64_t width_ = 0;
+  std::vector<std::uint64_t> ring_;
+  std::uint64_t ring_mask_ = 0;
+  std::uint64_t highest_ = 0;
+  bool any_ = false;
+};
+
 /// Receiver-side duplicate suppression for hedged traffic.
 ///
 /// Hedged senders duplicate a packet on two paths; each copy carries its own

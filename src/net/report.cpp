@@ -1,0 +1,47 @@
+#include "net/report.hpp"
+
+namespace tango::net {
+
+// Same contract as the packet-header parsers: every validity check runs
+// against rest() before a single byte is consumed, so a failed parse leaves
+// the reader exactly where it was.
+std::optional<ReportEnvelope> ReportEnvelope::parse(ByteReader& r) {
+  if (r.remaining() < kSize) return std::nullopt;
+  const auto raw = r.rest();
+  if (static_cast<std::uint16_t>((raw[0] << 8) | raw[1]) != kMagic) return std::nullopt;
+  if (raw[2] != kVersion) return std::nullopt;
+  if ((raw[3] & kFlagAuthenticated) != 0 && r.remaining() < kSize + kAuthTagSize) {
+    return std::nullopt;
+  }
+  (void)r.u16();  // magic
+  ReportEnvelope e;
+  e.version = r.u8();
+  e.flags = r.u8();
+  e.path_id = r.u16();
+  (void)r.u16();  // reserved
+  e.report_seq = r.u64();
+  e.owd_ewma_ms = std::bit_cast<double>(r.u64());
+  e.jitter_ms = std::bit_cast<double>(r.u64());
+  e.loss_rate = std::bit_cast<double>(r.u64());
+  e.samples = r.u64();
+  e.lost = r.u64();
+  e.updated_at = r.u64();
+  if (e.authenticated()) e.auth_tag = r.u64();
+  return e;
+}
+
+std::uint64_t report_auth_tag(const SipHashKey& key, const ReportEnvelope& e) {
+  SipHash h{key};
+  h.update_u16(static_cast<std::uint16_t>((e.version << 8) | e.flags));
+  h.update_u16(e.path_id);
+  h.update_u64(e.report_seq);
+  h.update_u64(std::bit_cast<std::uint64_t>(e.owd_ewma_ms));
+  h.update_u64(std::bit_cast<std::uint64_t>(e.jitter_ms));
+  h.update_u64(std::bit_cast<std::uint64_t>(e.loss_rate));
+  h.update_u64(e.samples);
+  h.update_u64(e.lost);
+  h.update_u64(e.updated_at);
+  return h.finish();
+}
+
+}  // namespace tango::net

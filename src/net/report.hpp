@@ -1,0 +1,97 @@
+// Wire format of the feedback report envelope (§6 trustworthy telemetry).
+//
+// The forward data path has carried authenticated measurement fields since
+// the SipHash pass; this closes the loop's other half.  A receiver's
+// per-path PathReport is serialized into a versioned, optionally
+// SipHash-authenticated envelope, shipped across the control channel as
+// bytes, and parsed fail-closed on the sender — so a forged, replayed or
+// suppressed report is representable (and detectable) instead of being a
+// direct struct handoff no adversary could ever touch.
+//
+// Layout (big-endian, 64 bytes, 72 when authenticated):
+//   magic       u16   0x7A61 (the Tango data-plane magic + 1)
+//   version     u8    protocol version, currently 1
+//   flags       u8    kFlagAuthenticated
+//   path_id     u16   the wide-area path the report describes
+//   reserved    u16   zero on send, ignored on receive
+//   report_seq  u64   per-path monotonically increasing report counter —
+//                     the sender's anti-replay handle
+//   owd_ewma    u64   IEEE-754 bit pattern of PathReport::owd_ewma_ms
+//   jitter      u64   IEEE-754 bit pattern of PathReport::jitter_ms
+//   loss_rate   u64   IEEE-754 bit pattern of PathReport::loss_rate
+//   samples     u64   receiver cumulative measured packets
+//   lost        u64   receiver cumulative confirmed-lost sequences
+//   updated_at  u64   receiver clock at report build (sim::Time)
+//   auth_tag    u64   (only when kFlagAuthenticated) SipHash-2-4 over every
+//                     field above, flags included — see report_auth_tag
+//
+// Doubles travel as raw bit patterns, not decimal text: the parse must
+// reproduce the sender's value bit for bit or the chaos soak's digest
+// equality (clean run vs pre-envelope behavior) could not hold.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+
+#include "net/byte_io.hpp"
+#include "net/siphash.hpp"
+
+namespace tango::net {
+
+struct ReportEnvelope {
+  static constexpr std::size_t kSize = 64;
+  static constexpr std::size_t kAuthTagSize = 8;
+  static constexpr std::uint16_t kMagic = 0x7A61;
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::uint8_t kFlagAuthenticated = 0x01;
+
+  std::uint8_t version = kVersion;
+  std::uint8_t flags = 0;
+  std::uint16_t path_id = 0;
+  std::uint64_t report_seq = 0;
+  double owd_ewma_ms = 0.0;
+  double jitter_ms = 0.0;
+  double loss_rate = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t updated_at = 0;
+  std::uint64_t auth_tag = 0;
+
+  template <class Writer>
+  void serialize(Writer& w) const {
+    w.u16(kMagic);
+    w.u8(version);
+    w.u8(flags);
+    w.u16(path_id);
+    w.u16(0);  // reserved
+    w.u64(report_seq);
+    w.u64(std::bit_cast<std::uint64_t>(owd_ewma_ms));
+    w.u64(std::bit_cast<std::uint64_t>(jitter_ms));
+    w.u64(std::bit_cast<std::uint64_t>(loss_rate));
+    w.u64(samples);
+    w.u64(lost);
+    w.u64(updated_at);
+    if (authenticated()) w.u64(auth_tag);
+  }
+
+  /// Fail-closed decode: nullopt (reader untouched) on bad magic, bad
+  /// version, or truncation.  Never throws and never reads past the buffer.
+  static std::optional<ReportEnvelope> parse(ByteReader& r);
+
+  [[nodiscard]] bool authenticated() const noexcept { return flags & kFlagAuthenticated; }
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return kSize + (authenticated() ? kAuthTagSize : 0);
+  }
+
+  bool operator==(const ReportEnvelope&) const = default;
+};
+
+/// The envelope's authentication tag: SipHash-2-4 over every serialized
+/// field — version and flags included, so neither the auth bit nor any
+/// future flag can be flipped in flight without invalidating the tag (the
+/// data-path header learned this the hard way).  The tag field itself is
+/// excluded.
+[[nodiscard]] std::uint64_t report_auth_tag(const SipHashKey& key, const ReportEnvelope& e);
+
+}  // namespace tango::net

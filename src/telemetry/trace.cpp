@@ -55,6 +55,16 @@ const char* to_string(TraceCause cause) noexcept {
       return "malformed-tango";
     case TraceCause::malformed_bgp:
       return "malformed-bgp";
+    case TraceCause::replay:
+      return "replay";
+    case TraceCause::report_forged:
+      return "report-forged";
+    case TraceCause::report_replayed:
+      return "report-replayed";
+    case TraceCause::report_stale:
+      return "report-stale";
+    case TraceCause::report_lying:
+      return "report-lying";
   }
   return "?";
 }

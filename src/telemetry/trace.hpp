@@ -52,6 +52,11 @@ enum class TraceCause : std::uint8_t {
   malformed_outer,  ///< drop: truncated/length-inconsistent IPv6|UDP envelope
   malformed_tango,  ///< drop: Tango port but bad magic/version/truncation
   malformed_bgp,    ///< drop: BGP message failed wire decode
+  replay,           ///< drop: authenticated data packet with an already-seen sequence
+  report_forged,    ///< report: envelope unparseable or its auth tag invalid
+  report_replayed,  ///< report: envelope re-delivered at the last accepted sequence
+  report_stale,     ///< report: envelope older than one already accepted
+  report_lying,     ///< report: receiver counters inconsistent with sent accounting
 };
 
 [[nodiscard]] const char* to_string(TraceStage stage) noexcept;

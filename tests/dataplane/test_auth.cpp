@@ -191,6 +191,117 @@ TEST(AuthPipeline, OffPathInjectionCannotPolluteMeasurements) {
   EXPECT_EQ(tracker->loss().lost(), 0u) << "forged sequences created no phantom loss";
 }
 
+TEST(AuthTag, CoversVersionAndFlags) {
+  // Regression: the tag once omitted the version|flags byte pair, so an
+  // on-path attacker could flip a header flag (or bump the version) without
+  // invalidating the tag.  Both must now perturb it.
+  const net::Packet inner = inner_packet();
+  net::TangoHeader h;
+  h.flags |= net::TangoHeader::kFlagAuthenticated;
+  h.sequence = 7;
+  const std::uint64_t base = telemetry_auth_tag(kKey, h, inner);
+
+  auto changed = h;
+  changed.flags |= 0x80;
+  EXPECT_NE(telemetry_auth_tag(kKey, changed, inner), base);
+  changed = h;
+  changed.version = h.version + 1;
+  EXPECT_NE(telemetry_auth_tag(kKey, changed, inner), base);
+}
+
+TEST(AuthPipeline, FlippedFlagBitRejected) {
+  // End to end: a verbatim capture with one extra flag bit set carries the
+  // original (now wrong) tag and must drop as forged, not as replayed.
+  TunnelTable table = one_tunnel();
+  sim::NodeClock clock;
+  TunnelSender sender{table, clock, kKey};
+  TunnelReceiver receiver{clock, false, kKey};
+
+  auto wan = sender.wrap(inner_packet(), 1, sim::from_ms(1));
+  auto decoded = net::decapsulate_tango(*wan);
+  ASSERT_TRUE(decoded.has_value());
+  net::TangoHeader flipped = decoded->tango;
+  flipped.flags |= 0x80;
+  net::Packet tampered = net::encapsulate_tango(decoded->inner, decoded->outer_ip.src,
+                                                decoded->outer_ip.dst, decoded->udp.src_port,
+                                                flipped);
+  auto result = receiver.unwrap_classified(tampered, sim::from_ms(30));
+  EXPECT_EQ(result.status, UnwrapStatus::auth_failed);
+  EXPECT_EQ(receiver.auth_failures(), 1u);
+  EXPECT_EQ(receiver.replay_dropped(), 0u);
+}
+
+TEST(ReplayPipeline, VerbatimCaptureDroppedBeforeTrackers) {
+  // A replayed packet is a perfect capture: its tag verifies.  Only the
+  // per-path sequence window can reject it — and it must, before the stale
+  // tx_time or duplicate sequence reaches any tracker.
+  TunnelTable table = one_tunnel();
+  sim::NodeClock clock;
+  TunnelSender sender{table, clock, kKey};
+  TunnelReceiver receiver{clock, false, kKey};
+
+  auto wan = sender.wrap(inner_packet(), 1, sim::from_ms(1));
+  net::Packet first = *wan;
+  EXPECT_EQ(receiver.unwrap_classified(first, sim::from_ms(30)).status, UnwrapStatus::ok);
+
+  const PathTracker* tracker = receiver.tracker(1);
+  ASSERT_NE(tracker, nullptr);
+  const std::uint64_t received = tracker->loss().received();
+  const double ewma = tracker->delay().ewma().value();
+
+  for (int i = 0; i < 5; ++i) {
+    net::Packet replay = *wan;
+    EXPECT_EQ(receiver.unwrap_classified(replay, sim::from_ms(200 + i)).status,
+              UnwrapStatus::replayed);
+  }
+  EXPECT_EQ(receiver.replay_dropped(), 5u);
+  EXPECT_EQ(receiver.auth_failures(), 0u) << "the capture's tag is genuine";
+  EXPECT_EQ(tracker->loss().received(), received) << "replays never reach the loss tracker";
+  EXPECT_EQ(tracker->loss().duplicates(), 0u);
+  EXPECT_DOUBLE_EQ(tracker->delay().ewma().value(), ewma);
+}
+
+TEST(ReplayPipeline, ReplayFloodThroughLiveSwitch) {
+  // Full-stack: an attacker records a window of genuine traffic and blasts
+  // it back at the receiving switch.  Every copy must land in the replay
+  // counters (switch and receiver agree exactly) and host delivery must see
+  // each packet once.
+  topo::VultrScenario s = topo::make_vultr_scenario();
+  s.topo.bgp().originate(kServerNy, net::Prefix{s.plan.ny_tunnel[0]});
+  sim::Wan wan{s.topo, sim::Rng{3}};
+
+  TangoSwitch ny{kServerNy, wan, SwitchOptions{.auth_key = kKey}};
+  std::uint64_t delivered = 0;
+  ny.set_host_handler([&delivered](const net::Packet&, const std::optional<ReceiveInfo>&) {
+    ++delivered;
+  });
+
+  // The "sender" half of the pairing, keyed correctly (the attacker records
+  // its output off the wire; it cannot craft these itself).
+  TunnelTable table = one_tunnel();
+  sim::NodeClock clock;
+  TunnelSender genuine{table, clock, kKey};
+  std::vector<net::Packet> captured;
+  for (int i = 0; i < 20; ++i) {
+    captured.push_back(*genuine.wrap(inner_packet(), 1, sim::from_ms(i)));
+  }
+
+  for (const net::Packet& p : captured) ny.inject_wan(p);  // the genuine stream
+  ASSERT_EQ(delivered, 20u);
+  for (int round = 0; round < 3; ++round) {
+    for (const net::Packet& p : captured) ny.inject_wan(p);  // the flood
+  }
+
+  EXPECT_EQ(ny.receiver().replay_dropped(), 60u);
+  EXPECT_EQ(ny.replay_drops(), 60u) << "switch and receiver accounting must agree";
+  EXPECT_EQ(delivered, 20u) << "no replayed copy reaches the hosts";
+  const PathTracker* tracker = ny.receiver().tracker(1);
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_EQ(tracker->delay().lifetime().count(), 20u);
+  EXPECT_EQ(tracker->loss().duplicates(), 0u);
+  EXPECT_EQ(tracker->loss().lost(), 0u);
+}
+
 TEST(AuthTag, CoversAllMeasurementFields) {
   const net::Packet inner = inner_packet();
   net::TangoHeader h;

@@ -126,6 +126,94 @@ TEST(PathTracker, DuplicatesDoNotFeedReordering) {
   EXPECT_EQ(t.reorder().reordered(), 1u);
 }
 
+TEST(PathTracker, DuplicatesDoNotMoveDelayStatistics) {
+  // Regression: every arrival used to feed the delay trackers before the
+  // loss tracker classified it, so a duplicated (or replayed) packet's stale
+  // tx_time dragged the OWD EWMA, the jitter accumulator and the kept
+  // series.  Duplicates must leave all delay state bit-identical.
+  PathTracker t{/*keep_series=*/true};
+  t.record(0, 28.0, 0);
+  t.record(10 * sim::kMillisecond, 29.0, 1);
+  t.record(20 * sim::kMillisecond, 28.5, 2);
+  const double ewma = t.delay().ewma().value();
+  const double jitter = t.delay().mean_rolling_stddev();
+  const std::uint64_t count = t.delay().lifetime().count();
+  const std::size_t series = t.series().size();
+
+  // A replayed copy of sequence 1 arriving much later with a wildly stale
+  // delay sample: classified duplicate, so nothing below may move.
+  for (int i = 0; i < 10; ++i) t.record(500 * sim::kMillisecond, 900.0, 1);
+
+  EXPECT_EQ(t.loss().duplicates(), 10u);
+  EXPECT_EQ(t.delay().lifetime().count(), count);
+  EXPECT_DOUBLE_EQ(t.delay().ewma().value(), ewma);
+  EXPECT_DOUBLE_EQ(t.delay().mean_rolling_stddev(), jitter);
+  EXPECT_EQ(t.series().size(), series);
+  EXPECT_EQ(t.delay().last_sample_at(), 20 * sim::kMillisecond)
+      << "a duplicate is not delivery evidence";
+}
+
+TEST(LossTracker, MidStreamAttachAcceptsInHorizonPredecessors) {
+  // Regression: attaching mid-stream (first arrival far from zero) set the
+  // window floor but never marked [floor, first) missing, so an in-horizon
+  // predecessor arriving late was misclassified as a duplicate — deflating
+  // unique_received and hiding genuine reordering.
+  LossTracker t{/*reorder_horizon=*/16};
+  EXPECT_EQ(t.record(100), Arrival::in_order);
+  EXPECT_EQ(t.record(90), Arrival::reordered) << "inside the horizon: a late first arrival";
+  EXPECT_EQ(t.record(90), Arrival::duplicate) << "second copy is the duplicate";
+  EXPECT_EQ(t.duplicates(), 1u);
+  EXPECT_EQ(t.unique_received(), 2u);
+  EXPECT_EQ(t.lost(), 0u);
+}
+
+TEST(LossTracker, MidStreamAttachStillRejectsPreWindowSequences) {
+  // The old behaviour survives where it was right: anything below the attach
+  // floor predates the window and stays a duplicate, never false loss.
+  LossTracker t{/*reorder_horizon=*/16};
+  t.record(100);  // attach window is [84, 100)
+  EXPECT_EQ(t.record(50), Arrival::duplicate);
+  EXPECT_EQ(t.record(83), Arrival::duplicate);
+  EXPECT_EQ(t.duplicates(), 2u);
+  // Unclaimed attach-window sequences sweep out as confirmed loss once the
+  // stream advances past the horizon, same as any other hole.
+  for (std::uint64_t s = 101; s < 140; ++s) t.record(s);
+  EXPECT_EQ(t.lost(), 16u) << "the 16 attach-window holes (84..99) sweep out as loss";
+}
+
+TEST(ReplayWindow, AcceptsEachSequenceOnce) {
+  ReplayWindow w{64};
+  for (std::uint64_t s = 0; s < 100; ++s) EXPECT_TRUE(w.accept(s)) << s;
+  for (std::uint64_t s = 90; s < 100; ++s) EXPECT_FALSE(w.accept(s)) << s;
+}
+
+TEST(ReplayWindow, LateFirstArrivalInsideWindowAccepted) {
+  ReplayWindow w{64};
+  w.accept(0);
+  w.accept(10);  // 1..9 skipped, still inside the window
+  EXPECT_TRUE(w.accept(5));
+  EXPECT_FALSE(w.accept(5)) << "second copy is the replay";
+}
+
+TEST(ReplayWindow, BelowWindowFloorRejected) {
+  ReplayWindow w{64};
+  w.accept(1000);
+  EXPECT_FALSE(w.accept(1000 - w.width())) << "at the floor: too old to distinguish";
+  EXPECT_TRUE(w.accept(1000 - w.width() + 1)) << "oldest in-window sequence still accepted";
+}
+
+TEST(ReplayWindow, LargeJumpForgetsStaleBits) {
+  ReplayWindow w{64};
+  for (std::uint64_t s = 0; s < 64; ++s) w.accept(s);
+  // Jump several windows ahead: ring positions are re-used and must not
+  // leak "seen" bits onto the new window's sequences.
+  const std::uint64_t jump = 10 * w.width();
+  ASSERT_TRUE(w.accept(jump));
+  for (std::uint64_t s = jump - w.width() + 1; s < jump; ++s) {
+    EXPECT_TRUE(w.accept(s)) << s;
+  }
+}
+
 TEST(OneWayDelayTracker, RollingJitterDrainsWithTime) {
   OneWayDelayTracker t;
   t.record(0, 30.0);

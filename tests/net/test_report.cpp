@@ -1,0 +1,135 @@
+// Wire-format feedback reports (§6): fail-closed parsing, bit-exact double
+// roundtrips, and an authentication tag that covers every field — the flags
+// byte included.
+#include "net/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace tango::net {
+namespace {
+
+const SipHashKey kKey{.k0 = 0x746f6e6779776f6eull, .k1 = 0x74616e676f746e67ull};
+const SipHashKey kWrongKey{.k0 = 1, .k1 = 2};
+
+ReportEnvelope sample_envelope() {
+  ReportEnvelope e;
+  e.path_id = 3;
+  e.report_seq = 41;
+  e.owd_ewma_ms = 28.375;
+  e.jitter_ms = 0.625;
+  e.loss_rate = 0.015625;
+  e.samples = 1234;
+  e.lost = 7;
+  e.updated_at = 5 * sim::kSecond;
+  return e;
+}
+
+std::vector<std::uint8_t> wire_bytes(const ReportEnvelope& e) {
+  ByteWriter w;
+  e.serialize(w);
+  return std::move(w).take();
+}
+
+TEST(ReportEnvelope, RoundTripsUnauthenticated) {
+  const ReportEnvelope e = sample_envelope();
+  const auto bytes = wire_bytes(e);
+  EXPECT_EQ(bytes.size(), ReportEnvelope::kSize);
+  ByteReader r{bytes};
+  const auto parsed = ReportEnvelope::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ReportEnvelope, RoundTripsAuthenticated) {
+  ReportEnvelope e = sample_envelope();
+  e.flags |= ReportEnvelope::kFlagAuthenticated;
+  e.auth_tag = report_auth_tag(kKey, e);
+  const auto bytes = wire_bytes(e);
+  EXPECT_EQ(bytes.size(), ReportEnvelope::kSize + ReportEnvelope::kAuthTagSize);
+  ByteReader r{bytes};
+  const auto parsed = ReportEnvelope::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+  EXPECT_EQ(parsed->auth_tag, report_auth_tag(kKey, *parsed));
+}
+
+TEST(ReportEnvelope, DoubleBitsSurviveExactly) {
+  // The digest-equality gates rest on bit-exact doubles; decimal text or a
+  // float trip would round.  Denormals and negative zero must survive too.
+  ReportEnvelope e = sample_envelope();
+  e.owd_ewma_ms = std::nextafter(28.0, 29.0);
+  e.jitter_ms = -0.0;
+  e.loss_rate = 5e-324;  // smallest denormal
+  const auto bytes = wire_bytes(e);
+  ByteReader r{bytes};
+  const auto parsed = ReportEnvelope::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->owd_ewma_ms),
+            std::bit_cast<std::uint64_t>(e.owd_ewma_ms));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->jitter_ms),
+            std::bit_cast<std::uint64_t>(e.jitter_ms));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed->loss_rate),
+            std::bit_cast<std::uint64_t>(e.loss_rate));
+}
+
+TEST(ReportEnvelope, BadMagicFailsWithoutConsuming) {
+  auto bytes = wire_bytes(sample_envelope());
+  bytes[0] ^= 0xFF;
+  ByteReader r{bytes};
+  EXPECT_FALSE(ReportEnvelope::parse(r).has_value());
+  EXPECT_EQ(r.position(), 0u) << "failed parse must leave the reader untouched";
+}
+
+TEST(ReportEnvelope, UnknownVersionRejected) {
+  auto bytes = wire_bytes(sample_envelope());
+  bytes[2] = ReportEnvelope::kVersion + 1;
+  ByteReader r{bytes};
+  EXPECT_FALSE(ReportEnvelope::parse(r).has_value());
+  EXPECT_EQ(r.position(), 0u);
+}
+
+TEST(ReportEnvelope, EveryTruncationRejected) {
+  ReportEnvelope e = sample_envelope();
+  e.flags |= ReportEnvelope::kFlagAuthenticated;
+  e.auth_tag = report_auth_tag(kKey, e);
+  const auto full = wire_bytes(e);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::uint8_t> cut{full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len)};
+    ByteReader r{cut};
+    EXPECT_FALSE(ReportEnvelope::parse(r).has_value()) << "length " << len;
+    EXPECT_EQ(r.position(), 0u) << "length " << len;
+  }
+}
+
+TEST(ReportEnvelope, TagCoversEveryField) {
+  ReportEnvelope e = sample_envelope();
+  e.flags |= ReportEnvelope::kFlagAuthenticated;
+  const std::uint64_t base = report_auth_tag(kKey, e);
+
+  const auto differs = [&](auto&& mutate) {
+    ReportEnvelope m = e;
+    mutate(m);
+    return report_auth_tag(kKey, m) != base;
+  };
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.path_id = 4; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.report_seq = 42; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.owd_ewma_ms = 1.0; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.jitter_ms = 1.0; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.loss_rate = 1.0; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.samples = 1; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.lost = 1; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.updated_at = 1; }));
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.version = 2; }));
+  // The data-path header once omitted flags from its MAC; the envelope must
+  // not repeat that mistake — a flipped flag bit invalidates the tag.
+  EXPECT_TRUE(differs([](ReportEnvelope& m) { m.flags |= 0x80; }));
+  EXPECT_NE(report_auth_tag(kWrongKey, e), base);
+}
+
+}  // namespace
+}  // namespace tango::net
